@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the PWL primitives (paper Eq. 3) and the
+//! minimal-functional-subset pruning (paper Fig. 4 vs naive pairwise) —
+//! the inner loops of the repeater-insertion dynamic program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msrnet_pwl::{mfs_divide_conquer, mfs_naive, FuncPoint, Pwl};
+
+/// Deterministic pseudo-random PWL built from `k` joined segments.
+fn random_pwl(seed: &mut u64, k: usize) -> Pwl {
+    let next = move |s: &mut u64| {
+        *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*s >> 33) as f64) / ((1u64 << 31) as f64)
+    };
+    let mut f = Pwl::empty();
+    let width = 10.0 / k as f64;
+    for i in 0..k {
+        let lo = i as f64 * width;
+        let piece = Pwl::linear(next(seed) * 100.0, next(seed) * 20.0, lo, lo + width);
+        f = if f.is_empty() {
+            piece
+        } else {
+            // Stitch by taking the max over overlapping constants.
+            Pwl::from_segments(
+                f.segments()
+                    .iter()
+                    .chain(piece.segments())
+                    .copied()
+                    .collect(),
+            )
+        };
+    }
+    f
+}
+
+fn candidates(n: usize) -> Vec<FuncPoint<usize>> {
+    let mut seed = 0xC0FFEE;
+    (0..n)
+        .map(|i| {
+            let cost = (i % 7) as f64;
+            let y = random_pwl(&mut seed, 4);
+            let d = random_pwl(&mut seed, 4);
+            FuncPoint::new(i, vec![cost, (i % 5) as f64, 0.0], vec![y, d])
+        })
+        .collect()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut seed = 12345u64;
+    let f = random_pwl(&mut seed, 16);
+    let g = random_pwl(&mut seed, 16);
+    let mut group = c.benchmark_group("pwl_primitives");
+    group.bench_function("max_16seg", |b| b.iter(|| f.max(&g)));
+    group.bench_function("le_regions_16seg", |b| b.iter(|| f.le_regions(&g)));
+    group.bench_function("shift_add_clamp", |b| {
+        b.iter(|| f.shifted_arg(0.5).add_linear(3.0, 7.0).clamp_domain(0.0, 9.0))
+    });
+    group.finish();
+}
+
+fn bench_mfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mfs_pruning");
+    group.sample_size(20);
+    for n in [64usize, 256] {
+        let cands = candidates(n);
+        group.bench_with_input(BenchmarkId::new("divide_conquer", n), &n, |b, _| {
+            b.iter(|| mfs_divide_conquer(cands.clone(), 8))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| mfs_naive(cands.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_mfs);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the topology substrates: rectilinear MST,
+//! iterated 1-Steiner refinement, and the P-Tree interval DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msrnet_geom::Point;
+use msrnet_steiner::{nn_tour, ptree_topology, rectilinear_mst, steiner_tree, two_opt};
+
+fn points(n: usize, seed: u64) -> Vec<Point> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % 10_000) as f64
+    };
+    (0..n).map(|_| Point::new(next(), next())).collect()
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner");
+    group.sample_size(20);
+    for n in [10usize, 20] {
+        let pts = points(n, 42);
+        group.bench_with_input(BenchmarkId::new("mst", n), &pts, |b, pts| {
+            b.iter(|| rectilinear_mst(pts))
+        });
+        group.bench_with_input(BenchmarkId::new("one_steiner", n), &pts, |b, pts| {
+            b.iter(|| steiner_tree(pts))
+        });
+    }
+    // The P-Tree DP is O(n²·|H|²); bench at a modest size.
+    let pts = points(8, 42);
+    let order = two_opt(&pts, nn_tour(&pts, 0));
+    group.bench_function("ptree_8", |b| b.iter(|| ptree_topology(&pts, &order)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_topologies);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Validates the paper's contribution 2 empirically: computing the ARD
+//! in linear time (Fig. 2) versus the naive one-traversal-per-source
+//! baseline. As the number of terminals grows, the naive method scales
+//! as O(n²) while Fig. 2 stays O(n); both must agree on the value.
+//!
+//! Run with: `cargo run --release -p msrnet-bench --bin ard_scaling`
+
+use std::time::Instant;
+
+use msrnet_core::ard::{ard_linear, ard_naive};
+use msrnet_netgen::{table1, ExperimentNet};
+use msrnet_rctree::{Assignment, Orientation, TerminalId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let params = table1();
+    println!("ARD computation scaling: linear-time (Fig. 2) vs per-source naive");
+    println!("------------------------------------------------------------------------");
+    println!(
+        "{:>6} {:>8} | {:>12} | {:>12} | {:>8} | {:>10}",
+        "pins", "vertices", "linear", "naive", "ratio", "ARD agree"
+    );
+    println!("------------------------------------------------------------------------");
+    for n in [10usize, 20, 50, 100, 200, 400] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        // MST routing for large nets: the Steiner refinement is not the
+        // subject of this scaling study.
+        let exp = if n <= 50 {
+            ExperimentNet::random(&mut rng, n, &params).expect("valid net")
+        } else {
+            ExperimentNet::random_mst(&mut rng, n, &params).expect("valid net")
+        };
+        let net = exp.with_insertion_points(800.0);
+        // Random repeater sprinkle so decoupling paths are exercised.
+        let lib = [params.repeater(1.0)];
+        let mut asg = Assignment::empty(net.topology.vertex_count());
+        for v in net.topology.insertion_points() {
+            if rng.gen_bool(0.15) {
+                asg.place(v, 0, Orientation::AFacesParent);
+            }
+        }
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let reps = 20;
+        let t = Instant::now();
+        let mut fast = f64::NAN;
+        for _ in 0..reps {
+            fast = ard_linear(&net, &rooted, &lib, &asg).ard;
+        }
+        let linear_time = t.elapsed() / reps;
+        let t = Instant::now();
+        let mut slow = f64::NAN;
+        for _ in 0..reps {
+            slow = ard_naive(&net, &rooted, &lib, &asg).ard;
+        }
+        let naive_time = t.elapsed() / reps;
+        println!(
+            "{:>6} {:>8} | {:>12?} | {:>12?} | {:>7.1}x | {:>10}",
+            n,
+            net.topology.vertex_count(),
+            linear_time,
+            naive_time,
+            naive_time.as_secs_f64() / linear_time.as_secs_f64(),
+            if (fast - slow).abs() < 1e-6 { "yes" } else { "NO" }
+        );
+        assert!((fast - slow).abs() < 1e-6, "algorithms disagree");
+    }
+    println!("------------------------------------------------------------------------");
+    println!("expected shape: the ratio grows roughly linearly with the terminal");
+    println!("count — the ARD is no harder than an RC-radius (paper §III).");
+}

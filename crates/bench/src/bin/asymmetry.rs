@@ -1,0 +1,60 @@
+//! Explores asymmetric source/sink distributions — named by the paper's
+//! conclusions (§VII) as a direction of interest: how does the benefit
+//! of repeater insertion change when only a few terminals can drive the
+//! bus?
+//!
+//! Fewer sources mean fewer direction conflicts, so repeaters can commit
+//! to the dominant signal direction and the achievable diameter
+//! reduction grows.
+//!
+//! Run with: `cargo run --release -p msrnet-bench --bin asymmetry`
+
+use msrnet_core::{optimize, MsriOptions};
+use msrnet_netgen::{table1, ExperimentNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let params = table1();
+    let n = 10usize;
+    let trials = 5u64;
+    println!("Asymmetric source/sink distributions ({n}-pin nets, {trials} seeds)");
+    println!("--------------------------------------------------------------------");
+    println!(
+        "{:>8} | {:>14} | {:>14} | {:>12}",
+        "sources", "base ARD (ps)", "best ARD (ps)", "reduction"
+    );
+    println!("--------------------------------------------------------------------");
+    for n_sources in [1usize, 2, 5, 10] {
+        let mut base = 0.0;
+        let mut best = 0.0;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(4000 + seed);
+            let exp = ExperimentNet::random_asymmetric(&mut rng, n, n_sources, &params)
+                .expect("valid net");
+            let net = exp.with_insertion_points(800.0);
+            let lib = [params.repeater(1.0)];
+            let drivers = params.fixed_driver_menu(&net);
+            let curve = optimize(
+                &net,
+                exp.source_terminal(),
+                &lib,
+                &drivers,
+                &MsriOptions::default(),
+            )
+            .expect("optimize");
+            base += curve.min_cost().ard;
+            best += curve.best_ard().ard;
+        }
+        println!(
+            "{:>8} | {:>14.1} | {:>14.1} | {:>11.1}%",
+            n_sources,
+            base / trials as f64,
+            best / trials as f64,
+            100.0 * (1.0 - best / base)
+        );
+    }
+    println!("--------------------------------------------------------------------");
+    println!("the same seeds are reused across rows, so rows differ only in how");
+    println!("many of the ten terminals can drive.");
+}

@@ -1,0 +1,52 @@
+//! Reproduces paper Fig. 3: the motivational example behind the PWL
+//! characterization. Two sources `u` and `w` join at a vertex `v`; the
+//! bottom-up accumulated resistances to `v` are 7 and 12 (the paper's
+//! values), so the arrival time at `v` from each source is a *line* in
+//! the external capacitance `c_E`, and which source is critical depends
+//! on `c_E` — the piece-wise maximum (Fig. 3c). Internal source→sink
+//! paths add scalars to the intercepts, giving the internal augmented
+//! diameter function (Fig. 3d).
+//!
+//! Run with: `cargo run --release -p msrnet-bench --bin fig3`
+
+use msrnet_pwl::Pwl;
+
+fn main() {
+    let c_max = 4.0;
+    // Arrival functions at v (paper Fig. 3b/c): slope = accumulated
+    // upstream resistance; intercepts chosen so the two lines cross
+    // inside the domain of interest.
+    let y_u = Pwl::linear(16.0, 7.0, 0.0, c_max);
+    let y_w = Pwl::linear(10.0, 12.0, 0.0, c_max);
+    let arrival = y_u.max(&y_w);
+
+    println!("Fig. 3(c) — arrival time at v as a function of c_E");
+    println!("Y_u(c_E) = 16 + 7·c_E      (accumulated resistance 7)");
+    println!("Y_w(c_E) = 10 + 12·c_E     (accumulated resistance 12)");
+    println!("max(Y_u, Y_w):");
+    for s in arrival.segments() {
+        println!("  on [{:.2}, {:.2}]: {:.2} + {:.2}·(c_E − {:.2})", s.x0, s.x1, s.y0, s.slope, s.x0);
+    }
+    let crossover = arrival.segments()[0].x1;
+    println!("critical source: u for c_E < {crossover:.2}, w beyond — the crossover of Fig. 3(c)");
+
+    // Fig. 3(d): internal paths add the scalar delay from v down to the
+    // other side's sink to each intercept.
+    let d_uw = y_u.add_scalar(6.0); // path u → (sink below w's side)
+    let d_wu = y_w.add_scalar(3.0); // path w → (sink below u's side)
+    let diameter = d_uw.max(&d_wu);
+    println!("\nFig. 3(d) — internal augmented path delays");
+    println!("PD(u→·)(c_E) = Y_u + 6 = 22 + 7·c_E");
+    println!("PD(w→·)(c_E) = Y_w + 3 = 13 + 12·c_E");
+    println!("internal diameter D(c_E) = max of the two:");
+    for s in diameter.segments() {
+        println!("  on [{:.2}, {:.2}]: {:.2} + {:.2}·(c_E − {:.2})", s.x0, s.x1, s.y0, s.slope, s.x0);
+    }
+    println!(
+        "\nsampled values: arrival(0)={:.1}, arrival(2)={:.1}; D(0)={:.1}, D(2)={:.1}",
+        arrival.eval(0.0).unwrap(),
+        arrival.eval(2.0).unwrap(),
+        diameter.eval(0.0).unwrap(),
+        diameter.eval(2.0).unwrap()
+    );
+}

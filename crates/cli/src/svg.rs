@@ -1,0 +1,207 @@
+//! SVG rendering of multisource net topologies and repeater-insertion
+//! solutions — the visual counterpart of the paper's Fig. 11.
+//!
+//! Produces a self-contained SVG string: wires as lines (width encodes
+//! wire sizing), terminals as labelled squares, Steiner points as small
+//! circles, insertion points as dots, and placed repeaters as filled
+//! triangles pointing toward the side their A pin faces.
+
+use msrnet_geom::BoundingBox;
+use msrnet_rctree::{Assignment, Net, VertexKind};
+
+/// Rendering options.
+#[derive(Clone, Debug)]
+pub struct RenderOptions {
+    /// Output image width in pixels (height follows the aspect ratio).
+    pub width_px: f64,
+    /// Margin around the drawing, px.
+    pub margin_px: f64,
+    /// Whether to label terminals `t0, t1, …`.
+    pub labels: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width_px: 640.0,
+            margin_px: 24.0,
+            labels: true,
+        }
+    }
+}
+
+/// Renders the topology (and, if given, a repeater assignment) as an SVG
+/// document.
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_cli::svg::{render_svg, RenderOptions};
+/// use msrnet_geom::Point;
+/// use msrnet_rctree::{NetBuilder, Technology, Terminal};
+///
+/// let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+/// let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+/// let t1 = b.terminal(Point::new(5000.0, 2000.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+/// b.wire(t0, t1);
+/// let net = b.build()?;
+/// let svg = render_svg(&net, None, &RenderOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("</svg>"));
+/// # Ok::<(), msrnet_rctree::BuildNetError>(())
+/// ```
+pub fn render_svg(net: &Net, assignment: Option<&Assignment>, opts: &RenderOptions) -> String {
+    let bb = BoundingBox::of(net.topology.vertices().map(|v| net.topology.position(v)))
+        .unwrap_or(BoundingBox {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 1.0,
+            max_y: 1.0,
+        });
+    let span_x = bb.width().max(1.0);
+    let span_y = bb.height().max(1.0);
+    let draw_w = opts.width_px - 2.0 * opts.margin_px;
+    let scale = draw_w / span_x;
+    let height_px = span_y * scale + 2.0 * opts.margin_px;
+    // SVG y grows downward; flip so the plot reads like the floorplan.
+    let tx = |x: f64| (x - bb.min_x) * scale + opts.margin_px;
+    let ty = |y: f64| height_px - ((y - bb.min_y) * scale + opts.margin_px);
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n",
+        opts.width_px, height_px, opts.width_px, height_px
+    ));
+    s.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+
+    // Wires first (under the symbols); stroke width encodes wire sizing.
+    for e in net.topology.edges() {
+        let (a, b) = net.topology.endpoints(e);
+        let pa = net.topology.position(a);
+        let pb = net.topology.position(b);
+        let (_, cap_scale) = net.topology.edge_scaling(e);
+        let w = 1.2 * cap_scale.max(0.5);
+        s.push_str(&format!(
+            "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#555\" stroke-width=\"{w:.1}\"/>\n",
+            tx(pa.x), ty(pa.y), tx(pb.x), ty(pb.y)
+        ));
+    }
+
+    for v in net.topology.vertices() {
+        let p = net.topology.position(v);
+        let (x, y) = (tx(p.x), ty(p.y));
+        match net.topology.kind(v) {
+            VertexKind::Terminal(t) => {
+                let term = net.terminal(t);
+                let fill = match (term.is_source(), term.is_sink()) {
+                    (true, true) => "#1f77b4",
+                    (true, false) => "#2ca02c",
+                    (false, _) => "#d62728",
+                };
+                s.push_str(&format!(
+                    "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"9\" height=\"9\" fill=\"{fill}\"/>\n",
+                    x - 4.5,
+                    y - 4.5
+                ));
+                if opts.labels {
+                    s.push_str(&format!(
+                        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" font-family=\"sans-serif\">t{}</text>\n",
+                        x + 6.0,
+                        y - 6.0,
+                        t.0
+                    ));
+                }
+            }
+            VertexKind::Steiner => {
+                s.push_str(&format!(
+                    "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"3\" fill=\"#999\"/>\n"
+                ));
+            }
+            VertexKind::InsertionPoint => {
+                let placed = assignment.and_then(|a| a.at(v));
+                match placed {
+                    Some(_) => {
+                        // A filled triangle marks an inserted repeater.
+                        s.push_str(&format!(
+                            "<polygon points=\"{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}\" fill=\"#ff7f0e\" stroke=\"#8c3d00\"/>\n",
+                            x - 6.0, y + 5.0, x + 6.0, y + 5.0, x, y - 7.0
+                        ));
+                    }
+                    None => {
+                        s.push_str(&format!(
+                            "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"1.6\" fill=\"#bbb\"/>\n"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrnet_geom::Point;
+    use msrnet_rctree::{NetBuilder, Orientation, Technology, Terminal};
+
+    fn small_net() -> Net {
+        let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+        let t0 = b.terminal(
+            Point::new(0.0, 0.0),
+            Terminal::bidirectional(0.0, 0.0, 0.05, 180.0),
+        );
+        let ip = b.insertion_point(Point::new(2000.0, 500.0));
+        let t1 = b.terminal(Point::new(4000.0, 1000.0), Terminal::sink_only(0.0, 0.05));
+        b.wire(t0, ip);
+        b.wire(ip, t1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renders_wellformed_document() {
+        let net = small_net();
+        let svg = render_svg(&net, None, &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Two lines, two terminal squares, one insertion dot.
+        assert_eq!(svg.matches("<line").count(), 2);
+        assert_eq!(svg.matches("<rect x=").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 1);
+        // Sink-only terminal is colored differently from bidirectional.
+        assert!(svg.contains("#1f77b4"));
+        assert!(svg.contains("#d62728"));
+    }
+
+    #[test]
+    fn placed_repeaters_draw_triangles() {
+        let net = small_net();
+        let ip = net.topology.insertion_points().next().unwrap();
+        let mut asg = Assignment::empty(net.topology.vertex_count());
+        asg.place(ip, 0, Orientation::AFacesParent);
+        let svg = render_svg(&net, Some(&asg), &RenderOptions::default());
+        assert_eq!(svg.matches("<polygon").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 0);
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let net = small_net();
+        let opts = RenderOptions {
+            labels: false,
+            ..RenderOptions::default()
+        };
+        let svg = render_svg(&net, None, &opts);
+        assert_eq!(svg.matches("<text").count(), 0);
+    }
+
+    #[test]
+    fn wire_sizing_thickens_strokes() {
+        let mut net = small_net();
+        let e = msrnet_rctree::EdgeId(0);
+        net.topology.set_edge_scaling(e, 0.25, 4.0);
+        let svg = render_svg(&net, None, &RenderOptions::default());
+        assert!(svg.contains("stroke-width=\"4.8\""));
+    }
+}

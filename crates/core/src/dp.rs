@@ -1,0 +1,952 @@
+//! Optimal multisource repeater insertion (MSRI) — the paper's §IV
+//! dynamic program.
+//!
+//! The tree is processed bottom-up. A subsolution for the subtree rooted
+//! at `v` (measured at `v`'s parent-side pin) is characterized by three
+//! scalars and two piece-wise linear functions of the external
+//! capacitance `c_E` (paper §IV-B):
+//!
+//! * `cost` — repeaters and drivers spent inside the subtree;
+//! * `cap` — capacitance the subtree presents upward;
+//! * `d_sinks` — worst augmented delay from the pin to internal sinks;
+//! * `Y(c_E)` — worst augmented arrival at the pin from internal sources;
+//! * `D(c_E)` — worst augmented diameter among internal pairs.
+//!
+//! The DP steps are exactly the paper's subroutines: `LeafSolutions`
+//! (Fig. 6), `Augment` over a wire (Fig. 10), `JoinSets` at a branch
+//! (Fig. 7), `RepeaterSolutions` at an insertion point (Fig. 8) and
+//! `RootSolutions` (Fig. 9), with minimal-functional-subset pruning
+//! between steps (§IV-D). The result is the full cost-vs-ARD trade-off
+//! curve, from which "min cost subject to `ARD ≤ spec`" (Problem 2.1) is
+//! read off directly.
+
+use msrnet_pwl::{mfs_divide_conquer, mfs_naive, FuncPoint, Pwl};
+use msrnet_rctree::{
+    Assignment, Net, Orientation, Repeater, Rooted, TerminalId, VertexId, VertexKind,
+};
+
+use crate::options::{MsriError, MsriOptions, PruningStrategy, TerminalOptions, WireOption};
+use crate::tradeoff::{TradeoffCurve, TradeoffPoint};
+
+const COST: usize = 0;
+const CAP: usize = 1;
+const DSINKS: usize = 2;
+const ARR: usize = 0;
+const DIA: usize = 1;
+
+/// Per-candidate bookkeeping carried through pruning.
+#[derive(Clone, Copy, Debug)]
+struct Meta {
+    trace: u32,
+    /// Signal parity (number of inverting repeaters between any internal
+    /// terminal and the pin, mod 2). Only meaningful when inverting
+    /// repeaters are enabled; always `false` otherwise.
+    parity: bool,
+}
+
+type Cand = FuncPoint<Meta>;
+
+/// Back-pointers for reconstructing the repeater assignment of a
+/// surviving candidate.
+#[derive(Clone, Copy, Debug)]
+enum TraceNode {
+    Leaf {
+        terminal: TerminalId,
+        option: usize,
+    },
+    Join {
+        left: u32,
+        right: u32,
+    },
+    Repeater {
+        child: u32,
+        vertex: VertexId,
+        repeater: usize,
+        orientation: Orientation,
+    },
+    /// A wire-width choice on the parent edge of `vertex` (only recorded
+    /// when wire sizing is enabled).
+    Wire {
+        child: u32,
+        edge: msrnet_rctree::EdgeId,
+        option: usize,
+    },
+    /// An empty subtree (a leaf that is not a terminal).
+    Empty,
+}
+
+/// Counters describing one optimizer run — used by the ablation benches
+/// to compare pruning strategies.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MsriStats {
+    /// Candidates generated across all DP steps.
+    pub generated: u64,
+    /// Candidates surviving all prunes, summed over steps.
+    pub surviving: u64,
+    /// Largest candidate set observed after any prune.
+    pub max_set_size: usize,
+    /// Largest number of PWL segments observed on a single candidate.
+    pub max_segments: usize,
+    /// Number of prune invocations.
+    pub prunes: u64,
+}
+
+/// Solves Problem 2.1 for `net`: returns the Pareto trade-off between
+/// total cost (drivers + repeaters) and ARD over all assignments and
+/// orientations of `library` repeaters to the insertion points, and all
+/// per-terminal driver options.
+///
+/// Requirements: the net must be valid ([`Net::check`]), every terminal
+/// must be a leaf ([`Net::normalized`]), and `root` names the terminal to
+/// root the recursion at (any terminal works; the result is
+/// root-invariant).
+///
+/// # Errors
+///
+/// See [`MsriError`].
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_geom::Point;
+/// use msrnet_core::{optimize, MsriOptions, TerminalOptions};
+/// use msrnet_rctree::{Buffer, NetBuilder, Repeater, Technology, Terminal, TerminalId};
+///
+/// let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+/// let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+/// let ip = b.insertion_point(Point::new(4000.0, 0.0));
+/// let t1 = b.terminal(Point::new(8000.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+/// b.wire(t0, ip);
+/// b.wire(ip, t1);
+/// let net = b.build()?;
+///
+/// let buf = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+/// let lib = [Repeater::from_buffer_pair("rep", &buf, &buf)];
+/// let curve = optimize(
+///     &net,
+///     TerminalId(0),
+///     &lib,
+///     &TerminalOptions::defaults(&net),
+///     &MsriOptions::default(),
+/// )?;
+/// // Spending a repeater must help this 8 mm bus.
+/// assert!(curve.best_ard().ard < curve.min_cost().ard);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimize(
+    net: &Net,
+    root: TerminalId,
+    library: &[Repeater],
+    term_opts: &TerminalOptions,
+    options: &MsriOptions,
+) -> Result<TradeoffCurve, MsriError> {
+    optimize_with_wires(net, root, library, term_opts, &[WireOption::unit()], options)
+}
+
+/// Like [`optimize`], additionally choosing a wire width for **every**
+/// edge from `wire_options` (simultaneous repeater insertion and
+/// discrete wire sizing — the paper's §VII extension).
+///
+/// With a single unit option this is exactly [`optimize`]. Wire costs are
+/// `cost_per_um · length`, in the same currency as repeater costs; the
+/// chosen widths are reported per edge in
+/// [`crate::TradeoffPoint::wire_choices`].
+///
+/// # Errors
+///
+/// See [`MsriError`]; additionally `wire_options` must be non-empty.
+pub fn optimize_with_wires(
+    net: &Net,
+    root: TerminalId,
+    library: &[Repeater],
+    term_opts: &TerminalOptions,
+    wire_options: &[WireOption],
+    options: &MsriOptions,
+) -> Result<TradeoffCurve, MsriError> {
+    assert!(!wire_options.is_empty(), "at least one wire option required");
+    net.check()?;
+    if !options.allow_inverting && library.iter().any(|r| r.inverting) {
+        return Err(MsriError::InvertingDisallowed);
+    }
+    for t in net.terminal_ids() {
+        if term_opts.for_terminal(t).is_empty() {
+            return Err(MsriError::NoOptions(t));
+        }
+        let v = net.topology.terminal_vertex(t);
+        if net.topology.degree(v) > 1 {
+            return Err(if t == root {
+                MsriError::RootNotLeaf(t)
+            } else {
+                MsriError::TerminalNotLeaf(t)
+            });
+        }
+    }
+    let rooted = net.rooted_at_terminal(root);
+    let mut solver = Solver {
+        net,
+        rooted: &rooted,
+        library,
+        term_opts,
+        wire_options,
+        options,
+        trace: Vec::new(),
+        cap_bound: cap_bound(net, library, term_opts, wire_options),
+        stats: MsriStats::default(),
+    };
+    solver.run(root)
+}
+
+/// Upper bound for the PWL domain clamp `[0, B]`.
+///
+/// Subtlety: every `Augment`/`JoinSets` shifts a candidate's domain down
+/// by the capacitance accumulated beneath it (at most the whole net), and
+/// `RepeaterSolutions` later *evaluates* the candidate at the repeater's
+/// child-side input capacitance — which can exceed the physically
+/// remaining outside capacitance, because the repeater's own input cap
+/// **replaces** the outside world. The bound therefore reserves headroom
+/// for the largest decoupling cap *in addition to* the whole net:
+/// `B = C_wire + Σ max terminal caps + max repeater-side cap`, so after
+/// any shift the domain still covers every evaluation point.
+fn cap_bound(
+    net: &Net,
+    library: &[Repeater],
+    term_opts: &TerminalOptions,
+    wire_options: &[WireOption],
+) -> f64 {
+    let lib_max = library
+        .iter()
+        .map(|r| r.cap_a.max(r.cap_b))
+        .fold(0.0, f64::max);
+    let wire_scale_max = wire_options
+        .iter()
+        .map(|w| w.cap_scale)
+        .fold(1.0, f64::max);
+    let terms_max_sum: f64 = (0..term_opts.len())
+        .map(|i| {
+            term_opts
+                .for_terminal(TerminalId(i))
+                .iter()
+                .map(|o| o.cap)
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    (net.total_wire_cap() * wire_scale_max + terms_max_sum + lib_max) * (1.0 + 1e-9) + 1e-9
+}
+
+struct Solver<'a> {
+    net: &'a Net,
+    rooted: &'a Rooted,
+    library: &'a [Repeater],
+    term_opts: &'a TerminalOptions,
+    wire_options: &'a [WireOption],
+    options: &'a MsriOptions,
+    trace: Vec<TraceNode>,
+    cap_bound: f64,
+    stats: MsriStats,
+}
+
+impl Solver<'_> {
+    fn run(&mut self, root: TerminalId) -> Result<TradeoffCurve, MsriError> {
+        let n = self.net.topology.vertex_count();
+        let root_v = self.rooted.root();
+        let mut sets: Vec<Option<Vec<Cand>>> = (0..n).map(|_| None).collect();
+
+        for v in self.rooted.postorder() {
+            if v == root_v {
+                break; // handled by RootSolutions below
+            }
+            let set = self.solutions_at(v, &mut sets);
+            sets[v.0] = Some(set);
+        }
+
+        // The root is a leaf terminal with exactly one child subtree.
+        let children = self.rooted.children(root_v);
+        debug_assert_eq!(children.len(), 1, "leaf root has one child");
+        let child = children[0];
+        let below = sets[child.0].take().expect("child processed");
+        let at_root = self.augment(below, child);
+        let evals = self.root_solutions(at_root, root);
+        self.finish(evals, root)
+    }
+
+    /// Candidate set for the subtree at `v`, measured at `v`'s
+    /// parent-side pin.
+    fn solutions_at(&mut self, v: VertexId, sets: &mut [Option<Vec<Cand>>]) -> Vec<Cand> {
+        let children: Vec<VertexId> = self.rooted.children(v).to_vec();
+        match self.net.topology.kind(v) {
+            VertexKind::Terminal(t) => {
+                debug_assert!(children.is_empty(), "terminals are leaves (validated)");
+                self.leaf_solutions(t)
+            }
+            VertexKind::Steiner | VertexKind::InsertionPoint if children.is_empty() => {
+                // Degenerate leaf Steiner point: empty subtree.
+                let trace = self.push_trace(TraceNode::Empty);
+                vec![self.candidate(
+                    trace,
+                    false,
+                    0.0,
+                    0.0,
+                    f64::NEG_INFINITY,
+                    Pwl::neg_inf(0.0, self.cap_bound),
+                    Pwl::neg_inf(0.0, self.cap_bound),
+                )]
+            }
+            VertexKind::Steiner => {
+                let mut acc: Option<Vec<Cand>> = None;
+                for &u in &children {
+                    let su = sets[u.0].take().expect("child processed");
+                    let au = self.augment(su, u);
+                    acc = Some(match acc {
+                        None => au,
+                        Some(prev) => {
+                            let joined = self.join(prev, au);
+                            self.prune(joined)
+                        }
+                    });
+                }
+                acc.expect("at least one child")
+            }
+            VertexKind::InsertionPoint => {
+                debug_assert_eq!(children.len(), 1, "insertion points are degree 2");
+                let su = sets[children[0].0].take().expect("child processed");
+                let au = self.augment(su, children[0]);
+                let buffered = self.repeater_solutions(au, v);
+                self.prune(buffered)
+            }
+        }
+    }
+
+    fn push_trace(&mut self, node: TraceNode) -> u32 {
+        let id = self.trace.len() as u32;
+        self.trace.push(node);
+        id
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn candidate(
+        &mut self,
+        trace: u32,
+        parity: bool,
+        cost: f64,
+        cap: f64,
+        d_sinks: f64,
+        arrival: Pwl,
+        diameter: Pwl,
+    ) -> Cand {
+        self.stats.generated += 1;
+        let segs = arrival.segments().len() + diameter.segments().len();
+        self.stats.max_segments = self.stats.max_segments.max(segs);
+        FuncPoint::new(
+            Meta { trace, parity },
+            vec![cost, cap, d_sinks],
+            vec![arrival, diameter],
+        )
+    }
+
+    /// Paper Fig. 6: one candidate per driver option of the leaf
+    /// terminal.
+    fn leaf_solutions(&mut self, t: TerminalId) -> Vec<Cand> {
+        let term = self.net.terminal(t).clone();
+        let b = self.cap_bound;
+        let menu: Vec<_> = self.term_opts.for_terminal(t).to_vec();
+        let mut out = Vec::with_capacity(menu.len());
+        for (oi, o) in menu.iter().enumerate() {
+            let trace = self.push_trace(TraceNode::Leaf {
+                terminal: t,
+                option: oi,
+            });
+            let arrival = if term.is_source() {
+                // AT + driver intrinsic/loading + r·(own cap + c_E).
+                Pwl::linear(
+                    term.arrival + o.arrival_extra + o.drive_res * o.cap,
+                    o.drive_res,
+                    0.0,
+                    b,
+                )
+            } else {
+                Pwl::neg_inf(0.0, b)
+            };
+            let d_sinks = if term.is_sink() {
+                term.downstream + o.downstream_extra
+            } else {
+                f64::NEG_INFINITY
+            };
+            out.push(self.candidate(
+                trace,
+                false,
+                o.cost,
+                o.cap,
+                d_sinks,
+                arrival,
+                Pwl::neg_inf(0.0, b),
+            ));
+        }
+        self.prune(out)
+    }
+
+    /// Paper Fig. 10: extend candidates at `v` through `v`'s parent wire,
+    /// enumerating wire-width options when wire sizing is enabled.
+    fn augment(&mut self, set: Vec<Cand>, v: VertexId) -> Vec<Cand> {
+        let e = self.rooted.parent_edge(v).expect("non-root vertex");
+        let len = self.net.topology.length(e);
+        let base_r = self.net.edge_res(e);
+        let base_c = self.net.edge_cap(e);
+        let sizing = self.wire_options.len() > 1 && len > 0.0;
+        if !sizing && base_r == 0.0 && base_c == 0.0 {
+            return set;
+        }
+        let b = self.cap_bound;
+        let n_opts = if sizing { self.wire_options.len() } else { 1 };
+        let mut out = Vec::with_capacity(set.len() * n_opts);
+        for cand in &set {
+            for oi in 0..n_opts {
+                let w = &self.wire_options[oi];
+                let r = base_r * w.res_scale;
+                let c = base_c * w.cap_scale;
+                let cost = cand.scalars[COST] + if sizing { w.cost_per_um * len } else { 0.0 };
+                let cap = cand.scalars[CAP] + c;
+                let d_sinks = r * (0.5 * c + cand.scalars[CAP]) + cand.scalars[DSINKS];
+                let arrival = cand.pwls[ARR]
+                    .shifted_arg(c)
+                    .add_linear(r * 0.5 * c, r)
+                    .clamp_domain(0.0, b);
+                let diameter = cand.pwls[DIA].shifted_arg(c).clamp_domain(0.0, b);
+                let trace = if sizing {
+                    self.push_trace(TraceNode::Wire {
+                        child: cand.payload.trace,
+                        edge: e,
+                        option: oi,
+                    })
+                } else {
+                    cand.payload.trace
+                };
+                out.push(self.candidate(
+                    trace,
+                    cand.payload.parity,
+                    cost,
+                    cap,
+                    d_sinks,
+                    arrival,
+                    diameter,
+                ));
+            }
+        }
+        if sizing {
+            self.prune(out)
+        } else {
+            out
+        }
+    }
+
+    /// Paper Fig. 7: the product of two sibling candidate sets at a
+    /// branch vertex.
+    ///
+    /// Large products are pruned incrementally in blocks rather than
+    /// materialized whole: the minimal functional subset is confluent
+    /// (dominated candidates may be discarded at any time without
+    /// affecting the final subset), so interleaving pruning with
+    /// generation preserves exactness while bounding memory — combined
+    /// driver-sizing × wire-sizing × repeater runs would otherwise
+    /// materialize products with billions of entries.
+    fn join(&mut self, left: Vec<Cand>, right: Vec<Cand>) -> Vec<Cand> {
+        const BLOCK_LIMIT: usize = 8192;
+        let b = self.cap_bound;
+        let mut out = Vec::with_capacity((left.len() * right.len()).min(2 * BLOCK_LIMIT));
+        let inverting = self.options.allow_inverting;
+        for l in &left {
+            if out.len() >= 2 * BLOCK_LIMIT {
+                out = self.prune(out);
+            }
+            for r in &right {
+                // Inverting-repeater extension: every internal terminal
+                // must agree on polarity at the junction.
+                let mut parity = false;
+                if inverting {
+                    let l_has_terms = has_terminals(l);
+                    let r_has_terms = has_terminals(r);
+                    if l.payload.parity != r.payload.parity && l_has_terms && r_has_terms {
+                        continue;
+                    }
+                    parity = if l_has_terms {
+                        l.payload.parity
+                    } else {
+                        r.payload.parity
+                    };
+                }
+                let cost = l.scalars[COST] + r.scalars[COST];
+                let cap = l.scalars[CAP] + r.scalars[CAP];
+                let d_sinks = l.scalars[DSINKS].max(r.scalars[DSINKS]);
+                let yl = l.pwls[ARR].shifted_arg(r.scalars[CAP]).clamp_domain(0.0, b);
+                let yr = r.pwls[ARR].shifted_arg(l.scalars[CAP]).clamp_domain(0.0, b);
+                let dl = l.pwls[DIA].shifted_arg(r.scalars[CAP]).clamp_domain(0.0, b);
+                let dr = r.pwls[DIA].shifted_arg(l.scalars[CAP]).clamp_domain(0.0, b);
+                let arrival = yl.max(&yr);
+                // Internal pairs: within either side, or crossing the
+                // junction in both directions.
+                let mut diameter = dl.max(&dr);
+                diameter = diameter.max(&yl.add_scalar(r.scalars[DSINKS]));
+                diameter = diameter.max(&yr.add_scalar(l.scalars[DSINKS]));
+                let trace = self.push_trace(TraceNode::Join {
+                    left: l.payload.trace,
+                    right: r.payload.trace,
+                });
+                out.push(self.candidate(trace, parity, cost, cap, d_sinks, arrival, diameter));
+            }
+        }
+        out
+    }
+
+    /// Paper Fig. 8: at an insertion point, keep the unbuffered candidate
+    /// and add one candidate per (repeater, orientation).
+    ///
+    /// A repeater decouples: the subtree below now sees exactly the
+    /// repeater's child-side input capacitance, so `Y` and `D` are
+    /// *evaluated* there — `D` becomes a constant and `Y` a fresh line
+    /// whose slope is the upstream output resistance.
+    fn repeater_solutions(&mut self, set: Vec<Cand>, v: VertexId) -> Vec<Cand> {
+        let b = self.cap_bound;
+        let mut out: Vec<Cand> = Vec::with_capacity(set.len() * (1 + 2 * self.library.len()));
+        for cand in &set {
+            for (ri, rep) in self.library.iter().enumerate() {
+                let orientations: &[Orientation] = if rep.is_symmetric() {
+                    &[Orientation::AFacesParent]
+                } else {
+                    &Orientation::BOTH
+                };
+                for &o in orientations {
+                    let cc = rep.cap_facing_child(o);
+                    let cp = rep.cap_facing_parent(o);
+                    // The decoupled subtree sees c_E = cc exactly; a
+                    // candidate pruned at that point is covered by
+                    // another candidate, so skipping is safe.
+                    let (Some(y_at), Some(d_at)) =
+                        (cand.pwls[ARR].eval(cc), cand.pwls[DIA].eval(cc))
+                    else {
+                        continue;
+                    };
+                    let down = rep.downstream_drive(o);
+                    let up = rep.upstream_drive(o);
+                    let cost = cand.scalars[COST] + rep.cost;
+                    let d_sinks = if cand.scalars[DSINKS] > f64::NEG_INFINITY {
+                        down.intrinsic + down.out_res * cand.scalars[CAP] + cand.scalars[DSINKS]
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                    let arrival = if y_at > f64::NEG_INFINITY {
+                        Pwl::linear(y_at + up.intrinsic, up.out_res, 0.0, b)
+                    } else {
+                        Pwl::neg_inf(0.0, b)
+                    };
+                    let diameter = Pwl::constant(d_at, 0.0, b);
+                    let parity = cand.payload.parity ^ rep.inverting;
+                    let trace = self.push_trace(TraceNode::Repeater {
+                        child: cand.payload.trace,
+                        vertex: v,
+                        repeater: ri,
+                        orientation: o,
+                    });
+                    out.push(self.candidate(trace, parity, cost, cp, d_sinks, arrival, diameter));
+                }
+            }
+        }
+        out.extend(set);
+        out
+    }
+
+    /// Paper Fig. 9: close the recursion at the root terminal, producing
+    /// (cost, ARD) evaluations.
+    fn root_solutions(&mut self, set: Vec<Cand>, root: TerminalId) -> Vec<RootEval> {
+        let term = self.net.terminal(root).clone();
+        let menu: Vec<_> = self.term_opts.for_terminal(root).to_vec();
+        let mut out = Vec::with_capacity(set.len() * menu.len());
+        for cand in &set {
+            // Inverting-repeater extension: end-to-end polarity must be
+            // preserved between the root and internal terminals.
+            if cand.payload.parity && has_terminals(cand) {
+                continue;
+            }
+            for (oi, o) in menu.iter().enumerate() {
+                let (Some(d_int), Some(y)) = (
+                    cand.pwls[DIA].eval(o.cap),
+                    cand.pwls[ARR].eval(o.cap),
+                ) else {
+                    continue;
+                };
+                let mut ard = d_int;
+                if term.is_sink() && y > f64::NEG_INFINITY {
+                    ard = ard.max(y + term.downstream + o.downstream_extra);
+                }
+                if term.is_source() && cand.scalars[DSINKS] > f64::NEG_INFINITY {
+                    ard = ard.max(
+                        term.arrival
+                            + o.arrival_extra
+                            + o.drive_res * (o.cap + cand.scalars[CAP])
+                            + cand.scalars[DSINKS],
+                    );
+                }
+                out.push(RootEval {
+                    cost: cand.scalars[COST] + o.cost,
+                    ard,
+                    trace: cand.payload.trace,
+                    root_option: oi,
+                });
+            }
+        }
+        out
+    }
+
+    fn finish(&mut self, mut evals: Vec<RootEval>, root: TerminalId) -> Result<TradeoffCurve, MsriError> {
+        evals.retain(|e| e.ard > f64::NEG_INFINITY);
+        if evals.is_empty() {
+            return Err(MsriError::NoFeasiblePair);
+        }
+        // Pareto sweep: ascending cost, strictly improving ARD.
+        evals.sort_by(|a, b| {
+            a.cost
+                .total_cmp(&b.cost)
+                .then_with(|| a.ard.total_cmp(&b.ard))
+        });
+        let mut frontier: Vec<RootEval> = Vec::new();
+        for e in evals {
+            match frontier.last() {
+                Some(last) if e.ard >= last.ard - 1e-12 => {}
+                _ => frontier.push(e),
+            }
+        }
+        let points = frontier
+            .into_iter()
+            .map(|e| {
+                let (assignment, terminal_choices, wire_choices) =
+                    self.materialize(e.trace, e.root_option, root);
+                TradeoffPoint {
+                    cost: e.cost,
+                    ard: e.ard,
+                    assignment,
+                    terminal_choices,
+                    wire_choices,
+                }
+            })
+            .collect();
+        Ok(TradeoffCurve::new(points, self.stats))
+    }
+
+    /// Reconstructs the concrete assignment and driver choices of a
+    /// surviving candidate by walking its trace.
+    fn materialize(
+        &self,
+        trace: u32,
+        root_option: usize,
+        root: TerminalId,
+    ) -> (Assignment, Vec<usize>, Vec<usize>) {
+        let mut assignment = Assignment::empty(self.net.topology.vertex_count());
+        let mut choices = vec![0usize; self.net.terminals.len()];
+        let mut wires = vec![0usize; self.net.topology.edge_count()];
+        choices[root.0] = root_option;
+        let mut stack = vec![trace];
+        while let Some(id) = stack.pop() {
+            match self.trace[id as usize] {
+                TraceNode::Leaf { terminal, option } => choices[terminal.0] = option,
+                TraceNode::Join { left, right } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+                TraceNode::Repeater {
+                    child,
+                    vertex,
+                    repeater,
+                    orientation,
+                } => {
+                    assignment.place(vertex, repeater, orientation);
+                    stack.push(child);
+                }
+                TraceNode::Wire { child, edge, option } => {
+                    wires[edge.0] = option;
+                    stack.push(child);
+                }
+                TraceNode::Empty => {}
+            }
+        }
+        (assignment, choices, wires)
+    }
+
+    /// Minimal-functional-subset pruning between DP steps.
+    fn prune(&mut self, mut set: Vec<Cand>) -> Vec<Cand> {
+        self.stats.prunes += 1;
+        // Cheap locality: similar costs/caps cluster, which lets the
+        // divide-and-conquer kill candidates deep in the recursion
+        // (paper §V organizational note).
+        set.sort_by(|a, b| {
+            a.scalars[COST]
+                .total_cmp(&b.scalars[COST])
+                .then_with(|| a.scalars[CAP].total_cmp(&b.scalars[CAP]))
+        });
+        // Inverting-repeater extension: candidates of different parity
+        // are incomparable; prune within each class.
+        let kept = if self.options.allow_inverting {
+            let (even, odd): (Vec<Cand>, Vec<Cand>) =
+                set.into_iter().partition(|c| !c.payload.parity);
+            let mut kept = self.prune_class(even);
+            kept.extend(self.prune_class(odd));
+            kept
+        } else {
+            self.prune_class(set)
+        };
+        self.stats.surviving += kept.len() as u64;
+        self.stats.max_set_size = self.stats.max_set_size.max(kept.len());
+        kept
+    }
+
+    fn prune_class(&mut self, set: Vec<Cand>) -> Vec<Cand> {
+        match self.options.pruning {
+            PruningStrategy::DivideConquer => {
+                mfs_divide_conquer(set, self.options.mfs_leaf_threshold)
+            }
+            PruningStrategy::Naive => mfs_naive(set),
+            PruningStrategy::WholeDomainOnly => whole_domain_prune(set),
+        }
+    }
+}
+
+/// Whether a candidate's subtree contains at least one terminal (its
+/// arrival or sink-delay characteristic is not identically `-∞`).
+fn has_terminals(c: &Cand) -> bool {
+    c.scalars[DSINKS] > f64::NEG_INFINITY
+        || c.pwls[ARR].max_value().is_some_and(|v| v > f64::NEG_INFINITY)
+}
+
+/// Ablation pruning: discard a candidate only when a single other
+/// candidate dominates it over its entire remaining domain.
+fn whole_domain_prune(set: Vec<Cand>) -> Vec<Cand> {
+    let n = set.len();
+    let mut dead = vec![false; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || dead[i] || dead[j] {
+                continue;
+            }
+            // Ties kill the later index only: (i, j) is visited with
+            // i < j before (j, i), so identical candidates keep one
+            // representative.
+            let region = set[i].dominance_region(&set[j]);
+            if region.measure() >= set[j].domain().measure() - 1e-12 {
+                dead[j] = true;
+            }
+        }
+    }
+    set.into_iter()
+        .zip(dead)
+        .filter_map(|(c, d)| (!d).then_some(c))
+        .collect()
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RootEval {
+    cost: f64,
+    ard: f64,
+    trace: u32,
+    root_option: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrnet_geom::Point;
+    use msrnet_rctree::{Buffer, NetBuilder, Technology, Terminal};
+
+    /// A fixture exposing the private DP steps on a small concrete net:
+    /// t0 —(len 2)— ip —(len 2)— s —(len 2)— t1, plus s —(len 2)— t2,
+    /// with unit wire parasitics so every wire has R = 2, C = 2.
+    struct Fix {
+        net: Net,
+        rooted: Rooted,
+        library: Vec<Repeater>,
+        term_opts: TerminalOptions,
+        wire_options: Vec<WireOption>,
+        options: MsriOptions,
+        ip: VertexId,
+        t1_v: VertexId,
+    }
+
+    impl Fix {
+        fn new() -> Self {
+            let mut b = NetBuilder::new(Technology::new(1.0, 1.0));
+            let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 1.0, 3.0));
+            let ip = b.insertion_point(Point::new(2.0, 0.0));
+            let s = b.steiner(Point::new(4.0, 0.0));
+            let t1 = b.terminal(Point::new(6.0, 0.0), Terminal::bidirectional(5.0, 7.0, 1.0, 3.0));
+            let t2 = b.terminal(Point::new(4.0, 2.0), Terminal::sink_only(11.0, 1.0));
+            b.wire(t0, ip);
+            b.wire(ip, s);
+            b.wire(s, t1);
+            b.wire(s, t2);
+            let net = b.build().unwrap();
+            let rooted = net.rooted_at_terminal(TerminalId(0));
+            let buf = Buffer::new("1X", 10.0, 4.0, 0.5, 1.0);
+            let library = vec![Repeater::from_buffer_pair("rep", &buf, &buf)];
+            let term_opts = TerminalOptions::defaults(&net);
+            Fix {
+                t1_v: net.topology.terminal_vertex(TerminalId(1)),
+                net,
+                rooted,
+                library,
+                term_opts,
+                wire_options: vec![WireOption::unit()],
+                options: MsriOptions::default(),
+                ip,
+            }
+        }
+
+        fn solver(&mut self) -> Solver<'_> {
+            Solver {
+                net: &self.net,
+                rooted: &self.rooted,
+                library: &self.library,
+                term_opts: &self.term_opts,
+                wire_options: &self.wire_options,
+                options: &self.options,
+                trace: Vec::new(),
+                cap_bound: cap_bound(&self.net, &self.library, &self.term_opts, &self.wire_options),
+                stats: MsriStats::default(),
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_solutions_encode_fig6() {
+        let mut fix = Fix::new();
+        let mut s = fix.solver();
+        // t1: bidirectional, AT = 5, q = 7, cap 1, drive 3 Ω.
+        let set = s.leaf_solutions(TerminalId(1));
+        assert_eq!(set.len(), 1);
+        let c = &set[0];
+        assert_eq!(c.scalars[COST], 0.0);
+        assert_eq!(c.scalars[CAP], 1.0);
+        assert_eq!(c.scalars[DSINKS], 7.0);
+        // Y(c_E) = AT + r·(own cap + c_E) = 5 + 3·1 + 3·c_E.
+        assert_eq!(c.pwls[ARR].eval(0.0), Some(8.0));
+        assert_eq!(c.pwls[ARR].eval(2.0), Some(14.0));
+        // No internal pairs yet.
+        assert_eq!(c.pwls[DIA].eval(1.0), Some(f64::NEG_INFINITY));
+
+        // t2: sink-only — arrival is -∞, d_sinks is its q.
+        let set = s.leaf_solutions(TerminalId(2));
+        let c = &set[0];
+        assert_eq!(c.scalars[DSINKS], 11.0);
+        assert_eq!(c.pwls[ARR].eval(0.0), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn augment_applies_fig10_formulas() {
+        let mut fix = Fix::new();
+        let t1_v = fix.t1_v;
+        let mut s = fix.solver();
+        let set = s.leaf_solutions(TerminalId(1));
+        // t1's parent wire has length 2: R = 2, C = 2.
+        let out = s.augment(set, t1_v);
+        assert_eq!(out.len(), 1);
+        let c = &out[0];
+        assert_eq!(c.scalars[CAP], 3.0); // 1 + 2
+        // d' = R(C/2 + cap) + q = 2(1 + 1) + 7 = 11.
+        assert_eq!(c.scalars[DSINKS], 11.0);
+        // Y'(x) = Y(x + 2) + 2(1 + x) = [5 + 3(1 + x + 2)] + 2 + 2x
+        //       = 16 + 5x.
+        assert_eq!(c.pwls[ARR].eval(0.0), Some(16.0));
+        assert_eq!(c.pwls[ARR].eval(1.0), Some(21.0));
+    }
+
+    #[test]
+    fn join_applies_fig7_formulas() {
+        let mut fix = Fix::new();
+        let mut s = fix.solver();
+        // Hand-crafted siblings at a junction.
+        let t_left = s.push_trace(TraceNode::Empty);
+        let t_right = s.push_trace(TraceNode::Empty);
+        let b = s.cap_bound;
+        let left = s.candidate(
+            t_left, false, 1.0, 2.0, 10.0,
+            Pwl::linear(4.0, 1.0, 0.0, b), // Y_l = 4 + x
+            Pwl::neg_inf(0.0, b),
+        );
+        let right = s.candidate(
+            t_right, false, 2.0, 3.0, 20.0,
+            Pwl::linear(30.0, 2.0, 0.0, b), // Y_r = 30 + 2x
+            Pwl::neg_inf(0.0, b),
+        );
+        let joined = s.join(vec![left], vec![right]);
+        assert_eq!(joined.len(), 1);
+        let c = &joined[0];
+        assert_eq!(c.scalars[COST], 3.0);
+        assert_eq!(c.scalars[CAP], 5.0);
+        assert_eq!(c.scalars[DSINKS], 20.0);
+        // Y(x) = max(Y_l(x + 3), Y_r(x + 2)) = max(7 + x, 34 + 2x) = 34 + 2x.
+        assert_eq!(c.pwls[ARR].eval(0.0), Some(34.0));
+        // D(x) = max(D_l, D_r, Y_l(x+3) + 20, Y_r(x+2) + 10)
+        //      = max(27 + x, 44 + 2x) = 44 + 2x.
+        assert_eq!(c.pwls[DIA].eval(0.0), Some(44.0));
+        assert_eq!(c.pwls[DIA].eval(1.0), Some(46.0));
+    }
+
+    #[test]
+    fn repeater_solutions_decouple_per_fig8() {
+        let mut fix = Fix::new();
+        let ip = fix.ip;
+        let mut s = fix.solver();
+        let t = s.push_trace(TraceNode::Empty);
+        let b = s.cap_bound;
+        let cand = s.candidate(
+            t, false, 0.0, 4.0, 9.0,
+            Pwl::linear(6.0, 2.0, 0.0, b),  // Y(x) = 6 + 2x
+            Pwl::linear(12.0, 1.0, 0.0, b), // D(x) = 12 + x
+        );
+        let out = s.repeater_solutions(vec![cand], ip);
+        // One unbuffered passthrough + one buffered (symmetric repeater,
+        // single orientation).
+        assert_eq!(out.len(), 2);
+        let buffered = out
+            .iter()
+            .find(|c| c.scalars[COST] > 0.0)
+            .expect("buffered candidate present");
+        // Repeater: intrinsic 10, out res 4, side cap 0.5, cost 2.
+        assert_eq!(buffered.scalars[COST], 2.0);
+        assert_eq!(buffered.scalars[CAP], 0.5);
+        // d' = 10 + 4·4 + 9 = 35.
+        assert_eq!(buffered.scalars[DSINKS], 35.0);
+        // Y' = Y(0.5) + 10 + 4x = 7 + 10 + 4x = 17 + 4x.
+        assert_eq!(buffered.pwls[ARR].eval(0.0), Some(17.0));
+        assert_eq!(buffered.pwls[ARR].eval(1.0), Some(21.0));
+        // D' = D(0.5) = 12.5, constant — "completely determined".
+        assert_eq!(buffered.pwls[DIA].eval(0.0), Some(12.5));
+        assert_eq!(buffered.pwls[DIA].eval(3.0), Some(12.5));
+    }
+
+    #[test]
+    fn repeater_solutions_skip_pruned_evaluation_points() {
+        let mut fix = Fix::new();
+        let ip = fix.ip;
+        let mut s = fix.solver();
+        let t = s.push_trace(TraceNode::Empty);
+        let b = s.cap_bound;
+        // Candidate valid only for c_E ≥ 1, but the repeater's child-side
+        // cap is 0.5: the buffered version must be skipped.
+        let cand = s.candidate(
+            t, false, 0.0, 4.0, 9.0,
+            Pwl::linear(6.0, 2.0, 1.0, b),
+            Pwl::linear(12.0, 1.0, 1.0, b),
+        );
+        let out = s.repeater_solutions(vec![cand], ip);
+        assert_eq!(out.len(), 1, "only the passthrough survives");
+        assert_eq!(out[0].scalars[COST], 0.0);
+    }
+
+    #[test]
+    fn cap_bound_reserves_decoupling_headroom() {
+        let fix = Fix::new();
+        let b = cap_bound(&fix.net, &fix.library, &fix.term_opts, &fix.wire_options);
+        // Whole-net cap: wires 8 + terminals 3 = 11; repeater side 0.5.
+        assert!(b >= 11.0 + 0.5);
+        // Wire sizing raises the bound with the largest cap scale.
+        let wide = vec![WireOption::unit(), WireOption::width("3W", 3.0, 0.0)];
+        let b3 = cap_bound(&fix.net, &fix.library, &fix.term_opts, &wide);
+        assert!(b3 >= 24.0 + 3.0 + 0.5);
+    }
+}

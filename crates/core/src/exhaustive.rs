@@ -1,0 +1,350 @@
+//! Exhaustive-enumeration baseline for verifying the dynamic program.
+//!
+//! Enumerates **every** combination of per-terminal driver options and
+//! per-insertion-point repeater choices (including both orientations of
+//! asymmetric repeaters), evaluates each with the linear-time ARD
+//! algorithm, and returns the exact Pareto frontier. Exponential — use
+//! only on small nets; the optimality theorem (paper Theorem 4.1) is
+//! checked by comparing this frontier with [`crate::optimize`]'s.
+
+use msrnet_rctree::{Assignment, Net, Orientation, Repeater, TerminalId, VertexId};
+
+use crate::ard::ard_linear;
+use crate::options::{TerminalOptions, WireOption};
+
+/// Whether a fixed assignment preserves signal polarity: every
+/// terminal-to-terminal path must cross an even number of inverting
+/// repeaters, which holds iff all terminals have the same inversion
+/// parity toward an arbitrary reference terminal.
+///
+/// Assignments without inverting repeaters are always feasible.
+pub fn polarity_feasible(net: &Net, library: &[Repeater], assignment: &Assignment) -> bool {
+    if !assignment
+        .placements()
+        .any(|(_, p)| library[p.repeater].inverting)
+    {
+        return true;
+    }
+    // parity[u] = number of inverting repeaters crossed on the path from
+    // the reference terminal to u, mod 2. A repeater at an intermediate
+    // vertex `v` is crossed when the walk passes *through* v (repeaters
+    // sit only on degree-2 insertion points, never on terminals).
+    let start = net.topology.terminal_vertex(TerminalId(0));
+    let n = net.topology.vertex_count();
+    let mut parity = vec![false; n];
+    let mut seen = vec![false; n];
+    seen[start.0] = true;
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        let crosses_v = v != start
+            && assignment
+                .at(v)
+                .is_some_and(|p| library[p.repeater].inverting);
+        for &(u, _) in net.topology.neighbors(v) {
+            if !seen[u.0] {
+                seen[u.0] = true;
+                parity[u.0] = parity[v.0] ^ crosses_v;
+                stack.push(u);
+            }
+        }
+    }
+    let reference = parity[start.0];
+    net.terminal_ids().all(|t| {
+        let v = net.topology.terminal_vertex(t);
+        parity[v.0] == reference
+    })
+}
+
+/// One enumerated solution.
+#[derive(Clone, Debug)]
+pub struct ExhaustivePoint {
+    /// Total cost (drivers + repeaters + wire area).
+    pub cost: f64,
+    /// The resulting ARD, ps.
+    pub ard: f64,
+    /// The repeater placement.
+    pub assignment: Assignment,
+    /// Per-terminal driver option indices.
+    pub terminal_choices: Vec<usize>,
+    /// Per-edge wire-width option indices (all zero without wire sizing).
+    pub wire_choices: Vec<usize>,
+}
+
+/// Applies per-edge wire-width choices to a copy of `net` (composing
+/// with any scaling already on the topology), returning the modified net
+/// and the total wire-area cost.
+///
+/// # Panics
+///
+/// Panics if `choices` has the wrong length or indexes outside
+/// `wire_options`.
+pub fn apply_wire_choices(
+    net: &Net,
+    wire_options: &[WireOption],
+    choices: &[usize],
+) -> (Net, f64) {
+    assert_eq!(choices.len(), net.topology.edge_count());
+    let mut scenario = net.clone();
+    let mut cost = 0.0;
+    for e in net.topology.edges() {
+        let w = &wire_options[choices[e.0]];
+        let (rs, cs) = net.topology.edge_scaling(e);
+        scenario
+            .topology
+            .set_edge_scaling(e, rs * w.res_scale, cs * w.cap_scale);
+        cost += w.cost_per_um * net.topology.length(e);
+    }
+    (scenario, cost)
+}
+
+/// Computes the exact (cost, ARD) Pareto frontier by brute force.
+///
+/// Terminal options alter the terminals' electrical values, so the net is
+/// re-evaluated per combination. The frontier is sorted by ascending cost
+/// with strictly descending ARD, matching
+/// [`crate::TradeoffCurve::points`].
+///
+/// Infeasible evaluations (no distinct source/sink pair) are skipped.
+///
+/// # Panics
+///
+/// Panics if the search space exceeds 20 million evaluations — this is a
+/// verification oracle for small nets, not an optimizer.
+pub fn exhaustive_frontier(
+    net: &Net,
+    root: TerminalId,
+    library: &[Repeater],
+    term_opts: &TerminalOptions,
+) -> Vec<ExhaustivePoint> {
+    exhaustive_frontier_with_wires(net, root, library, term_opts, &[WireOption::unit()])
+}
+
+/// [`exhaustive_frontier`] extended with per-edge wire-width enumeration,
+/// the oracle for [`crate::optimize_with_wires`].
+///
+/// # Panics
+///
+/// Panics if the search space exceeds 20 million evaluations.
+pub fn exhaustive_frontier_with_wires(
+    net: &Net,
+    root: TerminalId,
+    library: &[Repeater],
+    term_opts: &TerminalOptions,
+    wire_options: &[WireOption],
+) -> Vec<ExhaustivePoint> {
+    assert!(!wire_options.is_empty());
+    let sizing = wire_options.len() > 1;
+    if !sizing {
+        return exhaustive_repeaters_and_drivers(net, root, library, term_opts);
+    }
+    // Outer loop over wire choices; each is a rescaled net evaluated by
+    // the repeater/driver enumeration.
+    let sized_edges: Vec<usize> = net
+        .topology
+        .edges()
+        .filter(|&e| net.topology.length(e) > 0.0)
+        .map(|e| e.0)
+        .collect();
+    let combos = (wire_options.len() as f64).powi(sized_edges.len() as i32);
+    assert!(combos <= 1e5, "wire search space too large ({combos})");
+    let mut all: Vec<ExhaustivePoint> = Vec::new();
+    let mut idx = vec![0usize; sized_edges.len()];
+    let radices = vec![wire_options.len(); sized_edges.len()];
+    loop {
+        let mut wire_choices = vec![0usize; net.topology.edge_count()];
+        for (k, &e) in sized_edges.iter().enumerate() {
+            wire_choices[e] = idx[k];
+        }
+        let (scenario, wire_cost) = apply_wire_choices(net, wire_options, &wire_choices);
+        let mut pts = exhaustive_repeaters_and_drivers(&scenario, root, library, term_opts);
+        for p in &mut pts {
+            p.cost += wire_cost;
+            p.wire_choices = wire_choices.clone();
+        }
+        all.extend(pts);
+        if !increment(&mut idx, &radices) {
+            break;
+        }
+    }
+    pareto(all)
+}
+
+fn exhaustive_repeaters_and_drivers(
+    net: &Net,
+    root: TerminalId,
+    library: &[Repeater],
+    term_opts: &TerminalOptions,
+) -> Vec<ExhaustivePoint> {
+    let insertion_points: Vec<VertexId> = net.topology.insertion_points().collect();
+    // Per-slot choices: None or (repeater, orientation).
+    let mut slot_choices: Vec<Option<(usize, Orientation)>> = vec![None];
+    for (ri, rep) in library.iter().enumerate() {
+        slot_choices.push(Some((ri, Orientation::AFacesParent)));
+        if !rep.is_symmetric() {
+            slot_choices.push(Some((ri, Orientation::BFacesParent)));
+        }
+    }
+    let menu_sizes: Vec<usize> = net
+        .terminal_ids()
+        .map(|t| term_opts.for_terminal(t).len())
+        .collect();
+    let assignments = (slot_choices.len() as f64).powi(insertion_points.len() as i32);
+    let drivers: f64 = menu_sizes.iter().map(|&m| m as f64).product();
+    assert!(
+        assignments * drivers <= 2e7,
+        "exhaustive search space too large ({assignments} x {drivers})"
+    );
+
+    let rooted = net.rooted_at_terminal(root);
+    let mut results: Vec<ExhaustivePoint> = Vec::new();
+    let mut slot_idx = vec![0usize; insertion_points.len()];
+    loop {
+        // Build the assignment for the current slot indices.
+        let mut assignment = Assignment::empty(net.topology.vertex_count());
+        let mut rep_cost = 0.0;
+        for (k, &v) in insertion_points.iter().enumerate() {
+            if let Some((ri, o)) = slot_choices[slot_idx[k]] {
+                assignment.place(v, ri, o);
+                rep_cost += library[ri].cost;
+            }
+        }
+        // Inverting repeaters: skip polarity-breaking assignments.
+        if !polarity_feasible(net, library, &assignment) {
+            let radices = vec![slot_choices.len(); insertion_points.len()];
+            if !increment(&mut slot_idx, &radices) {
+                break;
+            }
+            continue;
+        }
+        // Enumerate driver menus on top.
+        let mut choice = vec![0usize; menu_sizes.len()];
+        loop {
+            let (scenario, opt_cost) = apply_terminal_choices(net, term_opts, &choice);
+            let report = ard_linear(&scenario, &rooted, library, &assignment);
+            if report.ard > f64::NEG_INFINITY {
+                results.push(ExhaustivePoint {
+                    cost: rep_cost + opt_cost,
+                    ard: report.ard,
+                    assignment: assignment.clone(),
+                    terminal_choices: choice.clone(),
+                    wire_choices: vec![0; net.topology.edge_count()],
+                });
+            }
+            if !increment(&mut choice, &menu_sizes) {
+                break;
+            }
+        }
+        let radices = vec![slot_choices.len(); insertion_points.len()];
+        if !increment(&mut slot_idx, &radices) {
+            break;
+        }
+    }
+    pareto(results)
+}
+
+/// Applies per-terminal driver choices to a copy of `net`, returning the
+/// modified net and the total option cost.
+///
+/// Each chosen [`crate::TerminalOption`] replaces the terminal's bus
+/// capacitance, drive resistance and driver intrinsic delay, and extends
+/// its downstream delay — exactly the electrical interpretation the
+/// optimizer uses, so a trade-off point can be re-verified with
+/// [`ard_linear`] on the returned net.
+///
+/// # Panics
+///
+/// Panics if `choices` has the wrong length or indexes outside a menu.
+pub fn apply_terminal_choices(
+    net: &Net,
+    term_opts: &TerminalOptions,
+    choices: &[usize],
+) -> (Net, f64) {
+    assert_eq!(choices.len(), net.terminals.len());
+    let mut scenario = net.clone();
+    let mut cost = 0.0;
+    for t in net.terminal_ids() {
+        let o = &term_opts.for_terminal(t)[choices[t.0]];
+        cost += o.cost;
+        let term = &mut scenario.terminals[t.0];
+        term.cap = o.cap;
+        term.drive_res = o.drive_res;
+        term.drive_intrinsic = o.arrival_extra;
+        if term.is_sink() {
+            term.downstream += o.downstream_extra;
+        }
+    }
+    (scenario, cost)
+}
+
+/// Mixed-radix increment; returns `false` on wrap-around.
+fn increment(digits: &mut [usize], radices: &[usize]) -> bool {
+    for (d, &r) in digits.iter_mut().zip(radices) {
+        *d += 1;
+        if *d < r {
+            return true;
+        }
+        *d = 0;
+    }
+    false
+}
+
+fn pareto(mut pts: Vec<ExhaustivePoint>) -> Vec<ExhaustivePoint> {
+    pts.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(a.ard.total_cmp(&b.ard)));
+    let mut out: Vec<ExhaustivePoint> = Vec::new();
+    for p in pts {
+        match out.last() {
+            Some(last) if p.ard >= last.ard - 1e-12 => {}
+            _ => out.push(p),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrnet_geom::Point;
+    use msrnet_rctree::{Buffer, NetBuilder, Technology, Terminal};
+
+    #[test]
+    fn two_pin_with_one_insertion_point() {
+        let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+        let t0 = b.terminal(
+            Point::new(0.0, 0.0),
+            Terminal::bidirectional(0.0, 0.0, 0.05, 180.0),
+        );
+        let ip = b.insertion_point(Point::new(4000.0, 0.0));
+        let t1 = b.terminal(
+            Point::new(8000.0, 0.0),
+            Terminal::bidirectional(0.0, 0.0, 0.05, 180.0),
+        );
+        b.wire(t0, ip);
+        b.wire(ip, t1);
+        let net = b.build().unwrap();
+        let buf = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+        let lib = [Repeater::from_buffer_pair("r", &buf, &buf)];
+        let opts = TerminalOptions::defaults(&net);
+        let frontier = exhaustive_frontier(&net, TerminalId(0), &lib, &opts);
+        // Two candidate solutions (repeater or not); both are Pareto
+        // optimal iff the repeater helps.
+        assert!(!frontier.is_empty());
+        assert!(frontier.len() <= 2);
+        // Frontier is sorted and strictly improving.
+        for w in frontier.windows(2) {
+            assert!(w[0].cost < w[1].cost);
+            assert!(w[0].ard > w[1].ard);
+        }
+    }
+
+    #[test]
+    fn increment_wraps_correctly() {
+        let mut d = vec![0, 0];
+        let r = vec![2, 2];
+        let mut seen = 1;
+        while increment(&mut d, &r) {
+            seen += 1;
+        }
+        assert_eq!(seen, 4);
+        assert_eq!(d, vec![0, 0]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Greedy repeater-insertion baseline.
+//!
+//! The natural heuristic a designer (or a tool without the paper's DP)
+//! would try: repeatedly insert the single (repeater, insertion point,
+//! orientation) move that lowers the ARD the most, until no move helps.
+//! Each round costs `O(|sites| · |library| · n)` Elmore evaluations.
+//!
+//! This is **not optimal** — the DP explores combinations the greedy
+//! cannot reach (e.g. two repeaters that only pay off together) and the
+//! greedy cannot trade cost against the spec — but it is the baseline
+//! that shows what Theorem 4.1 buys. See the `greedy_vs_optimal` bench
+//! binary for the measured gap.
+
+use msrnet_rctree::{Assignment, Net, Orientation, Repeater, TerminalId};
+
+use crate::ard::ard_linear;
+
+/// One step of the greedy trajectory.
+#[derive(Clone, Debug)]
+pub struct GreedyStep {
+    /// Total repeater cost after this step.
+    pub cost: f64,
+    /// ARD after this step, ps.
+    pub ard: f64,
+}
+
+/// Result of a greedy run: the final assignment and the ARD trajectory.
+#[derive(Clone, Debug)]
+pub struct GreedyResult {
+    /// The assignment after the last improving move.
+    pub assignment: Assignment,
+    /// ARD/cost after each move; entry 0 is the unbuffered net.
+    pub trajectory: Vec<GreedyStep>,
+}
+
+impl GreedyResult {
+    /// The final (best) ARD reached.
+    pub fn final_ard(&self) -> f64 {
+        self.trajectory.last().expect("never empty").ard
+    }
+
+    /// The total repeater cost spent.
+    pub fn final_cost(&self) -> f64 {
+        self.trajectory.last().expect("never empty").cost
+    }
+}
+
+/// Greedily inserts repeaters from `library` one at a time, always
+/// taking the move with the largest ARD reduction, until no single move
+/// improves by more than `min_gain` ps.
+///
+/// # Panics
+///
+/// Panics if the net has no feasible source/sink pair.
+pub fn greedy_insertion(
+    net: &Net,
+    root: TerminalId,
+    library: &[Repeater],
+    min_gain: f64,
+) -> GreedyResult {
+    let rooted = net.rooted_at_terminal(root);
+    let mut assignment = Assignment::empty(net.topology.vertex_count());
+    let mut cost = 0.0;
+    let mut current = ard_linear(net, &rooted, library, &assignment).ard;
+    assert!(
+        current > f64::NEG_INFINITY,
+        "net must have a feasible source/sink pair"
+    );
+    let mut trajectory = vec![GreedyStep { cost, ard: current }];
+    let sites: Vec<_> = net.topology.insertion_points().collect();
+    loop {
+        let mut best: Option<(f64, usize, usize, Orientation)> = None;
+        for (si, &site) in sites.iter().enumerate() {
+            if assignment.at(site).is_some() {
+                continue;
+            }
+            for (ri, rep) in library.iter().enumerate() {
+                let orientations: &[Orientation] = if rep.is_symmetric() {
+                    &[Orientation::AFacesParent]
+                } else {
+                    &Orientation::BOTH
+                };
+                for &o in orientations {
+                    assignment.place(site, ri, o);
+                    let ard = ard_linear(net, &rooted, library, &assignment).ard;
+                    assignment.clear(site);
+                    if best.is_none_or(|(b, ..)| ard < b) {
+                        best = Some((ard, si, ri, o));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((ard, si, ri, o)) if ard < current - min_gain => {
+                assignment.place(sites[si], ri, o);
+                cost += library[ri].cost;
+                current = ard;
+                trajectory.push(GreedyStep { cost, ard });
+            }
+            _ => break,
+        }
+    }
+    GreedyResult {
+        assignment,
+        trajectory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize, MsriOptions, TerminalOptions};
+    use msrnet_geom::Point;
+    use msrnet_rctree::{Buffer, NetBuilder, Technology, Terminal};
+
+    fn line_net(points: usize) -> Net {
+        let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+        let term = || Terminal::bidirectional(0.0, 0.0, 0.05, 180.0);
+        let t0 = b.terminal(Point::new(0.0, 0.0), term());
+        let mut prev = t0;
+        for i in 1..=points {
+            let ip = b.insertion_point(Point::new(
+                10_000.0 * i as f64 / (points + 1) as f64,
+                0.0,
+            ));
+            b.wire(prev, ip);
+            prev = ip;
+        }
+        let t1 = b.terminal(Point::new(10_000.0, 0.0), term());
+        b.wire(prev, t1);
+        b.build().unwrap()
+    }
+
+    fn lib() -> Vec<Repeater> {
+        let b = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+        vec![Repeater::from_buffer_pair("rep", &b, &b)]
+    }
+
+    #[test]
+    fn trajectory_is_monotone() {
+        let net = line_net(5);
+        let result = greedy_insertion(&net, TerminalId(0), &lib(), 0.0);
+        assert!(result.trajectory.len() >= 2, "long line wants repeaters");
+        for w in result.trajectory.windows(2) {
+            assert!(w[1].ard < w[0].ard);
+            assert!(w[1].cost > w[0].cost);
+        }
+        assert_eq!(
+            result.assignment.placed_count(),
+            result.trajectory.len() - 1
+        );
+    }
+
+    #[test]
+    fn greedy_final_matches_its_assignment() {
+        let net = line_net(4);
+        let library = lib();
+        let result = greedy_insertion(&net, TerminalId(0), &library, 0.0);
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let check = ard_linear(&net, &rooted, &library, &result.assignment);
+        assert!((check.ard - result.final_ard()).abs() < 1e-9);
+        assert!((result.assignment.total_cost(&library) - result.final_cost()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_never_beats_the_optimum() {
+        let net = line_net(5);
+        let library = lib();
+        let result = greedy_insertion(&net, TerminalId(0), &library, 0.0);
+        let curve = optimize(
+            &net,
+            TerminalId(0),
+            &library,
+            &TerminalOptions::defaults(&net),
+            &MsriOptions::default(),
+        )
+        .unwrap();
+        // At every cost level the optimal frontier is at least as good.
+        for step in &result.trajectory {
+            let opt = curve
+                .points()
+                .iter()
+                .filter(|p| p.cost <= step.cost + 1e-9)
+                .map(|p| p.ard)
+                .fold(f64::INFINITY, f64::min);
+            assert!(opt <= step.ard + 1e-6, "greedy {} vs optimal {}", step.ard, opt);
+        }
+    }
+
+    #[test]
+    fn min_gain_threshold_stops_early() {
+        let net = line_net(5);
+        let library = lib();
+        let all = greedy_insertion(&net, TerminalId(0), &library, 0.0);
+        let coarse = greedy_insertion(&net, TerminalId(0), &library, 200.0);
+        assert!(coarse.trajectory.len() <= all.trajectory.len());
+    }
+}

@@ -1,0 +1,217 @@
+//! Verification of the inverting-repeater extension (paper §V: "An
+//! extension allowing the use of inverters as repeaters is possible and
+//! straightforward").
+//!
+//! The optimizer tracks signal parity per subtree; a solution is
+//! polarity-feasible iff every terminal-to-terminal path crosses an even
+//! number of inverters. The exhaustive oracle enforces the same
+//! constraint independently, so frontier equality proves both the parity
+//! bookkeeping and optimality.
+
+use msrnet_core::exhaustive::{exhaustive_frontier, polarity_feasible};
+use msrnet_core::{optimize, MsriError, MsriOptions, TerminalOptions};
+use msrnet_geom::Point;
+use msrnet_rctree::{
+    Assignment, Buffer, Net, NetBuilder, Orientation, Repeater, Technology, Terminal, TerminalId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tech() -> Technology {
+    Technology::new(0.03, 0.00035)
+}
+
+/// An inverter is roughly half a buffer: half the intrinsic delay, half
+/// the input capacitance, half the cost, same drive.
+fn inverter() -> Buffer {
+    Buffer::new("inv1x", 25.0, 180.0, 0.025, 0.5)
+}
+
+fn inverting_repeater() -> Repeater {
+    let i = inverter();
+    Repeater::from_buffer_pair("irep", &i, &i).inverting()
+}
+
+fn buffer_repeater() -> Repeater {
+    let b = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+    Repeater::from_buffer_pair("rep", &b, &b)
+}
+
+fn random_net(rng: &mut StdRng, n_terms: usize, spacing: f64) -> Net {
+    let mut b = NetBuilder::new(tech());
+    let mut vids = Vec::new();
+    for _ in 0..n_terms {
+        let p = Point::new(rng.gen_range(0..8000) as f64, rng.gen_range(0..8000) as f64);
+        vids.push(b.terminal(p, Terminal::bidirectional(0.0, 0.0, 0.05, 180.0)));
+    }
+    for i in 1..n_terms {
+        let j = rng.gen_range(0..i);
+        b.wire(vids[i], vids[j]);
+    }
+    b.build().unwrap().normalized().with_insertion_points(spacing)
+}
+
+#[test]
+fn inverting_repeater_requires_opt_in() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = random_net(&mut rng, 3, 5000.0);
+    let lib = [inverting_repeater()];
+    let err = optimize(
+        &net,
+        TerminalId(0),
+        &lib,
+        &TerminalOptions::defaults(&net),
+        &MsriOptions::default(),
+    )
+    .unwrap_err();
+    assert_eq!(err, MsriError::InvertingDisallowed);
+}
+
+#[test]
+fn polarity_feasibility_oracle() {
+    // A chain t0 — ip0 — ip1 — t1: one inverter is infeasible, two are
+    // feasible, and non-inverting repeaters never constrain.
+    let mut b = NetBuilder::new(tech());
+    let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    let ip0 = b.insertion_point(Point::new(3000.0, 0.0));
+    let ip1 = b.insertion_point(Point::new(6000.0, 0.0));
+    let t1 = b.terminal(Point::new(9000.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    b.wire(t0, ip0);
+    b.wire(ip0, ip1);
+    b.wire(ip1, t1);
+    let net = b.build().unwrap();
+    let lib = [inverting_repeater(), buffer_repeater()];
+
+    let empty = Assignment::empty(net.topology.vertex_count());
+    assert!(polarity_feasible(&net, &lib, &empty));
+
+    let mut one_inv = empty.clone();
+    one_inv.place(ip0, 0, Orientation::AFacesParent);
+    assert!(!polarity_feasible(&net, &lib, &one_inv));
+
+    let mut two_inv = one_inv.clone();
+    two_inv.place(ip1, 0, Orientation::AFacesParent);
+    assert!(polarity_feasible(&net, &lib, &two_inv));
+
+    let mut mixed = empty.clone();
+    mixed.place(ip0, 1, Orientation::AFacesParent);
+    assert!(polarity_feasible(&net, &lib, &mixed));
+    mixed.place(ip1, 0, Orientation::AFacesParent);
+    assert!(!polarity_feasible(&net, &lib, &mixed));
+}
+
+#[test]
+fn dp_matches_exhaustive_with_inverters_on_a_chain() {
+    let mut b = NetBuilder::new(tech());
+    let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    let mut prev = t0;
+    for i in 1..=4 {
+        let ip = b.insertion_point(Point::new(2000.0 * i as f64, 0.0));
+        b.wire(prev, ip);
+        prev = ip;
+    }
+    let t1 = b.terminal(Point::new(10_000.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    b.wire(prev, t1);
+    let net = b.build().unwrap();
+    check_inverting_frontiers(&net, "chain");
+}
+
+#[test]
+fn dp_matches_exhaustive_with_inverters_on_random_nets() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for trial in 0..8 {
+        let net = random_net(&mut rng, 3, 4000.0);
+        if net.topology.insertion_point_count() > 7 {
+            continue;
+        }
+        check_inverting_frontiers(&net, &format!("trial {trial}"));
+    }
+}
+
+fn check_inverting_frontiers(net: &Net, label: &str) {
+    let lib = [inverting_repeater(), buffer_repeater()];
+    let opts = TerminalOptions::defaults(net);
+    let options = MsriOptions {
+        allow_inverting: true,
+        ..MsriOptions::default()
+    };
+    let curve = optimize(net, TerminalId(0), &lib, &opts, &options).expect("optimize");
+    let oracle = exhaustive_frontier(net, TerminalId(0), &lib, &opts);
+    assert_eq!(
+        curve.len(),
+        oracle.len(),
+        "{label}: frontier sizes differ\nDP: {:?}\nEX: {:?}",
+        curve.points().iter().map(|p| (p.cost, p.ard)).collect::<Vec<_>>(),
+        oracle.iter().map(|p| (p.cost, p.ard)).collect::<Vec<_>>()
+    );
+    for (p, o) in curve.points().iter().zip(&oracle) {
+        assert!(
+            (p.cost - o.cost).abs() < 1e-9 && (p.ard - o.ard).abs() < 1e-6,
+            "{label}: ({}, {}) vs ({}, {})",
+            p.cost,
+            p.ard,
+            o.cost,
+            o.ard
+        );
+    }
+    // Every DP solution must itself be polarity feasible.
+    for p in curve.points() {
+        assert!(
+            polarity_feasible(net, &lib, &p.assignment),
+            "{label}: DP emitted a polarity-breaking assignment"
+        );
+    }
+}
+
+#[test]
+fn inverter_pairs_beat_buffers_when_cheaper() {
+    // On a long two-pin line, two half-cost inverters bracket the same
+    // decoupling as one buffer pair at equal cost but less intrinsic
+    // delay; the frontier should exploit them.
+    let mut b = NetBuilder::new(tech());
+    let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    let mut prev = t0;
+    for i in 1..=6 {
+        let ip = b.insertion_point(Point::new(1500.0 * i as f64, 0.0));
+        b.wire(prev, ip);
+        prev = ip;
+    }
+    let t1 = b.terminal(Point::new(10_500.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    b.wire(prev, t1);
+    let net = b.build().unwrap();
+
+    let opts = TerminalOptions::defaults(&net);
+    let options = MsriOptions {
+        allow_inverting: true,
+        ..MsriOptions::default()
+    };
+    let both = optimize(
+        &net,
+        TerminalId(0),
+        &[inverting_repeater(), buffer_repeater()],
+        &opts,
+        &options,
+    )
+    .expect("optimize");
+    let buffers_only = optimize(
+        &net,
+        TerminalId(0),
+        &[buffer_repeater()],
+        &opts,
+        &MsriOptions::default(),
+    )
+    .expect("optimize");
+    // With inverters available the frontier is at least as good
+    // everywhere.
+    for bp in buffers_only.points() {
+        let better = both.min_cost_meeting(bp.ard).expect("achievable");
+        assert!(better.cost <= bp.cost + 1e-9);
+    }
+    // And some solution actually uses inverters.
+    let uses_inverters = both.points().iter().any(|p| {
+        p.assignment
+            .placements()
+            .any(|(_, pl)| pl.repeater == 0)
+    });
+    assert!(uses_inverters, "inverters should appear on the frontier");
+}

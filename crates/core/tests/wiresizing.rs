@@ -1,0 +1,201 @@
+//! Verification of simultaneous repeater insertion and discrete wire
+//! sizing (paper §VII: "there is no fundamental reason why the basic
+//! techniques introduced here cannot be utilized to solve other
+//! optimization problems in multisource nets such as wire sizing").
+//!
+//! Every trade-off point is checked against brute-force enumeration over
+//! wire widths × repeater assignments × driver options, and re-verified
+//! by applying the choices to the net and evaluating with the
+//! independent linear-time ARD engine.
+
+use msrnet_core::exhaustive::{
+    apply_terminal_choices, apply_wire_choices, exhaustive_frontier_with_wires,
+};
+use msrnet_core::{
+    ard::ard_linear, optimize, optimize_with_wires, MsriOptions, TerminalOptions, WireOption,
+};
+use msrnet_geom::Point;
+use msrnet_rctree::{
+    Buffer, Net, NetBuilder, Repeater, Technology, Terminal, TerminalId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tech() -> Technology {
+    Technology::new(0.03, 0.00035)
+}
+
+fn buf1x() -> Buffer {
+    Buffer::new("1X", 50.0, 180.0, 0.05, 1.0)
+}
+
+fn widths() -> Vec<WireOption> {
+    vec![
+        WireOption::unit(),
+        WireOption::width("2W", 2.0, 0.0005),
+        WireOption::width("4W", 4.0, 0.0015),
+    ]
+}
+
+fn random_net(rng: &mut StdRng, n_terms: usize, spacing: f64) -> Net {
+    let mut b = NetBuilder::new(tech());
+    let mut vids = Vec::new();
+    for i in 0..n_terms {
+        let p = Point::new(rng.gen_range(0..8000) as f64, rng.gen_range(0..8000) as f64);
+        let term = match if i == 0 { 0 } else { rng.gen_range(0..3) } {
+            1 => Terminal::source_only(0.0, 0.05, 180.0),
+            2 => Terminal::sink_only(0.0, 0.05),
+            _ => Terminal::bidirectional(0.0, 0.0, 0.05, 180.0),
+        };
+        vids.push(b.terminal(p, term));
+    }
+    for i in 1..n_terms {
+        let j = rng.gen_range(0..i);
+        b.wire(vids[i], vids[j]);
+    }
+    b.build().unwrap().normalized().with_insertion_points(spacing)
+}
+
+fn check(net: &Net, lib: &[Repeater], wires: &[WireOption], label: &str) {
+    let opts = TerminalOptions::defaults(net);
+    let curve = optimize_with_wires(
+        net,
+        TerminalId(0),
+        lib,
+        &opts,
+        wires,
+        &MsriOptions::default(),
+    )
+    .expect("optimize");
+    let oracle = exhaustive_frontier_with_wires(net, TerminalId(0), lib, &opts, wires);
+    assert_eq!(
+        curve.len(),
+        oracle.len(),
+        "{label}: sizes differ\nDP: {:?}\nEX: {:?}",
+        curve.points().iter().map(|p| (p.cost, p.ard)).collect::<Vec<_>>(),
+        oracle.iter().map(|p| (p.cost, p.ard)).collect::<Vec<_>>()
+    );
+    for (p, o) in curve.points().iter().zip(&oracle) {
+        assert!(
+            (p.cost - o.cost).abs() < 1e-6 && (p.ard - o.ard).abs() < 1e-6,
+            "{label}: ({}, {}) vs ({}, {})",
+            p.cost,
+            p.ard,
+            o.cost,
+            o.ard
+        );
+    }
+    // Realizability: apply driver + wire choices, re-evaluate.
+    let rooted = net.rooted_at_terminal(TerminalId(0));
+    for p in curve.points() {
+        let (scenario, opt_cost) = apply_terminal_choices(net, &opts, &p.terminal_choices);
+        let (scenario, wire_cost) = apply_wire_choices(&scenario, wires, &p.wire_choices);
+        let report = ard_linear(&scenario, &rooted, lib, &p.assignment);
+        assert!(
+            (report.ard - p.ard).abs() < 1e-6,
+            "{label}: materialized {} != claimed {}",
+            report.ard,
+            p.ard
+        );
+        let cost = opt_cost + wire_cost + p.assignment.total_cost(lib);
+        assert!((cost - p.cost).abs() < 1e-6, "{label}: cost {} != {}", cost, p.cost);
+    }
+}
+
+#[test]
+fn wire_sizing_alone_matches_exhaustive_on_two_pin_line() {
+    // 2 terminals, 1 insertion point → 2 edges... after subdivision the
+    // edge count is small enough for full enumeration.
+    let mut b = NetBuilder::new(tech());
+    let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    let ip = b.insertion_point(Point::new(4000.0, 0.0));
+    let t1 = b.terminal(Point::new(8000.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    b.wire(t0, ip);
+    b.wire(ip, t1);
+    let net = b.build().unwrap();
+    check(&net, &[], &widths(), "two-pin sizing only");
+}
+
+#[test]
+fn simultaneous_wires_and_repeaters_match_exhaustive() {
+    let mut b = NetBuilder::new(tech());
+    let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    let ip0 = b.insertion_point(Point::new(3000.0, 0.0));
+    let ip1 = b.insertion_point(Point::new(6000.0, 0.0));
+    let t1 = b.terminal(Point::new(9000.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    b.wire(t0, ip0);
+    b.wire(ip0, ip1);
+    b.wire(ip1, t1);
+    let net = b.build().unwrap();
+    let blib = [Repeater::from_buffer_pair("rep", &buf1x(), &buf1x())];
+    check(&net, &blib, &widths(), "line wires+repeaters");
+}
+
+#[test]
+fn random_small_nets_with_sizing_match_exhaustive() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let blib = [Repeater::from_buffer_pair("rep", &buf1x(), &buf1x())];
+    let two = [WireOption::unit(), WireOption::width("3W", 3.0, 0.001)];
+    let mut checked = 0;
+    for trial in 0..20 {
+        let net = random_net(&mut rng, 3, 6000.0);
+        // Keep the joint search space tractable for the oracle.
+        let sized_edges = net
+            .topology
+            .edges()
+            .filter(|&e| net.topology.length(e) > 0.0)
+            .count();
+        if sized_edges > 8 || net.topology.insertion_point_count() > 5 {
+            continue;
+        }
+        check(&net, &blib, &two, &format!("random sizing trial {trial}"));
+        checked += 1;
+    }
+    assert!(checked >= 3, "too few instances exercised ({checked})");
+}
+
+#[test]
+fn unit_option_reduces_to_plain_optimize() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = random_net(&mut rng, 4, 2500.0);
+    let blib = [Repeater::from_buffer_pair("rep", &buf1x(), &buf1x())];
+    let opts = TerminalOptions::defaults(&net);
+    let plain = optimize(&net, TerminalId(0), &blib, &opts, &MsriOptions::default()).unwrap();
+    let unit = optimize_with_wires(
+        &net,
+        TerminalId(0),
+        &blib,
+        &opts,
+        &[WireOption::unit()],
+        &MsriOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(plain.len(), unit.len());
+    for (a, b) in plain.points().iter().zip(unit.points()) {
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.ard, b.ard);
+        assert!(b.wire_choices.iter().all(|&w| w == 0));
+    }
+}
+
+#[test]
+fn free_wider_wires_never_hurt() {
+    // With zero-cost width options the best ARD can only improve.
+    let mut rng = StdRng::seed_from_u64(31);
+    let net = random_net(&mut rng, 4, 3000.0);
+    let blib = [Repeater::from_buffer_pair("rep", &buf1x(), &buf1x())];
+    let opts = TerminalOptions::defaults(&net);
+    let free = [WireOption::unit(), WireOption::width("2W", 2.0, 0.0)];
+    let base = optimize(&net, TerminalId(0), &blib, &opts, &MsriOptions::default()).unwrap();
+    let sized = optimize_with_wires(
+        &net,
+        TerminalId(0),
+        &blib,
+        &opts,
+        &free,
+        &MsriOptions::default(),
+    )
+    .unwrap();
+    assert!(sized.best_ard().ard <= base.best_ard().ard + 1e-9);
+    assert!(sized.min_cost().ard <= base.min_cost().ard + 1e-9);
+}

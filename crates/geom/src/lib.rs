@@ -1,0 +1,99 @@
+//! Planar geometry primitives for rectilinear interconnect.
+//!
+//! Everything in `msrnet` lives on a Manhattan plane measured in
+//! micrometers. This crate provides the small vocabulary shared by the
+//! Steiner-tree constructor and the workload generators: [`Point`],
+//! rectilinear distance, [`BoundingBox`], and the [`hanan_grid`] of a
+//! point set (the classical candidate set for rectilinear Steiner points).
+//!
+//! # Examples
+//!
+//! ```
+//! use msrnet_geom::{Point, BoundingBox};
+//!
+//! let a = Point::new(0.0, 0.0);
+//! let b = Point::new(30.0, 40.0);
+//! assert_eq!(a.l1_distance(b), 70.0);
+//!
+//! let bb = BoundingBox::of([a, b]).expect("two points");
+//! assert_eq!(bb.half_perimeter(), 70.0);
+//! ```
+
+mod point;
+
+pub use point::{BoundingBox, Point};
+
+/// Returns the Hanan grid of `points`: every intersection of a horizontal
+/// and a vertical line through an input point.
+///
+/// The Hanan grid is the classical candidate set for rectilinear Steiner
+/// points: some optimal rectilinear Steiner minimal tree uses only Hanan
+/// points (Hanan, 1966). Coordinates are deduplicated exactly (bitwise on
+/// `f64`), which is appropriate because workload generators produce points
+/// on an integer lattice.
+///
+/// The result has at most `n * n` points and contains every input point.
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_geom::{hanan_grid, Point};
+///
+/// let pts = [Point::new(0.0, 0.0), Point::new(10.0, 20.0)];
+/// let grid = hanan_grid(&pts);
+/// assert_eq!(grid.len(), 4);
+/// assert!(grid.contains(&Point::new(0.0, 20.0)));
+/// assert!(grid.contains(&Point::new(10.0, 0.0)));
+/// ```
+pub fn hanan_grid(points: &[Point]) -> Vec<Point> {
+    let mut xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+    let mut ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    ys.sort_by(f64::total_cmp);
+    ys.dedup();
+    let mut grid = Vec::with_capacity(xs.len() * ys.len());
+    for &x in &xs {
+        for &y in &ys {
+            grid.push(Point::new(x, y));
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hanan_grid_of_empty_set_is_empty() {
+        assert!(hanan_grid(&[]).is_empty());
+    }
+
+    #[test]
+    fn hanan_grid_of_single_point_is_that_point() {
+        let p = Point::new(3.0, 4.0);
+        assert_eq!(hanan_grid(&[p]), vec![p]);
+    }
+
+    #[test]
+    fn hanan_grid_contains_all_inputs() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 9.0),
+            Point::new(2.0, 7.0),
+        ];
+        let grid = hanan_grid(&pts);
+        assert_eq!(grid.len(), 9);
+        for p in pts {
+            assert!(grid.contains(&p));
+        }
+    }
+
+    #[test]
+    fn hanan_grid_dedups_shared_coordinates() {
+        // Two points sharing an x line: 1 distinct x and 2 ys gives 1*2=2.
+        let pts = [Point::new(1.0, 2.0), Point::new(1.0, 5.0)];
+        assert_eq!(hanan_grid(&pts).len(), 2);
+    }
+}

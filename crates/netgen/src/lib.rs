@@ -1,0 +1,395 @@
+//! Workload generation for the paper's experiments (§VI).
+//!
+//! Provides the technology preset standing in for the paper's Table I
+//! (see `DESIGN.md` for the substitution note), terminal factories
+//! matching the experimental assumptions (previous-stage resistance
+//! 400 Ω, subsequent-stage capacitance 0.2 pF, every terminal both source
+//! and sink, `AT = q = 0` so the unaugmented RC-diameter is measured),
+//! driver-sizing menus built from sized buffers, and random net
+//! generators over the 1 cm × 1 cm grid.
+//!
+//! # Examples
+//!
+//! ```
+//! use msrnet_netgen::{table1, ExperimentNet};
+//! use rand::SeedableRng;
+//!
+//! let params = table1();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let exp = ExperimentNet::random(&mut rng, 10, &params)?;
+//! let net = exp.with_insertion_points(800.0);
+//! assert_eq!(net.topology.terminal_count(), 10);
+//! assert!(net.topology.insertion_point_count() > 0);
+//! # Ok::<(), msrnet_rctree::BuildNetError>(())
+//! ```
+
+use msrnet_core::{TerminalOption, TerminalOptions};
+use msrnet_geom::Point;
+use msrnet_rctree::{
+    Buffer, BuildNetError, Net, Repeater, Technology, Terminal, TerminalId,
+};
+use rand::Rng;
+
+/// The technology parameters used by every experiment — the stand-in for
+/// the paper's Table I (values representative of mid-1990s sub-micron
+/// processes; the paper's exact numbers are not legible in the source
+/// text, and all reported results are normalized ratios).
+#[derive(Clone, Debug)]
+pub struct TechParams {
+    /// Wire parasitics: 0.03 Ω/µm and 0.35 fF/µm.
+    pub tech: Technology,
+    /// The 1X buffer: 50 ps intrinsic, 180 Ω output, 0.05 pF input,
+    /// cost 1. `kX` variants follow the paper's sizing rule
+    /// ([`Buffer::scaled`]).
+    pub buf_1x: Buffer,
+    /// Resistance of the logic stage driving each terminal's input
+    /// buffer: 400 Ω (paper §VI).
+    pub prev_stage_res: f64,
+    /// Capacitance each terminal's output buffer must drive: 0.2 pF
+    /// (paper §VI).
+    pub next_stage_cap: f64,
+    /// Side of the placement grid: 1 cm = 10 000 µm (paper §VI).
+    pub grid: f64,
+}
+
+/// Returns the experiment technology (see [`TechParams`]).
+pub fn table1() -> TechParams {
+    TechParams {
+        tech: Technology::new(0.03, 0.000_35),
+        buf_1x: Buffer::new("1X", 50.0, 180.0, 0.05, 1.0),
+        prev_stage_res: 400.0,
+        next_stage_cap: 0.2,
+        grid: 10_000.0,
+    }
+}
+
+impl TechParams {
+    /// A bidirectional terminal with `AT = q = 0` (the unaugmented
+    /// RC-diameter setting of §VI): the bus sees the 1X receiver's input
+    /// capacitance and is driven through the 1X driver's resistance.
+    pub fn bidirectional_terminal(&self) -> Terminal {
+        Terminal::bidirectional(0.0, 0.0, self.buf_1x.in_cap, self.buf_1x.out_res)
+    }
+
+    /// The bidirectional repeater built from a pair of `kX` buffers.
+    pub fn repeater(&self, k: f64) -> Repeater {
+        let b = self.buf_1x.scaled(k);
+        Repeater::from_buffer_pair(&format!("rep{k}X"), &b, &b)
+    }
+
+    /// The terminal-driver option for an `(input kX, output mX)` buffer
+    /// pair: the input buffer loads the previous stage and drives the
+    /// bus; the output buffer loads the bus and drives the next stage.
+    pub fn driver_option(&self, k_in: f64, k_out: f64) -> TerminalOption {
+        let din = self.buf_1x.scaled(k_in);
+        let dout = self.buf_1x.scaled(k_out);
+        TerminalOption {
+            name: format!("{k_in}X/{k_out}X"),
+            cost: din.cost + dout.cost,
+            arrival_extra: din.intrinsic + self.prev_stage_res * din.in_cap,
+            drive_res: din.out_res,
+            cap: dout.in_cap,
+            downstream_extra: dout.intrinsic + dout.out_res * self.next_stage_cap,
+        }
+    }
+
+    /// The fixed 1X/1X driver menu used by the repeater-insertion
+    /// experiments (cost 2 per terminal, so the min-cost solution's cost
+    /// is the total driver area, as Table II's normalization requires).
+    pub fn fixed_driver_menu(&self, net: &Net) -> TerminalOptions {
+        let opt = self.driver_option(1.0, 1.0);
+        TerminalOptions::new(vec![vec![opt]; net.terminals.len()])
+    }
+
+    /// The driver-sizing menus of §VI: every `(kX in, mX out)` pair with
+    /// `k, m ∈ sizes` — the paper's "library of 9 terminal drivers" uses
+    /// `sizes = [2, 3, 4]` plus the 1X baseline, i.e. `[1, 2, 3, 4]`.
+    pub fn sizing_menu(&self, net: &Net, sizes: &[f64]) -> TerminalOptions {
+        let menu: Vec<TerminalOption> = sizes
+            .iter()
+            .flat_map(|&k| sizes.iter().map(move |&m| (k, m)))
+            .map(|(k, m)| self.driver_option(k, m))
+            .collect();
+        TerminalOptions::new(vec![menu; net.terminals.len()])
+    }
+}
+
+/// A generated experiment net, before insertion-point subdivision.
+#[derive(Clone, Debug)]
+pub struct ExperimentNet {
+    /// The normalized net (terminals are leaves), no insertion points.
+    pub net: Net,
+}
+
+impl ExperimentNet {
+    /// Random `n`-terminal net on the `grid × grid` placement area with
+    /// integer coordinates, Steiner-routed and normalized. All terminals
+    /// are bidirectional with `AT = q = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates net-construction failures (not expected for random
+    /// point sets).
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        n: usize,
+        params: &TechParams,
+    ) -> Result<Self, BuildNetError> {
+        let term = params.bidirectional_terminal();
+        let pts = random_points(rng, n, params.grid);
+        let terms: Vec<(Point, Terminal)> = pts.into_iter().map(|p| (p, term.clone())).collect();
+        let net = msrnet_steiner::build_net(params.tech, &terms)?.normalized();
+        Ok(ExperimentNet { net })
+    }
+
+    /// Like [`ExperimentNet::random`] but routed with a plain rectilinear
+    /// MST (no 1-Steiner refinement). Intended for large scaling
+    /// experiments where the `O(n²)`-per-candidate Steiner refinement
+    /// would dominate; topology quality is slightly worse but valid.
+    pub fn random_mst<R: Rng>(
+        rng: &mut R,
+        n: usize,
+        params: &TechParams,
+    ) -> Result<Self, BuildNetError> {
+        use msrnet_rctree::NetBuilder;
+        let term = params.bidirectional_terminal();
+        let pts = random_points(rng, n, params.grid);
+        let mut builder = NetBuilder::new(params.tech);
+        let ids: Vec<_> = pts
+            .iter()
+            .map(|&p| builder.terminal(p, term.clone()))
+            .collect();
+        for (a, b) in msrnet_steiner::rectilinear_mst(&pts) {
+            builder.wire(ids[a], ids[b]);
+        }
+        let net = builder.build()?.normalized();
+        Ok(ExperimentNet { net })
+    }
+
+    /// Random net with an asymmetric role distribution: the first
+    /// `n_sources` terminals can drive (and also receive); the rest are
+    /// pure sinks (paper §VII names asymmetric source/sink distributions
+    /// as a study direction).
+    pub fn random_asymmetric<R: Rng>(
+        rng: &mut R,
+        n: usize,
+        n_sources: usize,
+        params: &TechParams,
+    ) -> Result<Self, BuildNetError> {
+        assert!(n_sources >= 1 && n_sources <= n);
+        let pts = random_points(rng, n, params.grid);
+        let terms: Vec<(Point, Terminal)> = pts
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let t = if i < n_sources {
+                    params.bidirectional_terminal()
+                } else {
+                    Terminal::sink_only(0.0, params.buf_1x.in_cap)
+                };
+                (p, t)
+            })
+            .collect();
+        let net = msrnet_steiner::build_net(params.tech, &terms)?.normalized();
+        Ok(ExperimentNet { net })
+    }
+
+    /// Subdivides wires so insertion points are at most `spacing` µm
+    /// apart (≥ 1 per wire), returning the optimization-ready net.
+    pub fn with_insertion_points(&self, spacing: f64) -> Net {
+        self.net.with_insertion_points(spacing)
+    }
+
+    /// A terminal id that can act as a source, usable as the DP root.
+    pub fn source_terminal(&self) -> TerminalId {
+        self.net
+            .terminal_ids()
+            .find(|&t| self.net.terminal(t).is_source())
+            .expect("validated nets have a source")
+    }
+}
+
+impl ExperimentNet {
+    /// Random net whose terminals cluster into two distant blocks (e.g.
+    /// a core-to-cache bus): `n_left` terminals in the left tenth of the
+    /// die, the rest in the right tenth. Long inter-block wire dominated
+    /// nets are where repeater insertion shines brightest.
+    pub fn random_clustered<R: Rng>(
+        rng: &mut R,
+        n_left: usize,
+        n_right: usize,
+        params: &TechParams,
+    ) -> Result<Self, BuildNetError> {
+        assert!(n_left >= 1 && n_right >= 1);
+        let term = params.bidirectional_terminal();
+        let band = params.grid * 0.1;
+        let mut pts: Vec<Point> = Vec::with_capacity(n_left + n_right);
+        while pts.len() < n_left {
+            let p = Point::new(
+                rng.gen_range(0..=(band as i64)) as f64,
+                rng.gen_range(0..=(params.grid as i64)) as f64,
+            );
+            if !pts.contains(&p) {
+                pts.push(p);
+            }
+        }
+        while pts.len() < n_left + n_right {
+            let p = Point::new(
+                params.grid - rng.gen_range(0..=(band as i64)) as f64,
+                rng.gen_range(0..=(params.grid as i64)) as f64,
+            );
+            if !pts.contains(&p) {
+                pts.push(p);
+            }
+        }
+        let terms: Vec<(Point, Terminal)> = pts.into_iter().map(|p| (p, term.clone())).collect();
+        let net = msrnet_steiner::build_net(params.tech, &terms)?.normalized();
+        Ok(ExperimentNet { net })
+    }
+}
+
+/// `n` distinct random integer-coordinate points on `[0, grid]²`.
+pub fn random_points<R: Rng>(rng: &mut R, n: usize, grid: f64) -> Vec<Point> {
+    let g = grid as i64;
+    let mut pts: Vec<Point> = Vec::with_capacity(n);
+    while pts.len() < n {
+        let p = Point::new(rng.gen_range(0..=g) as f64, rng.gen_range(0..=g) as f64);
+        if !pts.contains(&p) {
+            pts.push(p);
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table1_values_are_sane() {
+        let p = table1();
+        assert_eq!(p.tech.wire_res(10_000.0), 300.0);
+        assert!((p.tech.wire_cap(10_000.0) - 3.5).abs() < 1e-12);
+        assert_eq!(p.buf_1x.cost, 1.0);
+        assert_eq!(p.grid, 10_000.0);
+    }
+
+    #[test]
+    fn driver_option_scaling_rules() {
+        let p = table1();
+        let o11 = p.driver_option(1.0, 1.0);
+        assert_eq!(o11.cost, 2.0);
+        assert!((o11.arrival_extra - (50.0 + 400.0 * 0.05)).abs() < 1e-12);
+        assert!((o11.downstream_extra - (50.0 + 180.0 * 0.2)).abs() < 1e-12);
+        let o42 = p.driver_option(4.0, 2.0);
+        assert_eq!(o42.cost, 6.0);
+        assert_eq!(o42.drive_res, 45.0);
+        assert!((o42.cap - 0.1).abs() < 1e-12);
+        // Bigger input buffer loads the previous stage more.
+        assert!(o42.arrival_extra > o11.arrival_extra);
+        // Bigger output buffer drives the next stage faster.
+        assert!(o42.downstream_extra < o11.downstream_extra);
+    }
+
+    #[test]
+    fn sizing_menu_has_all_pairs() {
+        let p = table1();
+        let mut rng = StdRng::seed_from_u64(3);
+        let exp = ExperimentNet::random(&mut rng, 5, &p).unwrap();
+        let menus = p.sizing_menu(&exp.net, &[1.0, 2.0, 3.0, 4.0]);
+        for t in exp.net.terminal_ids() {
+            assert_eq!(menus.for_terminal(t).len(), 16);
+        }
+    }
+
+    #[test]
+    fn random_nets_are_valid_and_leaf_normalized() {
+        let p = table1();
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [5, 10, 20] {
+            let exp = ExperimentNet::random(&mut rng, n, &p).unwrap();
+            assert!(exp.net.check().is_ok());
+            assert_eq!(exp.net.topology.terminal_count(), n);
+            for t in exp.net.terminal_ids() {
+                let v = exp.net.topology.terminal_vertex(t);
+                assert_eq!(exp.net.topology.degree(v), 1);
+            }
+            let sub = exp.with_insertion_points(800.0);
+            assert!(sub.check().is_ok());
+            for e in sub.topology.edges() {
+                assert!(sub.topology.length(e) <= 800.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn random_points_are_distinct_and_in_grid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = random_points(&mut rng, 50, 10_000.0);
+        assert_eq!(pts.len(), 50);
+        for (i, a) in pts.iter().enumerate() {
+            assert!(a.x >= 0.0 && a.x <= 10_000.0 && a.y >= 0.0 && a.y <= 10_000.0);
+            for b in &pts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_nets_have_requested_roles() {
+        let p = table1();
+        let mut rng = StdRng::seed_from_u64(6);
+        let exp = ExperimentNet::random_asymmetric(&mut rng, 8, 2, &p).unwrap();
+        let sources = exp
+            .net
+            .terminal_ids()
+            .filter(|&t| exp.net.terminal(t).is_source())
+            .count();
+        let sinks = exp
+            .net
+            .terminal_ids()
+            .filter(|&t| exp.net.terminal(t).is_sink())
+            .count();
+        assert_eq!(sources, 2);
+        assert_eq!(sinks, 8);
+        assert!(exp.source_terminal().0 < 2);
+    }
+
+    #[test]
+    fn clustered_nets_split_into_bands() {
+        let p = table1();
+        let mut rng = StdRng::seed_from_u64(9);
+        let exp = ExperimentNet::random_clustered(&mut rng, 3, 4, &p).unwrap();
+        assert!(exp.net.check().is_ok());
+        assert_eq!(exp.net.topology.terminal_count(), 7);
+        let band = p.grid * 0.1;
+        let mut left = 0;
+        let mut right = 0;
+        for t in exp.net.terminal_ids() {
+            let v = exp.net.topology.terminal_vertex(t);
+            let x = exp.net.topology.position(v).x;
+            if x <= band {
+                left += 1;
+            } else if x >= p.grid - band {
+                right += 1;
+            }
+        }
+        assert_eq!(left, 3);
+        assert_eq!(right, 4);
+        // The bus crosses the die: wirelength at least 80% of the grid.
+        assert!(exp.net.topology.total_wirelength() >= p.grid * 0.8);
+    }
+
+    #[test]
+    fn repeater_from_params_is_symmetric_pair() {
+        let p = table1();
+        let r = p.repeater(1.0);
+        assert!(r.is_symmetric());
+        assert_eq!(r.cost, 2.0);
+        let r3 = p.repeater(3.0);
+        assert_eq!(r3.cost, 6.0);
+        assert_eq!(r3.a_to_b.out_res, 60.0);
+    }
+}

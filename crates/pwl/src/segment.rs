@@ -1,0 +1,140 @@
+use std::fmt;
+
+/// One line segment of a piece-wise linear function.
+///
+/// The segment is defined on the closed interval `[x0, x1]` and takes the
+/// value `y0 + slope · (x − x0)` there. This mirrors the paper's
+/// quadruple `(y, slope, lo, hi)` (Definition 4.1) with the y-intercept
+/// anchored at `x0` for numerical stability.
+///
+/// A segment whose value is `-∞` (no internal source yet) stores
+/// `y0 = f64::NEG_INFINITY` and `slope = 0`, so arithmetic never produces
+/// `NaN` from `−∞ + ∞·0`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Lower end of the domain.
+    pub x0: f64,
+    /// Upper end of the domain (`x1 >= x0`).
+    pub x1: f64,
+    /// Value at `x0`.
+    pub y0: f64,
+    /// Slope; always `0` when `y0` is `-∞`.
+    pub slope: f64,
+}
+
+impl Segment {
+    /// Creates a segment; normalizes `-∞` values to slope 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `x1 < x0`, if any coordinate is `NaN`, or
+    /// if `y0` is `+∞` (undefined regions are represented by *gaps*, never
+    /// by `+∞` segments).
+    pub fn new(x0: f64, x1: f64, y0: f64, slope: f64) -> Self {
+        debug_assert!(x1 >= x0, "inverted segment domain [{x0}, {x1}]");
+        debug_assert!(!x0.is_nan() && !x1.is_nan() && !y0.is_nan() && !slope.is_nan());
+        debug_assert!(y0 != f64::INFINITY, "+inf must be a domain gap, not a segment");
+        if y0 == f64::NEG_INFINITY {
+            Segment { x0, x1, y0, slope: 0.0 }
+        } else {
+            Segment { x0, x1, y0, slope }
+        }
+    }
+
+    /// Value at `x`, which must lie in `[x0, x1]` (not checked in release).
+    pub fn value_at(&self, x: f64) -> f64 {
+        debug_assert!(x >= self.x0 - 1e-9 && x <= self.x1 + 1e-9);
+        if self.y0 == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            self.y0 + self.slope * (x - self.x0)
+        }
+    }
+
+    /// Value at the upper end of the domain.
+    pub fn value_at_end(&self) -> f64 {
+        self.value_at(self.x1)
+    }
+
+    /// The restriction of this segment to `[lo, hi] ∩ [x0, x1]`, or `None`
+    /// if the intersection is empty.
+    pub fn restricted(&self, lo: f64, hi: f64) -> Option<Segment> {
+        let nlo = self.x0.max(lo);
+        let nhi = self.x1.min(hi);
+        if nlo > nhi {
+            return None;
+        }
+        Some(Segment::new(nlo, nhi, self.value_at(nlo), self.slope))
+    }
+
+    /// Whether this segment and `next` describe one straight line and touch
+    /// (within `eps` in both x and y), so they can be coalesced.
+    pub fn joins(&self, next: &Segment, eps: f64) -> bool {
+        if (next.x0 - self.x1).abs() > eps {
+            return false;
+        }
+        if self.y0 == f64::NEG_INFINITY || next.y0 == f64::NEG_INFINITY {
+            return self.y0 == next.y0;
+        }
+        (self.slope - next.slope).abs() <= eps
+            && (self.value_at_end() - next.y0).abs() <= eps.max(1e-9 * self.y0.abs())
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.6}, {:.6}] ↦ {:.6} + {:.6}·(x−{:.6})",
+            self.x0, self.x1, self.y0, self.slope, self.x0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_interpolates_linearly() {
+        let s = Segment::new(2.0, 6.0, 10.0, 0.5);
+        assert_eq!(s.value_at(2.0), 10.0);
+        assert_eq!(s.value_at(4.0), 11.0);
+        assert_eq!(s.value_at_end(), 12.0);
+    }
+
+    #[test]
+    fn neg_inf_segment_has_zero_slope() {
+        let s = Segment::new(0.0, 5.0, f64::NEG_INFINITY, 123.0);
+        assert_eq!(s.slope, 0.0);
+        assert_eq!(s.value_at(3.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn restrict_clips_domain() {
+        let s = Segment::new(0.0, 10.0, 0.0, 1.0);
+        let r = s.restricted(4.0, 6.0).unwrap();
+        assert_eq!(r.x0, 4.0);
+        assert_eq!(r.x1, 6.0);
+        assert_eq!(r.y0, 4.0);
+        assert!(s.restricted(11.0, 12.0).is_none());
+    }
+
+    #[test]
+    fn joins_detects_collinear_neighbors() {
+        let a = Segment::new(0.0, 2.0, 1.0, 3.0);
+        let b = Segment::new(2.0, 5.0, 7.0, 3.0);
+        let c = Segment::new(2.0, 5.0, 8.0, 3.0);
+        assert!(a.joins(&b, 1e-9));
+        assert!(!a.joins(&c, 1e-9));
+    }
+
+    #[test]
+    fn joins_handles_neg_inf() {
+        let a = Segment::new(0.0, 1.0, f64::NEG_INFINITY, 0.0);
+        let b = Segment::new(1.0, 2.0, f64::NEG_INFINITY, 0.0);
+        let c = Segment::new(1.0, 2.0, 5.0, 0.0);
+        assert!(a.joins(&b, 1e-9));
+        assert!(!a.joins(&c, 1e-9));
+    }
+}

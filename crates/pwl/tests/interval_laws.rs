@@ -1,0 +1,127 @@
+//! Algebraic laws of [`msrnet_pwl::IntervalSet`] under property-based
+//! testing — the validity-domain arithmetic beneath MFS pruning must be
+//! a faithful set algebra or pruning silently loses or resurrects
+//! solution regions.
+
+use msrnet_pwl::IntervalSet;
+use proptest::prelude::*;
+
+/// Strategy: a set of up to 6 spans with endpoints on a coarse lattice
+/// (exact arithmetic, no epsilon ambiguity).
+fn arb_set() -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec((0u8..100, 1u8..30), 0..6).prop_map(|spans| {
+        IntervalSet::from_spans(
+            spans
+                .into_iter()
+                .map(|(lo, len)| (lo as f64, (lo + len) as f64)),
+        )
+    })
+}
+
+/// Sample lattice covering all endpoints.
+fn samples() -> Vec<f64> {
+    (0..=262).map(|i| i as f64 * 0.5).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn union_is_pointwise_or(a in arb_set(), b in arb_set()) {
+        let u = a.union(&b);
+        for x in samples() {
+            prop_assert_eq!(u.contains(x), a.contains(x) || b.contains(x), "x={}", x);
+        }
+    }
+
+    #[test]
+    fn intersection_is_pointwise_and(a in arb_set(), b in arb_set()) {
+        let i = a.intersect(&b);
+        for x in samples() {
+            prop_assert_eq!(i.contains(x), a.contains(x) && b.contains(x), "x={}", x);
+        }
+    }
+
+    #[test]
+    fn subtraction_is_pointwise_and_not(a in arb_set(), b in arb_set()) {
+        let d = a.subtract(&b);
+        for x in samples() {
+            // Boundary points of removed spans may stay as closed-set
+            // endpoints; only check strictly interior points.
+            let on_boundary = b
+                .spans()
+                .iter()
+                .any(|&(lo, hi)| (x - lo).abs() < 0.25 || (x - hi).abs() < 0.25);
+            if on_boundary {
+                continue;
+            }
+            prop_assert_eq!(d.contains(x), a.contains(x) && !b.contains(x), "x={}", x);
+        }
+    }
+
+    #[test]
+    fn operations_are_commutative_and_idempotent(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert_eq!(a.intersect(&a), a.clone());
+        prop_assert!(a.subtract(&a).is_empty());
+    }
+
+    #[test]
+    fn measures_are_consistent(a in arb_set(), b in arb_set()) {
+        // |A| + |B| = |A ∪ B| + |A ∩ B| (inclusion–exclusion).
+        let lhs = a.measure() + b.measure();
+        let rhs = a.union(&b).measure() + a.intersect(&b).measure();
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{} vs {}", lhs, rhs);
+        // |A \ B| = |A| − |A ∩ B|.
+        let diff = a.subtract(&b).measure();
+        let expect = a.measure() - a.intersect(&b).measure();
+        prop_assert!((diff - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_invariants(a in arb_set(), b in arb_set()) {
+        // Every produced set keeps sorted, disjoint spans.
+        for set in [a.union(&b), a.intersect(&b), a.subtract(&b)] {
+            for w in set.spans().windows(2) {
+                prop_assert!(w[0].1 < w[1].0, "overlapping or touching spans survived");
+            }
+            for &(lo, hi) in set.spans() {
+                prop_assert!(lo <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_preserves_measure_and_membership(a in arb_set(), dx in -50.0..50.0f64) {
+        let s = a.shift(dx);
+        prop_assert!((s.measure() - a.measure()).abs() < 1e-9);
+        for x in samples() {
+            prop_assert_eq!(s.contains(x + dx), a.contains(x));
+        }
+    }
+
+    #[test]
+    fn clamp_is_intersection_with_interval(a in arb_set(), lo in 0.0..60.0f64, len in 0.0..60.0f64) {
+        let hi = lo + len;
+        let clamped = a.clamp(lo, hi);
+        let manual = a.intersect(&IntervalSet::from_interval(lo, hi));
+        prop_assert_eq!(clamped, manual);
+    }
+
+    #[test]
+    fn min_max_bound_the_set(a in arb_set()) {
+        match (a.min(), a.max()) {
+            (Some(lo), Some(hi)) => {
+                prop_assert!(lo <= hi);
+                prop_assert!(a.contains(lo));
+                prop_assert!(a.contains(hi));
+                prop_assert!(!a.contains(lo - 1.0));
+                prop_assert!(!a.contains(hi + 1.0));
+            }
+            (None, None) => prop_assert!(a.is_empty()),
+            _ => prop_assert!(false, "min/max disagree about emptiness"),
+        }
+    }
+}

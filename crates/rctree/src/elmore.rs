@@ -1,0 +1,561 @@
+//! Elmore delay evaluation for a multisource net under a **fixed**
+//! repeater assignment.
+//!
+//! The engine implements the bidirectional capacitance recurrences of
+//! paper §III (Eq. 1 bottom-up, Eq. 2 top-down): because a signal may
+//! traverse any wire in either direction, every edge needs *two* load
+//! values — the capacitance hanging below it and the capacitance hanging
+//! above it — with repeaters decoupling whatever lies beyond them.
+//! On top of the capacitance views it provides directed wire delays,
+//! repeater crossing delays, terminal driver delays, and single-source
+//! delay traversals (the classical linear-time RC-tree walk of
+//! Rubinstein–Penfield–Horowitz, extended with repeater crossings).
+//!
+//! The linear-time ARD algorithm (paper Fig. 2) and its naive O(n²)
+//! baseline are built on this engine in `msrnet-core`.
+
+use crate::{Assignment, EdgeId, Net, Repeater, Rooted, TerminalId, VertexId, VertexKind};
+
+/// Elmore delay evaluator for one `(net, rooting, library, assignment)`
+/// quadruple.
+///
+/// Construction runs the two capacitance passes in `O(n)`; all
+/// per-element queries are `O(1)` and traversals are `O(n)`.
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_geom::Point;
+/// use msrnet_rctree::elmore::Elmore;
+/// use msrnet_rctree::{Assignment, NetBuilder, Technology, Terminal, TerminalId};
+///
+/// let mut b = NetBuilder::new(Technology::new(1.0, 1.0));
+/// let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 1.0, 3.0));
+/// let t1 = b.terminal(Point::new(2.0, 0.0), Terminal::bidirectional(0.0, 0.0, 1.0, 3.0));
+/// b.wire(t0, t1);
+/// let net = b.build()?;
+/// let rooted = net.rooted_at_terminal(TerminalId(0));
+/// let asg = Assignment::empty(net.topology.vertex_count());
+/// let elmore = Elmore::new(&net, &rooted, &[], &asg);
+/// // Driver sees its own load (1) plus wire (2) plus far load (1).
+/// let d = elmore.delays_from(TerminalId(0));
+/// assert_eq!(d[t1.0], 3.0 * 4.0 + 2.0 * (1.0 + 1.0));
+/// # Ok::<(), msrnet_rctree::BuildNetError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Elmore<'a> {
+    net: &'a Net,
+    rooted: &'a Rooted,
+    library: &'a [Repeater],
+    assignment: &'a Assignment,
+    /// Capacitance looking *into* the subtree of `v` from its parent edge
+    /// (paper Eq. 1); for the root, the total decoupled tree capacitance.
+    down: Vec<f64>,
+    /// Capacitance looking *out of* the subtree of `v`, seen at the
+    /// parent of `v` from `v`'s perspective (paper Eq. 2); unused at the
+    /// root.
+    up: Vec<f64>,
+    /// Parent-edge wire resistance per vertex (0 at the root).
+    pe_res: Vec<f64>,
+    /// Parent-edge wire capacitance per vertex (0 at the root).
+    pe_cap: Vec<f64>,
+}
+
+impl<'a> Elmore<'a> {
+    /// Builds the evaluator, running both capacitance passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment references a repeater outside `library`
+    /// or places a repeater on a non-insertion-point vertex.
+    pub fn new(
+        net: &'a Net,
+        rooted: &'a Rooted,
+        library: &'a [Repeater],
+        assignment: &'a Assignment,
+    ) -> Self {
+        let n = net.topology.vertex_count();
+        let mut pe_res = vec![0.0; n];
+        let mut pe_cap = vec![0.0; n];
+        for v in net.topology.vertices() {
+            if let Some(e) = rooted.parent_edge(v) {
+                pe_res[v.0] = net.edge_res(e);
+                pe_cap[v.0] = net.edge_cap(e);
+            }
+        }
+        let mut engine = Elmore {
+            net,
+            rooted,
+            library,
+            assignment,
+            down: vec![0.0; n],
+            up: vec![0.0; n],
+            pe_res,
+            pe_cap,
+        };
+        engine.compute_down();
+        engine.compute_up();
+        engine
+    }
+
+    fn own_cap(&self, v: VertexId) -> f64 {
+        match self.net.topology.kind(v) {
+            VertexKind::Terminal(t) => self.net.terminal(t).cap,
+            _ => 0.0,
+        }
+    }
+
+    fn placed(&self, v: VertexId) -> Option<&Repeater> {
+        self.assignment.at(v).map(|p| {
+            assert!(
+                self.net.topology.kind(v) == VertexKind::InsertionPoint,
+                "repeater placed on non-insertion-point {v}"
+            );
+            &self.library[p.repeater]
+        })
+    }
+
+    /// Paper Eq. 1: bottom-up accumulation with repeater decoupling.
+    fn compute_down(&mut self) {
+        for v in self.rooted.postorder() {
+            self.down[v.0] = match self.placed(v) {
+                Some(rep) => {
+                    let orient = self.assignment.at(v).expect("placed").orientation;
+                    rep.cap_facing_parent(orient)
+                }
+                None => {
+                    let mut c = self.own_cap(v);
+                    for &u in self.rooted.children(v) {
+                        c += self.pe_cap[u.0] + self.down[u.0];
+                    }
+                    c
+                }
+            };
+        }
+    }
+
+    /// Paper Eq. 2: top-down accumulation of the capacitance outside each
+    /// subtree.
+    fn compute_up(&mut self) {
+        for &v in self.rooted.preorder() {
+            let Some(p) = self.rooted.parent(v) else {
+                continue;
+            };
+            self.up[v.0] = match self.placed(p) {
+                Some(rep) => {
+                    let orient = self.assignment.at(p).expect("placed").orientation;
+                    rep.cap_facing_child(orient)
+                }
+                None => {
+                    let mut c = self.own_cap(p);
+                    for &s in self.rooted.children(p) {
+                        if s != v {
+                            c += self.pe_cap[s.0] + self.down[s.0];
+                        }
+                    }
+                    if self.rooted.parent(p).is_some() {
+                        c += self.pe_cap[p.0] + self.up[p.0];
+                    }
+                    c
+                }
+            };
+        }
+    }
+
+    /// Capacitance looking into the subtree of `v` from its parent edge.
+    pub fn down_cap(&self, v: VertexId) -> f64 {
+        self.down[v.0]
+    }
+
+    /// Capacitance looking out of the subtree of `v`, seen at its parent.
+    ///
+    /// Unspecified (zero) at the root.
+    pub fn up_cap(&self, v: VertexId) -> f64 {
+        self.up[v.0]
+    }
+
+    /// Total capacitance a driver sitting at vertex `v` must charge:
+    /// the vertex's own load plus every branch, with repeater decoupling.
+    pub fn total_cap_at(&self, v: VertexId) -> f64 {
+        debug_assert!(self.placed(v).is_none(), "drivers do not sit on repeaters");
+        let mut c = self.own_cap(v);
+        for &u in self.rooted.children(v) {
+            c += self.pe_cap[u.0] + self.down[u.0];
+        }
+        if self.rooted.parent(v).is_some() {
+            c += self.pe_cap[v.0] + self.up[v.0];
+        }
+        c
+    }
+
+    /// Elmore delay of `v`'s parent wire traversed downward
+    /// (parent → `v`): `R_w · (C_w/2 + down(v))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `v` is the root.
+    pub fn edge_delay_down(&self, v: VertexId) -> f64 {
+        debug_assert!(self.rooted.parent(v).is_some());
+        self.pe_res[v.0] * (0.5 * self.pe_cap[v.0] + self.down[v.0])
+    }
+
+    /// Elmore delay of `v`'s parent wire traversed upward
+    /// (`v` → parent): `R_w · (C_w/2 + up(v))`.
+    pub fn edge_delay_up(&self, v: VertexId) -> f64 {
+        debug_assert!(self.rooted.parent(v).is_some());
+        self.pe_res[v.0] * (0.5 * self.pe_cap[v.0] + self.up[v.0])
+    }
+
+    /// Delay across the repeater at `v` for a root-ward (upstream)
+    /// signal: intrinsic plus output resistance times the load above `v`.
+    ///
+    /// Returns 0 when no repeater is placed at `v`.
+    pub fn crossing_up(&self, v: VertexId) -> f64 {
+        match self.placed(v) {
+            None => 0.0,
+            Some(rep) => {
+                let orient = self.assignment.at(v).expect("placed").orientation;
+                let drive = rep.upstream_drive(orient);
+                drive.intrinsic + drive.out_res * (self.pe_cap[v.0] + self.up[v.0])
+            }
+        }
+    }
+
+    /// Delay across the repeater at `v` for a leaf-ward (downstream)
+    /// signal: intrinsic plus output resistance times the load below `v`.
+    ///
+    /// Returns 0 when no repeater is placed at `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a repeater is placed at a vertex without exactly one
+    /// child (insertion points are degree 2).
+    pub fn crossing_down(&self, v: VertexId) -> f64 {
+        match self.placed(v) {
+            None => 0.0,
+            Some(rep) => {
+                let children = self.rooted.children(v);
+                assert_eq!(children.len(), 1, "repeater vertex must have one child");
+                let u = children[0];
+                let orient = self.assignment.at(v).expect("placed").orientation;
+                let drive = rep.downstream_drive(orient);
+                drive.intrinsic + drive.out_res * (self.pe_cap[u.0] + self.down[u.0])
+            }
+        }
+    }
+
+    /// Delay of terminal `t`'s input driver when it sources the net:
+    /// driver intrinsic plus `r(t)` times the total decoupled load.
+    pub fn driver_delay(&self, t: TerminalId) -> f64 {
+        let term = self.net.terminal(t);
+        let v = self.net.topology.terminal_vertex(t);
+        term.drive_intrinsic + term.drive_res * self.total_cap_at(v)
+    }
+
+    /// Elmore arrival (driver delay included, `AT` excluded) at **every
+    /// vertex** when terminal `t` drives the net — one `O(n)` traversal.
+    ///
+    /// Entry `v` is the delay from the driver input at `t` to vertex `v`;
+    /// entry for `t`'s own vertex is the bare driver delay.
+    pub fn delays_from(&self, t: TerminalId) -> Vec<f64> {
+        let n = self.net.topology.vertex_count();
+        let src = self.net.topology.terminal_vertex(t);
+        let mut delay = vec![f64::NAN; n];
+        delay[src.0] = self.driver_delay(t);
+        let mut stack = vec![(src, src)];
+        while let Some((v, pred)) = stack.pop() {
+            for &(u, _e) in self.net.topology.neighbors(v) {
+                if u == pred && u != v {
+                    continue;
+                }
+                if u == v {
+                    continue;
+                }
+                let mut d = delay[v.0];
+                let upward = self.rooted.parent(v) == Some(u);
+                if v != src {
+                    // Passing through a repeater at v (degree 2: the
+                    // crossing direction matches the direction of travel).
+                    d += if upward {
+                        self.crossing_up(v)
+                    } else {
+                        self.crossing_down(v)
+                    };
+                }
+                d += if upward {
+                    self.edge_delay_up(v)
+                } else {
+                    self.edge_delay_down(u)
+                };
+                delay[u.0] = d;
+                stack.push((u, v));
+            }
+        }
+        delay
+    }
+
+    /// Raw Elmore path delay `PD(u → w)` from source terminal `u` to sink
+    /// terminal `w`, including `u`'s driver but **excluding** `AT(u)` and
+    /// `q(w)`.
+    ///
+    /// `O(n)`; use [`Elmore::delays_from`] when many sinks are queried.
+    pub fn path_delay(&self, u: TerminalId, w: TerminalId) -> f64 {
+        let wv = self.net.topology.terminal_vertex(w);
+        self.delays_from(u)[wv.0]
+    }
+
+    /// Augmented source-to-sink delay
+    /// `AT(u) + PD(u → w) + q(w)` (the quantity the ARD maximizes).
+    ///
+    /// Returns `-∞` if `u` is not a source or `w` is not a sink.
+    pub fn augmented_delay(&self, u: TerminalId, w: TerminalId) -> f64 {
+        let tu = self.net.terminal(u);
+        let tw = self.net.terminal(w);
+        if !tu.is_source() || !tw.is_sink() {
+            return f64::NEG_INFINITY;
+        }
+        tu.arrival + self.path_delay(u, w) + tw.downstream
+    }
+
+    /// The RC-radius from source `t`: the maximum raw path delay to any
+    /// sink terminal (the classical single-source performance measure).
+    ///
+    /// Returns `-∞` if the net has no sink other than `t` itself.
+    pub fn rc_radius(&self, t: TerminalId) -> f64 {
+        let delays = self.delays_from(t);
+        let mut worst = f64::NEG_INFINITY;
+        for w in self.net.terminal_ids() {
+            if w != t && self.net.terminal(w).is_sink() {
+                let wv = self.net.topology.terminal_vertex(w);
+                worst = worst.max(delays[wv.0]);
+            }
+        }
+        worst
+    }
+
+    /// The parent-edge wire resistance of `v` (0 at the root), Ω.
+    pub fn parent_edge_res(&self, v: VertexId) -> f64 {
+        self.pe_res[v.0]
+    }
+
+    /// The parent-edge wire capacitance of `v` (0 at the root), pF.
+    pub fn parent_edge_cap(&self, v: VertexId) -> f64 {
+        self.pe_cap[v.0]
+    }
+
+    /// The edge id of `v`'s parent wire, if any.
+    pub fn parent_edge(&self, v: VertexId) -> Option<EdgeId> {
+        self.rooted.parent_edge(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Buffer, NetBuilder, Orientation, Technology, Terminal};
+    use msrnet_geom::Point;
+
+    fn term(cap: f64, res: f64) -> Terminal {
+        Terminal::bidirectional(0.0, 0.0, cap, res)
+    }
+
+    /// t0 --(2)-- t1, unit parasitics, caps 1, drive 3 Ω.
+    fn two_pin() -> Net {
+        let mut b = NetBuilder::new(Technology::new(1.0, 1.0));
+        let t0 = b.terminal(Point::new(0.0, 0.0), term(1.0, 3.0));
+        let t1 = b.terminal(Point::new(2.0, 0.0), term(1.0, 3.0));
+        b.wire(t0, t1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_pin_caps_and_delays_by_hand() {
+        let net = two_pin();
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let asg = Assignment::empty(net.topology.vertex_count());
+        let e = Elmore::new(&net, &rooted, &[], &asg);
+        let v1 = net.topology.terminal_vertex(TerminalId(1));
+        let v0 = net.topology.terminal_vertex(TerminalId(0));
+        assert_eq!(e.down_cap(v1), 1.0);
+        assert_eq!(e.up_cap(v1), 1.0);
+        assert_eq!(e.total_cap_at(v0), 4.0);
+        assert_eq!(e.total_cap_at(v1), 4.0);
+        assert_eq!(e.driver_delay(TerminalId(0)), 12.0);
+        // Wire traversed either way: R (C/2 + far load) = 2(1+1) = 4.
+        assert_eq!(e.edge_delay_down(v1), 4.0);
+        assert_eq!(e.edge_delay_up(v1), 4.0);
+        assert_eq!(e.path_delay(TerminalId(0), TerminalId(1)), 16.0);
+        assert_eq!(e.path_delay(TerminalId(1), TerminalId(0)), 16.0);
+        assert_eq!(e.rc_radius(TerminalId(0)), 16.0);
+        assert_eq!(e.augmented_delay(TerminalId(0), TerminalId(1)), 16.0);
+    }
+
+    /// t0 --(1)-- ip --(1)-- t1 with an asymmetric repeater at ip.
+    fn repeater_net() -> (Net, Repeater) {
+        let mut b = NetBuilder::new(Technology::new(1.0, 1.0));
+        let t0 = b.terminal(Point::new(0.0, 0.0), term(1.0, 3.0));
+        let ip = b.insertion_point(Point::new(1.0, 0.0));
+        let t1 = b.terminal(Point::new(2.0, 0.0), term(1.0, 3.0));
+        b.wire(t0, ip);
+        b.wire(ip, t1);
+        let net = b.build().unwrap();
+        let fwd = Buffer::new("fwd", 10.0, 2.0, 0.5, 1.0);
+        let bwd = Buffer::new("bwd", 20.0, 4.0, 0.25, 1.0);
+        let rep = Repeater::from_buffer_pair("asym", &fwd, &bwd);
+        (net, rep)
+    }
+
+    #[test]
+    fn repeater_decouples_capacitance_both_ways() {
+        let (net, rep) = repeater_net();
+        let lib = [rep];
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let mut asg = Assignment::empty(net.topology.vertex_count());
+        let ip = net
+            .topology
+            .insertion_points()
+            .next()
+            .expect("one insertion point");
+        asg.place(ip, 0, Orientation::AFacesParent);
+        let e = Elmore::new(&net, &rooted, &lib, &asg);
+        let v1 = net.topology.terminal_vertex(TerminalId(1));
+        // From above, the subtree at ip is just the A-side input cap.
+        assert_eq!(e.down_cap(ip), 0.5);
+        // From below, everything above t1 is the B-side input cap.
+        assert_eq!(e.up_cap(v1), 0.25);
+        // Loads on each side of the repeater.
+        let v0 = net.topology.terminal_vertex(TerminalId(0));
+        assert_eq!(e.total_cap_at(v0), 1.0 + 1.0 + 0.5);
+        assert_eq!(e.total_cap_at(v1), 1.0 + 1.0 + 0.25);
+    }
+
+    #[test]
+    fn repeater_crossing_delays_by_hand() {
+        let (net, rep) = repeater_net();
+        let lib = [rep];
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let mut asg = Assignment::empty(net.topology.vertex_count());
+        let ip = net.topology.insertion_points().next().unwrap();
+        asg.place(ip, 0, Orientation::AFacesParent);
+        let e = Elmore::new(&net, &rooted, &lib, &asg);
+        // Downward crossing drives wire (1) + far terminal (1) with the
+        // A→B buffer: 10 + 2·2 = 14.
+        assert_eq!(e.crossing_down(ip), 14.0);
+        // Upward crossing drives wire (1) + root terminal (1) with the
+        // B→A buffer: 20 + 4·2 = 28.
+        assert_eq!(e.crossing_up(ip), 28.0);
+        // Full forward path: driver 3·2.5 + wire 1·(0.5+0.5) + crossing 14
+        //   + wire 1·(0.5+1) = 7.5 + 1 + 14 + 1.5 = 24.
+        assert!((e.path_delay(TerminalId(0), TerminalId(1)) - 24.0).abs() < 1e-12);
+        // Full reverse path: 3·2.25 + 1·(0.5+0.25) + 28 + 1·(0.5+1) = 37.
+        assert!((e.path_delay(TerminalId(1), TerminalId(0)) - 37.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flipping_an_asymmetric_repeater_swaps_directions() {
+        let (net, rep) = repeater_net();
+        let lib = [rep];
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let ip = net.topology.insertion_points().next().unwrap();
+        let mut asg = Assignment::empty(net.topology.vertex_count());
+        asg.place(ip, 0, Orientation::BFacesParent);
+        let e = Elmore::new(&net, &rooted, &lib, &asg);
+        // Now the B side faces t0: forward traffic uses the B→A buffer.
+        assert_eq!(e.down_cap(ip), 0.25);
+        assert_eq!(e.crossing_down(ip), 20.0 + 4.0 * 2.0);
+        assert_eq!(e.crossing_up(ip), 10.0 + 2.0 * 2.0);
+    }
+
+    #[test]
+    fn delays_are_rooting_invariant() {
+        // Physical delays cannot depend on which terminal we root at.
+        let (net, rep) = repeater_net();
+        let lib = [rep];
+        let ip = net.topology.insertion_points().next().unwrap();
+        let mut results = Vec::new();
+        for (root, orient) in [
+            (TerminalId(0), Orientation::AFacesParent),
+            (TerminalId(1), Orientation::BFacesParent),
+        ] {
+            // Rooting at t1 flips which side faces the parent, so the
+            // physical orientation (A toward t0) needs the flipped enum.
+            let rooted = net.rooted_at_terminal(root);
+            let mut asg = Assignment::empty(net.topology.vertex_count());
+            asg.place(ip, 0, orient);
+            let e = Elmore::new(&net, &rooted, &lib, &asg);
+            results.push((
+                e.path_delay(TerminalId(0), TerminalId(1)),
+                e.path_delay(TerminalId(1), TerminalId(0)),
+            ));
+        }
+        assert!((results[0].0 - results[1].0).abs() < 1e-12);
+        assert!((results[0].1 - results[1].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_net_branch_loads() {
+        // t0 at root, branch s with two leaves t1 (len 1) and t2 (len 3).
+        let mut b = NetBuilder::new(Technology::new(1.0, 1.0));
+        let t0 = b.terminal(Point::new(0.0, 0.0), term(1.0, 2.0));
+        let s = b.steiner(Point::new(1.0, 0.0));
+        let t1 = b.terminal(Point::new(2.0, 0.0), term(1.0, 2.0));
+        let t2 = b.terminal(Point::new(1.0, 3.0), term(1.0, 2.0));
+        b.wire(t0, s);
+        b.wire(s, t1);
+        b.wire(s, t2);
+        let net = b.build().unwrap();
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let asg = Assignment::empty(net.topology.vertex_count());
+        let e = Elmore::new(&net, &rooted, &[], &asg);
+        // down(s) = (1 + 1) + (3 + 1) = 6; up(t1) = everything minus its
+        // own branch = t0 side (1 + 1·wire) + t2 branch (3+1) = 6.
+        assert_eq!(e.down_cap(s), 6.0);
+        let v1 = net.topology.terminal_vertex(TerminalId(1));
+        let v2 = net.topology.terminal_vertex(TerminalId(2));
+        assert_eq!(e.up_cap(v1), 1.0 + 1.0 + 4.0);
+        assert_eq!(e.up_cap(v2), 1.0 + 1.0 + 2.0);
+        // Total cap is the same seen from any terminal (no repeaters).
+        let total = net.total_cap();
+        for t in net.terminal_ids() {
+            let v = net.topology.terminal_vertex(t);
+            assert!((e.total_cap_at(v) - total).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn delays_from_covers_all_vertices() {
+        let (net, rep) = repeater_net();
+        let lib = [rep];
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let mut asg = Assignment::empty(net.topology.vertex_count());
+        let ip = net.topology.insertion_points().next().unwrap();
+        asg.place(ip, 0, Orientation::AFacesParent);
+        let e = Elmore::new(&net, &rooted, &lib, &asg);
+        for t in net.terminal_ids() {
+            let d = e.delays_from(t);
+            assert!(d.iter().all(|x| x.is_finite()), "all vertices reached");
+        }
+    }
+
+    #[test]
+    fn augmented_delay_respects_roles() {
+        let mut b = NetBuilder::new(Technology::new(1.0, 1.0));
+        let t0 = b.terminal(
+            Point::new(0.0, 0.0),
+            Terminal::source_only(100.0, 1.0, 3.0),
+        );
+        let t1 = b.terminal(Point::new(2.0, 0.0), Terminal::sink_only(50.0, 1.0));
+        b.wire(t0, t1);
+        let net = b.build().unwrap();
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let asg = Assignment::empty(net.topology.vertex_count());
+        let e = Elmore::new(&net, &rooted, &[], &asg);
+        let fwd = e.augmented_delay(TerminalId(0), TerminalId(1));
+        assert_eq!(fwd, 100.0 + 16.0 + 50.0);
+        // The reverse direction is infeasible: t1 is not a source.
+        assert_eq!(
+            e.augmented_delay(TerminalId(1), TerminalId(0)),
+            f64::NEG_INFINITY
+        );
+    }
+}

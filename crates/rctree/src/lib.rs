@@ -1,0 +1,133 @@
+//! RC-tree net model and Elmore delay engine for multisource nets.
+//!
+//! This crate is the physical substrate beneath the ARD computation and
+//! the repeater-insertion dynamic program (paper §II–§III):
+//!
+//! * [`Technology`] — per-unit-length wire resistance and capacitance;
+//! * [`Buffer`], [`Repeater`], [`Orientation`] — the repeater library
+//!   model: a bidirectional repeater has an A side and a B side with
+//!   per-direction intrinsic delay and output resistance, and
+//!   per-side input capacitance (paper §II);
+//! * [`Terminal`] — per-terminal timing parameters: arrival time `AT`,
+//!   downstream delay `q`, bus load capacitance and driver resistance
+//!   (paper Fig. 1);
+//! * [`Topology`], [`Net`], [`Rooted`] — the routing tree with terminals,
+//!   Steiner branch points, and prescribed degree-2 repeater insertion
+//!   points;
+//! * [`Assignment`] — a concrete placement of oriented repeaters on
+//!   insertion points;
+//! * [`elmore`] — the bidirectional capacitance recurrences (paper
+//!   Eq. 1–2), directed wire/repeater delays, and single-source Elmore
+//!   delay traversals.
+//!
+//! Units: length µm, resistance Ω, capacitance pF, delay ps
+//! (1 Ω · 1 pF = 1 ps), cost in equivalent 1X buffers.
+//!
+//! # Examples
+//!
+//! ```
+//! use msrnet_rctree::{Net, NetBuilder, Technology, Terminal};
+//! use msrnet_geom::Point;
+//!
+//! // A two-terminal bus: both ends can drive and receive.
+//! let tech = Technology::new(0.03, 0.00035);
+//! let mut b = NetBuilder::new(tech);
+//! let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+//! let t1 = b.terminal(Point::new(1000.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+//! b.wire(t0, t1);
+//! let net: Net = b.build()?;
+//! assert_eq!(net.topology.terminal_count(), 2);
+//! # Ok::<(), msrnet_rctree::BuildNetError>(())
+//! ```
+
+pub mod elmore;
+mod library;
+pub mod moments;
+pub mod transient;
+mod net;
+mod terminal;
+
+pub use library::{Buffer, DriveParams, Orientation, Repeater};
+pub use net::{
+    Assignment, BuildNetError, EdgeId, Net, NetBuilder, NetStats, PlacedRepeater, Rooted,
+    Topology, VertexId, VertexKind,
+};
+pub use terminal::{Terminal, TerminalId};
+
+/// Wire parasitics per unit length for the target technology.
+///
+/// `unit_res` is in Ω/µm and `unit_cap` in pF/µm, so a wire of length
+/// `l` µm has resistance `unit_res · l` and capacitance `unit_cap · l`
+/// (fixed-width wires; fringe capacitance can be folded into `unit_cap`,
+/// paper §II footnote 4).
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_rctree::Technology;
+///
+/// let tech = Technology::new(0.03, 0.00035);
+/// assert_eq!(tech.wire_res(100.0), 3.0);
+/// assert!((tech.wire_cap(100.0) - 0.035).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Technology {
+    /// Wire resistance per µm, in Ω/µm.
+    pub unit_res: f64,
+    /// Wire capacitance per µm, in pF/µm.
+    pub unit_cap: f64,
+}
+
+impl Technology {
+    /// Creates a technology from per-unit-length parasitics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is negative or non-finite.
+    pub fn new(unit_res: f64, unit_cap: f64) -> Self {
+        assert!(
+            unit_res.is_finite() && unit_res >= 0.0,
+            "unit resistance must be finite and non-negative"
+        );
+        assert!(
+            unit_cap.is_finite() && unit_cap >= 0.0,
+            "unit capacitance must be finite and non-negative"
+        );
+        Technology { unit_res, unit_cap }
+    }
+
+    /// Resistance of a wire of `length` µm, in Ω.
+    pub fn wire_res(&self, length: f64) -> f64 {
+        self.unit_res * length
+    }
+
+    /// Capacitance of a wire of `length` µm, in pF.
+    pub fn wire_cap(&self, length: f64) -> f64 {
+        self.unit_cap * length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technology_scales_linearly() {
+        let t = Technology::new(0.5, 0.25);
+        assert_eq!(t.wire_res(4.0), 2.0);
+        assert_eq!(t.wire_cap(4.0), 1.0);
+        assert_eq!(t.wire_res(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit resistance")]
+    fn technology_rejects_negative_res() {
+        Technology::new(-1.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit capacitance")]
+    fn technology_rejects_nan_cap() {
+        Technology::new(0.1, f64::NAN);
+    }
+}

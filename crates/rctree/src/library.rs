@@ -1,0 +1,321 @@
+use std::fmt;
+
+/// A unidirectional buffer: the primitive cell from which repeaters and
+/// terminal drivers are composed (paper Table I builds everything from a
+/// single buffer and its sized variants).
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_rctree::Buffer;
+///
+/// let b1x = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+/// let b4x = b1x.scaled(4.0);
+/// assert_eq!(b4x.out_res, 45.0);
+/// assert_eq!(b4x.in_cap, 0.2);
+/// assert_eq!(b4x.cost, 4.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Buffer {
+    /// Human-readable name (e.g. `"1X"`).
+    pub name: String,
+    /// Intrinsic delay, ps.
+    pub intrinsic: f64,
+    /// Output resistance, Ω.
+    pub out_res: f64,
+    /// Input capacitance, pF.
+    pub in_cap: f64,
+    /// Cost in equivalent 1X buffers (typically area).
+    pub cost: f64,
+}
+
+impl Buffer {
+    /// Creates a buffer from its electrical parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative or non-finite.
+    pub fn new(name: &str, intrinsic: f64, out_res: f64, in_cap: f64, cost: f64) -> Self {
+        for (label, v) in [
+            ("intrinsic", intrinsic),
+            ("out_res", out_res),
+            ("in_cap", in_cap),
+            ("cost", cost),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "buffer {label} must be finite and non-negative");
+        }
+        Buffer {
+            name: name.to_owned(),
+            intrinsic,
+            out_res,
+            in_cap,
+            cost,
+        }
+    }
+
+    /// The `kX` sized variant: cost `k·cost`, resistance `out_res/k`,
+    /// input capacitance `k·in_cap`, same intrinsic delay — exactly the
+    /// sizing rule of paper §VI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not strictly positive.
+    pub fn scaled(&self, k: f64) -> Buffer {
+        assert!(k.is_finite() && k > 0.0, "scale factor must be positive");
+        Buffer {
+            name: format!("{}·{k}X", self.name.trim_end_matches(|c: char| {
+                c.is_ascii_digit() || c == 'X' || c == '.'
+            })),
+            intrinsic: self.intrinsic,
+            out_res: self.out_res / k,
+            in_cap: self.in_cap * k,
+            cost: self.cost * k,
+        }
+    }
+}
+
+impl fmt::Display for Buffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (d={} ps, R={} Ω, C={} pF, cost={})",
+            self.name, self.intrinsic, self.out_res, self.in_cap, self.cost
+        )
+    }
+}
+
+/// Per-direction drive parameters of a repeater.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriveParams {
+    /// Intrinsic delay in this direction, ps.
+    pub intrinsic: f64,
+    /// Output resistance in this direction, Ω.
+    pub out_res: f64,
+}
+
+/// A bidirectional repeater: two drive directions (A→B and B→A) plus a
+/// per-side input capacitance and a cost (paper §II).
+///
+/// Repeaters are placed at degree-2 insertion points; the chosen
+/// [`Orientation`] decides which side faces the tree root. A symmetric
+/// repeater built from a pair of identical buffers is orientation-
+/// invariant; the algorithm nevertheless explores both orientations when
+/// the parameters are asymmetric.
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_rctree::{Buffer, Repeater};
+///
+/// let b = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+/// let rep = Repeater::from_buffer_pair("rep1x", &b, &b);
+/// assert_eq!(rep.cost, 2.0);
+/// assert_eq!(rep.cap_a, rep.cap_b);
+/// assert!(rep.is_symmetric());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Repeater {
+    /// Human-readable name.
+    pub name: String,
+    /// Drive parameters for a signal entering at A and leaving at B.
+    pub a_to_b: DriveParams,
+    /// Drive parameters for a signal entering at B and leaving at A.
+    pub b_to_a: DriveParams,
+    /// Input capacitance presented at the A side, pF.
+    pub cap_a: f64,
+    /// Input capacitance presented at the B side, pF.
+    pub cap_b: f64,
+    /// Cost in equivalent 1X buffers.
+    pub cost: f64,
+    /// Whether the repeater inverts signal polarity (paper §V extension:
+    /// inverters as repeaters). Polarity feasibility is enforced by the
+    /// optimizer when inverting repeaters are allowed.
+    pub inverting: bool,
+}
+
+impl Repeater {
+    /// Builds a bidirectional repeater from two anti-parallel
+    /// unidirectional buffers: `fwd` drives A→B and `bwd` drives B→A.
+    ///
+    /// The A side is loaded by `fwd`'s input capacitance and the B side by
+    /// `bwd`'s; total cost is the sum. This is the construction Table I
+    /// prescribes ("bidirectional repeaters ... are constructed from a
+    /// pair of unidirectional buffers").
+    pub fn from_buffer_pair(name: &str, fwd: &Buffer, bwd: &Buffer) -> Self {
+        Repeater {
+            name: name.to_owned(),
+            a_to_b: DriveParams {
+                intrinsic: fwd.intrinsic,
+                out_res: fwd.out_res,
+            },
+            b_to_a: DriveParams {
+                intrinsic: bwd.intrinsic,
+                out_res: bwd.out_res,
+            },
+            cap_a: fwd.in_cap,
+            cap_b: bwd.in_cap,
+            cost: fwd.cost + bwd.cost,
+            inverting: false,
+        }
+    }
+
+    /// Marks the repeater as signal-inverting (for the inverter-repeater
+    /// extension) and returns it.
+    #[must_use]
+    pub fn inverting(mut self) -> Self {
+        self.inverting = true;
+        self
+    }
+
+    /// Whether both directions and both side capacitances are identical,
+    /// making orientation irrelevant.
+    pub fn is_symmetric(&self) -> bool {
+        self.a_to_b == self.b_to_a && self.cap_a == self.cap_b
+    }
+
+    /// Drive parameters for the direction *toward the child* (away from
+    /// the root) under `orientation`.
+    pub fn downstream_drive(&self, orientation: Orientation) -> DriveParams {
+        match orientation {
+            Orientation::AFacesParent => self.a_to_b,
+            Orientation::BFacesParent => self.b_to_a,
+        }
+    }
+
+    /// Drive parameters for the direction *toward the parent* (toward the
+    /// root) under `orientation`.
+    pub fn upstream_drive(&self, orientation: Orientation) -> DriveParams {
+        match orientation {
+            Orientation::AFacesParent => self.b_to_a,
+            Orientation::BFacesParent => self.a_to_b,
+        }
+    }
+
+    /// Input capacitance presented to the parent side under `orientation`.
+    pub fn cap_facing_parent(&self, orientation: Orientation) -> f64 {
+        match orientation {
+            Orientation::AFacesParent => self.cap_a,
+            Orientation::BFacesParent => self.cap_b,
+        }
+    }
+
+    /// Input capacitance presented to the child side under `orientation`.
+    pub fn cap_facing_child(&self, orientation: Orientation) -> f64 {
+        match orientation {
+            Orientation::AFacesParent => self.cap_b,
+            Orientation::BFacesParent => self.cap_a,
+        }
+    }
+}
+
+impl fmt::Display for Repeater {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (cost={})", self.name, self.cost)
+    }
+}
+
+/// Which side of a repeater faces the parent (root side) of the rooted
+/// topology — the orientation decision of the insertion algorithm
+/// (paper §II: "an assignment **and orientation** of repeaters").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// The A side connects toward the root.
+    #[default]
+    AFacesParent,
+    /// The B side connects toward the root.
+    BFacesParent,
+}
+
+impl Orientation {
+    /// Both orientations, in a fixed order.
+    pub const BOTH: [Orientation; 2] = [Orientation::AFacesParent, Orientation::BFacesParent];
+
+    /// The opposite orientation.
+    #[must_use]
+    pub fn flipped(self) -> Orientation {
+        match self {
+            Orientation::AFacesParent => Orientation::BFacesParent,
+            Orientation::BFacesParent => Orientation::AFacesParent,
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Orientation::AFacesParent => write!(f, "A↑"),
+            Orientation::BFacesParent => write!(f, "B↑"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(r: f64, c: f64) -> Buffer {
+        Buffer::new("t", 10.0, r, c, 1.0)
+    }
+
+    #[test]
+    fn scaled_buffer_follows_sizing_rule() {
+        let b = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+        let b3 = b.scaled(3.0);
+        assert_eq!(b3.intrinsic, 50.0);
+        assert_eq!(b3.out_res, 60.0);
+        assert!((b3.in_cap - 0.15).abs() < 1e-12);
+        assert_eq!(b3.cost, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_zero() {
+        buf(1.0, 1.0).scaled(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn buffer_rejects_negative_cost() {
+        Buffer::new("bad", 1.0, 1.0, 1.0, -1.0);
+    }
+
+    #[test]
+    fn asymmetric_repeater_orientation_accessors() {
+        let fwd = buf(100.0, 0.01);
+        let bwd = buf(200.0, 0.02);
+        let r = Repeater::from_buffer_pair("r", &fwd, &bwd);
+        assert!(!r.is_symmetric());
+        assert_eq!(r.cap_a, 0.01);
+        assert_eq!(r.cap_b, 0.02);
+        // A faces parent: child-bound signals enter at A, drive with fwd.
+        let o = Orientation::AFacesParent;
+        assert_eq!(r.downstream_drive(o).out_res, 100.0);
+        assert_eq!(r.upstream_drive(o).out_res, 200.0);
+        assert_eq!(r.cap_facing_parent(o), 0.01);
+        assert_eq!(r.cap_facing_child(o), 0.02);
+        // Flipped orientation swaps everything.
+        let o = o.flipped();
+        assert_eq!(r.downstream_drive(o).out_res, 200.0);
+        assert_eq!(r.upstream_drive(o).out_res, 100.0);
+        assert_eq!(r.cap_facing_parent(o), 0.02);
+        assert_eq!(r.cap_facing_child(o), 0.01);
+    }
+
+    #[test]
+    fn symmetric_repeater_reports_symmetry() {
+        let b = buf(100.0, 0.01);
+        let r = Repeater::from_buffer_pair("r", &b, &b);
+        assert!(r.is_symmetric());
+        assert_eq!(r.cost, 2.0);
+        assert!(!r.inverting);
+        assert!(r.clone().inverting().inverting);
+    }
+
+    #[test]
+    fn orientation_display_and_flip_involution() {
+        for o in Orientation::BOTH {
+            assert_eq!(o.flipped().flipped(), o);
+        }
+        assert_eq!(format!("{}", Orientation::AFacesParent), "A↑");
+    }
+}

@@ -1,0 +1,342 @@
+//! Higher-order moment analysis of RC trees.
+//!
+//! The Elmore delay is the first moment of the impulse response; the
+//! paper (§II footnote 7) notes the ARD "does not rely on the Elmore
+//! delay model; indeed the ARD is well defined regardless of how
+//! `PD(u,v)` is calculated". This module provides the classical
+//! second-order refinement: per-node first and second moments of the
+//! transfer function under a fixed repeater assignment, and the **D2M**
+//! delay metric `ln 2 · m1² / √m2` (Alpert–Devgan–Kashyap), which tracks
+//! 50 %-crossing delays far better than Elmore on far-from-source nodes.
+//!
+//! Moments propagate source-ward exactly like Elmore delays: with the
+//! downstream capacitance views in hand,
+//!
+//! * `m1(v) = Σ_k R_{path∩k} C_k` (the Elmore delay), and
+//! * `m2(v) = Σ_k R_{path∩k} C_k · m1(k)`,
+//!
+//! computed here by a two-pass traversal per source: one pass
+//! accumulating `C·m1` products into "moment-weighted capacitance" views
+//! mirroring the plain capacitance recurrences, one pass walking delays
+//! outward. Repeaters decouple and re-drive exactly as in the Elmore
+//! engine; each stage's moments compose additively along the path (a
+//! first-order approximation consistent with how buffered stages are
+//! summed in the Elmore model).
+
+use crate::elmore::Elmore;
+use crate::{Assignment, Net, Repeater, Rooted, TerminalId, VertexId, VertexKind};
+
+/// Per-vertex first and second moments of the response when one terminal
+/// drives the net, plus the D2M delay estimate.
+#[derive(Clone, Debug)]
+pub struct MomentAnalysis {
+    /// First moment (Elmore delay), ps, per vertex.
+    pub m1: Vec<f64>,
+    /// Second moment, ps², per vertex.
+    pub m2: Vec<f64>,
+}
+
+impl MomentAnalysis {
+    /// The D2M delay estimate at `v`: `ln 2 · m1² / √m2`, falling back
+    /// to the Elmore value scaled by `ln 2` where `m2` vanishes (e.g. at
+    /// the driver pin).
+    ///
+    /// D2M is a provably stable 50 %-delay metric; it approaches
+    /// `ln 2 · m1` (the single-pole answer) on far-downstream nodes and
+    /// undershoots Elmore everywhere, mirroring the known pessimism of
+    /// the Elmore bound.
+    pub fn d2m(&self, v: VertexId) -> f64 {
+        let m1 = self.m1[v.0];
+        let m2 = self.m2[v.0];
+        if m2 <= 0.0 || m1 <= 0.0 {
+            return std::f64::consts::LN_2 * m1;
+        }
+        std::f64::consts::LN_2 * m1 * m1 / m2.sqrt()
+    }
+}
+
+/// Computes per-vertex moments when terminal `source` drives the net
+/// under `assignment`.
+///
+/// The driver and each repeater stage contribute single-pole moments
+/// (`m1 = R·C_load + intrinsic`, `m2 = m1²` for the lumped stage);
+/// wire segments contribute distributed-RC moments. Stages separated by
+/// repeaters compose additively.
+pub fn moments_from(
+    net: &Net,
+    rooted: &Rooted,
+    library: &[Repeater],
+    assignment: &Assignment,
+    source: TerminalId,
+) -> MomentAnalysis {
+    let elmore = Elmore::new(net, rooted, library, assignment);
+    let n = net.topology.vertex_count();
+    // First pass: per-vertex Elmore arrival from the source (m1) via the
+    // existing engine.
+    let m1 = elmore.delays_from(source);
+
+    // Second pass: m2 via the recurrence m2(v) = Σ_k R_k C_k m1(k),
+    // where the sum runs over elements k whose resistance lies on the
+    // source→v path. We walk outward from the source accumulating
+    //   m2(next) = m2(v) + R_step · Σ_{k downstream of step} C_k m1(k)
+    // and the weighted sums Σ C_k m1(k) come from a capacitance-style
+    // bottom-up/top-down pair computed against the *driving direction*.
+    // For tractability we reuse the per-direction capacitance views and
+    // approximate each element's m1(k) by the arrival at its owning
+    // vertex — exact for lumped loads, midpoint-rule for distributed
+    // wires (the same discretization the insertion points already
+    // impose, since subdivided wires are short).
+    let mut cm = vec![0.0f64; n]; // Σ C·m1 looking *into* subtree of v
+    for v in rooted.postorder() {
+        cm[v.0] = match assignment.at(v) {
+            Some(p) => {
+                let rep = &library[p.repeater];
+                rep.cap_facing_parent(p.orientation) * m1[v.0]
+            }
+            None => {
+                let mut acc = own_cap(net, v) * m1[v.0];
+                for &u in rooted.children(v) {
+                    acc += elmore.parent_edge_cap(u) * 0.5 * (m1[v.0] + m1[u.0])
+                        + cm[u.0];
+                }
+                acc
+            }
+        };
+    }
+    let mut cm_up = vec![0.0f64; n]; // Σ C·m1 looking *out of* subtree of v
+    for &v in rooted.preorder() {
+        let Some(p) = rooted.parent(v) else { continue };
+        cm_up[v.0] = match assignment.at(p) {
+            Some(pl) => {
+                let rep = &library[pl.repeater];
+                rep.cap_facing_child(pl.orientation) * m1[p.0]
+            }
+            None => {
+                let mut acc = own_cap(net, p) * m1[p.0];
+                for &s in rooted.children(p) {
+                    if s != v {
+                        acc += elmore.parent_edge_cap(s) * 0.5 * (m1[p.0] + m1[s.0])
+                            + cm[s.0];
+                    }
+                }
+                if rooted.parent(p).is_some() {
+                    acc += elmore.parent_edge_cap(p) * 0.5 * (m1[p.0] + m1[rooted.parent(p).expect("has parent").0])
+                        + cm_up[p.0];
+                }
+                acc
+            }
+        };
+    }
+
+    let src_v = net.topology.terminal_vertex(source);
+    let term = net.terminal(source);
+    let mut m2 = vec![f64::NAN; n];
+    // Driver stage: for a lumped driver the RC part of the second moment
+    // is R · Σ C_k m1(k); the intrinsic delay T is an ideal delay
+    // e^{-sT} ≈ 1 + Ts + T²/2 s², contributing T²/2 (its cross terms
+    // with downstream elements are already carried by the global m1
+    // inside the Σ C·m1 masses).
+    let src_cm = {
+        let mut acc = own_cap(net, src_v) * m1[src_v.0];
+        for &u in rooted.children(src_v) {
+            acc += elmore.parent_edge_cap(u) * 0.5 * (m1[src_v.0] + m1[u.0]) + cm[u.0];
+        }
+        if rooted.parent(src_v).is_some() {
+            let p = rooted.parent(src_v).expect("has parent");
+            acc += elmore.parent_edge_cap(src_v) * 0.5 * (m1[src_v.0] + m1[p.0])
+                + cm_up[src_v.0];
+        }
+        acc
+    };
+    m2[src_v.0] =
+        term.drive_res * src_cm + 0.5 * term.drive_intrinsic * term.drive_intrinsic;
+
+    // Walk outward, adding each step's R times the C·m1 mass beyond it.
+    let mut stack = vec![(src_v, src_v)];
+    while let Some((v, pred)) = stack.pop() {
+        for &(u, _e) in net.topology.neighbors(v) {
+            if u == pred && u != v {
+                continue;
+            }
+            if u == v {
+                continue;
+            }
+            let upward = rooted.parent(v) == Some(u);
+            let mut acc = m2[v.0];
+            if v != src_v {
+                if let Some(p) = assignment.at(v) {
+                    let rep = &library[p.repeater];
+                    let drive = if upward {
+                        rep.upstream_drive(p.orientation)
+                    } else {
+                        rep.downstream_drive(p.orientation)
+                    };
+                    let mass = if upward {
+                        elmore.parent_edge_cap(v) * 0.5 * (m1[v.0] + m1[u.0]) + cm_up[v.0]
+                    } else {
+                        elmore.parent_edge_cap(u) * 0.5 * (m1[v.0] + m1[u.0]) + cm[u.0]
+                    };
+                    // Ideal-delay moment of the intrinsic: T²/2 plus the
+                    // cross term with everything upstream (T · m1 at the
+                    // repeater input pin).
+                    let t = drive.intrinsic;
+                    acc += 0.5 * t * t + t * m1[v.0] + drive.out_res * mass;
+                }
+            }
+            let (r_step, mass) = if upward {
+                (
+                    elmore.parent_edge_res(v),
+                    elmore.parent_edge_cap(v) * 0.5 * (m1[v.0] + m1[u.0]) + cm_up[v.0],
+                )
+            } else {
+                (
+                    elmore.parent_edge_res(u),
+                    elmore.parent_edge_cap(u) * 0.5 * (m1[v.0] + m1[u.0]) + cm[u.0],
+                )
+            };
+            m2[u.0] = acc + r_step * mass;
+            stack.push((u, v));
+        }
+    }
+    MomentAnalysis { m1, m2 }
+}
+
+fn own_cap(net: &Net, v: VertexId) -> f64 {
+    match net.topology.kind(v) {
+        VertexKind::Terminal(t) => net.terminal(t).cap,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetBuilder, Technology, Terminal};
+    use msrnet_geom::Point;
+
+    /// Driver R through one lumped load C: m1 = RC, m2 = R·C·m1 = (RC)².
+    #[test]
+    fn single_pole_moments() {
+        let mut b = NetBuilder::new(Technology::new(0.0, 0.0));
+        let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::source_only(0.0, 0.0, 4.0));
+        let t1 = b.terminal(Point::new(1.0, 0.0), Terminal::sink_only(0.0, 2.0));
+        b.wire(t0, t1);
+        let net = b.build().unwrap();
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let asg = Assignment::empty(net.topology.vertex_count());
+        let m = moments_from(&net, &rooted, &[], &asg, TerminalId(0));
+        let v1 = net.topology.terminal_vertex(TerminalId(1));
+        assert!((m.m1[v1.0] - 8.0).abs() < 1e-9);
+        assert!((m.m2[v1.0] - 64.0).abs() < 1e-9, "m2 = {}", m.m2[v1.0]);
+        // Single pole: D2M = ln2 · m1²/√m2 = ln2 · m1 — exact.
+        assert!((m.d2m(v1) - std::f64::consts::LN_2 * 8.0).abs() < 1e-9);
+    }
+
+    /// Two cascaded RC sections: R1=1,C1=1 then R2=1,C2=1 (lumped at the
+    /// terminals). m1(end) = R1(C1+C2) + R2 C2 = 3.
+    /// m2(end) = R1(C1·m1(a) + C2·m1(end)) + R2·C2·m1(end)
+    ///         = 1·(1·2 + 1·3) + 1·1·3 = 8.
+    #[test]
+    fn cascade_moments_by_hand() {
+        let mut b = NetBuilder::new(Technology::new(0.0, 0.0));
+        let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::source_only(0.0, 0.0, 1.0));
+        let mid = b.terminal(Point::new(1.0, 0.0), Terminal::sink_only(0.0, 1.0));
+        let end = b.terminal(Point::new(2.0, 0.0), Terminal::sink_only(0.0, 1.0));
+        // Explicit resistive wires of zero capacitance: emulate discrete
+        // R by unit-res tech? unit res is 0 here, so give the wires
+        // length and a custom technology instead.
+        let _ = (mid, end);
+        let net = b.build();
+        // Rebuild with resistive technology.
+        drop(net);
+        let mut b = NetBuilder::new(Technology::new(1.0, 0.0));
+        let t0b = b.terminal(Point::new(0.0, 0.0), Terminal::source_only(0.0, 0.0, 0.0));
+        let midb = b.terminal(Point::new(1.0, 0.0), Terminal::sink_only(0.0, 1.0));
+        let endb = b.terminal(Point::new(2.0, 0.0), Terminal::sink_only(0.0, 1.0));
+        b.wire(t0b, midb);
+        b.wire(midb, endb);
+        let net = b.build().unwrap();
+        let _ = t0;
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let asg = Assignment::empty(net.topology.vertex_count());
+        let m = moments_from(&net, &rooted, &[], &asg, TerminalId(0));
+        let vm = net.topology.terminal_vertex(TerminalId(1));
+        let ve = net.topology.terminal_vertex(TerminalId(2));
+        assert!((m.m1[vm.0] - 2.0).abs() < 1e-9);
+        assert!((m.m1[ve.0] - 3.0).abs() < 1e-9);
+        assert!((m.m2[vm.0] - (1.0 * (1.0 * 2.0 + 1.0 * 3.0))).abs() < 1e-9);
+        assert!((m.m2[ve.0] - 8.0).abs() < 1e-9, "m2 = {}", m.m2[ve.0]);
+    }
+
+    #[test]
+    fn d2m_is_at_most_elmore() {
+        // D2M ≤ Elmore on every node of a realistic net (the classical
+        // pessimism-of-Elmore result: m2 ≥ m1² is false in general, but
+        // D2M ≤ m1 holds whenever √m2 ≥ ln2·m1 — check empirically).
+        let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+        let term = |at: f64| Terminal::bidirectional(at, 0.0, 0.05, 180.0);
+        let t0 = b.terminal(Point::new(0.0, 0.0), term(0.0));
+        let s = b.steiner(Point::new(4000.0, 0.0));
+        let t1 = b.terminal(Point::new(8000.0, 0.0), term(0.0));
+        let t2 = b.terminal(Point::new(4000.0, 5000.0), term(0.0));
+        b.wire(t0, s);
+        b.wire(s, t1);
+        b.wire(s, t2);
+        let net = b.build().unwrap();
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let asg = Assignment::empty(net.topology.vertex_count());
+        let m = moments_from(&net, &rooted, &[], &asg, TerminalId(0));
+        for v in net.topology.vertices() {
+            assert!(m.m1[v.0].is_finite());
+            assert!(m.m2[v.0].is_finite());
+            assert!(
+                m.d2m(v) <= m.m1[v.0] + 1e-9,
+                "D2M must not exceed Elmore at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn moments_decouple_across_repeaters() {
+        use crate::{Buffer, Orientation, Repeater};
+        let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+        let t0 = b.terminal(
+            Point::new(0.0, 0.0),
+            Terminal::source_only(0.0, 0.05, 180.0),
+        );
+        let ip = b.insertion_point(Point::new(4000.0, 0.0));
+        let t1 = b.terminal(Point::new(8000.0, 0.0), Terminal::sink_only(0.0, 0.05));
+        b.wire(t0, ip);
+        b.wire(ip, t1);
+        let net = b.build().unwrap();
+        let buf = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+        let lib = [Repeater::from_buffer_pair("r", &buf, &buf)];
+        let mut asg = Assignment::empty(net.topology.vertex_count());
+        asg.place(ip, 0, Orientation::AFacesParent);
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let with = moments_from(&net, &rooted, &lib, &asg, TerminalId(0));
+        let without = moments_from(
+            &net,
+            &rooted,
+            &lib,
+            &Assignment::empty(net.topology.vertex_count()),
+            TerminalId(0),
+        );
+        let v1 = net.topology.terminal_vertex(TerminalId(1));
+        // The m1 values must match the Elmore engine exactly.
+        let elmore = Elmore::new(&net, &rooted, &lib, &asg);
+        assert!((with.m1[v1.0] - elmore.path_delay(TerminalId(0), TerminalId(1))).abs() < 1e-9);
+        // Buffering this 8 mm line reduces the Elmore delay at the sink.
+        assert!(with.m1[v1.0] < without.m1[v1.0]);
+        // D2M stays a valid (≤ Elmore) estimate in both cases; the
+        // buffered net is closer to single-pole, so its D2M/Elmore ratio
+        // is *higher* — the distributed unbuffered line is where Elmore
+        // is most pessimistic.
+        assert!(with.d2m(v1) <= with.m1[v1.0] + 1e-9);
+        assert!(without.d2m(v1) <= without.m1[v1.0] + 1e-9);
+        assert!(
+            with.d2m(v1) / with.m1[v1.0] > without.d2m(v1) / without.m1[v1.0],
+            "buffered stage should look more single-pole"
+        );
+    }
+}

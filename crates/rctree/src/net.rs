@@ -1,0 +1,1072 @@
+use std::fmt;
+
+use msrnet_geom::Point;
+
+use crate::{Orientation, Repeater, Technology, Terminal, TerminalId};
+
+/// Index of a vertex within a [`Topology`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub usize);
+
+/// Index of an edge (wire segment) within a [`Topology`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The role of a topology vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VertexKind {
+    /// A bus terminal (source and/or sink).
+    Terminal(TerminalId),
+    /// A Steiner branch point.
+    Steiner,
+    /// A prescribed degree-2 candidate repeater insertion point
+    /// (paper §II: insertion points have degree two to avoid ambiguity
+    /// about which side of the repeater a branch connects).
+    InsertionPoint,
+}
+
+#[derive(Clone, Debug)]
+struct EdgeRec {
+    a: VertexId,
+    b: VertexId,
+    length: f64,
+    // Wire-width scaling relative to the technology's unit wire: a wider
+    // wire divides resistance and multiplies capacitance.
+    res_scale: f64,
+    cap_scale: f64,
+}
+
+/// A routing tree: vertices (terminals, Steiner points, insertion points)
+/// connected by wire segments with physical lengths.
+///
+/// `Topology` is pure structure; electrical and timing data live in
+/// [`Net`]. Topologies are built through [`NetBuilder`] or by the
+/// `msrnet-steiner` constructors.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    positions: Vec<Point>,
+    kinds: Vec<VertexKind>,
+    edges: Vec<EdgeRec>,
+    adjacency: Vec<Vec<(VertexId, EdgeId)>>,
+    terminal_vertices: Vec<VertexId>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of terminals.
+    pub fn terminal_count(&self) -> usize {
+        self.terminal_vertices.len()
+    }
+
+    /// All vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.kinds.len()).map(VertexId)
+    }
+
+    /// All edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// The role of vertex `v`.
+    pub fn kind(&self, v: VertexId) -> VertexKind {
+        self.kinds[v.0]
+    }
+
+    /// The planar position of vertex `v`, µm.
+    pub fn position(&self, v: VertexId) -> Point {
+        self.positions[v.0]
+    }
+
+    /// The degree of vertex `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v.0].len()
+    }
+
+    /// Neighbors of `v` with the connecting edge.
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adjacency[v.0]
+    }
+
+    /// Endpoints of edge `e`.
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let rec = &self.edges[e.0];
+        (rec.a, rec.b)
+    }
+
+    /// Physical length of edge `e`, µm.
+    pub fn length(&self, e: EdgeId) -> f64 {
+        self.edges[e.0].length
+    }
+
+    /// The wire-width scaling of edge `e` as `(res_scale, cap_scale)`:
+    /// the edge's resistance is `res_scale · r · length` and its
+    /// capacitance `cap_scale · c · length`. Both default to 1 (unit
+    /// width); a wire of width `w` typically has `res_scale = 1/w` and
+    /// `cap_scale ≈ w`.
+    pub fn edge_scaling(&self, e: EdgeId) -> (f64, f64) {
+        let rec = &self.edges[e.0];
+        (rec.res_scale, rec.cap_scale)
+    }
+
+    /// Sets the wire-width scaling of edge `e` (see
+    /// [`Topology::edge_scaling`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scale is non-finite or negative.
+    pub fn set_edge_scaling(&mut self, e: EdgeId, res_scale: f64, cap_scale: f64) {
+        assert!(res_scale.is_finite() && res_scale >= 0.0, "bad res_scale");
+        assert!(cap_scale.is_finite() && cap_scale >= 0.0, "bad cap_scale");
+        let rec = &mut self.edges[e.0];
+        rec.res_scale = res_scale;
+        rec.cap_scale = cap_scale;
+    }
+
+    /// Total wirelength, µm.
+    pub fn total_wirelength(&self) -> f64 {
+        self.edges.iter().map(|e| e.length).sum()
+    }
+
+    /// The vertex hosting terminal `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn terminal_vertex(&self, t: TerminalId) -> VertexId {
+        self.terminal_vertices[t.0]
+    }
+
+    /// The terminal hosted at vertex `v`, if any.
+    pub fn vertex_terminal(&self, v: VertexId) -> Option<TerminalId> {
+        match self.kinds[v.0] {
+            VertexKind::Terminal(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// All candidate insertion-point vertices.
+    pub fn insertion_points(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices()
+            .filter(|&v| self.kind(v) == VertexKind::InsertionPoint)
+    }
+
+    /// Number of candidate insertion points.
+    pub fn insertion_point_count(&self) -> usize {
+        self.insertion_points().count()
+    }
+
+    fn add_vertex(&mut self, pos: Point, kind: VertexKind) -> VertexId {
+        let id = VertexId(self.kinds.len());
+        self.positions.push(pos);
+        self.kinds.push(kind);
+        self.adjacency.push(Vec::new());
+        if let VertexKind::Terminal(t) = kind {
+            debug_assert_eq!(t.0, self.terminal_vertices.len());
+            self.terminal_vertices.push(id);
+        }
+        id
+    }
+
+    fn add_edge(&mut self, a: VertexId, b: VertexId, length: f64) -> EdgeId {
+        let id = EdgeId(self.edges.len());
+        self.edges.push(EdgeRec {
+            a,
+            b,
+            length,
+            res_scale: 1.0,
+            cap_scale: 1.0,
+        });
+        self.adjacency[a.0].push((b, id));
+        self.adjacency[b.0].push((a, id));
+        id
+    }
+
+    /// Splits every wire into pieces of at most `max_spacing` µm by
+    /// inserting degree-2 [`VertexKind::InsertionPoint`] vertices, and
+    /// guarantees at least one insertion point per original wire
+    /// (paper §VI: "we also ensured that all wire segments contained at
+    /// least one insertion point").
+    ///
+    /// Inserted points are spaced uniformly along each wire; positions are
+    /// interpolated linearly between the endpoints (positions are only
+    /// used for reporting — lengths drive the electrical model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_spacing` is not strictly positive.
+    pub fn subdivide_for_insertion(&mut self, max_spacing: f64) {
+        assert!(
+            max_spacing.is_finite() && max_spacing > 0.0,
+            "max_spacing must be positive"
+        );
+        let original_edges = self.edges.len();
+        for eid in 0..original_edges {
+            let EdgeRec { a, b, length, res_scale, cap_scale } = self.edges[eid];
+            // ceil(length / spacing) pieces, but at least 2 so that at
+            // least one interior insertion point exists.
+            let pieces = ((length / max_spacing).ceil() as usize).max(2);
+            let n_points = pieces - 1;
+            let pa = self.positions[a.0];
+            let pb = self.positions[b.0];
+            let piece_len = length / pieces as f64;
+            // Re-target the existing edge to the first inserted point and
+            // append the remaining pieces.
+            let mut prev = a;
+            for i in 1..=n_points {
+                let frac = i as f64 / pieces as f64;
+                let pos = Point::new(
+                    pa.x + (pb.x - pa.x) * frac,
+                    pa.y + (pb.y - pa.y) * frac,
+                );
+                let ip = self.add_vertex(pos, VertexKind::InsertionPoint);
+                if i == 1 {
+                    self.retarget_edge(EdgeId(eid), prev, ip, piece_len);
+                } else {
+                    let ne = self.add_edge(prev, ip, piece_len);
+                    self.set_edge_scaling(ne, res_scale, cap_scale);
+                }
+                prev = ip;
+            }
+            let ne = self.add_edge(prev, b, piece_len);
+            self.set_edge_scaling(ne, res_scale, cap_scale);
+        }
+    }
+
+    /// Ensures every terminal is a leaf by re-hosting non-leaf terminals
+    /// on a fresh zero-length pendant vertex (paper §III: "any nonleaf
+    /// terminal can be made a leaf by adding a new vertex and a
+    /// zero-length edge").
+    pub fn normalize_terminals_to_leaves(&mut self) {
+        for t in 0..self.terminal_vertices.len() {
+            let v = self.terminal_vertices[t];
+            if self.degree(v) > 1 {
+                let pos = self.positions[v.0];
+                let leaf = VertexId(self.kinds.len());
+                self.positions.push(pos);
+                self.kinds.push(VertexKind::Terminal(TerminalId(t)));
+                self.adjacency.push(Vec::new());
+                self.kinds[v.0] = VertexKind::Steiner;
+                self.terminal_vertices[t] = leaf;
+                self.add_edge(v, leaf, 0.0);
+            }
+        }
+    }
+
+    fn retarget_edge(&mut self, e: EdgeId, keep: VertexId, new_other: VertexId, length: f64) {
+        let rec = &mut self.edges[e.0];
+        let old_other = if rec.a == keep { rec.b } else { rec.a };
+        rec.a = keep;
+        rec.b = new_other;
+        rec.length = length;
+        // Fix adjacency: drop the edge from old_other, add to new_other.
+        self.adjacency[old_other.0].retain(|&(_, eid)| eid != e);
+        self.adjacency[new_other.0].push((keep, e));
+        let keep_adj = &mut self.adjacency[keep.0];
+        for entry in keep_adj.iter_mut() {
+            if entry.1 == e {
+                entry.0 = new_other;
+            }
+        }
+    }
+
+    /// Checks structural invariants: the graph is a tree (connected and
+    /// acyclic), insertion points have degree 2, lengths are finite and
+    /// non-negative.
+    pub fn check(&self) -> Result<(), BuildNetError> {
+        let n = self.vertex_count();
+        if n == 0 {
+            return Err(BuildNetError::Empty);
+        }
+        if self.edge_count() + 1 != n {
+            return Err(BuildNetError::NotATree);
+        }
+        // Connectivity by BFS.
+        let mut seen = vec![false; n];
+        let mut stack = vec![VertexId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in self.neighbors(v) {
+                if !seen[u.0] {
+                    seen[u.0] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        if count != n {
+            return Err(BuildNetError::NotATree);
+        }
+        for e in self.edges() {
+            let l = self.length(e);
+            if !l.is_finite() || l < 0.0 {
+                return Err(BuildNetError::BadLength(e));
+            }
+        }
+        for v in self.vertices() {
+            if self.kind(v) == VertexKind::InsertionPoint && self.degree(v) != 2 {
+                return Err(BuildNetError::BadInsertionPointDegree(v));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors detected while building or validating a [`Net`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildNetError {
+    /// The topology has no vertices.
+    Empty,
+    /// The graph is not a connected tree.
+    NotATree,
+    /// An edge has a negative or non-finite length.
+    BadLength(EdgeId),
+    /// An insertion point does not have degree 2.
+    BadInsertionPointDegree(VertexId),
+    /// The net has no terminal that can act as a source.
+    NoSource,
+    /// The net has no terminal that can act as a sink.
+    NoSink,
+}
+
+impl fmt::Display for BuildNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetError::Empty => write!(f, "topology has no vertices"),
+            BuildNetError::NotATree => write!(f, "topology is not a connected tree"),
+            BuildNetError::BadLength(e) => write!(f, "edge {e} has an invalid length"),
+            BuildNetError::BadInsertionPointDegree(v) => {
+                write!(f, "insertion point {v} does not have degree 2")
+            }
+            BuildNetError::NoSource => write!(f, "net has no source terminal"),
+            BuildNetError::NoSink => write!(f, "net has no sink terminal"),
+        }
+    }
+}
+
+impl std::error::Error for BuildNetError {}
+
+/// Incrementally constructs a [`Net`]: a topology plus terminal
+/// parameters and a technology.
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_rctree::{NetBuilder, Technology, Terminal};
+/// use msrnet_geom::Point;
+///
+/// let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+/// let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+/// let s = b.steiner(Point::new(500.0, 0.0));
+/// let t1 = b.terminal(Point::new(500.0, 400.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+/// let t2 = b.terminal(Point::new(900.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+/// b.wire(t0, s);
+/// b.wire(s, t1);
+/// b.wire(s, t2);
+/// let net = b.build()?;
+/// assert_eq!(net.topology.total_wirelength(), 1300.0);
+/// # Ok::<(), msrnet_rctree::BuildNetError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetBuilder {
+    topology: Topology,
+    terminals: Vec<Terminal>,
+    tech: Technology,
+}
+
+impl NetBuilder {
+    /// Starts building a net in the given technology.
+    pub fn new(tech: Technology) -> Self {
+        NetBuilder {
+            topology: Topology::new(),
+            terminals: Vec::new(),
+            tech,
+        }
+    }
+
+    /// Adds a terminal vertex with its timing parameters.
+    pub fn terminal(&mut self, pos: Point, params: Terminal) -> VertexId {
+        let tid = TerminalId(self.terminals.len());
+        self.terminals.push(params);
+        self.topology.add_vertex(pos, VertexKind::Terminal(tid))
+    }
+
+    /// Adds a Steiner branch vertex.
+    pub fn steiner(&mut self, pos: Point) -> VertexId {
+        self.topology.add_vertex(pos, VertexKind::Steiner)
+    }
+
+    /// Adds a candidate repeater insertion point (must end up with
+    /// degree 2).
+    pub fn insertion_point(&mut self, pos: Point) -> VertexId {
+        self.topology.add_vertex(pos, VertexKind::InsertionPoint)
+    }
+
+    /// Connects two vertices with a wire whose length is their
+    /// rectilinear distance.
+    pub fn wire(&mut self, a: VertexId, b: VertexId) -> EdgeId {
+        let len = self
+            .topology
+            .position(a)
+            .l1_distance(self.topology.position(b));
+        self.topology.add_edge(a, b, len)
+    }
+
+    /// Connects two vertices with a wire of explicit length (µm),
+    /// independent of their positions.
+    pub fn wire_with_length(&mut self, a: VertexId, b: VertexId, length: f64) -> EdgeId {
+        self.topology.add_edge(a, b, length)
+    }
+
+    /// Validates and finishes the net.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildNetError`] if the topology is not a tree, an
+    /// insertion point is not degree 2, a length is invalid, or the net
+    /// lacks a source or a sink.
+    pub fn build(self) -> Result<Net, BuildNetError> {
+        let net = Net {
+            topology: self.topology,
+            terminals: self.terminals,
+            tech: self.tech,
+        };
+        net.check()?;
+        Ok(net)
+    }
+}
+
+/// A complete multisource net: routing topology, terminal parameters and
+/// technology (paper §II "net-specific parameters").
+#[derive(Clone, Debug)]
+pub struct Net {
+    /// The routing tree.
+    pub topology: Topology,
+    /// Terminal parameters, indexed by [`TerminalId`].
+    pub terminals: Vec<Terminal>,
+    /// Wire parasitics.
+    pub tech: Technology,
+}
+
+impl Net {
+    /// The parameters of terminal `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn terminal(&self, t: TerminalId) -> &Terminal {
+        &self.terminals[t.0]
+    }
+
+    /// Ids of all terminals.
+    pub fn terminal_ids(&self) -> impl Iterator<Item = TerminalId> {
+        (0..self.terminals.len()).map(TerminalId)
+    }
+
+    /// Total wire capacitance of the net, pF.
+    pub fn total_wire_cap(&self) -> f64 {
+        self.topology.edges().map(|e| self.edge_cap(e)).sum()
+    }
+
+    /// Resistance of edge `e` including its wire-width scaling, Ω.
+    pub fn edge_res(&self, e: EdgeId) -> f64 {
+        let (rs, _) = self.topology.edge_scaling(e);
+        rs * self.tech.wire_res(self.topology.length(e))
+    }
+
+    /// Capacitance of edge `e` including its wire-width scaling, pF.
+    pub fn edge_cap(&self, e: EdgeId) -> f64 {
+        let (_, cs) = self.topology.edge_scaling(e);
+        cs * self.tech.wire_cap(self.topology.length(e))
+    }
+
+    /// Total capacitance (wires plus terminal loads), pF. This bounds the
+    /// external capacitance any subtree can see and is used to clamp PWL
+    /// domains in the optimizer.
+    pub fn total_cap(&self) -> f64 {
+        self.total_wire_cap() + self.terminals.iter().map(|t| t.cap).sum::<f64>()
+    }
+
+    /// Validates structure and the presence of at least one source and
+    /// one sink.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildNetError`].
+    pub fn check(&self) -> Result<(), BuildNetError> {
+        self.topology.check()?;
+        if !self.terminals.iter().any(Terminal::is_source) {
+            return Err(BuildNetError::NoSource);
+        }
+        if !self.terminals.iter().any(Terminal::is_sink) {
+            return Err(BuildNetError::NoSink);
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with every wire subdivided so consecutive insertion
+    /// points are at most `max_spacing` µm apart (and every original wire
+    /// carries at least one).
+    #[must_use]
+    pub fn with_insertion_points(&self, max_spacing: f64) -> Net {
+        let mut net = self.clone();
+        net.topology.subdivide_for_insertion(max_spacing);
+        net
+    }
+
+    /// Returns a copy in which every terminal is a leaf.
+    #[must_use]
+    pub fn normalized(&self) -> Net {
+        let mut net = self.clone();
+        net.topology.normalize_terminals_to_leaves();
+        net
+    }
+
+    /// Roots the topology at the vertex hosting terminal `t`.
+    pub fn rooted_at_terminal(&self, t: TerminalId) -> Rooted {
+        Rooted::new(&self.topology, self.topology.terminal_vertex(t))
+    }
+
+    /// Summary statistics of the net — sizes, wirelength, capacitances
+    /// and role counts.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            terminals: self.topology.terminal_count(),
+            steiner_points: self
+                .topology
+                .vertices()
+                .filter(|&v| self.topology.kind(v) == VertexKind::Steiner)
+                .count(),
+            insertion_points: self.topology.insertion_point_count(),
+            edges: self.topology.edge_count(),
+            wirelength: self.topology.total_wirelength(),
+            wire_cap: self.total_wire_cap(),
+            total_cap: self.total_cap(),
+            sources: self.terminals.iter().filter(|t| t.is_source()).count(),
+            sinks: self.terminals.iter().filter(|t| t.is_sink()).count(),
+            max_degree: self
+                .topology
+                .vertices()
+                .map(|v| self.topology.degree(v))
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Summary statistics of a [`Net`], produced by [`Net::stats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetStats {
+    /// Number of terminals.
+    pub terminals: usize,
+    /// Number of Steiner branch vertices.
+    pub steiner_points: usize,
+    /// Number of candidate repeater insertion points.
+    pub insertion_points: usize,
+    /// Number of wire segments.
+    pub edges: usize,
+    /// Total wirelength, µm.
+    pub wirelength: f64,
+    /// Total wire capacitance, pF (width scaling included).
+    pub wire_cap: f64,
+    /// Total capacitance including terminal loads, pF.
+    pub total_cap: f64,
+    /// Terminals that can drive.
+    pub sources: usize,
+    /// Terminals that can receive.
+    pub sinks: usize,
+    /// Largest vertex degree.
+    pub max_degree: usize,
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "terminals        : {} ({} sources, {} sinks)",
+            self.terminals, self.sources, self.sinks
+        )?;
+        writeln!(f, "steiner points   : {}", self.steiner_points)?;
+        writeln!(f, "insertion points : {}", self.insertion_points)?;
+        writeln!(f, "wire segments    : {}", self.edges)?;
+        writeln!(f, "wirelength       : {:.1} µm", self.wirelength)?;
+        writeln!(f, "wire capacitance : {:.4} pF", self.wire_cap)?;
+        writeln!(f, "total capacitance: {:.4} pF", self.total_cap)?;
+        write!(f, "max degree       : {}", self.max_degree)
+    }
+}
+
+/// A rooted view of a topology: parent/children arrays and traversal
+/// orders for the bottom-up algorithms.
+#[derive(Clone, Debug)]
+pub struct Rooted {
+    root: VertexId,
+    parent: Vec<Option<VertexId>>,
+    parent_edge: Vec<Option<EdgeId>>,
+    children: Vec<Vec<VertexId>>,
+    preorder: Vec<VertexId>,
+    depth: Vec<usize>,
+}
+
+impl Rooted {
+    /// Roots `topology` at `root` by depth-first search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn new(topology: &Topology, root: VertexId) -> Self {
+        let n = topology.vertex_count();
+        assert!(root.0 < n, "root out of range");
+        let mut parent = vec![None; n];
+        let mut parent_edge = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut depth = vec![0usize; n];
+        let mut preorder = Vec::with_capacity(n);
+        let mut stack = vec![root];
+        let mut seen = vec![false; n];
+        seen[root.0] = true;
+        while let Some(v) = stack.pop() {
+            preorder.push(v);
+            for &(u, e) in topology.neighbors(v) {
+                if !seen[u.0] {
+                    seen[u.0] = true;
+                    parent[u.0] = Some(v);
+                    parent_edge[u.0] = Some(e);
+                    children[v.0].push(u);
+                    depth[u.0] = depth[v.0] + 1;
+                    stack.push(u);
+                }
+            }
+        }
+        Rooted {
+            root,
+            parent,
+            parent_edge,
+            children,
+            preorder,
+            depth,
+        }
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// The parent of `v`, or `None` at the root.
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        self.parent[v.0]
+    }
+
+    /// The edge connecting `v` to its parent, or `None` at the root.
+    pub fn parent_edge(&self, v: VertexId) -> Option<EdgeId> {
+        self.parent_edge[v.0]
+    }
+
+    /// The children of `v`.
+    pub fn children(&self, v: VertexId) -> &[VertexId] {
+        &self.children[v.0]
+    }
+
+    /// Depth of `v` (root has depth 0).
+    pub fn depth(&self, v: VertexId) -> usize {
+        self.depth[v.0]
+    }
+
+    /// Vertices in a parent-before-children order.
+    pub fn preorder(&self) -> &[VertexId] {
+        &self.preorder
+    }
+
+    /// Vertices in a children-before-parent order.
+    pub fn postorder(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.preorder.iter().rev().copied()
+    }
+
+    /// The lowest common ancestor of `u` and `w`.
+    pub fn lca(&self, u: VertexId, w: VertexId) -> VertexId {
+        let (mut a, mut b) = (u, w);
+        while self.depth[a.0] > self.depth[b.0] {
+            a = self.parent[a.0].expect("deeper vertex has a parent");
+        }
+        while self.depth[b.0] > self.depth[a.0] {
+            b = self.parent[b.0].expect("deeper vertex has a parent");
+        }
+        while a != b {
+            a = self.parent[a.0].expect("distinct vertices have parents");
+            b = self.parent[b.0].expect("distinct vertices have parents");
+        }
+        a
+    }
+
+    /// The vertices on the path from `u` to `w`, inclusive.
+    pub fn path(&self, u: VertexId, w: VertexId) -> Vec<VertexId> {
+        let mut up = Vec::new();
+        let mut down = Vec::new();
+        let (mut a, mut b) = (u, w);
+        while self.depth[a.0] > self.depth[b.0] {
+            up.push(a);
+            a = self.parent[a.0].expect("depth > 0 has parent");
+        }
+        while self.depth[b.0] > self.depth[a.0] {
+            down.push(b);
+            b = self.parent[b.0].expect("depth > 0 has parent");
+        }
+        while a != b {
+            up.push(a);
+            down.push(b);
+            a = self.parent[a.0].expect("distinct vertices have parents");
+            b = self.parent[b.0].expect("distinct vertices have parents");
+        }
+        up.push(a);
+        up.extend(down.into_iter().rev());
+        up
+    }
+}
+
+/// A repeater placed at an insertion point with an orientation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacedRepeater {
+    /// Index into the repeater library slice used by the optimizer.
+    pub repeater: usize,
+    /// Which side faces the root.
+    pub orientation: Orientation,
+}
+
+/// A (possibly empty) assignment of oriented repeaters to the insertion
+/// points of a topology (paper Problem 2.1's decision variable).
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_rctree::{Assignment, Orientation};
+///
+/// let mut asg = Assignment::empty(10);
+/// asg.place(msrnet_rctree::VertexId(3), 0, Orientation::AFacesParent);
+/// assert_eq!(asg.placed_count(), 1);
+/// asg.clear(msrnet_rctree::VertexId(3));
+/// assert_eq!(asg.placed_count(), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Assignment {
+    slots: Vec<Option<PlacedRepeater>>,
+}
+
+impl Assignment {
+    /// An assignment with no repeaters, for a topology of `vertex_count`
+    /// vertices.
+    pub fn empty(vertex_count: usize) -> Self {
+        Assignment {
+            slots: vec![None; vertex_count],
+        }
+    }
+
+    /// Places library repeater `repeater` at vertex `v` with the given
+    /// orientation, replacing any previous choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn place(&mut self, v: VertexId, repeater: usize, orientation: Orientation) {
+        self.slots[v.0] = Some(PlacedRepeater {
+            repeater,
+            orientation,
+        });
+    }
+
+    /// Removes any repeater at `v`.
+    pub fn clear(&mut self, v: VertexId) {
+        self.slots[v.0] = None;
+    }
+
+    /// The placement at `v`, if any.
+    pub fn at(&self, v: VertexId) -> Option<PlacedRepeater> {
+        self.slots.get(v.0).copied().flatten()
+    }
+
+    /// Number of placed repeaters.
+    pub fn placed_count(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Vertices holding repeaters.
+    pub fn placements(&self) -> impl Iterator<Item = (VertexId, PlacedRepeater)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (VertexId(i), p)))
+    }
+
+    /// Total repeater cost under `library`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a placement references a repeater outside `library`.
+    pub fn total_cost(&self, library: &[Repeater]) -> f64 {
+        self.placements()
+            .map(|(_, p)| library[p.repeater].cost)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Buffer;
+
+    fn tech() -> Technology {
+        Technology::new(0.03, 0.00035)
+    }
+
+    fn bidir() -> Terminal {
+        Terminal::bidirectional(0.0, 0.0, 0.05, 180.0)
+    }
+
+    fn star_net() -> Net {
+        // t0 -- s -- t1, s -- t2 (a 3-terminal star).
+        let mut b = NetBuilder::new(tech());
+        let t0 = b.terminal(Point::new(0.0, 0.0), bidir());
+        let s = b.steiner(Point::new(100.0, 0.0));
+        let t1 = b.terminal(Point::new(200.0, 0.0), bidir());
+        let t2 = b.terminal(Point::new(100.0, 150.0), bidir());
+        b.wire(t0, s);
+        b.wire(s, t1);
+        b.wire(s, t2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_tree() {
+        let net = star_net();
+        assert_eq!(net.topology.vertex_count(), 4);
+        assert_eq!(net.topology.edge_count(), 3);
+        assert_eq!(net.topology.terminal_count(), 3);
+        assert_eq!(net.topology.total_wirelength(), 350.0);
+        assert!(net.check().is_ok());
+    }
+
+    #[test]
+    fn build_rejects_disconnected() {
+        let mut b = NetBuilder::new(tech());
+        let t0 = b.terminal(Point::new(0.0, 0.0), bidir());
+        let t1 = b.terminal(Point::new(10.0, 0.0), bidir());
+        let t2 = b.terminal(Point::new(20.0, 0.0), bidir());
+        b.wire(t0, t1);
+        // t2 left floating: |E| + 1 != |V|.
+        let _ = t2;
+        assert_eq!(b.build().unwrap_err(), BuildNetError::NotATree);
+    }
+
+    #[test]
+    fn build_rejects_cycle() {
+        let mut b = NetBuilder::new(tech());
+        let t0 = b.terminal(Point::new(0.0, 0.0), bidir());
+        let t1 = b.terminal(Point::new(10.0, 0.0), bidir());
+        let t2 = b.terminal(Point::new(20.0, 0.0), bidir());
+        b.wire(t0, t1);
+        b.wire(t1, t2);
+        b.wire(t2, t0);
+        assert_eq!(b.build().unwrap_err(), BuildNetError::NotATree);
+    }
+
+    #[test]
+    fn build_rejects_sourceless_net() {
+        let mut b = NetBuilder::new(tech());
+        let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::sink_only(0.0, 0.05));
+        let t1 = b.terminal(Point::new(10.0, 0.0), Terminal::sink_only(0.0, 0.05));
+        b.wire(t0, t1);
+        assert_eq!(b.build().unwrap_err(), BuildNetError::NoSource);
+    }
+
+    #[test]
+    fn build_rejects_dangling_insertion_point() {
+        let mut b = NetBuilder::new(tech());
+        let t0 = b.terminal(Point::new(0.0, 0.0), bidir());
+        let t1 = b.terminal(Point::new(10.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+        let ip = b.insertion_point(Point::new(5.0, 0.0));
+        b.wire(t0, ip);
+        b.wire(ip, t1);
+        // Fine so far; now a second net with a leaf insertion point.
+        assert!(b.build().is_ok());
+
+        let mut b = NetBuilder::new(tech());
+        let t0 = b.terminal(Point::new(0.0, 0.0), bidir());
+        let t1 = b.terminal(Point::new(10.0, 0.0), bidir());
+        b.wire(t0, t1);
+        let ip = b.insertion_point(Point::new(5.0, 5.0));
+        b.wire(t0, ip);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildNetError::BadInsertionPointDegree(_)
+        ));
+    }
+
+    #[test]
+    fn subdivision_respects_spacing_and_minimum() {
+        let net = star_net().with_insertion_points(80.0);
+        assert!(net.check().is_ok());
+        // Every original wire got at least one insertion point and no
+        // piece exceeds the spacing.
+        assert!(net.topology.insertion_point_count() >= 3);
+        for e in net.topology.edges() {
+            assert!(net.topology.length(e) <= 80.0 + 1e-9);
+        }
+        // Total wirelength is preserved.
+        assert!((net.topology.total_wirelength() - 350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subdivision_of_short_wire_still_adds_one_point() {
+        let mut b = NetBuilder::new(tech());
+        let t0 = b.terminal(Point::new(0.0, 0.0), bidir());
+        let t1 = b.terminal(Point::new(10.0, 0.0), bidir());
+        b.wire(t0, t1);
+        let net = b.build().unwrap().with_insertion_points(800.0);
+        assert_eq!(net.topology.insertion_point_count(), 1);
+        assert!(net.check().is_ok());
+    }
+
+    #[test]
+    fn normalization_makes_terminals_leaves() {
+        // Terminal directly in the middle of a path.
+        let mut b = NetBuilder::new(tech());
+        let t0 = b.terminal(Point::new(0.0, 0.0), bidir());
+        let mid = b.terminal(Point::new(100.0, 0.0), bidir());
+        let t2 = b.terminal(Point::new(200.0, 0.0), bidir());
+        b.wire(t0, mid);
+        b.wire(mid, t2);
+        let net = b.build().unwrap().normalized();
+        assert!(net.check().is_ok());
+        for t in net.terminal_ids() {
+            let v = net.topology.terminal_vertex(t);
+            assert_eq!(net.topology.degree(v), 1, "terminal {t} must be a leaf");
+        }
+        // Wirelength unchanged (pendant edge has zero length).
+        assert_eq!(net.topology.total_wirelength(), 200.0);
+    }
+
+    #[test]
+    fn rooted_structure_is_consistent() {
+        let net = star_net();
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let root = rooted.root();
+        assert_eq!(net.topology.vertex_terminal(root), Some(TerminalId(0)));
+        assert_eq!(rooted.depth(root), 0);
+        assert!(rooted.parent(root).is_none());
+        let mut seen = 0;
+        for &v in rooted.preorder() {
+            seen += 1;
+            for &c in rooted.children(v) {
+                assert_eq!(rooted.parent(c), Some(v));
+                assert_eq!(rooted.depth(c), rooted.depth(v) + 1);
+            }
+        }
+        assert_eq!(seen, net.topology.vertex_count());
+        // Postorder visits children before parents.
+        let mut visited = vec![false; net.topology.vertex_count()];
+        for v in rooted.postorder() {
+            for &c in rooted.children(v) {
+                assert!(visited[c.0], "child must be visited before parent");
+            }
+            visited[v.0] = true;
+        }
+    }
+
+    #[test]
+    fn path_goes_through_lca() {
+        let net = star_net();
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let v1 = net.topology.terminal_vertex(TerminalId(1));
+        let v2 = net.topology.terminal_vertex(TerminalId(2));
+        let path = rooted.path(v1, v2);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], v1);
+        assert_eq!(path[2], v2);
+        assert_eq!(net.topology.kind(path[1]), VertexKind::Steiner);
+        // Path to self is trivial.
+        assert_eq!(rooted.path(v1, v1), vec![v1]);
+        // LCA of the two leaves is the Steiner branch; of a leaf and the
+        // root it is the root; of a vertex with itself, itself.
+        assert_eq!(rooted.lca(v1, v2), path[1]);
+        assert_eq!(rooted.lca(v1, rooted.root()), rooted.root());
+        assert_eq!(rooted.lca(v2, v2), v2);
+        // LCA lies on the path and is its unique highest vertex.
+        let l = rooted.lca(v1, v2);
+        assert!(path.contains(&l));
+        assert!(path.iter().all(|&p| rooted.depth(p) >= rooted.depth(l)));
+    }
+
+    #[test]
+    fn assignment_roundtrip_and_cost() {
+        let b = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+        let lib = [Repeater::from_buffer_pair("r", &b, &b)];
+        let mut asg = Assignment::empty(5);
+        assert_eq!(asg.placed_count(), 0);
+        asg.place(VertexId(2), 0, Orientation::BFacesParent);
+        asg.place(VertexId(4), 0, Orientation::AFacesParent);
+        assert_eq!(asg.placed_count(), 2);
+        assert_eq!(asg.total_cost(&lib), 4.0);
+        assert_eq!(
+            asg.at(VertexId(2)),
+            Some(PlacedRepeater {
+                repeater: 0,
+                orientation: Orientation::BFacesParent
+            })
+        );
+        asg.clear(VertexId(2));
+        assert_eq!(asg.placed_count(), 1);
+        assert_eq!(asg.at(VertexId(0)), None);
+    }
+
+    #[test]
+    fn stats_summarize_the_net() {
+        let net = star_net().with_insertion_points(80.0);
+        let st = net.stats();
+        assert_eq!(st.terminals, 3);
+        assert_eq!(st.sources, 3);
+        assert_eq!(st.sinks, 3);
+        assert_eq!(st.steiner_points, 1);
+        assert!(st.insertion_points >= 3);
+        assert_eq!(st.edges, net.topology.edge_count());
+        assert!((st.wirelength - 350.0).abs() < 1e-9);
+        assert!((st.total_cap - net.total_cap()).abs() < 1e-12);
+        assert_eq!(st.max_degree, 3);
+        let text = format!("{st}");
+        assert!(text.contains("terminals"));
+        assert!(text.contains("350.0"));
+    }
+
+    #[test]
+    fn total_cap_counts_wires_and_loads() {
+        let net = star_net();
+        let expect = 0.00035 * 350.0 + 3.0 * 0.05;
+        assert!((net.total_cap() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+use std::fmt;
+
+/// Index of a terminal within a [`crate::Net`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TerminalId(pub usize);
+
+impl fmt::Display for TerminalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Timing and electrical parameters of a bus terminal (paper Fig. 1).
+///
+/// A terminal may act as a source (it has an input driver with arrival
+/// time `AT` and output resistance `r`), as a sink (its output buffer adds
+/// downstream delay `q` toward a primary output), or both. Following
+/// paper §II, a non-source has `AT = −∞` and a non-sink has `q = −∞`; no
+/// generality is lost by always carrying all four parameters.
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_rctree::Terminal;
+///
+/// let bidir = Terminal::bidirectional(120.0, 80.0, 0.05, 180.0);
+/// assert!(bidir.is_source() && bidir.is_sink());
+///
+/// let src = Terminal::source_only(0.0, 0.05, 180.0);
+/// assert!(src.is_source() && !src.is_sink());
+///
+/// let snk = Terminal::sink_only(55.0, 0.05);
+/// assert!(!snk.is_source() && snk.is_sink());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Terminal {
+    /// Maximum delay from a primary input to the terminal's input driver,
+    /// ps (`AT(v)`); `−∞` if the terminal never drives.
+    pub arrival: f64,
+    /// Maximum delay from the terminal's output buffer to a primary
+    /// output, ps (`q(v)`); `−∞` if the terminal never receives.
+    pub downstream: f64,
+    /// Capacitance the terminal presents to the bus, pF (`c(v)`).
+    pub cap: f64,
+    /// Output resistance of the input driver when sourcing, Ω (`r(v)`).
+    pub drive_res: f64,
+    /// Intrinsic delay of the input driver when sourcing, ps. The paper
+    /// folds this into `AT`; keeping it separate lets driver sizing swap
+    /// drivers without touching `AT`.
+    pub drive_intrinsic: f64,
+}
+
+impl Terminal {
+    /// A terminal that can both drive and receive.
+    pub fn bidirectional(arrival: f64, downstream: f64, cap: f64, drive_res: f64) -> Self {
+        Terminal {
+            arrival,
+            downstream,
+            cap,
+            drive_res,
+            drive_intrinsic: 0.0,
+        }
+    }
+
+    /// A pure source: it drives the bus but is never a sink (`q = −∞`).
+    pub fn source_only(arrival: f64, cap: f64, drive_res: f64) -> Self {
+        Terminal {
+            arrival,
+            downstream: f64::NEG_INFINITY,
+            cap,
+            drive_res,
+            drive_intrinsic: 0.0,
+        }
+    }
+
+    /// A pure sink: it receives but never drives (`AT = −∞`).
+    pub fn sink_only(downstream: f64, cap: f64) -> Self {
+        Terminal {
+            arrival: f64::NEG_INFINITY,
+            downstream,
+            cap,
+            drive_res: 0.0,
+            drive_intrinsic: 0.0,
+        }
+    }
+
+    /// Sets the driver's intrinsic delay (ps) and returns the terminal.
+    #[must_use]
+    pub fn with_drive_intrinsic(mut self, intrinsic: f64) -> Self {
+        self.drive_intrinsic = intrinsic;
+        self
+    }
+
+    /// Whether the terminal can drive the bus.
+    pub fn is_source(&self) -> bool {
+        self.arrival > f64::NEG_INFINITY
+    }
+
+    /// Whether the terminal can receive from the bus.
+    pub fn is_sink(&self) -> bool {
+        self.downstream > f64::NEG_INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_follow_infinities() {
+        let t = Terminal::bidirectional(1.0, 2.0, 0.1, 100.0);
+        assert!(t.is_source());
+        assert!(t.is_sink());
+        let s = Terminal::source_only(1.0, 0.1, 100.0);
+        assert!(s.is_source());
+        assert!(!s.is_sink());
+        let k = Terminal::sink_only(2.0, 0.1);
+        assert!(!k.is_source());
+        assert!(k.is_sink());
+    }
+
+    #[test]
+    fn zero_arrival_is_still_a_source() {
+        // AT = 0 is a valid arrival time, not "no source".
+        let t = Terminal::bidirectional(0.0, 0.0, 0.1, 100.0);
+        assert!(t.is_source() && t.is_sink());
+    }
+
+    #[test]
+    fn with_drive_intrinsic_sets_field() {
+        let t = Terminal::source_only(0.0, 0.1, 100.0).with_drive_intrinsic(42.0);
+        assert_eq!(t.drive_intrinsic, 42.0);
+    }
+
+    #[test]
+    fn terminal_id_displays() {
+        assert_eq!(format!("{}", TerminalId(3)), "t3");
+    }
+}

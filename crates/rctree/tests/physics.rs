@@ -1,0 +1,182 @@
+//! Physical invariants of the Elmore engine under property-based
+//! testing: capacitance conservation, delay symmetry on electrically
+//! symmetric nets, and monotonicity under load growth.
+
+use msrnet_geom::Point;
+use msrnet_rctree::elmore::Elmore;
+use msrnet_rctree::{
+    Assignment, Buffer, Net, NetBuilder, Orientation, Repeater, Technology, Terminal, TerminalId,
+};
+use proptest::prelude::*;
+
+/// Builds a random unbuffered net over proptest-driven coordinates; all
+/// terminals identical (same cap, same drive).
+fn build_net(coords: &[(u16, u16)]) -> Option<Net> {
+    let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+    let mut pts: Vec<Point> = Vec::new();
+    for &(x, y) in coords {
+        let p = Point::new((x % 9000) as f64, (y % 9000) as f64);
+        if !pts.contains(&p) {
+            pts.push(p);
+        }
+    }
+    if pts.len() < 2 {
+        return None;
+    }
+    let ids: Vec<_> = pts
+        .iter()
+        .map(|&p| b.terminal(p, Terminal::bidirectional(0.0, 0.0, 0.05, 180.0)))
+        .collect();
+    for i in 1..ids.len() {
+        b.wire(ids[i - 1], ids[i]);
+    }
+    b.build().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With no repeaters, the total decoupled load seen by a driver is
+    /// the same at every terminal: the whole net.
+    #[test]
+    fn total_cap_is_position_independent(
+        coords in prop::collection::vec((0u16..9000, 0u16..9000), 2..10),
+    ) {
+        let Some(net) = build_net(&coords) else { return Ok(()) };
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let asg = Assignment::empty(net.topology.vertex_count());
+        let e = Elmore::new(&net, &rooted, &[], &asg);
+        let expect = net.total_cap();
+        for t in net.terminal_ids() {
+            let v = net.topology.terminal_vertex(t);
+            prop_assert!((e.total_cap_at(v) - expect).abs() < 1e-9);
+        }
+    }
+
+    /// On a **two-terminal** net with identical end loads and drivers,
+    /// the Elmore path delay is direction-symmetric regardless of how
+    /// the wire is subdivided. (With more terminals, side branches load
+    /// the two directions differently and symmetry genuinely breaks —
+    /// see `three_terminal_delays_are_asymmetric` below.)
+    #[test]
+    fn two_terminal_delays_are_symmetric(
+        len in 200u16..9000,
+        spacing in 100f64..2000.0,
+    ) {
+        let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+        let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+        let t1 = b.terminal(Point::new(len as f64, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+        b.wire(t0, t1);
+        let net = b.build().expect("valid").with_insertion_points(spacing);
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let asg = Assignment::empty(net.topology.vertex_count());
+        let e = Elmore::new(&net, &rooted, &[], &asg);
+        let fwd = e.path_delay(TerminalId(0), TerminalId(1));
+        let bwd = e.path_delay(TerminalId(1), TerminalId(0));
+        prop_assert!((fwd - bwd).abs() < 1e-6 * fwd.max(1.0));
+    }
+
+    /// Increasing any terminal's load capacitance can only increase every
+    /// path delay from any *other* terminal (Elmore monotonicity).
+    #[test]
+    fn delays_are_monotone_in_loads(
+        coords in prop::collection::vec((0u16..9000, 0u16..9000), 3..8),
+        victim in 0usize..8,
+        extra in 0.01f64..0.5,
+    ) {
+        let Some(net) = build_net(&coords) else { return Ok(()) };
+        let nt = net.terminals.len();
+        let victim = TerminalId(victim % nt);
+        let mut heavier = net.clone();
+        heavier.terminals[victim.0].cap += extra;
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let asg = Assignment::empty(net.topology.vertex_count());
+        let base = Elmore::new(&net, &rooted, &[], &asg);
+        let more = Elmore::new(&heavier, &rooted, &[], &asg);
+        for u in net.terminal_ids() {
+            if u == victim {
+                continue;
+            }
+            for w in net.terminal_ids() {
+                if w == u {
+                    continue;
+                }
+                prop_assert!(
+                    more.path_delay(u, w) >= base.path_delay(u, w) - 1e-9,
+                    "extra load decreased a delay"
+                );
+            }
+        }
+    }
+
+    /// A repeater decouples: delays from sources on the A-facing side to
+    /// sinks on the same side are unaffected by capacitance added on the
+    /// far side of the repeater.
+    #[test]
+    fn repeater_isolates_far_side_loads(
+        extra in 0.01f64..2.0,
+        len in 500u16..5000,
+    ) {
+        let len = len as f64;
+        let make = |far_cap: f64| {
+            let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+            let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+            let t1 = b.terminal(Point::new(len, 100.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+            let s = b.steiner(Point::new(len, 0.0));
+            let ip = b.insertion_point(Point::new(len * 1.5, 0.0));
+            let t2 = b.terminal(Point::new(2.0 * len, 0.0), Terminal::bidirectional(0.0, 0.0, far_cap, 180.0));
+            b.wire(t0, s);
+            b.wire(s, t1);
+            b.wire(s, ip);
+            b.wire(ip, t2);
+            b.build().expect("valid")
+        };
+        let buf = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+        let lib = [Repeater::from_buffer_pair("r", &buf, &buf)];
+        let light = make(0.05);
+        let heavy = make(0.05 + extra);
+        let evaluate = |net: &Net| {
+            let rooted = net.rooted_at_terminal(TerminalId(0));
+            let mut asg = Assignment::empty(net.topology.vertex_count());
+            let ip = net.topology.insertion_points().next().expect("one ip");
+            asg.place(ip, 0, Orientation::AFacesParent);
+            let e = Elmore::new(net, &rooted, &lib, &asg);
+            e.path_delay(TerminalId(0), TerminalId(1))
+        };
+        // t0 → t1 never crosses the repeater; the far load at t2 is
+        // behind it and must be invisible.
+        prop_assert!((evaluate(&light) - evaluate(&heavy)).abs() < 1e-9);
+    }
+}
+
+
+/// The counterpoint to the two-terminal symmetry property: with a side
+/// branch, driving toward it differs from driving away from it, so the
+/// pairwise Elmore delays are genuinely asymmetric — which is exactly why
+/// the ARD maximizes over *ordered* pairs.
+#[test]
+fn three_terminal_delays_are_asymmetric() {
+    let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+    let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    let mid = b.steiner(Point::new(4000.0, 0.0));
+    let t1 = b.terminal(Point::new(8000.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    let t2 = b.terminal(Point::new(4000.0, 6000.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+    b.wire(t0, mid);
+    b.wire(mid, t1);
+    b.wire(mid, t2);
+    let net = b.build().expect("valid");
+    let rooted = net.rooted_at_terminal(TerminalId(0));
+    let asg = Assignment::empty(net.topology.vertex_count());
+    let e = Elmore::new(&net, &rooted, &[], &asg);
+    // t0 → t1 passes the heavy t2 branch halfway; t1 → t0 sees the same
+    // wires but different downstream caps per element — the delays must
+    // differ measurably on this asymmetric geometry... here they match
+    // by mirror symmetry of t0/t1, so compare a genuinely asymmetric
+    // pair instead: t0 → t2 vs t2 → t0.
+    let fwd = e.path_delay(TerminalId(0), TerminalId(2));
+    let bwd = e.path_delay(TerminalId(2), TerminalId(0));
+    assert!(
+        (fwd - bwd).abs() > 1.0,
+        "expected measurable asymmetry, got {fwd} vs {bwd}"
+    );
+}

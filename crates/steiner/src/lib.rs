@@ -1,0 +1,408 @@
+//! Rectilinear Steiner tree construction for multisource nets.
+//!
+//! The paper's experiments (§VI) generate topologies with the P-Tree
+//! router of Lillis et al. This crate substitutes a classical pipeline of
+//! comparable quality on uniform random nets (the substitution is
+//! documented in `DESIGN.md`):
+//!
+//! 1. [`rectilinear_mst`] — Prim's algorithm under the L1 metric;
+//! 2. [`steiner_tree`] — iterated 1-Steiner refinement (Kahng–Robins):
+//!    repeatedly add the Hanan-grid point that shortens the MST most;
+//! 3. [`build_net`] — lift the geometric tree into a validated
+//!    [`msrnet_rctree::Net`], ready for insertion-point subdivision with
+//!    [`msrnet_rctree::Net::with_insertion_points`].
+//!
+//! # Examples
+//!
+//! ```
+//! use msrnet_geom::Point;
+//! use msrnet_steiner::{build_net, steiner_tree};
+//! use msrnet_rctree::{Technology, Terminal};
+//!
+//! // Four terminals arranged in a plus: one Steiner point saves length.
+//! let pts = [
+//!     Point::new(0.0, 1.0),
+//!     Point::new(2.0, 1.0),
+//!     Point::new(1.0, 0.0),
+//!     Point::new(1.0, 2.0),
+//! ];
+//! let tree = steiner_tree(&pts);
+//! assert!(tree.wirelength() <= 4.0 + 1e-9);
+//!
+//! let tech = Technology::new(0.03, 0.00035);
+//! let terms: Vec<_> = pts
+//!     .iter()
+//!     .map(|&p| (p, Terminal::bidirectional(0.0, 0.0, 0.05, 180.0)))
+//!     .collect();
+//! let net = build_net(tech, &terms)?;
+//! assert_eq!(net.topology.terminal_count(), 4);
+//! # Ok::<(), msrnet_rctree::BuildNetError>(())
+//! ```
+
+pub mod ptree;
+
+pub use ptree::{nn_tour, ptree_topology, two_opt};
+
+use msrnet_geom::{hanan_grid, Point};
+use msrnet_rctree::{BuildNetError, Net, NetBuilder, Technology, Terminal};
+
+/// A geometric rectilinear tree over a point set: the first
+/// `terminal_count` points are terminals, the rest are Steiner points.
+#[derive(Clone, Debug)]
+pub struct SteinerTopology {
+    /// Terminal positions followed by Steiner-point positions.
+    pub points: Vec<Point>,
+    /// How many leading entries of `points` are terminals.
+    pub terminal_count: usize,
+    /// Undirected edges as index pairs into `points`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl SteinerTopology {
+    /// Total rectilinear wirelength of the tree, µm.
+    pub fn wirelength(&self) -> f64 {
+        self.edges
+            .iter()
+            .map(|&(a, b)| self.points[a].l1_distance(self.points[b]))
+            .sum()
+    }
+
+    /// Number of Steiner points in use.
+    pub fn steiner_count(&self) -> usize {
+        self.points.len() - self.terminal_count
+    }
+}
+
+/// Computes a minimum spanning tree of `points` under the rectilinear
+/// metric with Prim's algorithm (`O(n²)`, exact).
+///
+/// Returns edges as index pairs; an empty or single-point input yields no
+/// edges.
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_geom::Point;
+/// use msrnet_steiner::rectilinear_mst;
+///
+/// let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(5.0, 0.0)];
+/// let edges = rectilinear_mst(&pts);
+/// assert_eq!(edges.len(), 2);
+/// ```
+pub fn rectilinear_mst(points: &[Point]) -> Vec<(usize, usize)> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_link = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for i in 1..n {
+        best_dist[i] = points[0].l1_distance(points[i]);
+    }
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = f64::INFINITY;
+        for i in 0..n {
+            if !in_tree[i] && best_dist[i] < pick_d {
+                pick = i;
+                pick_d = best_dist[i];
+            }
+        }
+        debug_assert_ne!(pick, usize::MAX);
+        in_tree[pick] = true;
+        edges.push((best_link[pick], pick));
+        for i in 0..n {
+            if !in_tree[i] {
+                let d = points[pick].l1_distance(points[i]);
+                if d < best_dist[i] {
+                    best_dist[i] = d;
+                    best_link[i] = pick;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Total length of the rectilinear MST of `points`.
+pub fn mst_length(points: &[Point]) -> f64 {
+    rectilinear_mst(points)
+        .iter()
+        .map(|&(a, b)| points[a].l1_distance(points[b]))
+        .sum()
+}
+
+/// Builds a rectilinear Steiner tree over `terminals` by iterated
+/// 1-Steiner refinement.
+///
+/// Each round evaluates every Hanan-grid candidate, adds the one whose
+/// inclusion shortens the MST the most, and stops when no candidate gains
+/// more than a relative tolerance. Steiner points that end up useless
+/// (degree ≤ 2 in the final MST) are spliced out — under the L1 metric
+/// this never lengthens the tree.
+///
+/// The result's wirelength is never worse than the plain MST.
+///
+/// # Panics
+///
+/// Panics if `terminals` is empty.
+pub fn steiner_tree(terminals: &[Point]) -> SteinerTopology {
+    assert!(!terminals.is_empty(), "at least one terminal required");
+    let n = terminals.len();
+    let mut points: Vec<Point> = terminals.to_vec();
+    if n == 1 {
+        return SteinerTopology {
+            points,
+            terminal_count: 1,
+            edges: Vec::new(),
+        };
+    }
+    let candidates = hanan_grid(terminals);
+    let tol = 1e-9 * mst_length(terminals).max(1.0);
+    loop {
+        let base = mst_length(&points);
+        let mut best_gain = tol;
+        let mut best: Option<Point> = None;
+        for &h in &candidates {
+            if points.contains(&h) {
+                continue;
+            }
+            points.push(h);
+            let gain = base - mst_length(&points);
+            points.pop();
+            if gain > best_gain {
+                best_gain = gain;
+                best = Some(h);
+            }
+        }
+        match best {
+            Some(h) => points.push(h),
+            None => break,
+        }
+    }
+    let mut edges = rectilinear_mst(&points);
+    splice_useless_steiner(&mut points, &mut edges, n);
+    SteinerTopology {
+        points,
+        terminal_count: n,
+        edges,
+    }
+}
+
+/// Removes degenerate Steiner points (degree ≤ 2) from a topology,
+/// reconnecting neighbors directly — never longer under the L1 metric.
+/// Used by both the 1-Steiner refinement and the P-Tree DP, whose merge
+/// points can coincide with terminals or each other.
+pub(crate) fn splice_degenerate(topo: &mut SteinerTopology) {
+    let tc = topo.terminal_count;
+    splice_useless_steiner(&mut topo.points, &mut topo.edges, tc);
+}
+
+/// Removes Steiner points of degree ≤ 2, reconnecting their neighbors
+/// directly (never longer under L1), and compacts indices.
+fn splice_useless_steiner(
+    points: &mut Vec<Point>,
+    edges: &mut Vec<(usize, usize)>,
+    terminal_count: usize,
+) {
+    loop {
+        let n = points.len();
+        let mut degree = vec![0usize; n];
+        for &(a, b) in edges.iter() {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        let Some(victim) = (terminal_count..n).find(|&i| degree[i] <= 2) else {
+            break;
+        };
+        let adjacent: Vec<usize> = edges
+            .iter()
+            .filter(|&&(a, b)| a == victim || b == victim)
+            .map(|&(a, b)| if a == victim { b } else { a })
+            .collect();
+        edges.retain(|&(a, b)| a != victim && b != victim);
+        if adjacent.len() == 2 {
+            edges.push((adjacent[0], adjacent[1]));
+        }
+        // Compact: move the last point into the victim's slot.
+        let last = n - 1;
+        points.swap_remove(victim);
+        if victim != last {
+            for e in edges.iter_mut() {
+                if e.0 == last {
+                    e.0 = victim;
+                }
+                if e.1 == last {
+                    e.1 = victim;
+                }
+            }
+        }
+    }
+}
+
+/// Builds a validated [`Net`] over the given terminals: constructs a
+/// Steiner tree over their positions and lifts it into the `rctree`
+/// model (wire lengths are rectilinear distances).
+///
+/// Terminals keep their input order: `terminals[i]` becomes
+/// [`msrnet_rctree::TerminalId`]`(i)`.
+///
+/// # Errors
+///
+/// Propagates [`BuildNetError`] from net validation (e.g. a net whose
+/// terminals cannot source or sink).
+pub fn build_net(
+    tech: Technology,
+    terminals: &[(Point, Terminal)],
+) -> Result<Net, BuildNetError> {
+    let positions: Vec<Point> = terminals.iter().map(|&(p, _)| p).collect();
+    let tree = steiner_tree(&positions);
+    let mut builder = NetBuilder::new(tech);
+    let mut vertex_ids = Vec::with_capacity(tree.points.len());
+    for (i, &p) in tree.points.iter().enumerate() {
+        if i < tree.terminal_count {
+            vertex_ids.push(builder.terminal(p, terminals[i].1.clone()));
+        } else {
+            vertex_ids.push(builder.steiner(p));
+        }
+    }
+    for &(a, b) in &tree.edges {
+        builder.wire(vertex_ids[a], vertex_ids[b]);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mst_of_collinear_points_chains_them() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(4.0, 0.0),
+        ];
+        let edges = rectilinear_mst(&pts);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(mst_length(&pts), 10.0);
+    }
+
+    #[test]
+    fn mst_handles_trivial_inputs() {
+        assert!(rectilinear_mst(&[]).is_empty());
+        assert!(rectilinear_mst(&[Point::ORIGIN]).is_empty());
+        assert_eq!(mst_length(&[Point::ORIGIN]), 0.0);
+    }
+
+    #[test]
+    fn one_steiner_improves_the_plus() {
+        // Plus configuration: MST needs 6, the Steiner tree needs 4.
+        let pts = [
+            Point::new(0.0, 1.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 2.0),
+        ];
+        assert_eq!(mst_length(&pts), 6.0);
+        let tree = steiner_tree(&pts);
+        assert!((tree.wirelength() - 4.0).abs() < 1e-9);
+        assert_eq!(tree.steiner_count(), 1);
+        assert_eq!(tree.points[4], Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn steiner_never_worse_than_mst() {
+        // Deterministic pseudo-random nets.
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) % 10_000) as f64
+        };
+        for trial in 0..10 {
+            let n = 4 + (trial % 7);
+            let pts: Vec<Point> = (0..n).map(|_| Point::new(next(), next())).collect();
+            let tree = steiner_tree(&pts);
+            assert!(
+                tree.wirelength() <= mst_length(&pts) + 1e-6,
+                "steiner worse than MST on trial {trial}"
+            );
+            // Spanning tree over all points: |E| = |V| - 1.
+            assert_eq!(tree.edges.len(), tree.points.len() - 1);
+        }
+    }
+
+    #[test]
+    fn steiner_tree_has_no_low_degree_steiner_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 10.0),
+            Point::new(20.0, 90.0),
+            Point::new(80.0, 80.0),
+            Point::new(50.0, 50.0),
+        ];
+        let tree = steiner_tree(&pts);
+        let mut degree = vec![0usize; tree.points.len()];
+        for &(a, b) in &tree.edges {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        for &d in &degree[tree.terminal_count..] {
+            assert!(d >= 3, "useless steiner point survived");
+        }
+    }
+
+    #[test]
+    fn single_terminal_tree_is_empty() {
+        let tree = steiner_tree(&[Point::ORIGIN]);
+        assert_eq!(tree.edges.len(), 0);
+        assert_eq!(tree.wirelength(), 0.0);
+    }
+
+    #[test]
+    fn build_net_produces_valid_topology() {
+        let tech = Technology::new(0.03, 0.00035);
+        let pts = [
+            Point::new(0.0, 1000.0),
+            Point::new(2000.0, 1000.0),
+            Point::new(1000.0, 0.0),
+            Point::new(1000.0, 2000.0),
+        ];
+        let terms: Vec<_> = pts
+            .iter()
+            .map(|&p| (p, Terminal::bidirectional(0.0, 0.0, 0.05, 180.0)))
+            .collect();
+        let net = build_net(tech, &terms).unwrap();
+        assert!(net.check().is_ok());
+        assert_eq!(net.topology.terminal_count(), 4);
+        // Terminal order is preserved.
+        for (i, &(p, _)) in terms.iter().enumerate() {
+            let v = net.topology.terminal_vertex(msrnet_rctree::TerminalId(i));
+            assert_eq!(net.topology.position(v), p);
+        }
+        // Steiner point shortens the plus to 4000 µm.
+        assert!((net.topology.total_wirelength() - 4000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn build_net_then_subdivide_keeps_validity() {
+        let tech = Technology::new(0.03, 0.00035);
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3000.0, 400.0),
+            Point::new(1500.0, 2500.0),
+        ];
+        let terms: Vec<_> = pts
+            .iter()
+            .map(|&p| (p, Terminal::bidirectional(0.0, 0.0, 0.05, 180.0)))
+            .collect();
+        let net = build_net(tech, &terms).unwrap().with_insertion_points(800.0);
+        assert!(net.check().is_ok());
+        assert!(net.topology.insertion_point_count() >= net.topology.terminal_count() - 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! P-Tree-style topology synthesis over a terminal permutation.
+//!
+//! The paper's experiments route nets with the P-Tree algorithm
+//! (Lillis–Cheng–Lin–Ho, DAC'96), which dynamic-programs over all binary
+//! topologies consistent with a terminal ordering, placing internal
+//! nodes on the Hanan grid. Its conclusions (§VII) note that "given the
+//! results in this paper, a multisource version of the P-Tree
+//! timing-driven Steiner router is now possible".
+//!
+//! This module provides that machinery in two layers:
+//!
+//! * [`ptree_topology`] — the wirelength-optimal P-Tree for a *given*
+//!   permutation: an exact interval DP over Hanan-grid merge points
+//!   (`O(n² · |H|²)` for `n` terminals and Hanan set `H`);
+//! * [`nn_tour`] / [`two_opt`] — permutation construction, standing in
+//!   for P-Tree's placement-derived orders;
+//!
+//! and the multisource selection loop lives in the `topology_synthesis`
+//! example and `topology_compare` bench binary: generate candidate
+//! permutations, build each P-Tree, run repeater insertion, keep the
+//! topology with the best optimized ARD — topology synthesis *driven by
+//! the multisource objective*.
+
+use msrnet_geom::{hanan_grid, Point};
+
+use crate::SteinerTopology;
+
+/// A nearest-neighbor tour over the points under the L1 metric,
+/// starting from `start`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `start` is out of range.
+pub fn nn_tour(points: &[Point], start: usize) -> Vec<usize> {
+    assert!(!points.is_empty(), "at least one point required");
+    assert!(start < points.len(), "start out of range");
+    let n = points.len();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut cur = start;
+    used[cur] = true;
+    order.push(cur);
+    for _ in 1..n {
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for (i, &u) in used.iter().enumerate() {
+            if !u {
+                let d = points[cur].l1_distance(points[i]);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+        }
+        cur = best;
+        used[cur] = true;
+        order.push(cur);
+    }
+    order
+}
+
+/// Improves a tour order by 2-opt moves under the open-path L1 length
+/// until no move helps. Returns the improved order.
+pub fn two_opt(points: &[Point], mut order: Vec<usize>) -> Vec<usize> {
+    let n = order.len();
+    if n < 4 {
+        return order;
+    }
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n - 2 {
+            for j in i + 1..n - 1 {
+                let d = |a: usize, b: usize| {
+                    points[order[a]].l1_distance(points[order[b]])
+                };
+                // Reverse order[i+1..=j]: affects edges (i, i+1) and
+                // (j, j+1).
+                let before = d(i, i + 1) + d(j, j + 1);
+                let after = d(i, j) + d(i + 1, j + 1);
+                if after + 1e-9 < before {
+                    order[i + 1..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Builds the wirelength-optimal binary topology over `terminals`
+/// consistent with the permutation `order`, with internal merge points
+/// chosen freely on the Hanan grid — the area-mode P-Tree DP.
+///
+/// `dp[i][j][p]` is the cheapest tree connecting the ordered terminals
+/// `order[i..=j]` whose root sits at Hanan candidate `p`; intervals
+/// split into consecutive sub-intervals, each child subtree connecting
+/// to the root by a direct rectilinear wire.
+///
+/// Returns a [`SteinerTopology`] whose terminal indices refer to the
+/// *original* `terminals` slice. Degenerate (coincident) merge points
+/// are spliced away.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..terminals.len()` or the
+/// input is empty.
+pub fn ptree_topology(terminals: &[Point], order: &[usize]) -> SteinerTopology {
+    let n = terminals.len();
+    assert!(n >= 1, "at least one terminal required");
+    assert_eq!(order.len(), n, "order must cover all terminals");
+    {
+        let mut seen = vec![false; n];
+        for &i in order {
+            assert!(i < n && !seen[i], "order must be a permutation");
+            seen[i] = true;
+        }
+    }
+    if n == 1 {
+        return SteinerTopology {
+            points: terminals.to_vec(),
+            terminal_count: 1,
+            edges: Vec::new(),
+        };
+    }
+    let cands = hanan_grid(terminals);
+    let h = cands.len();
+    let dist = |p: usize, q: usize| cands[p].l1_distance(cands[q]);
+    let term_pos: Vec<Point> = order.iter().map(|&i| terminals[i]).collect();
+
+    // dp[i][j][p]: best cost of interval [i, j] rooted at candidate p.
+    // best[i][j][p]: min over q of dp[i][j][q] + d(p, q) — the cost of
+    // the interval hanging off an external point p.
+    let idx = |i: usize, j: usize| i * n + j;
+    let mut dp = vec![vec![f64::INFINITY; h]; n * n];
+    let mut best = vec![vec![f64::INFINITY; h]; n * n];
+    // Back-pointers: split position and child root candidates, or the
+    // terminal itself for leaves.
+    #[derive(Clone, Copy)]
+    enum Choice {
+        Leaf,
+        Split { k: usize, left_q: usize, right_q: usize },
+    }
+    let mut choice = vec![vec![Choice::Leaf; h]; n * n];
+    let mut best_arg = vec![vec![0usize; h]; n * n];
+
+    for i in 0..n {
+        for (p, &cp) in cands.iter().enumerate() {
+            dp[idx(i, i)][p] = cp.l1_distance(term_pos[i]);
+        }
+        fill_best(&dp, &mut best, &mut best_arg, idx(i, i), &dist, h);
+    }
+    for span in 1..n {
+        for i in 0..n - span {
+            let j = i + span;
+            for p in 0..h {
+                let mut cost = f64::INFINITY;
+                let mut pick = Choice::Leaf;
+                for k in i..j {
+                    let left = best[idx(i, k)][p];
+                    let right = best[idx(k + 1, j)][p];
+                    let c = left + right;
+                    if c < cost {
+                        cost = c;
+                        pick = Choice::Split {
+                            k,
+                            left_q: best_arg[idx(i, k)][p],
+                            right_q: best_arg[idx(k + 1, j)][p],
+                        };
+                    }
+                }
+                dp[idx(i, j)][p] = cost;
+                choice[idx(i, j)][p] = pick;
+            }
+            fill_best(&dp, &mut best, &mut best_arg, idx(i, j), &dist, h);
+        }
+    }
+
+    // Root the whole interval at its cheapest candidate.
+    let full = idx(0, n - 1);
+    let root_p = (0..h)
+        .min_by(|&a, &b| dp[full][a].total_cmp(&dp[full][b]))
+        .expect("nonempty candidate set");
+
+    // Reconstruct: terminals first (original indexing), then merge
+    // points as Steiner vertices.
+    let mut points: Vec<Point> = terminals.to_vec();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut stack = vec![(0usize, n - 1, root_p, usize::MAX)];
+    while let Some((i, j, p, parent_vertex)) = stack.pop() {
+        if i == j {
+            // Attach the terminal (original index) to the parent.
+            let t = order[i];
+            if parent_vertex != usize::MAX {
+                edges.push((parent_vertex, t));
+            } else if cands[p] != terminals[t] {
+                // Single-terminal tree rooted elsewhere (cannot happen
+                // from the public entry, which roots at the optimum).
+                let s = points.len();
+                points.push(cands[p]);
+                edges.push((s, t));
+            }
+            continue;
+        }
+        let s = points.len();
+        points.push(cands[p]);
+        if parent_vertex != usize::MAX {
+            edges.push((parent_vertex, s));
+        }
+        match choice[idx(i, j)][p] {
+            Choice::Leaf => unreachable!("interval with span > 0 must split"),
+            Choice::Split { k, left_q, right_q } => {
+                stack.push((i, k, left_q, s));
+                stack.push((k + 1, j, right_q, s));
+            }
+        }
+    }
+    let mut topo = SteinerTopology {
+        points,
+        terminal_count: n,
+        edges,
+    };
+    crate::splice_degenerate(&mut topo);
+    topo
+}
+
+#[allow(clippy::needless_range_loop)]
+fn fill_best(
+    dp: &[Vec<f64>],
+    best: &mut [Vec<f64>],
+    best_arg: &mut [Vec<usize>],
+    cell: usize,
+    dist: &impl Fn(usize, usize) -> f64,
+    h: usize,
+) {
+    for p in 0..h {
+        let mut b = f64::INFINITY;
+        let mut arg = 0;
+        for q in 0..h {
+            let c = dp[cell][q] + dist(p, q);
+            if c < b {
+                b = c;
+                arg = q;
+            }
+        }
+        best[cell][p] = b;
+        best_arg[cell][p] = arg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mst_length, steiner_tree};
+
+    fn identity(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn nn_tour_visits_everything_once() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 1.0),
+            Point::new(1.0, 4.0),
+            Point::new(7.0, 7.0),
+        ];
+        let tour = nn_tour(&pts, 2);
+        assert_eq!(tour.len(), 4);
+        assert_eq!(tour[0], 2);
+        let mut sorted = tour.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_opt_never_lengthens() {
+        let pts: Vec<Point> = (0..8)
+            .map(|i| Point::new(((i * 37) % 10) as f64, ((i * 53) % 10) as f64))
+            .collect();
+        let tour = nn_tour(&pts, 0);
+        let len = |o: &[usize]| {
+            o.windows(2)
+                .map(|w| pts[w[0]].l1_distance(pts[w[1]]))
+                .sum::<f64>()
+        };
+        let before = len(&tour);
+        let improved = two_opt(&pts, tour);
+        assert!(len(&improved) <= before + 1e-9);
+        let mut sorted = improved.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_terminals_direct_wire() {
+        let pts = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        let t = ptree_topology(&pts, &identity(2));
+        assert!((t.wirelength() - 7.0).abs() < 1e-9);
+        assert_eq!(t.edges.len(), t.points.len() - 1);
+    }
+
+    #[test]
+    fn plus_configuration_finds_the_steiner_point() {
+        // Same shape as the 1-Steiner test: the P-Tree DP must find the
+        // center merge point too.
+        let pts = [
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 2.0),
+        ];
+        let t = ptree_topology(&pts, &identity(4));
+        assert!((t.wirelength() - 4.0).abs() < 1e-9, "got {}", t.wirelength());
+    }
+
+    #[test]
+    fn ptree_is_a_valid_tree_on_random_inputs() {
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) % 1000) as f64
+        };
+        for trial in 0..6 {
+            let n = 3 + trial;
+            let pts: Vec<Point> = (0..n).map(|_| Point::new(next(), next())).collect();
+            let order = two_opt(&pts, nn_tour(&pts, 0));
+            let t = ptree_topology(&pts, &order);
+            assert_eq!(t.edges.len() + 1, t.points.len(), "tree shape");
+            // Connectivity check.
+            let mut seen = vec![false; t.points.len()];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(v) = stack.pop() {
+                for &(a, b) in &t.edges {
+                    let other = if a == v {
+                        b
+                    } else if b == v {
+                        a
+                    } else {
+                        continue;
+                    };
+                    if !seen[other] {
+                        seen[other] = true;
+                        count += 1;
+                        stack.push(other);
+                    }
+                }
+            }
+            assert_eq!(count, t.points.len(), "connected");
+            // Sanity bounds: at least 2/3 of the MST (Steiner ratio),
+            // at most the chain through the order.
+            let chain: f64 = order
+                .windows(2)
+                .map(|w| pts[w[0]].l1_distance(pts[w[1]]))
+                .sum();
+            assert!(t.wirelength() <= chain + 1e-6);
+            assert!(t.wirelength() >= mst_length(&pts) * 2.0 / 3.0 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn good_orders_rival_iterated_one_steiner() {
+        // With a sensible permutation the P-Tree wirelength should land
+        // near the 1-Steiner heuristic's (within 25% on small nets).
+        let pts = [
+            Point::new(10.0, 80.0),
+            Point::new(90.0, 75.0),
+            Point::new(50.0, 50.0),
+            Point::new(20.0, 10.0),
+            Point::new(85.0, 20.0),
+            Point::new(60.0, 90.0),
+        ];
+        let order = two_opt(&pts, nn_tour(&pts, 0));
+        let pt = ptree_topology(&pts, &order);
+        let heuristic = steiner_tree(&pts);
+        assert!(
+            pt.wirelength() <= heuristic.wirelength() * 1.25,
+            "ptree {} vs 1-steiner {}",
+            pt.wirelength(),
+            heuristic.wirelength()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_bad_order() {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        ptree_topology(&pts, &[0, 0]);
+    }
+}

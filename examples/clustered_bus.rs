@@ -1,0 +1,71 @@
+//! A cross-die block-to-block bus: terminals cluster into two blocks a
+//! centimeter apart, so almost all the wire is the inter-block trunk —
+//! the regime where repeater insertion earns its keep (and the setting
+//! the paper's §I motivates: "buses are so prevalent in modern
+//! designs").
+//!
+//! Also demonstrates the per-terminal timing profile API: which agents
+//! limit the bus before and after optimization.
+//!
+//! Run with: `cargo run --release --example clustered_bus`
+
+use msrnet::core::ard::ard_profile;
+use msrnet::core::exhaustive::apply_terminal_choices;
+use msrnet::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = table1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let exp = ExperimentNet::random_clustered(&mut rng, 3, 4, &params)?;
+    let net = exp.with_insertion_points(800.0);
+    println!(
+        "block-to-block bus: 3 + 4 terminals, {:.1} mm wire, {} repeater sites",
+        net.topology.total_wirelength() / 1000.0,
+        net.topology.insertion_point_count()
+    );
+
+    let lib = [params.repeater(1.0), params.repeater(2.0)];
+    let drivers = params.fixed_driver_menu(&net);
+    let curve = optimize(&net, TerminalId(0), &lib, &drivers, &MsriOptions::default())?;
+
+    let rooted = net.rooted_at_terminal(TerminalId(0));
+    let show_profile = |label: &str, point: &TradeoffPoint| {
+        let (scenario, _) = apply_terminal_choices(&net, &drivers, &point.terminal_choices);
+        let profile = ard_profile(&scenario, &rooted, &lib, &point.assignment);
+        println!("\n{label}: ARD {:.1} ps", profile.ard);
+        println!("  terminal | worst as source | worst as sink");
+        for t in net.terminal_ids() {
+            println!(
+                "  t{:<7} | {:>14.1}  | {:>12.1}",
+                t.0,
+                profile.worst_from(t),
+                profile.worst_into(t)
+            );
+        }
+        let (u, w) = profile.critical.expect("feasible");
+        println!("  critical: t{} → t{}", u.0, w.0);
+    };
+
+    show_profile("unoptimized", curve.min_cost());
+    let knee = curve.knee();
+    show_profile(
+        &format!(
+            "knee solution (cost {:.0}, {} repeaters)",
+            knee.cost,
+            knee.assignment.placed_count()
+        ),
+        knee,
+    );
+
+    // On a trunk-dominated bus the knee should already cut the diameter
+    // substantially.
+    assert!(knee.ard < 0.75 * curve.min_cost().ard);
+    println!(
+        "\nknee cuts the cross-die diameter to {:.0}% at {:.0}% of the fastest\nsolution's cost ({} frontier points total)",
+        100.0 * knee.ard / curve.min_cost().ard,
+        100.0 * knee.cost / curve.best_ard().cost,
+        curve.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Driver sizing vs repeater insertion (paper §VI comparison).
+//!
+//! Runs the optimizer twice on the same random net: once in
+//! driver-sizing mode (no repeaters; every terminal picks an
+//! input/output buffer pair from sized variants) and once in repeater
+//! mode (fixed 1X drivers, repeaters at the candidate insertion points),
+//! then reports the paper's headline comparison: repeater insertion
+//! achieves a far smaller RC-diameter, and matches the best sizing
+//! diameter at lower cost.
+//!
+//! Run with: `cargo run --release --example driver_sizing`
+
+use msrnet::prelude::*;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = table1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    let exp = ExperimentNet::random(&mut rng, 10, &params)?;
+    let net = exp.with_insertion_points(800.0);
+    let root = TerminalId(0);
+    println!(
+        "net: {} terminals, {:.0} µm wire, {} insertion points",
+        net.topology.terminal_count(),
+        net.topology.total_wirelength(),
+        net.topology.insertion_point_count()
+    );
+
+    // Mode 1: driver sizing only (1X..4X input/output pairs).
+    let t0 = Instant::now();
+    let sizing_menus = params.sizing_menu(&net, &[1.0, 2.0, 3.0, 4.0]);
+    let sizing = optimize(&net, root, &[], &sizing_menus, &MsriOptions::default())?;
+    println!(
+        "\ndriver sizing       : {} frontier points in {:?}",
+        sizing.len(),
+        t0.elapsed()
+    );
+    println!(
+        "  min-cost  : cost {:>5.0}, ARD {:>7.1} ps",
+        sizing.min_cost().cost,
+        sizing.min_cost().ard
+    );
+    println!(
+        "  best-ARD  : cost {:>5.0}, ARD {:>7.1} ps",
+        sizing.best_ard().cost,
+        sizing.best_ard().ard
+    );
+
+    // Mode 2: repeater insertion with fixed 1X drivers.
+    let t0 = Instant::now();
+    let library = [params.repeater(1.0)];
+    let fixed = params.fixed_driver_menu(&net);
+    let repeaters = optimize(&net, root, &library, &fixed, &MsriOptions::default())?;
+    println!(
+        "repeater insertion  : {} frontier points in {:?}",
+        repeaters.len(),
+        t0.elapsed()
+    );
+    println!(
+        "  min-cost  : cost {:>5.0}, ARD {:>7.1} ps",
+        repeaters.min_cost().cost,
+        repeaters.min_cost().ard
+    );
+    println!(
+        "  best-ARD  : cost {:>5.0}, ARD {:>7.1} ps",
+        repeaters.best_ard().cost,
+        repeaters.best_ard().ard
+    );
+
+    // Paper Table II column 5: the cheapest repeater solution that
+    // matches or beats the best diameter driver sizing can reach.
+    let sizing_best = sizing.best_ard();
+    if let Some(p) = repeaters.min_cost_meeting(sizing_best.ard) {
+        println!(
+            "\ncheapest repeater solution matching sizing's best ARD ({:.1} ps):",
+            sizing_best.ard
+        );
+        println!(
+            "  cost {:.0} (sizing paid {:.0}) with {} repeaters, ARD {:.1} ps",
+            p.cost,
+            sizing_best.cost,
+            p.assignment.placed_count(),
+            p.ard
+        );
+    }
+    Ok(())
+}

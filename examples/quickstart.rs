@@ -1,0 +1,72 @@
+//! Quick start: optimize repeater insertion on a random 8-terminal bus.
+//!
+//! Builds a random multisource net on a 1 cm die (every terminal both
+//! drives and receives, as in the paper's §VI experiments), adds
+//! candidate insertion points every ≤800 µm, and prints the full
+//! cost-vs-ARD trade-off curve together with the "min cost subject to a
+//! timing spec" answer (paper Problem 2.1).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use msrnet::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = table1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    let exp = ExperimentNet::random(&mut rng, 8, &params)?;
+    let net = exp.with_insertion_points(800.0);
+    println!(
+        "net: {} terminals, {:.1} µm of wire, {} candidate insertion points",
+        net.topology.terminal_count(),
+        net.topology.total_wirelength(),
+        net.topology.insertion_point_count()
+    );
+
+    let library = [params.repeater(1.0)];
+    let drivers = params.fixed_driver_menu(&net);
+    let curve = optimize(
+        &net,
+        TerminalId(0),
+        &library,
+        &drivers,
+        &MsriOptions::default(),
+    )?;
+
+    println!("\ncost-vs-ARD trade-off (cost in 1X-buffer equivalents):");
+    println!("{curve}");
+
+    // Problem 2.1: cheapest solution meeting a spec halfway between the
+    // unbuffered diameter and the best achievable one.
+    let spec = 0.5 * (curve.min_cost().ard + curve.best_ard().ard);
+    match curve.min_cost_meeting(spec) {
+        Some(p) => println!(
+            "cheapest solution with ARD ≤ {spec:.0} ps: cost {:.0}, ARD {:.1} ps, {} repeaters",
+            p.cost,
+            p.ard,
+            p.assignment.placed_count()
+        ),
+        None => println!("spec {spec:.0} ps is unachievable"),
+    }
+
+    // Verify the fastest solution independently with the linear-time ARD
+    // algorithm (applying the chosen driver options to the net) and
+    // report its critical source → sink pair.
+    let best = curve.best_ard();
+    let (scenario, _) = msrnet::core::exhaustive::apply_terminal_choices(
+        &net,
+        &drivers,
+        &best.terminal_choices,
+    );
+    let rooted = net.rooted_at_terminal(TerminalId(0));
+    let report = ard_linear(&scenario, &rooted, &library, &best.assignment);
+    let (src, snk) = report.critical.expect("feasible net");
+    println!(
+        "\nfastest solution re-verified: ARD {:.1} ps (claimed {:.1}), critical pair {src} → {snk}",
+        report.ard,
+        best.ard
+    );
+    assert!((report.ard - best.ard).abs() < 1e-6);
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! # msrnet — timing optimization for multisource nets
+//!
+//! A from-scratch Rust reproduction of **Lillis & Cheng, "Timing
+//! Optimization for Multisource Nets: Characterization and Optimal
+//! Repeater Insertion"** (DAC 1997; IEEE TCAD 18(3), 1999):
+//!
+//! * the **augmented RC-diameter (ARD)** performance measure for bus
+//!   (multisource) nets and its linear-time computation
+//!   ([`core::ard`]);
+//! * **optimal bidirectional repeater insertion** under the
+//!   "min cost subject to `ARD ≤ spec`" formulation, via dynamic
+//!   programming over piece-wise linear solution characteristics with
+//!   minimal-functional-subset pruning ([`core::optimize`]);
+//! * **discrete driver sizing** as a special case of the same engine;
+//! * all substrates: the RC-tree net model and Elmore engine
+//!   ([`rctree`]), PWL function algebra ([`pwl`]), rectilinear Steiner
+//!   routing ([`steiner`]), single-source van Ginneken baselines
+//!   ([`buffering`]), and experiment workload generation ([`netgen`]).
+//!
+//! The facade re-exports the most common items; each subsystem is also
+//! available as its own crate (`msrnet-core`, `msrnet-rctree`, …).
+//!
+//! # Quick start
+//!
+//! ```
+//! use msrnet::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // Generate a random 8-terminal bus on a 1 cm die (paper §VI setup),
+//! // add repeater insertion points every ≤800 µm, and optimize.
+//! let params = table1();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let exp = ExperimentNet::random(&mut rng, 8, &params)?;
+//! let net = exp.with_insertion_points(800.0);
+//!
+//! let lib = [params.repeater(1.0)];
+//! let drivers = params.fixed_driver_menu(&net);
+//! let curve = optimize(&net, TerminalId(0), &lib, &drivers, &MsriOptions::default())?;
+//!
+//! // The frontier trades repeater area against bus RC-diameter.
+//! assert!(curve.best_ard().ard < curve.min_cost().ard);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use msrnet_buffering as buffering;
+pub use msrnet_core as core;
+pub use msrnet_geom as geom;
+pub use msrnet_netgen as netgen;
+pub use msrnet_pwl as pwl;
+pub use msrnet_rctree as rctree;
+pub use msrnet_steiner as steiner;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use msrnet_core::{
+        ard::{ard_linear, ard_naive, ArdReport},
+        optimize, MsriError, MsriOptions, PruningStrategy, TerminalOption, TerminalOptions,
+        TradeoffCurve, TradeoffPoint,
+    };
+    pub use msrnet_geom::Point;
+    pub use msrnet_netgen::{table1, ExperimentNet, TechParams};
+    pub use msrnet_rctree::{
+        Assignment, Buffer, Net, NetBuilder, Orientation, Repeater, Technology, Terminal,
+        TerminalId,
+    };
+    pub use msrnet_steiner::{build_net, steiner_tree};
+}

@@ -1,0 +1,125 @@
+//! Property-based equivalence of the two ARD algorithms (paper §III):
+//! on arbitrary random nets, repeater assignments and terminal roles,
+//! the linear-time Fig. 2 computation must agree with the naive
+//! per-source baseline, and the value must not depend on the rooting.
+
+use msrnet::core::ard::{ard_linear, ard_naive};
+use msrnet::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a random net + assignment from proptest-driven raw data.
+fn build_case(
+    coords: &[(u16, u16)],
+    roles: &[u8],
+    place_mask: u64,
+    orient_mask: u64,
+) -> Option<(Net, Vec<Repeater>, Assignment)> {
+    let params = table1();
+    let mut pts: Vec<Point> = Vec::new();
+    for &(x, y) in coords {
+        let p = Point::new((x % 10_000) as f64, (y % 10_000) as f64);
+        if !pts.contains(&p) {
+            pts.push(p);
+        }
+    }
+    if pts.len() < 2 {
+        return None;
+    }
+    let terms: Vec<(Point, Terminal)> = pts
+        .iter()
+        .zip(roles.iter().cycle())
+        .enumerate()
+        .map(|(i, (&p, &r))| {
+            let at = (r as f64) * 10.0;
+            let q = ((r >> 2) as f64) * 7.0;
+            // Ensure at least one source and one sink exist: terminal 0
+            // is always bidirectional.
+            let t = if i == 0 {
+                Terminal::bidirectional(0.0, 0.0, 0.05, 180.0)
+            } else {
+                match r % 3 {
+                    0 => Terminal::bidirectional(at, q, 0.05, 180.0),
+                    1 => Terminal::source_only(at, 0.05, 180.0),
+                    _ => Terminal::sink_only(q, 0.05),
+                }
+            };
+            (p, t)
+        })
+        .collect();
+    let net = build_net(params.tech, &terms)
+        .ok()?
+        .normalized()
+        .with_insertion_points(1500.0);
+    let fwd = params.buf_1x.clone();
+    let bwd = params.buf_1x.scaled(2.0);
+    let lib = vec![
+        params.repeater(1.0),
+        Repeater::from_buffer_pair("asym", &fwd, &bwd),
+    ];
+    let mut asg = Assignment::empty(net.topology.vertex_count());
+    for (i, v) in net.topology.insertion_points().enumerate() {
+        if (place_mask >> (i % 64)) & 1 == 1 {
+            let rep = ((place_mask >> ((i + 7) % 64)) & 1) as usize;
+            let orient = if (orient_mask >> (i % 64)) & 1 == 1 {
+                Orientation::AFacesParent
+            } else {
+                Orientation::BFacesParent
+            };
+            asg.place(v, rep, orient);
+        }
+    }
+    Some((net, lib, asg))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linear_ard_equals_naive_ard(
+        coords in prop::collection::vec((0u16..10_000, 0u16..10_000), 2..9),
+        roles in prop::collection::vec(0u8..12, 1..9),
+        place_mask in any::<u64>(),
+        orient_mask in any::<u64>(),
+    ) {
+        let Some((net, lib, asg)) = build_case(&coords, &roles, place_mask, orient_mask) else {
+            return Ok(());
+        };
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let fast = ard_linear(&net, &rooted, &lib, &asg);
+        let slow = ard_naive(&net, &rooted, &lib, &asg);
+        if fast.ard == f64::NEG_INFINITY {
+            prop_assert_eq!(slow.ard, f64::NEG_INFINITY);
+        } else {
+            prop_assert!((fast.ard - slow.ard).abs() < 1e-6 * fast.ard.abs().max(1.0),
+                "linear {} vs naive {}", fast.ard, slow.ard);
+        }
+    }
+
+    #[test]
+    fn ard_is_rooting_invariant(
+        coords in prop::collection::vec((0u16..10_000, 0u16..10_000), 3..7),
+        roles in prop::collection::vec(0u8..12, 1..7),
+        place_mask in any::<u64>(),
+    ) {
+        let Some((net, lib, _asg)) = build_case(&coords, &roles, place_mask, 0) else {
+            return Ok(());
+        };
+        let mut values = Vec::new();
+        for t in net.terminal_ids() {
+            let rooted = net.rooted_at_terminal(t);
+            // The physical orientation of placed repeaters is defined
+            // relative to the rooting, so only compare rerootings that
+            // leave all parent directions unchanged — i.e. use an empty
+            // assignment for the invariance check.
+            let empty = Assignment::empty(net.topology.vertex_count());
+            values.push(ard_linear(&net, &rooted, &lib, &empty).ard);
+        }
+        for w in values.windows(2) {
+            if w[0] == f64::NEG_INFINITY {
+                prop_assert_eq!(w[1], f64::NEG_INFINITY);
+            } else {
+                prop_assert!((w[0] - w[1]).abs() < 1e-6 * w[0].abs().max(1.0));
+            }
+        }
+    }
+}

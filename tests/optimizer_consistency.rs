@@ -1,0 +1,106 @@
+//! Property-based self-consistency of the optimizer at medium scale
+//! (beyond what the exhaustive oracle can cover): on random nets with
+//! mixed terminal roles and an asymmetric repeater library, every
+//! emitted trade-off point must materialize to exactly its claimed
+//! (cost, ARD), the frontier must be strictly improving, and repeaters
+//! must sit only on insertion points with orientations that exist in
+//! the library.
+
+use msrnet::core::exhaustive::apply_terminal_choices;
+use msrnet::prelude::*;
+use proptest::prelude::*;
+
+fn build_net(coords: &[(u16, u16)], roles: &[u8], spacing: f64) -> Option<Net> {
+    let params = table1();
+    let mut pts: Vec<Point> = Vec::new();
+    for &(x, y) in coords {
+        let p = Point::new((x % 10_000) as f64, (y % 10_000) as f64);
+        if !pts.contains(&p) {
+            pts.push(p);
+        }
+    }
+    if pts.len() < 3 {
+        return None;
+    }
+    let terms: Vec<(Point, Terminal)> = pts
+        .iter()
+        .zip(roles.iter().cycle())
+        .enumerate()
+        .map(|(i, (&p, &r))| {
+            let at = (r % 4) as f64 * 25.0;
+            let q = (r % 3) as f64 * 40.0;
+            let t = if i == 0 {
+                Terminal::bidirectional(0.0, 0.0, 0.05, 180.0)
+            } else {
+                match r % 3 {
+                    0 => Terminal::bidirectional(at, q, 0.05, 180.0),
+                    1 => Terminal::source_only(at, 0.05, 180.0),
+                    _ => Terminal::sink_only(q, 0.05),
+                }
+            };
+            (p, t)
+        })
+        .collect();
+    msrnet::steiner::build_net(params.tech, &terms)
+        .ok()
+        .map(|n| n.normalized().with_insertion_points(spacing))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_emitted_point_is_realizable(
+        coords in prop::collection::vec((0u16..10_000, 0u16..10_000), 3..9),
+        roles in prop::collection::vec(0u8..12, 1..9),
+        spacing in 900.0..2500.0f64,
+    ) {
+        let Some(net) = build_net(&coords, &roles, spacing) else {
+            return Ok(());
+        };
+        let params = table1();
+        let fwd = params.buf_1x.clone();
+        let bwd = params.buf_1x.scaled(2.0);
+        let lib = [
+            params.repeater(1.0),
+            Repeater::from_buffer_pair("asym", &fwd, &bwd),
+        ];
+        let drivers = TerminalOptions::defaults(&net);
+        let curve = match optimize(&net, TerminalId(0), &lib, &drivers, &MsriOptions::default()) {
+            Ok(c) => c,
+            Err(MsriError::NoFeasiblePair) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        };
+        // Strictly improving frontier.
+        for w in curve.points().windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost);
+            prop_assert!(w[0].ard > w[1].ard);
+        }
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        for p in curve.points() {
+            // Placement legality.
+            for (v, placed) in p.assignment.placements() {
+                prop_assert_eq!(
+                    net.topology.kind(v),
+                    msrnet::rctree::VertexKind::InsertionPoint
+                );
+                prop_assert!(placed.repeater < lib.len());
+            }
+            // Claimed (cost, ARD) must be exactly realizable.
+            let (scenario, opt_cost) =
+                apply_terminal_choices(&net, &drivers, &p.terminal_choices);
+            let report = ard_linear(&scenario, &rooted, &lib, &p.assignment);
+            prop_assert!(
+                (report.ard - p.ard).abs() < 1e-6,
+                "claimed {} vs materialized {}",
+                p.ard,
+                report.ard
+            );
+            prop_assert!(
+                (opt_cost + p.assignment.total_cost(&lib) - p.cost).abs() < 1e-9
+            );
+        }
+        // The cheapest point is the bare net.
+        prop_assert_eq!(curve.min_cost().assignment.placed_count(), 0);
+    }
+}

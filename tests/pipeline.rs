@@ -1,0 +1,158 @@
+//! End-to-end pipeline tests spanning all crates: workload generation →
+//! Steiner routing → insertion-point subdivision → repeater insertion /
+//! driver sizing → independent re-verification with the Elmore engine.
+
+use msrnet::core::exhaustive::apply_terminal_choices;
+use msrnet::prelude::*;
+use rand::SeedableRng;
+
+fn run_pipeline(seed: u64, n: usize) {
+    let params = table1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let exp = ExperimentNet::random(&mut rng, n, &params).expect("net");
+    let net = exp.with_insertion_points(800.0);
+    assert!(net.check().is_ok());
+
+    let lib = [params.repeater(1.0)];
+    let drivers = params.fixed_driver_menu(&net);
+    let curve = optimize(&net, TerminalId(0), &lib, &drivers, &MsriOptions::default())
+        .expect("optimize");
+
+    // Frontier sanity.
+    assert!(!curve.is_empty());
+    let mut prev_cost = f64::NEG_INFINITY;
+    let mut prev_ard = f64::INFINITY;
+    for p in curve.points() {
+        assert!(p.cost > prev_cost - 1e-9);
+        assert!(p.ard < prev_ard + 1e-9);
+        prev_cost = p.cost;
+        prev_ard = p.ard;
+    }
+
+    // Every point re-verifies against the independent evaluator.
+    let rooted = net.rooted_at_terminal(TerminalId(0));
+    for p in curve.points() {
+        let (scenario, opt_cost) = apply_terminal_choices(&net, &drivers, &p.terminal_choices);
+        let report = ard_linear(&scenario, &rooted, &lib, &p.assignment);
+        assert!(
+            (report.ard - p.ard).abs() < 1e-6,
+            "seed {seed}: claimed {} vs verified {}",
+            p.ard,
+            report.ard
+        );
+        assert!((opt_cost + p.assignment.total_cost(&lib) - p.cost).abs() < 1e-9);
+        // Repeaters only ever sit on insertion points.
+        for (v, _) in p.assignment.placements() {
+            assert_eq!(
+                net.topology.kind(v),
+                msrnet::rctree::VertexKind::InsertionPoint
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_end_to_end_ten_pins() {
+    for seed in 0..4 {
+        run_pipeline(seed, 10);
+    }
+}
+
+#[test]
+fn pipeline_end_to_end_twenty_pins() {
+    run_pipeline(99, 20);
+}
+
+#[test]
+fn sizing_and_repeaters_share_baseline() {
+    let params = table1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let exp = ExperimentNet::random(&mut rng, 8, &params).expect("net");
+    let net = exp.with_insertion_points(800.0);
+    let sizing = optimize(
+        &net,
+        TerminalId(0),
+        &[],
+        &params.sizing_menu(&net, &[1.0, 2.0, 3.0, 4.0]),
+        &MsriOptions::default(),
+    )
+    .expect("sizing");
+    let repeaters = optimize(
+        &net,
+        TerminalId(0),
+        &[params.repeater(1.0)],
+        &params.fixed_driver_menu(&net),
+        &MsriOptions::default(),
+    )
+    .expect("repeaters");
+    // Both modes' cheapest points are the 1X/1X unbuffered net.
+    assert!((sizing.min_cost().ard - repeaters.min_cost().ard).abs() < 1e-6);
+    assert!((sizing.min_cost().cost - repeaters.min_cost().cost).abs() < 1e-9);
+    // Paper's headline: repeaters reach a smaller diameter than sizing.
+    assert!(repeaters.best_ard().ard < sizing.best_ard().ard);
+}
+
+#[test]
+fn normalization_required_for_non_leaf_terminals() {
+    // A collinear net puts middle terminals on through-paths; without
+    // normalization the optimizer must refuse, with it it must succeed.
+    let params = table1();
+    let tech = params.tech;
+    let term = params.bidirectional_terminal();
+    let pts = [
+        Point::new(0.0, 0.0),
+        Point::new(4000.0, 0.0),
+        Point::new(8000.0, 0.0),
+    ];
+    let terms: Vec<_> = pts.iter().map(|&p| (p, term.clone())).collect();
+    let raw = build_net(tech, &terms).expect("net");
+    // The middle terminal is degree 2 in the raw topology.
+    let net = raw.with_insertion_points(800.0);
+    let err = optimize(
+        &net,
+        TerminalId(0),
+        &[],
+        &TerminalOptions::defaults(&net),
+        &MsriOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, MsriError::TerminalNotLeaf(_)));
+
+    let net = raw.normalized().with_insertion_points(800.0);
+    let curve = optimize(
+        &net,
+        TerminalId(0),
+        &[],
+        &TerminalOptions::defaults(&net),
+        &MsriOptions::default(),
+    )
+    .expect("normalized net optimizes");
+    assert_eq!(curve.len(), 1);
+}
+
+#[test]
+fn asymmetric_roles_flow_through_pipeline() {
+    let params = table1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let exp = ExperimentNet::random_asymmetric(&mut rng, 8, 2, &params).expect("net");
+    let net = exp.with_insertion_points(800.0);
+    let lib = [params.repeater(1.0)];
+    let drivers = params.fixed_driver_menu(&net);
+    let curve = optimize(
+        &net,
+        exp.source_terminal(),
+        &lib,
+        &drivers,
+        &MsriOptions::default(),
+    )
+    .expect("optimize");
+    // Verify best point and check its critical source is a real source.
+    let best = curve.best_ard();
+    let rooted = net.rooted_at_terminal(exp.source_terminal());
+    let (scenario, _) = apply_terminal_choices(&net, &drivers, &best.terminal_choices);
+    let report = ard_linear(&scenario, &rooted, &lib, &best.assignment);
+    let (src, snk) = report.critical.expect("feasible");
+    assert!(net.terminal(src).is_source());
+    assert!(net.terminal(snk).is_sink());
+    assert!((report.ard - best.ard).abs() < 1e-6);
+}

@@ -1,0 +1,102 @@
+//! Cross-check between the multisource optimizer and the classical
+//! single-source baselines: when the net has exactly one source at the
+//! DP root, `msrnet-core`'s repeater insertion must reproduce the
+//! van Ginneken / min-cost-buffering frontier point-for-point (the
+//! repeater's upstream direction is never exercised).
+
+use msrnet::buffering::min_cost_buffering;
+use msrnet::prelude::*;
+use rand::SeedableRng;
+
+fn single_source_net(seed: u64, n_sinks: usize, spacing: f64) -> (Net, TechParams) {
+    let params = table1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pts = msrnet::netgen::random_points(&mut rng, n_sinks + 1, params.grid);
+    let terms: Vec<(Point, Terminal)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let t = if i == 0 {
+                Terminal::source_only(0.0, params.buf_1x.in_cap, params.buf_1x.out_res)
+            } else {
+                // Random per-sink downstream delays exercise the
+                // augmented objective.
+                let q = (seed as f64 * 13.0 + i as f64 * 37.0) % 300.0;
+                Terminal::sink_only(q, params.buf_1x.in_cap)
+            };
+            (p, t)
+        })
+        .collect();
+    let net = build_net(params.tech, &terms)
+        .expect("net")
+        .normalized()
+        .with_insertion_points(spacing);
+    (net, params)
+}
+
+fn check_equivalence(seed: u64, n_sinks: usize, spacing: f64) {
+    let (net, params) = single_source_net(seed, n_sinks, spacing);
+    let vg = min_cost_buffering(&net, TerminalId(0), std::slice::from_ref(&params.buf_1x));
+    let curve = optimize(
+        &net,
+        TerminalId(0),
+        &[params.repeater(1.0)],
+        &TerminalOptions::defaults(&net),
+        &MsriOptions::default(),
+    )
+    .expect("optimize");
+    assert_eq!(
+        vg.len(),
+        curve.len(),
+        "seed {seed}: frontier sizes {} vs {}",
+        vg.len(),
+        curve.len()
+    );
+    for (v, m) in vg.iter().zip(curve.points()) {
+        // A k-buffer van Ginneken solution appears as k repeater pairs.
+        assert_eq!(v.assignment.placed_count(), m.assignment.placed_count());
+        assert!((2.0 * v.cost - m.cost).abs() < 1e-9, "cost {} vs {}", v.cost, m.cost);
+        assert!(
+            (v.max_delay - m.ard).abs() < 1e-6,
+            "seed {seed}: delay {} vs ARD {}",
+            v.max_delay,
+            m.ard
+        );
+    }
+}
+
+#[test]
+fn msri_degenerates_to_van_ginneken() {
+    for seed in 0..8 {
+        check_equivalence(seed, 4, 1200.0);
+    }
+}
+
+#[test]
+fn msri_degenerates_to_van_ginneken_denser_points() {
+    for seed in 0..3 {
+        check_equivalence(100 + seed, 6, 700.0);
+    }
+}
+
+#[test]
+fn sized_buffer_library_also_matches() {
+    let (net, params) = single_source_net(55, 5, 900.0);
+    let b1 = params.buf_1x.clone();
+    let b3 = params.buf_1x.scaled(3.0);
+    let vg = min_cost_buffering(&net, TerminalId(0), &[b1, b3]);
+    let lib = [params.repeater(1.0), params.repeater(3.0)];
+    let curve = optimize(
+        &net,
+        TerminalId(0),
+        &lib,
+        &TerminalOptions::defaults(&net),
+        &MsriOptions::default(),
+    )
+    .expect("optimize");
+    assert_eq!(vg.len(), curve.len());
+    for (v, m) in vg.iter().zip(curve.points()) {
+        assert!((2.0 * v.cost - m.cost).abs() < 1e-9);
+        assert!((v.max_delay - m.ard).abs() < 1e-6);
+    }
+}
