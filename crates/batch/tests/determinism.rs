@@ -1,0 +1,27 @@
+//! Determinism guard: the parallel engine must return bit-identical
+//! per-net results for any thread count. Worker scheduling varies from
+//! run to run; results must not.
+
+use msrnet_batch::{random_jobs, reports_bit_identical, run_batch};
+use msrnet_netgen::table1;
+
+#[test]
+fn parallel_runs_are_bit_identical_to_sequential() {
+    let params = table1();
+    // Mixed sizes so jobs have unequal durations and threads genuinely
+    // interleave and steal from the shared queue.
+    let mut jobs = random_jobs(&params, 12, 5, 200, 800.0);
+    jobs.extend(random_jobs(&params, 6, 8, 300, 800.0));
+    let sequential = run_batch(&jobs, 1);
+    for threads in [2, 4, 7] {
+        let parallel = run_batch(&jobs, threads);
+        assert!(
+            reports_bit_identical(&sequential, &parallel),
+            "results diverged at {threads} threads"
+        );
+    }
+    // Repeating the sequential run must also be stable (workspace reuse
+    // does not leak state between nets).
+    let again = run_batch(&jobs, 1);
+    assert!(reports_bit_identical(&sequential, &again));
+}

@@ -1,13 +1,13 @@
-//! Criterion benchmark of the linear-time ARD computation (paper §III,
+//! Micro-benchmark of the linear-time ARD computation (paper §III,
 //! Fig. 2) against the naive per-source traversal — the empirical side
 //! of contribution 2 ("the ARD is no harder than an RC-radius").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msrnet_bench::timing::{bench, group};
 use msrnet_core::ard::{ard_linear, ard_naive};
 use msrnet_netgen::{table1, ExperimentNet};
 use msrnet_rctree::{Assignment, Net, Orientation, Repeater, TerminalId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use msrnet_rng::rngs::StdRng;
+use msrnet_rng::{Rng, SeedableRng};
 
 fn setup(n: usize) -> (Net, Vec<Repeater>, Assignment) {
     let params = table1();
@@ -28,33 +28,32 @@ fn setup(n: usize) -> (Net, Vec<Repeater>, Assignment) {
     (net, lib, asg)
 }
 
-fn bench_transient(c: &mut Criterion) {
+fn bench_transient() {
     use msrnet_rctree::transient::{simulate_from, TransientOptions};
-    let mut group = c.benchmark_group("transient_oracle");
-    group.sample_size(10);
+    group("transient_oracle");
     let (net, lib, asg) = setup(10);
     let rooted = net.rooted_at_terminal(TerminalId(0));
     let opts = TransientOptions::default();
-    group.bench_function("simulate_from_10pin", |b| {
-        b.iter(|| simulate_from(&net, &rooted, &lib, &asg, TerminalId(0), &opts))
+    bench("simulate_from_10pin", || {
+        simulate_from(&net, &rooted, &lib, &asg, TerminalId(0), &opts)
     });
-    group.finish();
 }
 
-fn bench_ard(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ard_scaling");
+fn bench_ard() {
+    group("ard_scaling");
     for n in [20usize, 100, 400] {
         let (net, lib, asg) = setup(n);
         let rooted = net.rooted_at_terminal(TerminalId(0));
-        group.bench_with_input(BenchmarkId::new("linear_fig2", n), &n, |b, _| {
-            b.iter(|| ard_linear(&net, &rooted, &lib, &asg))
+        bench(&format!("linear_fig2/{n}"), || {
+            ard_linear(&net, &rooted, &lib, &asg)
         });
-        group.bench_with_input(BenchmarkId::new("naive_per_source", n), &n, |b, _| {
-            b.iter(|| ard_naive(&net, &rooted, &lib, &asg))
+        bench(&format!("naive_per_source/{n}"), || {
+            ard_naive(&net, &rooted, &lib, &asg)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_ard, bench_transient);
-criterion_main!(benches);
+fn main() {
+    bench_ard();
+    bench_transient();
+}

@@ -1,27 +1,20 @@
-//! Criterion version of paper Table IV: repeater-insertion and
+//! Micro-benchmark version of paper Table IV: repeater-insertion and
 //! driver-sizing optimizer run time on 10-pin and 20-pin random nets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msrnet_bench::timing::{bench, group};
 use msrnet_bench::{Instance, SPACING};
 use msrnet_core::MsriOptions;
 use msrnet_netgen::table1;
 
-fn bench_msri(c: &mut Criterion) {
+fn main() {
     let params = table1();
     let options = MsriOptions::default();
-    let mut group = c.benchmark_group("table4_msri");
-    group.sample_size(20);
+    group("table4_msri");
     for n in [10usize, 20] {
         let inst = Instance::random(&params, n, 42 + n as u64, SPACING);
-        group.bench_with_input(BenchmarkId::new("repeater_insertion", n), &inst, |b, inst| {
-            b.iter(|| inst.run_repeaters(&options))
+        bench(&format!("repeater_insertion/{n}"), || {
+            inst.run_repeaters(&options)
         });
-        group.bench_with_input(BenchmarkId::new("driver_sizing", n), &inst, |b, inst| {
-            b.iter(|| inst.run_sizing(&options))
-        });
+        bench(&format!("driver_sizing/{n}"), || inst.run_sizing(&options));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_msri);
-criterion_main!(benches);

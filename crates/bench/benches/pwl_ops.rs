@@ -1,8 +1,8 @@
-//! Criterion benchmarks of the PWL primitives (paper Eq. 3) and the
+//! Micro-benchmarks of the PWL primitives (paper Eq. 3) and the
 //! minimal-functional-subset pruning (paper Fig. 4 vs naive pairwise) —
 //! the inner loops of the repeater-insertion dynamic program.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msrnet_bench::timing::{bench, group};
 use msrnet_pwl::{mfs_divide_conquer, mfs_naive, FuncPoint, Pwl};
 
 /// Deterministic pseudo-random PWL built from `k` joined segments.
@@ -44,33 +44,30 @@ fn candidates(n: usize) -> Vec<FuncPoint<usize>> {
         .collect()
 }
 
-fn bench_primitives(c: &mut Criterion) {
+fn bench_primitives() {
     let mut seed = 12345u64;
     let f = random_pwl(&mut seed, 16);
     let g = random_pwl(&mut seed, 16);
-    let mut group = c.benchmark_group("pwl_primitives");
-    group.bench_function("max_16seg", |b| b.iter(|| f.max(&g)));
-    group.bench_function("le_regions_16seg", |b| b.iter(|| f.le_regions(&g)));
-    group.bench_function("shift_add_clamp", |b| {
-        b.iter(|| f.shifted_arg(0.5).add_linear(3.0, 7.0).clamp_domain(0.0, 9.0))
+    group("pwl_primitives");
+    bench("max_16seg", || f.max(&g));
+    bench("le_regions_16seg", || f.le_regions(&g));
+    bench("shift_add_clamp", || {
+        f.shifted_arg(0.5).add_linear(3.0, 7.0).clamp_domain(0.0, 9.0)
     });
-    group.finish();
 }
 
-fn bench_mfs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mfs_pruning");
-    group.sample_size(20);
+fn bench_mfs() {
+    group("mfs_pruning");
     for n in [64usize, 256] {
         let cands = candidates(n);
-        group.bench_with_input(BenchmarkId::new("divide_conquer", n), &n, |b, _| {
-            b.iter(|| mfs_divide_conquer(cands.clone(), 8))
+        bench(&format!("divide_conquer/{n}"), || {
+            mfs_divide_conquer(cands.clone(), 8)
         });
-        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| mfs_naive(cands.clone()))
-        });
+        bench(&format!("naive/{n}"), || mfs_naive(cands.clone()));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_primitives, bench_mfs);
-criterion_main!(benches);
+fn main() {
+    bench_primitives();
+    bench_mfs();
+}

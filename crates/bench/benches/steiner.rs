@@ -1,7 +1,7 @@
-//! Criterion benchmarks of the topology substrates: rectilinear MST,
+//! Micro-benchmarks of the topology substrates: rectilinear MST,
 //! iterated 1-Steiner refinement, and the P-Tree interval DP.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msrnet_bench::timing::{bench, group};
 use msrnet_geom::Point;
 use msrnet_steiner::{nn_tour, ptree_topology, rectilinear_mst, steiner_tree, two_opt};
 
@@ -16,24 +16,15 @@ fn points(n: usize, seed: u64) -> Vec<Point> {
     (0..n).map(|_| Point::new(next(), next())).collect()
 }
 
-fn bench_topologies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("steiner");
-    group.sample_size(20);
+fn main() {
+    group("steiner");
     for n in [10usize, 20] {
         let pts = points(n, 42);
-        group.bench_with_input(BenchmarkId::new("mst", n), &pts, |b, pts| {
-            b.iter(|| rectilinear_mst(pts))
-        });
-        group.bench_with_input(BenchmarkId::new("one_steiner", n), &pts, |b, pts| {
-            b.iter(|| steiner_tree(pts))
-        });
+        bench(&format!("mst/{n}"), || rectilinear_mst(&pts));
+        bench(&format!("one_steiner/{n}"), || steiner_tree(&pts));
     }
     // The P-Tree DP is O(n²·|H|²); bench at a modest size.
     let pts = points(8, 42);
     let order = two_opt(&pts, nn_tour(&pts, 0));
-    group.bench_function("ptree_8", |b| b.iter(|| ptree_topology(&pts, &order)));
-    group.finish();
+    bench("ptree_8", || ptree_topology(&pts, &order));
 }
-
-criterion_group!(benches, bench_topologies);
-criterion_main!(benches);

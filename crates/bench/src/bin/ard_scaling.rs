@@ -10,8 +10,8 @@ use std::time::Instant;
 use msrnet_core::ard::{ard_linear, ard_naive};
 use msrnet_netgen::{table1, ExperimentNet};
 use msrnet_rctree::{Assignment, Orientation, TerminalId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use msrnet_rng::rngs::StdRng;
+use msrnet_rng::{Rng, SeedableRng};
 
 fn main() {
     let params = table1();

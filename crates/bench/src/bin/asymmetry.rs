@@ -11,8 +11,8 @@
 
 use msrnet_core::{optimize, MsriOptions};
 use msrnet_netgen::{table1, ExperimentNet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use msrnet_rng::rngs::StdRng;
+use msrnet_rng::SeedableRng;
 
 fn main() {
     let params = table1();

@@ -11,8 +11,8 @@ use msrnet_core::{optimize, MsriOptions};
 use msrnet_netgen::{random_points, table1};
 use msrnet_rctree::{NetBuilder, TerminalId};
 use msrnet_steiner::{nn_tour, ptree_topology, steiner_tree, two_opt, SteinerTopology};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use msrnet_rng::rngs::StdRng;
+use msrnet_rng::SeedableRng;
 
 fn main() {
     let params = table1();

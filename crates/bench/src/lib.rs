@@ -2,17 +2,19 @@
 //! evaluation (§VI).
 //!
 //! Each binary in `src/bin/` prints one table or figure; this library
-//! holds the experiment logic so the Criterion benches and the binaries
+//! holds the experiment logic so the micro-benchmarks and the binaries
 //! measure exactly the same computations. See `EXPERIMENTS.md` at the
 //! repository root for the paper-vs-measured record.
+
+pub mod timing;
 
 use std::time::{Duration, Instant};
 
 use msrnet_core::{optimize, MsriOptions, MsriStats, TerminalOptions, TradeoffCurve};
 use msrnet_netgen::{ExperimentNet, TechParams};
 use msrnet_rctree::{Net, Repeater, TerminalId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use msrnet_rng::rngs::StdRng;
+use msrnet_rng::SeedableRng;
 
 /// Default insertion-point spacing of the experiments (§VI: consecutive
 /// insertion points no more than ≈800 µm apart).
@@ -240,7 +242,12 @@ mod tests {
     #[test]
     fn instance_runs_both_modes() {
         let params = table1();
-        let inst = Instance::random(&params, 6, 1, SPACING);
+        // "Repeaters beat sizing" is a regime-dependent claim: below the
+        // paper's 10-terminal experiment scale, wires are short enough
+        // that a repeater's intrinsic delay doesn't pay off and sizing
+        // can win. Test at the paper's smallest scale, where the claim
+        // holds across seeds.
+        let inst = Instance::random(&params, 10, 1, SPACING);
         let s = inst.run_sizing(&MsriOptions::default());
         let r = inst.run_repeaters(&MsriOptions::default());
         assert!((s.min_cost().ard - r.min_cost().ard).abs() < 1e-6);

@@ -70,6 +70,21 @@ impl<'a> Flags<'a> {
     pub fn has(&self, name: &str) -> bool {
         self.switches.contains(&name)
     }
+
+    /// Errors on any flag not in `known` — so a typo like `--thread`
+    /// fails loudly instead of silently falling back to a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown flag.
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.pairs {
+            if !known.contains(k) {
+                return Err(format!("unknown flag --{k}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +130,16 @@ mod tests {
         let refs: Vec<&String> = owned.iter().collect();
         let f = Flags::parse(&refs, &[]).unwrap();
         assert!(f.get_num("spec", 0.0).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_can_be_rejected() {
+        let owned = strings(&["net.msr", "--thread", "8"]);
+        let refs: Vec<&String> = owned.iter().collect();
+        let f = Flags::parse(&refs, &[]).unwrap();
+        let err = f.reject_unknown(&["threads", "o"]).unwrap_err();
+        assert!(err.contains("--thread"));
+        assert!(f.reject_unknown(&["thread"]).is_ok());
     }
 
     #[test]

@@ -17,10 +17,10 @@
 //! ```
 //! use msrnet_cli::format::{parse_net_file, write_net_file};
 //! use msrnet_netgen::{table1, ExperimentNet};
-//! use rand::SeedableRng;
+//! use msrnet_rng::SeedableRng;
 //!
 //! let params = table1();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(3);
 //! let exp = ExperimentNet::random(&mut rng, 5, &params)?;
 //! let net = exp.with_insertion_points(800.0);
 //! let lib = vec![params.repeater(1.0)];

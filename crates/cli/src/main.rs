@@ -5,6 +5,7 @@
 //! msrnet-cli gen --terminals 10 --seed 1 [--spacing 800] -o net.msr
 //! msrnet-cli ard net.msr [--root 0]
 //! msrnet-cli optimize net.msr [--root 0] [--spec PS] [--driver-cost C]
+//! msrnet-cli batch a.msr b.msr [--threads 4] [-o report.json]
 //! msrnet-cli render net.msr -o net.svg [--best] [--no-labels]
 //! ```
 
@@ -20,7 +21,7 @@ use msrnet_core::{
 };
 use msrnet_netgen::{table1, ExperimentNet};
 use msrnet_rctree::{Assignment, TerminalId};
-use rand::SeedableRng;
+use msrnet_rng::SeedableRng;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +42,8 @@ const USAGE: &str = "usage:
   msrnet-cli ard FILE [--root T]
   msrnet-cli optimize FILE [--root T] [--spec PS] [--driver-cost C]
                        [--sizes 1,2,4] [--widths 1,2,4 [--width-cost C/um]]
+  msrnet-cli batch [FILES...] [--count N --terminals T --seed S [--spacing UM]]
+                       [--threads K] [--driver-cost C] [-o FILE.json]
   msrnet-cli render FILE [-o FILE.svg] [--best] [--no-labels]
   msrnet-cli report FILE [-o FILE.md] [--root T] [--spec PS] [--driver-cost C]";
 
@@ -53,6 +56,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(&rest),
         "ard" => cmd_ard(&rest),
         "optimize" => cmd_optimize(&rest),
+        "batch" => cmd_batch(&rest),
         "render" => cmd_render(&rest),
         "report" => cmd_report(&rest),
         "--help" | "-h" | "help" => {
@@ -72,7 +76,7 @@ fn cmd_gen(args: &[&String]) -> Result<(), String> {
         return Err("--terminals must be at least 2".into());
     }
     let params = table1();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(seed);
     let exp = ExperimentNet::random(&mut rng, n, &params).map_err(|e| e.to_string())?;
     let net = exp.with_insertion_points(spacing);
     let lib = vec![params.repeater(1.0)];
@@ -240,6 +244,63 @@ fn cmd_optimize(args: &[&String]) -> Result<(), String> {
                 println!("  verified: {:.2} ps", check.ard);
             }
         }
+    }
+    Ok(())
+}
+
+fn cmd_batch(args: &[&String]) -> Result<(), String> {
+    use msrnet_batch::{random_jobs, run_batch, BatchJob};
+    let f = Flags::parse(args, &[])?;
+    f.reject_unknown(&[
+        "threads",
+        "driver-cost",
+        "count",
+        "terminals",
+        "seed",
+        "spacing",
+        "o",
+    ])?;
+    let threads = f.get_num("threads", 1.0)? as usize;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let driver_cost = f.get_num("driver-cost", 0.0)?;
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    for path in &f.positional {
+        let nf = load(path)?;
+        let mut job = BatchJob::new(*path, nf.net, nf.library);
+        job.drivers = TerminalOptions::defaults_with_cost(&job.net, driver_cost);
+        job.options.allow_inverting = job.library.iter().any(|r| r.inverting);
+        jobs.push(job);
+    }
+    let count = f.get_num("count", 0.0)? as usize;
+    if count > 0 {
+        let n = f.get_num("terminals", 8.0)? as usize;
+        let seed = f.get_num("seed", 1.0)? as u64;
+        let spacing = f.get_num("spacing", 800.0)?;
+        if n < 2 {
+            return Err("--terminals must be at least 2".into());
+        }
+        jobs.extend(random_jobs(&table1(), count, n, seed, spacing));
+    }
+    if jobs.is_empty() {
+        return Err("no nets to optimize: pass FILE arguments or --count N".into());
+    }
+    let report = run_batch(&jobs, threads);
+    let failed = report.results.iter().filter(|r| r.outcome.is_err()).count();
+    eprintln!(
+        "optimized {} nets on {} threads in {:.1} ms ({failed} failed)",
+        report.results.len(),
+        report.threads,
+        report.wall.as_secs_f64() * 1e3,
+    );
+    let json = report.to_json();
+    match f.get("o") {
+        Some(out) => {
+            std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{json}"),
     }
     Ok(())
 }

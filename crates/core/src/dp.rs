@@ -20,7 +20,7 @@
 //! curve, from which "min cost subject to `ARD ≤ spec`" (Problem 2.1) is
 //! read off directly.
 
-use msrnet_pwl::{mfs_divide_conquer, mfs_naive, FuncPoint, Pwl};
+use msrnet_pwl::{mfs_divide_conquer, mfs_naive, FuncPoint, Pwl, SegmentArena};
 use msrnet_rctree::{
     Assignment, Net, Orientation, Repeater, Rooted, TerminalId, VertexId, VertexKind,
 };
@@ -143,6 +143,72 @@ pub fn optimize(
     optimize_with_wires(net, root, library, term_opts, &[WireOption::unit()], options)
 }
 
+/// Reusable scratch state for [`optimize_in`]: a segment arena whose
+/// buffers are recycled across the DP's PWL operations *and across
+/// nets*.
+///
+/// The hot DP loop (`Augment`, `JoinSets`) produces a handful of
+/// short-lived PWL temporaries per candidate pair; with a workspace
+/// those run through [`SegmentArena`]'s fused, allocation-free
+/// operations instead of the global allocator. Results are
+/// **bit-identical** to [`optimize`] — the fused operations replicate
+/// the composed primitives' floating-point operation order exactly.
+///
+/// A workspace is single-threaded by design; the batch engine creates
+/// one per worker thread.
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_core::MsriWorkspace;
+///
+/// let mut ws = MsriWorkspace::new();
+/// // ... run optimize_in(&net, ..., &mut ws) for many nets ...
+/// assert_eq!(ws.arena().reused(), 0); // nothing recycled yet
+/// ```
+#[derive(Debug, Default)]
+pub struct MsriWorkspace {
+    arena: SegmentArena,
+}
+
+impl MsriWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        MsriWorkspace::default()
+    }
+
+    /// The underlying arena (for allocation-reuse diagnostics).
+    pub fn arena(&self) -> &SegmentArena {
+        &self.arena
+    }
+}
+
+/// Like [`optimize`], but reusing `workspace` scratch memory — the entry
+/// point for high-throughput multi-net runs. Results are bit-identical
+/// to [`optimize`].
+///
+/// # Errors
+///
+/// See [`MsriError`].
+pub fn optimize_in(
+    net: &Net,
+    root: TerminalId,
+    library: &[Repeater],
+    term_opts: &TerminalOptions,
+    options: &MsriOptions,
+    workspace: &mut MsriWorkspace,
+) -> Result<TradeoffCurve, MsriError> {
+    optimize_with_wires_in(
+        net,
+        root,
+        library,
+        term_opts,
+        &[WireOption::unit()],
+        options,
+        workspace,
+    )
+}
+
 /// Like [`optimize`], additionally choosing a wire width for **every**
 /// edge from `wire_options` (simultaneous repeater insertion and
 /// discrete wire sizing — the paper's §VII extension).
@@ -162,6 +228,33 @@ pub fn optimize_with_wires(
     term_opts: &TerminalOptions,
     wire_options: &[WireOption],
     options: &MsriOptions,
+) -> Result<TradeoffCurve, MsriError> {
+    let mut workspace = MsriWorkspace::new();
+    optimize_with_wires_in(
+        net,
+        root,
+        library,
+        term_opts,
+        wire_options,
+        options,
+        &mut workspace,
+    )
+}
+
+/// Like [`optimize_with_wires`], reusing `workspace` scratch memory.
+/// Results are bit-identical to [`optimize_with_wires`].
+///
+/// # Errors
+///
+/// See [`MsriError`]; additionally `wire_options` must be non-empty.
+pub fn optimize_with_wires_in(
+    net: &Net,
+    root: TerminalId,
+    library: &[Repeater],
+    term_opts: &TerminalOptions,
+    wire_options: &[WireOption],
+    options: &MsriOptions,
+    workspace: &mut MsriWorkspace,
 ) -> Result<TradeoffCurve, MsriError> {
     assert!(!wire_options.is_empty(), "at least one wire option required");
     net.check()?;
@@ -192,6 +285,7 @@ pub fn optimize_with_wires(
         trace: Vec::new(),
         cap_bound: cap_bound(net, library, term_opts, wire_options),
         stats: MsriStats::default(),
+        arena: &mut workspace.arena,
     };
     solver.run(root)
 }
@@ -243,6 +337,7 @@ struct Solver<'a> {
     trace: Vec<TraceNode>,
     cap_bound: f64,
     stats: MsriStats,
+    arena: &'a mut SegmentArena,
 }
 
 impl Solver<'_> {
@@ -281,15 +376,9 @@ impl Solver<'_> {
             VertexKind::Steiner | VertexKind::InsertionPoint if children.is_empty() => {
                 // Degenerate leaf Steiner point: empty subtree.
                 let trace = self.push_trace(TraceNode::Empty);
-                vec![self.candidate(
-                    trace,
-                    false,
-                    0.0,
-                    0.0,
-                    f64::NEG_INFINITY,
-                    Pwl::neg_inf(0.0, self.cap_bound),
-                    Pwl::neg_inf(0.0, self.cap_bound),
-                )]
+                let arrival = self.arena.neg_inf(0.0, self.cap_bound);
+                let diameter = self.arena.neg_inf(0.0, self.cap_bound);
+                vec![self.candidate(trace, false, 0.0, 0.0, f64::NEG_INFINITY, arrival, diameter)]
             }
             VertexKind::Steiner => {
                 let mut acc: Option<Vec<Cand>> = None;
@@ -357,29 +446,22 @@ impl Solver<'_> {
             });
             let arrival = if term.is_source() {
                 // AT + driver intrinsic/loading + r·(own cap + c_E).
-                Pwl::linear(
+                self.arena.linear(
                     term.arrival + o.arrival_extra + o.drive_res * o.cap,
                     o.drive_res,
                     0.0,
                     b,
                 )
             } else {
-                Pwl::neg_inf(0.0, b)
+                self.arena.neg_inf(0.0, b)
             };
             let d_sinks = if term.is_sink() {
                 term.downstream + o.downstream_extra
             } else {
                 f64::NEG_INFINITY
             };
-            out.push(self.candidate(
-                trace,
-                false,
-                o.cost,
-                o.cap,
-                d_sinks,
-                arrival,
-                Pwl::neg_inf(0.0, b),
-            ));
+            let diameter = self.arena.neg_inf(0.0, b);
+            out.push(self.candidate(trace, false, o.cost, o.cap, d_sinks, arrival, diameter));
         }
         self.prune(out)
     }
@@ -398,7 +480,7 @@ impl Solver<'_> {
         let b = self.cap_bound;
         let n_opts = if sizing { self.wire_options.len() } else { 1 };
         let mut out = Vec::with_capacity(set.len() * n_opts);
-        for cand in &set {
+        for cand in set {
             for oi in 0..n_opts {
                 let w = &self.wire_options[oi];
                 let r = base_r * w.res_scale;
@@ -406,11 +488,10 @@ impl Solver<'_> {
                 let cost = cand.scalars[COST] + if sizing { w.cost_per_um * len } else { 0.0 };
                 let cap = cand.scalars[CAP] + c;
                 let d_sinks = r * (0.5 * c + cand.scalars[CAP]) + cand.scalars[DSINKS];
-                let arrival = cand.pwls[ARR]
-                    .shifted_arg(c)
-                    .add_linear(r * 0.5 * c, r)
-                    .clamp_domain(0.0, b);
-                let diameter = cand.pwls[DIA].shifted_arg(c).clamp_domain(0.0, b);
+                let arrival = self
+                    .arena
+                    .shift_linear_clamp(&cand.pwls[ARR], c, r * 0.5 * c, r, 0.0, b);
+                let diameter = self.arena.shift_clamp(&cand.pwls[DIA], c, 0.0, b);
                 let trace = if sizing {
                     self.push_trace(TraceNode::Wire {
                         child: cand.payload.trace,
@@ -429,6 +510,11 @@ impl Solver<'_> {
                     arrival,
                     diameter,
                 ));
+            }
+            // The input candidate is consumed: its PWL buffers feed the
+            // next operations instead of the allocator.
+            for p in cand.pwls {
+                self.arena.recycle(p);
             }
         }
         if sizing {
@@ -476,21 +562,32 @@ impl Solver<'_> {
                 let cost = l.scalars[COST] + r.scalars[COST];
                 let cap = l.scalars[CAP] + r.scalars[CAP];
                 let d_sinks = l.scalars[DSINKS].max(r.scalars[DSINKS]);
-                let yl = l.pwls[ARR].shifted_arg(r.scalars[CAP]).clamp_domain(0.0, b);
-                let yr = r.pwls[ARR].shifted_arg(l.scalars[CAP]).clamp_domain(0.0, b);
-                let dl = l.pwls[DIA].shifted_arg(r.scalars[CAP]).clamp_domain(0.0, b);
-                let dr = r.pwls[DIA].shifted_arg(l.scalars[CAP]).clamp_domain(0.0, b);
-                let arrival = yl.max(&yr);
+                let yl = self.arena.shift_clamp(&l.pwls[ARR], r.scalars[CAP], 0.0, b);
+                let yr = self.arena.shift_clamp(&r.pwls[ARR], l.scalars[CAP], 0.0, b);
+                let dl = self.arena.shift_clamp(&l.pwls[DIA], r.scalars[CAP], 0.0, b);
+                let dr = self.arena.shift_clamp(&r.pwls[DIA], l.scalars[CAP], 0.0, b);
+                let arrival = self.arena.max(&yl, &yr);
                 // Internal pairs: within either side, or crossing the
                 // junction in both directions.
-                let mut diameter = dl.max(&dr);
-                diameter = diameter.max(&yl.add_scalar(r.scalars[DSINKS]));
-                diameter = diameter.max(&yr.add_scalar(l.scalars[DSINKS]));
+                let d0 = self.arena.max(&dl, &dr);
+                let cross_l = self.arena.add_scalar(&yl, r.scalars[DSINKS]);
+                let d1 = self.arena.max(&d0, &cross_l);
+                let cross_r = self.arena.add_scalar(&yr, l.scalars[DSINKS]);
+                let diameter = self.arena.max(&d1, &cross_r);
+                for t in [yl, yr, dl, dr, d0, cross_l, d1, cross_r] {
+                    self.arena.recycle(t);
+                }
                 let trace = self.push_trace(TraceNode::Join {
                     left: l.payload.trace,
                     right: r.payload.trace,
                 });
                 out.push(self.candidate(trace, parity, cost, cap, d_sinks, arrival, diameter));
+            }
+        }
+        // Both input sets are fully consumed at this point.
+        for c in left.into_iter().chain(right) {
+            for p in c.pwls {
+                self.arena.recycle(p);
             }
         }
         out
@@ -533,11 +630,11 @@ impl Solver<'_> {
                         f64::NEG_INFINITY
                     };
                     let arrival = if y_at > f64::NEG_INFINITY {
-                        Pwl::linear(y_at + up.intrinsic, up.out_res, 0.0, b)
+                        self.arena.linear(y_at + up.intrinsic, up.out_res, 0.0, b)
                     } else {
-                        Pwl::neg_inf(0.0, b)
+                        self.arena.neg_inf(0.0, b)
                     };
-                    let diameter = Pwl::constant(d_at, 0.0, b);
+                    let diameter = self.arena.constant(d_at, 0.0, b);
                     let parity = cand.payload.parity ^ rep.inverting;
                     let trace = self.push_trace(TraceNode::Repeater {
                         child: cand.payload.trace,
@@ -765,6 +862,7 @@ mod tests {
         options: MsriOptions,
         ip: VertexId,
         t1_v: VertexId,
+        workspace: MsriWorkspace,
     }
 
     impl Fix {
@@ -793,6 +891,7 @@ mod tests {
                 wire_options: vec![WireOption::unit()],
                 options: MsriOptions::default(),
                 ip,
+                workspace: MsriWorkspace::new(),
             }
         }
 
@@ -807,6 +906,7 @@ mod tests {
                 trace: Vec::new(),
                 cap_bound: cap_bound(&self.net, &self.library, &self.term_opts, &self.wire_options),
                 stats: MsriStats::default(),
+                arena: &mut self.workspace.arena,
             }
         }
     }

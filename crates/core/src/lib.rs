@@ -64,7 +64,9 @@ pub mod greedy;
 mod options;
 mod tradeoff;
 
-pub use dp::{optimize, optimize_with_wires, MsriStats};
+pub use dp::{
+    optimize, optimize_in, optimize_with_wires, optimize_with_wires_in, MsriStats, MsriWorkspace,
+};
 pub use options::{
     MsriError, MsriOptions, PruningStrategy, TerminalOption, TerminalOptions, WireOption,
 };

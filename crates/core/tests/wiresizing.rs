@@ -18,8 +18,8 @@ use msrnet_geom::Point;
 use msrnet_rctree::{
     Buffer, Net, NetBuilder, Repeater, Technology, Terminal, TerminalId,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use msrnet_rng::rngs::StdRng;
+use msrnet_rng::{Rng, SeedableRng};
 
 fn tech() -> Technology {
     Technology::new(0.03, 0.00035)

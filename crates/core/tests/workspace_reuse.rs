@@ -1,0 +1,61 @@
+//! The workspace entry point must be bit-identical to the plain one,
+//! including when one workspace is reused across many nets — recycled
+//! arena buffers must never leak state between runs. This is the
+//! property the parallel batch engine's determinism guarantee rests on.
+
+use msrnet_core::{optimize, optimize_in, MsriOptions, MsriWorkspace, TerminalOptions};
+use msrnet_geom::Point;
+use msrnet_rctree::{Buffer, Net, NetBuilder, Repeater, Technology, Terminal, TerminalId};
+use msrnet_rng::{Rng, SeedableRng, SplitMix64};
+
+/// A random multi-terminal star/chain net with insertion points.
+fn random_net(rng: &mut SplitMix64) -> Net {
+    let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+    let n = rng.gen_range(3..7usize);
+    let mut prev = b.terminal(
+        Point::new(0.0, 0.0),
+        Terminal::bidirectional(0.0, 0.0, 0.05, 180.0),
+    );
+    for i in 1..n {
+        let x = 3000.0 * i as f64;
+        let y = rng.gen_range(-1000.0..1000.0f64);
+        let ip = b.insertion_point(Point::new(x - 1500.0, y * 0.5));
+        b.wire(prev, ip);
+        let t = if rng.gen_bool(0.3) {
+            Terminal::sink_only(rng.gen_range(0.0..50.0f64), 0.05)
+        } else {
+            Terminal::bidirectional(rng.gen_range(0.0..30.0f64), 0.0, 0.05, 180.0)
+        };
+        let v = b.terminal(Point::new(x, y), t);
+        b.wire(ip, v);
+        prev = v;
+    }
+    b.build().expect("chain nets are valid").normalized()
+}
+
+#[test]
+fn reused_workspace_is_bit_identical_to_fresh_runs() {
+    let mut rng = SplitMix64::seed_from_u64(80);
+    let buf = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+    let lib = [Repeater::from_buffer_pair("rep", &buf, &buf)];
+    let options = MsriOptions::default();
+    let mut ws = MsriWorkspace::new();
+    for _ in 0..16 {
+        let net = random_net(&mut rng);
+        let drivers = TerminalOptions::defaults(&net);
+        let fresh = optimize(&net, TerminalId(0), &lib, &drivers, &options)
+            .expect("chain nets optimize");
+        let reused = optimize_in(&net, TerminalId(0), &lib, &drivers, &options, &mut ws)
+            .expect("chain nets optimize");
+        assert_eq!(fresh.points().len(), reused.points().len());
+        for (a, b) in fresh.points().iter().zip(reused.points()) {
+            // Exact float equality on purpose: the arena path must
+            // perform the identical operations.
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.ard.to_bits(), b.ard.to_bits());
+            assert_eq!(a.terminal_choices, b.terminal_choices);
+        }
+    }
+    // The workspace must actually be exercising the free list by now.
+    assert!(ws.arena().reused() > 0, "arena reuse is active");
+}

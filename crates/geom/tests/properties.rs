@@ -1,60 +1,83 @@
-//! Property-based tests of the geometry primitives.
+//! Randomized property tests of the geometry primitives, driven by a
+//! seeded in-tree generator so every run checks the same cases.
 
 use msrnet_geom::{hanan_grid, BoundingBox, Point};
-use proptest::prelude::*;
+use msrnet_rng::{Rng, SeedableRng, SplitMix64};
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (0i32..10_000, 0i32..10_000).prop_map(|(x, y)| Point::new(x as f64, y as f64))
+const CASES: usize = 128;
+
+fn arb_point(rng: &mut SplitMix64) -> Point {
+    Point::new(
+        rng.gen_range(0..10_000i32) as f64,
+        rng.gen_range(0..10_000i32) as f64,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_points(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<Point> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| arb_point(rng)).collect()
+}
 
-    #[test]
-    fn l1_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+#[test]
+fn l1_is_a_metric() {
+    let mut rng = SplitMix64::seed_from_u64(1);
+    for _ in 0..CASES {
+        let (a, b, c) = (arb_point(&mut rng), arb_point(&mut rng), arb_point(&mut rng));
         // Identity, symmetry, triangle inequality.
-        prop_assert_eq!(a.l1_distance(a), 0.0);
-        prop_assert_eq!(a.l1_distance(b), b.l1_distance(a));
-        prop_assert!(a.l1_distance(c) <= a.l1_distance(b) + b.l1_distance(c) + 1e-9);
-        prop_assert!(a.l1_distance(b) >= 0.0);
+        assert_eq!(a.l1_distance(a), 0.0);
+        assert_eq!(a.l1_distance(b), b.l1_distance(a));
+        assert!(a.l1_distance(c) <= a.l1_distance(b) + b.l1_distance(c) + 1e-9);
+        assert!(a.l1_distance(b) >= 0.0);
     }
+}
 
-    #[test]
-    fn median3_minimizes_total_distance(a in arb_point(), b in arb_point(), c in arb_point()) {
+#[test]
+fn median3_minimizes_total_distance() {
+    let mut rng = SplitMix64::seed_from_u64(2);
+    for _ in 0..CASES {
+        let (a, b, c) = (arb_point(&mut rng), arb_point(&mut rng), arb_point(&mut rng));
         let m = Point::median3(a, b, c);
         let cost = |p: Point| p.l1_distance(a) + p.l1_distance(b) + p.l1_distance(c);
         // The coordinate-wise median beats (or ties) every Hanan candidate
         // and every input point.
         for cand in hanan_grid(&[a, b, c]) {
-            prop_assert!(cost(m) <= cost(cand) + 1e-9);
+            assert!(cost(m) <= cost(cand) + 1e-9);
         }
         // Permutation invariance.
-        prop_assert_eq!(m, Point::median3(c, a, b));
-        prop_assert_eq!(m, Point::median3(b, c, a));
+        assert_eq!(m, Point::median3(c, a, b));
+        assert_eq!(m, Point::median3(b, c, a));
     }
+}
 
-    #[test]
-    fn bounding_box_is_tight(pts in prop::collection::vec(arb_point(), 1..12)) {
+#[test]
+fn bounding_box_is_tight() {
+    let mut rng = SplitMix64::seed_from_u64(3);
+    for _ in 0..CASES {
+        let pts = arb_points(&mut rng, 1, 12);
         let bb = BoundingBox::of(pts.iter().copied()).expect("nonempty");
         for &p in &pts {
-            prop_assert!(bb.contains(p));
+            assert!(bb.contains(p));
         }
         // Each side is touched by some point.
-        prop_assert!(pts.iter().any(|p| p.x == bb.min_x));
-        prop_assert!(pts.iter().any(|p| p.x == bb.max_x));
-        prop_assert!(pts.iter().any(|p| p.y == bb.min_y));
-        prop_assert!(pts.iter().any(|p| p.y == bb.max_y));
+        assert!(pts.iter().any(|p| p.x == bb.min_x));
+        assert!(pts.iter().any(|p| p.x == bb.max_x));
+        assert!(pts.iter().any(|p| p.y == bb.min_y));
+        assert!(pts.iter().any(|p| p.y == bb.max_y));
         // Half-perimeter lower-bounds any spanning-tree wirelength proxy:
         // it is at least the largest pairwise coordinate spread.
-        prop_assert!(bb.half_perimeter() >= 0.0);
+        assert!(bb.half_perimeter() >= 0.0);
     }
+}
 
-    #[test]
-    fn hanan_grid_is_the_coordinate_product(pts in prop::collection::vec(arb_point(), 1..8)) {
+#[test]
+fn hanan_grid_is_the_coordinate_product() {
+    let mut rng = SplitMix64::seed_from_u64(4);
+    for _ in 0..CASES {
+        let pts = arb_points(&mut rng, 1, 8);
         let grid = hanan_grid(&pts);
         // Every input point appears.
         for p in &pts {
-            prop_assert!(grid.contains(p));
+            assert!(grid.contains(p));
         }
         // Size is (#distinct x) × (#distinct y) and every grid point uses
         // input coordinates.
@@ -64,9 +87,9 @@ proptest! {
         let mut ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
         ys.sort_by(f64::total_cmp);
         ys.dedup();
-        prop_assert_eq!(grid.len(), xs.len() * ys.len());
+        assert_eq!(grid.len(), xs.len() * ys.len());
         for g in &grid {
-            prop_assert!(xs.contains(&g.x) && ys.contains(&g.y));
+            assert!(xs.contains(&g.x) && ys.contains(&g.y));
         }
     }
 }

@@ -12,10 +12,10 @@
 //!
 //! ```
 //! use msrnet_netgen::{table1, ExperimentNet};
-//! use rand::SeedableRng;
+//! use msrnet_rng::SeedableRng;
 //!
 //! let params = table1();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(1);
 //! let exp = ExperimentNet::random(&mut rng, 10, &params)?;
 //! let net = exp.with_insertion_points(800.0);
 //! assert_eq!(net.topology.terminal_count(), 10);
@@ -28,7 +28,7 @@ use msrnet_geom::Point;
 use msrnet_rctree::{
     Buffer, BuildNetError, Net, Repeater, Technology, Terminal, TerminalId,
 };
-use rand::Rng;
+use msrnet_rng::Rng;
 
 /// The technology parameters used by every experiment — the stand-in for
 /// the paper's Table I (values representative of mid-1990s sub-micron
@@ -264,8 +264,8 @@ pub fn random_points<R: Rng>(rng: &mut R, n: usize, grid: f64) -> Vec<Point> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use msrnet_rng::rngs::StdRng;
+    use msrnet_rng::SeedableRng;
 
     #[test]
     fn table1_values_are_sane() {

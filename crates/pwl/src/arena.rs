@@ -1,0 +1,332 @@
+//! Scratch arena for PWL segment storage — see [`SegmentArena`].
+
+use crate::function::{coalesce_in_place, zip_cells};
+use crate::{Pwl, Segment, EPS};
+
+/// Upper bound on retained free buffers — past this, recycled buffers
+/// are simply dropped so a pathological peak cannot pin memory forever.
+const MAX_FREE: usize = 4096;
+
+/// A free list of segment buffers plus fused, allocation-free PWL
+/// operations.
+///
+/// The MSRI dynamic program builds and discards millions of short-lived
+/// [`Pwl`] values: every wire traversal and every join pair produces a
+/// handful of shifted/clamped/maxed temporaries whose backing `Vec`s
+/// would otherwise go through the global allocator each time. A
+/// `SegmentArena` keeps a free list of segment buffers and exposes
+/// **fused** operations that produce each result in a single pass over
+/// the input, writing into a recycled buffer.
+///
+/// Every fused operation is **bit-identical** to the composition of the
+/// corresponding [`Pwl`] primitives — it performs exactly the same
+/// floating-point operations in exactly the same order, only the
+/// intermediate allocations disappear. The unit tests assert equality
+/// with `==` (exact segment comparison), not a tolerance; the batch
+/// engine's determinism guarantee (parallel runs bit-identical to
+/// sequential) builds on this property.
+///
+/// Not thread-safe by design: each worker thread owns one arena (the
+/// batch engine creates one per worker).
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_pwl::{Pwl, SegmentArena};
+///
+/// let mut arena = SegmentArena::new();
+/// let f = Pwl::linear(1.0, 2.0, 0.0, 10.0);
+///
+/// // Fused shift + add-linear + clamp, equal to the composed pipeline.
+/// let fused = arena.shift_linear_clamp(&f, 1.0, 0.5, 3.0, 0.0, 8.0);
+/// let composed = f.shifted_arg(1.0).add_linear(0.5, 3.0).clamp_domain(0.0, 8.0);
+/// assert_eq!(fused.segments(), composed.segments());
+///
+/// // Returning a value to the arena lets the next operation reuse its
+/// // allocation.
+/// arena.recycle(fused);
+/// let _g = arena.shift_clamp(&f, 2.0, 0.0, 8.0);
+/// assert!(arena.reused() >= 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SegmentArena {
+    free: Vec<Vec<Segment>>,
+    taken: u64,
+    reused: u64,
+}
+
+impl SegmentArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        SegmentArena::default()
+    }
+
+    /// Total buffer requests served.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Buffer requests served from the free list (no allocation).
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Buffers currently parked on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Returns a `Pwl`'s backing storage to the free list.
+    pub fn recycle(&mut self, f: Pwl) {
+        self.recycle_vec(f.into_segments());
+    }
+
+    /// Returns a raw segment buffer to the free list.
+    pub fn recycle_vec(&mut self, buf: Vec<Segment>) {
+        if buf.capacity() > 0 && self.free.len() < MAX_FREE {
+            self.free.push(buf);
+        }
+    }
+
+    /// Pops a cleared buffer with at least `cap_hint` capacity,
+    /// allocating only when the free list is empty.
+    fn buffer(&mut self, cap_hint: usize) -> Vec<Segment> {
+        self.taken += 1;
+        match self.free.pop() {
+            Some(mut b) => {
+                self.reused += 1;
+                b.clear();
+                b.reserve(cap_hint);
+                b
+            }
+            None => Vec::with_capacity(cap_hint),
+        }
+    }
+
+    /// Fused `f.shifted_arg(dx).add_linear(c0, slope).clamp_domain(lo, hi)`
+    /// — the wire-traversal (*Augment*) arrival update — in one pass.
+    pub fn shift_linear_clamp(
+        &mut self,
+        f: &Pwl,
+        dx: f64,
+        c0: f64,
+        slope: f64,
+        lo: f64,
+        hi: f64,
+    ) -> Pwl {
+        let mut out = self.buffer(f.segments().len());
+        for s in f.segments() {
+            // Exactly `shifted_arg`:
+            let sh = Segment::new(s.x0 - dx, s.x1 - dx, s.y0, s.slope);
+            // Exactly `add_linear` (the -∞ plateau passes through):
+            let ln = if sh.y0 == f64::NEG_INFINITY {
+                sh
+            } else {
+                Segment::new(sh.x0, sh.x1, sh.y0 + c0 + slope * sh.x0, sh.slope + slope)
+            };
+            // Exactly `clamp_domain`:
+            if let Some(r) = ln.restricted(lo, hi) {
+                out.push(r);
+            }
+        }
+        coalesce_in_place(&mut out);
+        Pwl::from_raw(out)
+    }
+
+    /// Fused `f.shifted_arg(dx).clamp_domain(lo, hi)` — the join-step
+    /// re-basing of a sibling's characteristic — in one pass.
+    pub fn shift_clamp(&mut self, f: &Pwl, dx: f64, lo: f64, hi: f64) -> Pwl {
+        let mut out = self.buffer(f.segments().len());
+        for s in f.segments() {
+            let sh = Segment::new(s.x0 - dx, s.x1 - dx, s.y0, s.slope);
+            if let Some(r) = sh.restricted(lo, hi) {
+                out.push(r);
+            }
+        }
+        coalesce_in_place(&mut out);
+        Pwl::from_raw(out)
+    }
+
+    /// Arena-backed [`Pwl::max`]: identical result, recycled buffer.
+    pub fn max(&mut self, a: &Pwl, b: &Pwl) -> Pwl {
+        let mut out = self.buffer(a.segments().len() + b.segments().len());
+        for (lo, hi, sa, sb) in zip_cells(a, b) {
+            let ya0 = sa.value_at(lo);
+            let yb0 = sb.value_at(lo);
+            if ya0 == f64::NEG_INFINITY {
+                out.push(Segment::new(lo, hi, yb0, sb.slope));
+                continue;
+            }
+            if yb0 == f64::NEG_INFINITY {
+                out.push(Segment::new(lo, hi, ya0, sa.slope));
+                continue;
+            }
+            let dy0 = ya0 - yb0;
+            let ds = sa.slope - sb.slope;
+            let cross = if ds.abs() > EPS {
+                let x = lo - dy0 / ds;
+                (x > lo + EPS && x < hi - EPS).then_some(x)
+            } else {
+                None
+            };
+            match cross {
+                Some(x) => {
+                    let (first, second) = if dy0 > 0.0 { (sa, sb) } else { (sb, sa) };
+                    out.push(Segment::new(lo, x, first.value_at(lo), first.slope));
+                    out.push(Segment::new(x, hi, second.value_at(x), second.slope));
+                }
+                None => {
+                    let mid = 0.5 * (lo + hi);
+                    let win = if sa.value_at(mid) >= sb.value_at(mid) {
+                        sa
+                    } else {
+                        sb
+                    };
+                    out.push(Segment::new(lo, hi, win.value_at(lo), win.slope));
+                }
+            }
+        }
+        // `Pwl::max` finishes with `from_segments`; cells are emitted in
+        // ascending order, so the sort there is the identity and
+        // `from_sorted_segments` produces the identical result.
+        Pwl::from_sorted_segments(out)
+    }
+
+    /// Arena-backed [`Pwl::add_scalar`]: identical result, recycled
+    /// buffer.
+    pub fn add_scalar(&mut self, f: &Pwl, c: f64) -> Pwl {
+        debug_assert!(c.is_finite() || c == f64::NEG_INFINITY);
+        let mut out = self.buffer(f.segments().len());
+        for s in f.segments() {
+            out.push(Segment::new(s.x0, s.x1, s.y0 + c, s.slope));
+        }
+        // `add_scalar` does not coalesce; neither do we.
+        Pwl::from_raw(out)
+    }
+
+    /// Arena-backed [`Pwl::linear`].
+    pub fn linear(&mut self, y_at_lo: f64, slope: f64, lo: f64, hi: f64) -> Pwl {
+        let mut out = self.buffer(1);
+        out.push(Segment::new(lo, hi, y_at_lo, slope));
+        Pwl::from_raw(out)
+    }
+
+    /// Arena-backed [`Pwl::constant`].
+    pub fn constant(&mut self, y: f64, lo: f64, hi: f64) -> Pwl {
+        self.linear(y, 0.0, lo, hi)
+    }
+
+    /// Arena-backed [`Pwl::neg_inf`].
+    pub fn neg_inf(&mut self, lo: f64, hi: f64) -> Pwl {
+        self.constant(f64::NEG_INFINITY, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrnet_rng::{Rng, SeedableRng, SplitMix64};
+
+    /// Random continuous-ish PWL on [0, 10] with occasional -∞ plateaus.
+    fn arb_pwl(rng: &mut SplitMix64) -> Pwl {
+        let n = rng.gen_range(1..6usize);
+        let mut segs = Vec::new();
+        let mut x = 0.0;
+        for _ in 0..n {
+            let w = rng.gen_range(0.5..3.0f64);
+            let y = if rng.gen_bool(0.15) {
+                f64::NEG_INFINITY
+            } else {
+                rng.gen_range(-50.0..50.0f64)
+            };
+            let slope = rng.gen_range(-5.0..5.0f64);
+            segs.push(Segment::new(x, x + w, y, slope));
+            x += w;
+        }
+        Pwl::from_segments(segs)
+    }
+
+    #[test]
+    fn fused_shift_linear_clamp_is_bit_identical() {
+        let mut rng = SplitMix64::seed_from_u64(70);
+        let mut arena = SegmentArena::new();
+        for _ in 0..256 {
+            let f = arb_pwl(&mut rng);
+            let dx = rng.gen_range(-3.0..3.0f64);
+            let c0 = rng.gen_range(-10.0..10.0f64);
+            let slope = rng.gen_range(-4.0..4.0f64);
+            let lo = rng.gen_range(-2.0..2.0f64);
+            let hi = lo + rng.gen_range(0.0..12.0f64);
+            let fused = arena.shift_linear_clamp(&f, dx, c0, slope, lo, hi);
+            let composed = f.shifted_arg(dx).add_linear(c0, slope).clamp_domain(lo, hi);
+            assert_eq!(fused.segments(), composed.segments(), "f = {f}");
+            arena.recycle(fused);
+        }
+        assert!(arena.reused() > 0, "free list is exercised");
+    }
+
+    #[test]
+    fn fused_shift_clamp_is_bit_identical() {
+        let mut rng = SplitMix64::seed_from_u64(71);
+        let mut arena = SegmentArena::new();
+        for _ in 0..256 {
+            let f = arb_pwl(&mut rng);
+            let dx = rng.gen_range(-3.0..3.0f64);
+            let lo = rng.gen_range(-2.0..2.0f64);
+            let hi = lo + rng.gen_range(0.0..12.0f64);
+            let fused = arena.shift_clamp(&f, dx, lo, hi);
+            let composed = f.shifted_arg(dx).clamp_domain(lo, hi);
+            assert_eq!(fused.segments(), composed.segments(), "f = {f}");
+            arena.recycle(fused);
+        }
+    }
+
+    #[test]
+    fn arena_max_and_add_scalar_are_bit_identical() {
+        let mut rng = SplitMix64::seed_from_u64(72);
+        let mut arena = SegmentArena::new();
+        for _ in 0..256 {
+            let a = arb_pwl(&mut rng);
+            let b = arb_pwl(&mut rng);
+            let m = arena.max(&a, &b);
+            assert_eq!(m.segments(), a.max(&b).segments(), "a = {a}, b = {b}");
+            let c = rng.gen_range(-20.0..20.0f64);
+            let s = arena.add_scalar(&a, c);
+            assert_eq!(s.segments(), a.add_scalar(c).segments());
+            arena.recycle(m);
+            arena.recycle(s);
+        }
+    }
+
+    #[test]
+    fn constructors_match_pwl_constructors() {
+        let mut arena = SegmentArena::new();
+        assert_eq!(
+            arena.linear(3.0, 2.0, 0.0, 5.0).segments(),
+            Pwl::linear(3.0, 2.0, 0.0, 5.0).segments()
+        );
+        assert_eq!(
+            arena.constant(7.0, 1.0, 4.0).segments(),
+            Pwl::constant(7.0, 1.0, 4.0).segments()
+        );
+        assert_eq!(
+            arena.neg_inf(0.0, 2.0).segments(),
+            Pwl::neg_inf(0.0, 2.0).segments()
+        );
+    }
+
+    #[test]
+    fn recycling_reuses_allocations() {
+        let mut arena = SegmentArena::new();
+        let f = Pwl::linear(0.0, 1.0, 0.0, 10.0);
+        let g = arena.shift_clamp(&f, 1.0, 0.0, 10.0);
+        assert_eq!(arena.taken(), 1);
+        assert_eq!(arena.reused(), 0);
+        arena.recycle(g);
+        assert_eq!(arena.free_buffers(), 1);
+        let _h = arena.shift_clamp(&f, 2.0, 0.0, 10.0);
+        assert_eq!(arena.taken(), 2);
+        assert_eq!(arena.reused(), 1);
+        assert_eq!(arena.free_buffers(), 0);
+    }
+}

@@ -352,18 +352,57 @@ impl Pwl {
 
     /// Merges adjacent collinear segments (within [`EPS`]) in place.
     fn coalesce(&mut self) {
-        if self.segs.len() < 2 {
-            return;
-        }
-        let mut out: Vec<Segment> = Vec::with_capacity(self.segs.len());
-        for s in self.segs.drain(..) {
-            match out.last_mut() {
-                Some(last) if last.joins(&s, EPS) => last.x1 = s.x1,
-                _ => out.push(s),
-            }
-        }
-        self.segs = out;
+        coalesce_in_place(&mut self.segs);
     }
+
+    /// Consumes the function, returning its segment storage — lets an
+    /// arena reclaim the allocation (see [`crate::SegmentArena`]).
+    pub fn into_segments(self) -> Vec<Segment> {
+        self.segs
+    }
+
+    /// Wraps a segment vector verbatim — caller guarantees sortedness and
+    /// disjointness. Used by the arena ops that mirror non-coalescing
+    /// primitives ([`Pwl::add_scalar`]-shaped maps).
+    pub(crate) fn from_raw(segs: Vec<Segment>) -> Pwl {
+        Pwl { segs }
+    }
+
+    /// Like [`Pwl::from_segments`] minus the sort: validates (debug),
+    /// drops inverted segments and coalesces, for producers that emit
+    /// segments already in domain order.
+    pub(crate) fn from_sorted_segments(mut segs: Vec<Segment>) -> Pwl {
+        segs.retain(|s| s.x1 >= s.x0);
+        for w in segs.windows(2) {
+            debug_assert!(
+                w[1].x0 >= w[0].x1 - EPS,
+                "overlapping segments: {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+        coalesce_in_place(&mut segs);
+        Pwl { segs }
+    }
+}
+
+/// Allocation-free coalesce: merges adjacent collinear segments (within
+/// [`EPS`]) by two-pointer compaction.
+pub(crate) fn coalesce_in_place(segs: &mut Vec<Segment>) {
+    if segs.len() < 2 {
+        return;
+    }
+    let mut w = 0usize;
+    for r in 1..segs.len() {
+        let s = segs[r];
+        if segs[w].joins(&s, EPS) {
+            segs[w].x1 = s.x1;
+        } else {
+            w += 1;
+            segs[w] = s;
+        }
+    }
+    segs.truncate(w + 1);
 }
 
 /// The upper envelope (pointwise max) of many functions.
@@ -405,7 +444,7 @@ pub fn lower_envelope(fs: &[Pwl]) -> Pwl {
 /// Sweeps the common refinement of the two functions' domains, yielding
 /// `(lo, hi, seg_of_a, seg_of_b)` for every maximal cell where both are
 /// defined by single segments. Zero-width cells are skipped.
-fn zip_cells<'a>(
+pub(crate) fn zip_cells<'a>(
     a: &'a Pwl,
     b: &'a Pwl,
 ) -> impl Iterator<Item = (f64, f64, Segment, Segment)> + 'a {

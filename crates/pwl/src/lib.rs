@@ -50,11 +50,13 @@
 //! assert_eq!(arrival.segments().len(), 2);
 //! ```
 
+mod arena;
 mod function;
 mod interval;
 mod mfs;
 mod segment;
 
+pub use arena::SegmentArena;
 pub use function::{lower_envelope, upper_envelope, Pwl};
 pub use interval::IntervalSet;
 pub use mfs::{mfs_divide_conquer, mfs_naive, FuncPoint};

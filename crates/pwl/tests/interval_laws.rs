@@ -1,21 +1,22 @@
-//! Algebraic laws of [`msrnet_pwl::IntervalSet`] under property-based
-//! testing — the validity-domain arithmetic beneath MFS pruning must be
-//! a faithful set algebra or pruning silently loses or resurrects
-//! solution regions.
+//! Algebraic laws of [`msrnet_pwl::IntervalSet`] under seeded
+//! randomized testing — the validity-domain arithmetic beneath MFS
+//! pruning must be a faithful set algebra or pruning silently loses or
+//! resurrects solution regions.
 
 use msrnet_pwl::IntervalSet;
-use proptest::prelude::*;
+use msrnet_rng::{Rng, SeedableRng, SplitMix64};
 
-/// Strategy: a set of up to 6 spans with endpoints on a coarse lattice
-/// (exact arithmetic, no epsilon ambiguity).
-fn arb_set() -> impl Strategy<Value = IntervalSet> {
-    prop::collection::vec((0u8..100, 1u8..30), 0..6).prop_map(|spans| {
-        IntervalSet::from_spans(
-            spans
-                .into_iter()
-                .map(|(lo, len)| (lo as f64, (lo + len) as f64)),
-        )
-    })
+const CASES: usize = 192;
+
+/// A set of up to 6 spans with endpoints on a coarse lattice (exact
+/// arithmetic, no epsilon ambiguity).
+fn arb_set(rng: &mut SplitMix64) -> IntervalSet {
+    let n = rng.gen_range(0..6usize);
+    IntervalSet::from_spans((0..n).map(|_| {
+        let lo = rng.gen_range(0..100i32) as f64;
+        let len = rng.gen_range(1..30i32) as f64;
+        (lo, lo + len)
+    }))
 }
 
 /// Sample lattice covering all endpoints.
@@ -23,27 +24,38 @@ fn samples() -> Vec<f64> {
     (0..=262).map(|i| i as f64 * 0.5).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn union_is_pointwise_or(a in arb_set(), b in arb_set()) {
+#[test]
+fn union_is_pointwise_or() {
+    let mut rng = SplitMix64::seed_from_u64(20);
+    for _ in 0..CASES {
+        let a = arb_set(&mut rng);
+        let b = arb_set(&mut rng);
         let u = a.union(&b);
         for x in samples() {
-            prop_assert_eq!(u.contains(x), a.contains(x) || b.contains(x), "x={}", x);
+            assert_eq!(u.contains(x), a.contains(x) || b.contains(x), "x={x}");
         }
     }
+}
 
-    #[test]
-    fn intersection_is_pointwise_and(a in arb_set(), b in arb_set()) {
+#[test]
+fn intersection_is_pointwise_and() {
+    let mut rng = SplitMix64::seed_from_u64(21);
+    for _ in 0..CASES {
+        let a = arb_set(&mut rng);
+        let b = arb_set(&mut rng);
         let i = a.intersect(&b);
         for x in samples() {
-            prop_assert_eq!(i.contains(x), a.contains(x) && b.contains(x), "x={}", x);
+            assert_eq!(i.contains(x), a.contains(x) && b.contains(x), "x={x}");
         }
     }
+}
 
-    #[test]
-    fn subtraction_is_pointwise_and_not(a in arb_set(), b in arb_set()) {
+#[test]
+fn subtraction_is_pointwise_and_not() {
+    let mut rng = SplitMix64::seed_from_u64(22);
+    for _ in 0..CASES {
+        let a = arb_set(&mut rng);
+        let b = arb_set(&mut rng);
         let d = a.subtract(&b);
         for x in samples() {
             // Boundary points of removed spans may stay as closed-set
@@ -55,73 +67,102 @@ proptest! {
             if on_boundary {
                 continue;
             }
-            prop_assert_eq!(d.contains(x), a.contains(x) && !b.contains(x), "x={}", x);
+            assert_eq!(d.contains(x), a.contains(x) && !b.contains(x), "x={x}");
         }
     }
+}
 
-    #[test]
-    fn operations_are_commutative_and_idempotent(a in arb_set(), b in arb_set()) {
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
-        prop_assert_eq!(a.union(&a), a.clone());
-        prop_assert_eq!(a.intersect(&a), a.clone());
-        prop_assert!(a.subtract(&a).is_empty());
+#[test]
+fn operations_are_commutative_and_idempotent() {
+    let mut rng = SplitMix64::seed_from_u64(23);
+    for _ in 0..CASES {
+        let a = arb_set(&mut rng);
+        let b = arb_set(&mut rng);
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.intersect(&b), b.intersect(&a));
+        assert_eq!(a.union(&a), a.clone());
+        assert_eq!(a.intersect(&a), a.clone());
+        assert!(a.subtract(&a).is_empty());
     }
+}
 
-    #[test]
-    fn measures_are_consistent(a in arb_set(), b in arb_set()) {
+#[test]
+fn measures_are_consistent() {
+    let mut rng = SplitMix64::seed_from_u64(24);
+    for _ in 0..CASES {
+        let a = arb_set(&mut rng);
+        let b = arb_set(&mut rng);
         // |A| + |B| = |A ∪ B| + |A ∩ B| (inclusion–exclusion).
         let lhs = a.measure() + b.measure();
         let rhs = a.union(&b).measure() + a.intersect(&b).measure();
-        prop_assert!((lhs - rhs).abs() < 1e-9, "{} vs {}", lhs, rhs);
+        assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
         // |A \ B| = |A| − |A ∩ B|.
         let diff = a.subtract(&b).measure();
         let expect = a.measure() - a.intersect(&b).measure();
-        prop_assert!((diff - expect).abs() < 1e-9);
+        assert!((diff - expect).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn normalization_invariants(a in arb_set(), b in arb_set()) {
+#[test]
+fn normalization_invariants() {
+    let mut rng = SplitMix64::seed_from_u64(25);
+    for _ in 0..CASES {
+        let a = arb_set(&mut rng);
+        let b = arb_set(&mut rng);
         // Every produced set keeps sorted, disjoint spans.
         for set in [a.union(&b), a.intersect(&b), a.subtract(&b)] {
             for w in set.spans().windows(2) {
-                prop_assert!(w[0].1 < w[1].0, "overlapping or touching spans survived");
+                assert!(w[0].1 < w[1].0, "overlapping or touching spans survived");
             }
             for &(lo, hi) in set.spans() {
-                prop_assert!(lo <= hi);
+                assert!(lo <= hi);
             }
         }
     }
+}
 
-    #[test]
-    fn shift_preserves_measure_and_membership(a in arb_set(), dx in -50.0..50.0f64) {
+#[test]
+fn shift_preserves_measure_and_membership() {
+    let mut rng = SplitMix64::seed_from_u64(26);
+    for _ in 0..CASES {
+        let a = arb_set(&mut rng);
+        let dx = rng.gen_range(-50.0..50.0f64);
         let s = a.shift(dx);
-        prop_assert!((s.measure() - a.measure()).abs() < 1e-9);
+        assert!((s.measure() - a.measure()).abs() < 1e-9);
         for x in samples() {
-            prop_assert_eq!(s.contains(x + dx), a.contains(x));
+            assert_eq!(s.contains(x + dx), a.contains(x));
         }
     }
+}
 
-    #[test]
-    fn clamp_is_intersection_with_interval(a in arb_set(), lo in 0.0..60.0f64, len in 0.0..60.0f64) {
-        let hi = lo + len;
+#[test]
+fn clamp_is_intersection_with_interval() {
+    let mut rng = SplitMix64::seed_from_u64(27);
+    for _ in 0..CASES {
+        let a = arb_set(&mut rng);
+        let lo = rng.gen_range(0.0..60.0f64);
+        let hi = lo + rng.gen_range(0.0..60.0f64);
         let clamped = a.clamp(lo, hi);
         let manual = a.intersect(&IntervalSet::from_interval(lo, hi));
-        prop_assert_eq!(clamped, manual);
+        assert_eq!(clamped, manual);
     }
+}
 
-    #[test]
-    fn min_max_bound_the_set(a in arb_set()) {
+#[test]
+fn min_max_bound_the_set() {
+    let mut rng = SplitMix64::seed_from_u64(28);
+    for _ in 0..CASES {
+        let a = arb_set(&mut rng);
         match (a.min(), a.max()) {
             (Some(lo), Some(hi)) => {
-                prop_assert!(lo <= hi);
-                prop_assert!(a.contains(lo));
-                prop_assert!(a.contains(hi));
-                prop_assert!(!a.contains(lo - 1.0));
-                prop_assert!(!a.contains(hi + 1.0));
+                assert!(lo <= hi);
+                assert!(a.contains(lo));
+                assert!(a.contains(hi));
+                assert!(!a.contains(lo - 1.0));
+                assert!(!a.contains(hi + 1.0));
             }
-            (None, None) => prop_assert!(a.is_empty()),
-            _ => prop_assert!(false, "min/max disagree about emptiness"),
+            (None, None) => assert!(a.is_empty()),
+            _ => panic!("min/max disagree about emptiness"),
         }
     }
 }

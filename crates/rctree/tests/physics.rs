@@ -1,4 +1,4 @@
-//! Physical invariants of the Elmore engine under property-based
+//! Physical invariants of the Elmore engine under seeded randomized
 //! testing: capacitance conservation, delay symmetry on electrically
 //! symmetric nets, and monotonicity under load growth.
 
@@ -7,9 +7,11 @@ use msrnet_rctree::elmore::Elmore;
 use msrnet_rctree::{
     Assignment, Buffer, Net, NetBuilder, Orientation, Repeater, Technology, Terminal, TerminalId,
 };
-use proptest::prelude::*;
+use msrnet_rng::{Rng, SeedableRng, SplitMix64};
 
-/// Builds a random unbuffered net over proptest-driven coordinates; all
+const CASES: usize = 48;
+
+/// Builds a random unbuffered net over generated coordinates; all
 /// terminals identical (same cap, same drive).
 fn build_net(coords: &[(u16, u16)]) -> Option<Net> {
     let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
@@ -33,39 +35,51 @@ fn build_net(coords: &[(u16, u16)]) -> Option<Net> {
     b.build().ok()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arb_coords(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<(u16, u16)> {
+    let n = rng.gen_range(lo..hi);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..9000i32) as u16,
+                rng.gen_range(0..9000i32) as u16,
+            )
+        })
+        .collect()
+}
 
-    /// With no repeaters, the total decoupled load seen by a driver is
-    /// the same at every terminal: the whole net.
-    #[test]
-    fn total_cap_is_position_independent(
-        coords in prop::collection::vec((0u16..9000, 0u16..9000), 2..10),
-    ) {
-        let Some(net) = build_net(&coords) else { return Ok(()) };
+/// With no repeaters, the total decoupled load seen by a driver is the
+/// same at every terminal: the whole net.
+#[test]
+fn total_cap_is_position_independent() {
+    let mut rng = SplitMix64::seed_from_u64(30);
+    for _ in 0..CASES {
+        let coords = arb_coords(&mut rng, 2, 10);
+        let Some(net) = build_net(&coords) else { continue };
         let rooted = net.rooted_at_terminal(TerminalId(0));
         let asg = Assignment::empty(net.topology.vertex_count());
         let e = Elmore::new(&net, &rooted, &[], &asg);
         let expect = net.total_cap();
         for t in net.terminal_ids() {
             let v = net.topology.terminal_vertex(t);
-            prop_assert!((e.total_cap_at(v) - expect).abs() < 1e-9);
+            assert!((e.total_cap_at(v) - expect).abs() < 1e-9);
         }
     }
+}
 
-    /// On a **two-terminal** net with identical end loads and drivers,
-    /// the Elmore path delay is direction-symmetric regardless of how
-    /// the wire is subdivided. (With more terminals, side branches load
-    /// the two directions differently and symmetry genuinely breaks —
-    /// see `three_terminal_delays_are_asymmetric` below.)
-    #[test]
-    fn two_terminal_delays_are_symmetric(
-        len in 200u16..9000,
-        spacing in 100f64..2000.0,
-    ) {
+/// On a **two-terminal** net with identical end loads and drivers, the
+/// Elmore path delay is direction-symmetric regardless of how the wire
+/// is subdivided. (With more terminals, side branches load the two
+/// directions differently and symmetry genuinely breaks — see
+/// `three_terminal_delays_are_asymmetric` below.)
+#[test]
+fn two_terminal_delays_are_symmetric() {
+    let mut rng = SplitMix64::seed_from_u64(31);
+    for _ in 0..CASES {
+        let len = rng.gen_range(200..9000i32) as f64;
+        let spacing = rng.gen_range(100.0..2000.0f64);
         let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
         let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
-        let t1 = b.terminal(Point::new(len as f64, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
+        let t1 = b.terminal(Point::new(len, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
         b.wire(t0, t1);
         let net = b.build().expect("valid").with_insertion_points(spacing);
         let rooted = net.rooted_at_terminal(TerminalId(0));
@@ -73,18 +87,20 @@ proptest! {
         let e = Elmore::new(&net, &rooted, &[], &asg);
         let fwd = e.path_delay(TerminalId(0), TerminalId(1));
         let bwd = e.path_delay(TerminalId(1), TerminalId(0));
-        prop_assert!((fwd - bwd).abs() < 1e-6 * fwd.max(1.0));
+        assert!((fwd - bwd).abs() < 1e-6 * fwd.max(1.0));
     }
+}
 
-    /// Increasing any terminal's load capacitance can only increase every
-    /// path delay from any *other* terminal (Elmore monotonicity).
-    #[test]
-    fn delays_are_monotone_in_loads(
-        coords in prop::collection::vec((0u16..9000, 0u16..9000), 3..8),
-        victim in 0usize..8,
-        extra in 0.01f64..0.5,
-    ) {
-        let Some(net) = build_net(&coords) else { return Ok(()) };
+/// Increasing any terminal's load capacitance can only increase every
+/// path delay from any *other* terminal (Elmore monotonicity).
+#[test]
+fn delays_are_monotone_in_loads() {
+    let mut rng = SplitMix64::seed_from_u64(32);
+    for _ in 0..CASES {
+        let coords = arb_coords(&mut rng, 3, 8);
+        let victim = rng.gen_range(0..8usize);
+        let extra = rng.gen_range(0.01..0.5f64);
+        let Some(net) = build_net(&coords) else { continue };
         let nt = net.terminals.len();
         let victim = TerminalId(victim % nt);
         let mut heavier = net.clone();
@@ -101,23 +117,24 @@ proptest! {
                 if w == u {
                     continue;
                 }
-                prop_assert!(
+                assert!(
                     more.path_delay(u, w) >= base.path_delay(u, w) - 1e-9,
                     "extra load decreased a delay"
                 );
             }
         }
     }
+}
 
-    /// A repeater decouples: delays from sources on the A-facing side to
-    /// sinks on the same side are unaffected by capacitance added on the
-    /// far side of the repeater.
-    #[test]
-    fn repeater_isolates_far_side_loads(
-        extra in 0.01f64..2.0,
-        len in 500u16..5000,
-    ) {
-        let len = len as f64;
+/// A repeater decouples: delays from sources on the A-facing side to
+/// sinks on the same side are unaffected by capacitance added on the
+/// far side of the repeater.
+#[test]
+fn repeater_isolates_far_side_loads() {
+    let mut rng = SplitMix64::seed_from_u64(33);
+    for _ in 0..CASES {
+        let extra = rng.gen_range(0.01..2.0f64);
+        let len = rng.gen_range(500..5000i32) as f64;
         let make = |far_cap: f64| {
             let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
             let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 0.05, 180.0));
@@ -145,10 +162,9 @@ proptest! {
         };
         // t0 → t1 never crosses the repeater; the far load at t2 is
         // behind it and must be invisible.
-        prop_assert!((evaluate(&light) - evaluate(&heavy)).abs() < 1e-9);
+        assert!((evaluate(&light) - evaluate(&heavy)).abs() < 1e-9);
     }
 }
-
 
 /// The counterpoint to the two-terminal symmetry property: with a side
 /// branch, driving toward it differs from driving away from it, so the

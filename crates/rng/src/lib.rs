@@ -1,0 +1,270 @@
+#![deny(rustdoc::broken_intra_doc_links)]
+//! Small deterministic pseudo-random number generation for `msrnet`.
+//!
+//! The workload generators ([`msrnet-netgen`]) and the randomized tests
+//! need reproducible streams of points, sizes and booleans — nothing
+//! cryptographic, nothing platform-dependent. This crate provides a
+//! [SplitMix64](https://prng.di.unimi.it/splitmix64.c) generator behind a
+//! minimal [`Rng`] trait whose surface deliberately mirrors the subset of
+//! the `rand` crate the repository uses (`gen_range`, `gen_bool`,
+//! `seed_from_u64`), so the two are drop-in interchangeable at call
+//! sites. Keeping the generator in-tree makes every seed reproduce the
+//! exact same nets on every platform and toolchain, which the batch
+//! engine's determinism guarantee builds on.
+//!
+//! [`msrnet-netgen`]: https://docs.rs/msrnet-netgen
+//!
+//! # Examples
+//!
+//! ```
+//! use msrnet_rng::{Rng, SeedableRng, SplitMix64};
+//!
+//! let mut rng = SplitMix64::seed_from_u64(42);
+//! let die = rng.gen_range(1..=6i64);
+//! assert!((1..=6).contains(&die));
+//! let p = rng.gen_range(0.0..1.0f64);
+//! assert!((0.0..1.0).contains(&p));
+//! // Same seed, same stream — always, on every platform.
+//! let mut again = SplitMix64::seed_from_u64(42);
+//! assert_eq!(again.gen_range(1..=6i64), die);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a generator from a 64-bit seed.
+///
+/// Mirrors `rand::SeedableRng::seed_from_u64` — the only constructor the
+/// repository uses.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A source of pseudo-random numbers.
+///
+/// Only [`Rng::next_u64`] is required; everything else is derived.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `range` (`lo..hi` or `lo..=hi` over the
+    /// integer types and `f64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// Uniform random permutation of `slice` (Fisher–Yates).
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased-enough integer sampling on `[0, span)` via the widening
+/// multiply trick; the spans used in this repository (coordinates, menu
+/// sizes) are vanishingly small against 2⁶⁴, so the residual bias is far
+/// below anything observable.
+fn below(rng: &mut impl Rng, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i32, i64, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + (hi - lo) * rng.next_f64()
+    }
+}
+
+/// The SplitMix64 generator: one 64-bit word of state, full period 2⁶⁴,
+/// passes BigCrush when used as intended. More than enough statistical
+/// quality for net generation and test-case sampling.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Named generators, mirroring `rand::rngs` so call sites can swap the
+/// crate path without further edits.
+pub mod rngs {
+    /// The repository's standard generator — an alias for
+    /// [`SplitMix64`](crate::SplitMix64) (deterministic and in-tree,
+    /// unlike `rand`'s `StdRng`, which makes no cross-version stream
+    /// stability promise).
+    pub type StdRng = crate::SplitMix64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values from the canonical splitmix64.c with seed 0.
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(0..10i64);
+            assert!((0..10).contains(&v));
+            let v = r.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&v));
+            let v = r.gen_range(0..3usize);
+            assert!(v < 3);
+            let v = r.gen_range(2.0..4.0f64);
+            assert!((2.0..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_hit_both_ends() {
+        let mut r = SplitMix64::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[r.gen_range(0..=2usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut r = SplitMix64::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut r = SplitMix64::seed_from_u64(6);
+        fn takes_rng<R: Rng>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+        let a = takes_rng(&mut r);
+        let b = takes_rng(&mut &mut r);
+        assert_ne!(a, b);
+    }
+}

@@ -12,11 +12,11 @@
 use msrnet::core::ard::ard_profile;
 use msrnet::core::exhaustive::apply_terminal_choices;
 use msrnet::prelude::*;
-use rand::SeedableRng;
+use msrnet_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = table1();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(4);
     let exp = ExperimentNet::random_clustered(&mut rng, 3, 4, &params)?;
     let net = exp.with_insertion_points(800.0);
     println!(

@@ -11,12 +11,12 @@
 //! Run with: `cargo run --release --example driver_sizing`
 
 use msrnet::prelude::*;
-use rand::SeedableRng;
+use msrnet_rng::SeedableRng;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = table1();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(7);
 
     let exp = ExperimentNet::random(&mut rng, 10, &params)?;
     let net = exp.with_insertion_points(800.0);

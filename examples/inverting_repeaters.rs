@@ -12,11 +12,11 @@
 
 use msrnet::core::exhaustive::polarity_feasible;
 use msrnet::prelude::*;
-use rand::SeedableRng;
+use msrnet_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = table1();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(8);
     let exp = ExperimentNet::random(&mut rng, 6, &params)?;
     let net = exp.with_insertion_points(800.0);
     println!(

@@ -9,11 +9,11 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use msrnet::prelude::*;
-use rand::SeedableRng;
+use msrnet_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = table1();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(42);
 
     let exp = ExperimentNet::random(&mut rng, 8, &params)?;
     let net = exp.with_insertion_points(800.0);

@@ -11,12 +11,12 @@
 
 use msrnet::buffering::min_cost_buffering;
 use msrnet::prelude::*;
-use rand::SeedableRng;
+use msrnet_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = table1();
     let tech = params.tech;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(13);
 
     // One driver (index 0), five sinks, random placement.
     let pts = msrnet::netgen::random_points(&mut rng, 6, params.grid);

@@ -12,11 +12,11 @@
 
 use msrnet::prelude::*;
 use msrnet::steiner::{nn_tour, ptree_topology, two_opt};
-use rand::SeedableRng;
+use msrnet_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = table1();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(23);
     let pts = msrnet::netgen::random_points(&mut rng, 7, params.grid);
     let term = params.bidirectional_terminal();
 

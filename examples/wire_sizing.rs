@@ -20,7 +20,7 @@
 
 use msrnet::core::{optimize_with_wires, WireOption};
 use msrnet::prelude::*;
-use rand::SeedableRng;
+use msrnet_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A resistive thin routing layer (3× the Table-I sheet resistance)
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut params = table1();
     params.tech = Technology::new(0.09, 0.000_35);
     let drive_res = params.buf_1x.scaled(4.0).out_res;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(17);
     let pts = msrnet::netgen::random_points(&mut rng, 6, params.grid);
 
     let widths = [

@@ -24,12 +24,12 @@
 //!
 //! ```
 //! use msrnet::prelude::*;
-//! use rand::SeedableRng;
+//! use msrnet_rng::SeedableRng;
 //!
 //! // Generate a random 8-terminal bus on a 1 cm die (paper §VI setup),
 //! // add repeater insertion points every ≤800 µm, and optimize.
 //! let params = table1();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(42);
 //! let exp = ExperimentNet::random(&mut rng, 8, &params)?;
 //! let net = exp.with_insertion_points(800.0);
 //!

@@ -1,13 +1,13 @@
-//! Property-based equivalence of the two ARD algorithms (paper §III):
-//! on arbitrary random nets, repeater assignments and terminal roles,
-//! the linear-time Fig. 2 computation must agree with the naive
+//! Seeded randomized equivalence of the two ARD algorithms (paper
+//! §III): on arbitrary random nets, repeater assignments and terminal
+//! roles, the linear-time Fig. 2 computation must agree with the naive
 //! per-source baseline, and the value must not depend on the rooting.
 
 use msrnet::core::ard::{ard_linear, ard_naive};
 use msrnet::prelude::*;
-use proptest::prelude::*;
+use msrnet_rng::{Rng, SeedableRng, SplitMix64};
 
-/// Builds a random net + assignment from proptest-driven raw data.
+/// Builds a random net + assignment from generator-driven raw data.
 fn build_case(
     coords: &[(u16, u16)],
     roles: &[u8],
@@ -71,38 +71,59 @@ fn build_case(
     Some((net, lib, asg))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_coords(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<(u16, u16)> {
+    let n = rng.gen_range(lo..hi);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..10_000i32) as u16,
+                rng.gen_range(0..10_000i32) as u16,
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn linear_ard_equals_naive_ard(
-        coords in prop::collection::vec((0u16..10_000, 0u16..10_000), 2..9),
-        roles in prop::collection::vec(0u8..12, 1..9),
-        place_mask in any::<u64>(),
-        orient_mask in any::<u64>(),
-    ) {
+fn arb_roles(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<u8> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| rng.gen_range(0..12i32) as u8).collect()
+}
+
+#[test]
+fn linear_ard_equals_naive_ard() {
+    let mut rng = SplitMix64::seed_from_u64(60);
+    for _ in 0..64 {
+        let coords = arb_coords(&mut rng, 2, 9);
+        let roles = arb_roles(&mut rng, 1, 9);
+        let place_mask = rng.next_u64();
+        let orient_mask = rng.next_u64();
         let Some((net, lib, asg)) = build_case(&coords, &roles, place_mask, orient_mask) else {
-            return Ok(());
+            continue;
         };
         let rooted = net.rooted_at_terminal(TerminalId(0));
         let fast = ard_linear(&net, &rooted, &lib, &asg);
         let slow = ard_naive(&net, &rooted, &lib, &asg);
         if fast.ard == f64::NEG_INFINITY {
-            prop_assert_eq!(slow.ard, f64::NEG_INFINITY);
+            assert_eq!(slow.ard, f64::NEG_INFINITY);
         } else {
-            prop_assert!((fast.ard - slow.ard).abs() < 1e-6 * fast.ard.abs().max(1.0),
-                "linear {} vs naive {}", fast.ard, slow.ard);
+            assert!(
+                (fast.ard - slow.ard).abs() < 1e-6 * fast.ard.abs().max(1.0),
+                "linear {} vs naive {}",
+                fast.ard,
+                slow.ard
+            );
         }
     }
+}
 
-    #[test]
-    fn ard_is_rooting_invariant(
-        coords in prop::collection::vec((0u16..10_000, 0u16..10_000), 3..7),
-        roles in prop::collection::vec(0u8..12, 1..7),
-        place_mask in any::<u64>(),
-    ) {
+#[test]
+fn ard_is_rooting_invariant() {
+    let mut rng = SplitMix64::seed_from_u64(61);
+    for _ in 0..64 {
+        let coords = arb_coords(&mut rng, 3, 7);
+        let roles = arb_roles(&mut rng, 1, 7);
+        let place_mask = rng.next_u64();
         let Some((net, lib, _asg)) = build_case(&coords, &roles, place_mask, 0) else {
-            return Ok(());
+            continue;
         };
         let mut values = Vec::new();
         for t in net.terminal_ids() {
@@ -116,9 +137,9 @@ proptest! {
         }
         for w in values.windows(2) {
             if w[0] == f64::NEG_INFINITY {
-                prop_assert_eq!(w[1], f64::NEG_INFINITY);
+                assert_eq!(w[1], f64::NEG_INFINITY);
             } else {
-                prop_assert!((w[0] - w[1]).abs() < 1e-6 * w[0].abs().max(1.0));
+                assert!((w[0] - w[1]).abs() < 1e-6 * w[0].abs().max(1.0));
             }
         }
     }

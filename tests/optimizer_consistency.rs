@@ -1,4 +1,4 @@
-//! Property-based self-consistency of the optimizer at medium scale
+//! Seeded randomized self-consistency of the optimizer at medium scale
 //! (beyond what the exhaustive oracle can cover): on random nets with
 //! mixed terminal roles and an asymmetric repeater library, every
 //! emitted trade-off point must materialize to exactly its claimed
@@ -8,7 +8,7 @@
 
 use msrnet::core::exhaustive::apply_terminal_choices;
 use msrnet::prelude::*;
-use proptest::prelude::*;
+use msrnet_rng::{Rng, SeedableRng, SplitMix64};
 
 fn build_net(coords: &[(u16, u16)], roles: &[u8], spacing: f64) -> Option<Net> {
     let params = table1();
@@ -46,17 +46,24 @@ fn build_net(coords: &[(u16, u16)], roles: &[u8], spacing: f64) -> Option<Net> {
         .map(|n| n.normalized().with_insertion_points(spacing))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_emitted_point_is_realizable(
-        coords in prop::collection::vec((0u16..10_000, 0u16..10_000), 3..9),
-        roles in prop::collection::vec(0u8..12, 1..9),
-        spacing in 900.0..2500.0f64,
-    ) {
+#[test]
+fn every_emitted_point_is_realizable() {
+    let mut rng = SplitMix64::seed_from_u64(50);
+    for _ in 0..24 {
+        let n_coords = rng.gen_range(3..9usize);
+        let coords: Vec<(u16, u16)> = (0..n_coords)
+            .map(|_| {
+                (
+                    rng.gen_range(0..10_000i32) as u16,
+                    rng.gen_range(0..10_000i32) as u16,
+                )
+            })
+            .collect();
+        let n_roles = rng.gen_range(1..9usize);
+        let roles: Vec<u8> = (0..n_roles).map(|_| rng.gen_range(0..12i32) as u8).collect();
+        let spacing = rng.gen_range(900.0..2500.0f64);
         let Some(net) = build_net(&coords, &roles, spacing) else {
-            return Ok(());
+            continue;
         };
         let params = table1();
         let fwd = params.buf_1x.clone();
@@ -68,39 +75,36 @@ proptest! {
         let drivers = TerminalOptions::defaults(&net);
         let curve = match optimize(&net, TerminalId(0), &lib, &drivers, &MsriOptions::default()) {
             Ok(c) => c,
-            Err(MsriError::NoFeasiblePair) => return Ok(()),
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+            Err(MsriError::NoFeasiblePair) => continue,
+            Err(e) => panic!("unexpected error: {e}"),
         };
         // Strictly improving frontier.
         for w in curve.points().windows(2) {
-            prop_assert!(w[0].cost <= w[1].cost);
-            prop_assert!(w[0].ard > w[1].ard);
+            assert!(w[0].cost <= w[1].cost);
+            assert!(w[0].ard > w[1].ard);
         }
         let rooted = net.rooted_at_terminal(TerminalId(0));
         for p in curve.points() {
             // Placement legality.
             for (v, placed) in p.assignment.placements() {
-                prop_assert_eq!(
+                assert_eq!(
                     net.topology.kind(v),
                     msrnet::rctree::VertexKind::InsertionPoint
                 );
-                prop_assert!(placed.repeater < lib.len());
+                assert!(placed.repeater < lib.len());
             }
             // Claimed (cost, ARD) must be exactly realizable.
-            let (scenario, opt_cost) =
-                apply_terminal_choices(&net, &drivers, &p.terminal_choices);
+            let (scenario, opt_cost) = apply_terminal_choices(&net, &drivers, &p.terminal_choices);
             let report = ard_linear(&scenario, &rooted, &lib, &p.assignment);
-            prop_assert!(
+            assert!(
                 (report.ard - p.ard).abs() < 1e-6,
                 "claimed {} vs materialized {}",
                 p.ard,
                 report.ard
             );
-            prop_assert!(
-                (opt_cost + p.assignment.total_cost(&lib) - p.cost).abs() < 1e-9
-            );
+            assert!((opt_cost + p.assignment.total_cost(&lib) - p.cost).abs() < 1e-9);
         }
         // The cheapest point is the bare net.
-        prop_assert_eq!(curve.min_cost().assignment.placed_count(), 0);
+        assert_eq!(curve.min_cost().assignment.placed_count(), 0);
     }
 }

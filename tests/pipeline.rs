@@ -4,11 +4,11 @@
 
 use msrnet::core::exhaustive::apply_terminal_choices;
 use msrnet::prelude::*;
-use rand::SeedableRng;
+use msrnet_rng::SeedableRng;
 
 fn run_pipeline(seed: u64, n: usize) {
     let params = table1();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(seed);
     let exp = ExperimentNet::random(&mut rng, n, &params).expect("net");
     let net = exp.with_insertion_points(800.0);
     assert!(net.check().is_ok());
@@ -66,7 +66,7 @@ fn pipeline_end_to_end_twenty_pins() {
 #[test]
 fn sizing_and_repeaters_share_baseline() {
     let params = table1();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(5);
     let exp = ExperimentNet::random(&mut rng, 8, &params).expect("net");
     let net = exp.with_insertion_points(800.0);
     let sizing = optimize(
@@ -133,7 +133,7 @@ fn normalization_required_for_non_leaf_terminals() {
 #[test]
 fn asymmetric_roles_flow_through_pipeline() {
     let params = table1();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(21);
     let exp = ExperimentNet::random_asymmetric(&mut rng, 8, 2, &params).expect("net");
     let net = exp.with_insertion_points(800.0);
     let lib = [params.repeater(1.0)];

@@ -6,11 +6,11 @@
 
 use msrnet::buffering::min_cost_buffering;
 use msrnet::prelude::*;
-use rand::SeedableRng;
+use msrnet_rng::SeedableRng;
 
 fn single_source_net(seed: u64, n_sinks: usize, spacing: f64) -> (Net, TechParams) {
     let params = table1();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(seed);
     let pts = msrnet::netgen::random_points(&mut rng, n_sinks + 1, params.grid);
     let terms: Vec<(Point, Terminal)> = pts
         .iter()
