@@ -21,6 +21,12 @@
 //! time and thread count, ready to be dropped into a `BENCH_*.json`
 //! style tracking file.
 //!
+//! The parallel-vs-sequential bit-identity claim is fuzzed continuously:
+//! the `msrnet-verify` harness re-runs generated instances through
+//! [`run_batch`] at one and several threads and compares with
+//! [`reports_bit_identical`] (`msrnet-cli verify`, check
+//! `batch_parallel_vs_sequential`).
+//!
 //! # Examples
 //!
 //! ```

@@ -1,0 +1,55 @@
+//! Throughput of the differential-verification harness: how many
+//! generated cases per second the full check registry sustains, and
+//! where the time goes per check.
+//!
+//! The CI gate runs `msrnet-cli verify --cases 500 --budget-ms 30000`;
+//! this bench tells us how much headroom that budget has (and flags a
+//! regression in the `dp_set_estimate` work gating if a check's share
+//! of the wall time explodes).
+
+use std::time::Instant;
+
+use msrnet_verify::{generate, registry, run_check, CheckOutcome};
+
+const SEED: u64 = 7;
+const CASES: usize = 500;
+
+fn main() {
+    let checks = registry();
+    let mut per_check_ms = vec![0.0f64; checks.len()];
+    let mut per_check_pass = vec![0usize; checks.len()];
+    let mut failures = 0usize;
+    let mut generated = 0usize;
+
+    let t0 = Instant::now();
+    for index in 0..CASES {
+        let Some(inst) = generate(SEED, index) else {
+            continue;
+        };
+        generated += 1;
+        for (i, check) in checks.iter().enumerate() {
+            let tc = Instant::now();
+            match run_check(check, &inst) {
+                CheckOutcome::Pass => per_check_pass[i] += 1,
+                CheckOutcome::Skip(_) => {}
+                CheckOutcome::Fail(_) => failures += 1,
+            }
+            per_check_ms[i] += tc.elapsed().as_secs_f64() * 1e3;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    println!("verify throughput: seed {SEED}, {generated} cases");
+    println!("  wall        : {:.1} ms", wall * 1e3);
+    println!("  cases/s     : {:.0}", generated as f64 / wall);
+    println!("  per check (total ms / passes):");
+    let mut order: Vec<usize> = (0..checks.len()).collect();
+    order.sort_by(|&a, &b| per_check_ms[b].total_cmp(&per_check_ms[a]));
+    for i in order {
+        println!(
+            "    {:<30} {:>8.1} ms  {:>4} passed",
+            checks[i].name, per_check_ms[i], per_check_pass[i]
+        );
+    }
+    assert_eq!(failures, 0, "oracle mismatches during benchmark run");
+}

@@ -2,15 +2,23 @@
 //! format ([`mod@format`]) and SVG rendering of topologies and solutions
 //! ([`svg`]).
 //!
-//! The `msrnet-cli` binary exposes four subcommands:
+//! The `msrnet-cli` binary's subcommands:
 //!
 //! * `gen` — generate a random experiment net (paper §VI setup) and
 //!   write it as a `.msr` file;
+//! * `stats` — summarize a net file;
 //! * `ard` — evaluate the augmented RC-diameter of a net file and report
 //!   the critical source → sink pair;
 //! * `optimize` — run optimal repeater insertion and print the
 //!   cost-vs-ARD frontier (optionally answering a `--spec`);
-//! * `render` — draw the topology (and optionally a solution) as SVG.
+//! * `batch` — optimize many nets on a worker pool, emitting a JSON
+//!   report;
+//! * `render` — draw the topology (and optionally a solution) as SVG;
+//! * `report` — write a Markdown optimization report;
+//! * `verify` — run the seeded differential-verification harness
+//!   (`msrnet-verify`): oracle cross-checks plus metamorphic properties
+//!   over a generated case stream, shrinking any mismatch to a minimal
+//!   `.msr` repro.
 //!
 //! # Examples
 //!

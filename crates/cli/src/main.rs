@@ -45,7 +45,9 @@ const USAGE: &str = "usage:
   msrnet-cli batch [FILES...] [--count N --terminals T --seed S [--spacing UM]]
                        [--threads K] [--driver-cost C] [-o FILE.json]
   msrnet-cli render FILE [-o FILE.svg] [--best] [--no-labels]
-  msrnet-cli report FILE [-o FILE.md] [--root T] [--spec PS] [--driver-cost C]";
+  msrnet-cli report FILE [-o FILE.md] [--root T] [--spec PS] [--driver-cost C]
+  msrnet-cli verify [--seed S] [--cases N] [--budget-ms B] [--max-failures K]
+                       [--repro-dir DIR] [-o FILE.json]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -59,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "batch" => cmd_batch(&rest),
         "render" => cmd_render(&rest),
         "report" => cmd_report(&rest),
+        "verify" => cmd_verify(&rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -303,6 +306,84 @@ fn cmd_batch(args: &[&String]) -> Result<(), String> {
         None => print!("{json}"),
     }
     Ok(())
+}
+
+fn cmd_verify(args: &[&String]) -> Result<(), String> {
+    use msrnet_verify::{run_verify, VerifyConfig, VerifyReport};
+    let f = Flags::parse(args, &[])?;
+    f.reject_unknown(&["seed", "cases", "budget-ms", "max-failures", "repro-dir", "o"])?;
+    let cfg = VerifyConfig {
+        seed: f.get_num("seed", 7.0)? as u64,
+        cases: f.get_num("cases", 500.0)? as usize,
+        budget_ms: f.get_num("budget-ms", 30_000.0)? as u64,
+        max_failures: f.get_num("max-failures", 3.0)? as usize,
+    };
+    let repro_dir = f.get("repro-dir").unwrap_or("verify-repros");
+    let report = run_verify(&cfg);
+
+    eprintln!(
+        "verified {} cases ({} skipped by the generator) in {:.0} ms{}",
+        report.cases_run,
+        report.cases_skipped,
+        report.wall_ms,
+        if report.budget_exhausted {
+            " — budget exhausted"
+        } else {
+            ""
+        }
+    );
+    for (name, kind, stats) in &report.checks {
+        eprintln!(
+            "  {name:<30} [{}] pass {:>4}  skip {:>4}  fail {:>2}",
+            match kind {
+                msrnet_verify::CheckKind::Oracle => "oracle",
+                msrnet_verify::CheckKind::Metamorphic => "metamo",
+            },
+            stats.passed,
+            stats.skipped,
+            stats.failed
+        );
+    }
+
+    // Persist every shrunk repro as a .msr plus a ready-to-paste
+    // regression test before reporting failure.
+    if !report.failures.is_empty() {
+        std::fs::create_dir_all(repro_dir).map_err(|e| format!("creating {repro_dir}: {e}"))?;
+        for fail in &report.failures {
+            let base = format!("{repro_dir}/{}-{}", fail.case, fail.check);
+            let msr = format!("{base}.msr");
+            let inst = &fail.shrunk.instance;
+            std::fs::write(&msr, write_net_file(&inst.net, &inst.library))
+                .map_err(|e| format!("writing {msr}: {e}"))?;
+            let test = format!("{base}.test.rs");
+            std::fs::write(&test, VerifyReport::regression_test_snippet(fail, &msr))
+                .map_err(|e| format!("writing {test}: {e}"))?;
+            eprintln!(
+                "mismatch: {} on {} ({} -> {} terminals after shrinking); repro {msr}, regression test {test}",
+                fail.check, fail.case, fail.terminals_before, fail.terminals_after
+            );
+            eprintln!(
+                "  promote the repro into crates/verify/corpus/ to pin it in the replay suite"
+            );
+        }
+    }
+
+    let json = report.to_json();
+    match f.get("o") {
+        Some(out) => {
+            std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{json}"),
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} oracle mismatch(es); shrunk repros in {repro_dir}/",
+            report.failures.len()
+        ))
+    }
 }
 
 fn cmd_report(args: &[&String]) -> Result<(), String> {

@@ -1,0 +1,77 @@
+//! Golden-file test for the `msrnet-cli batch` JSON report.
+//!
+//! The batch schema is a documented interface (dashboards and the CI
+//! perf harness consume it), so its shape — key names, key order,
+//! null-vs-number conventions — is pinned verbatim against a checked-in
+//! golden file. Timing fields are nondeterministic and are normalized
+//! to `"<volatile>"` on both sides before comparison; everything else,
+//! including the exact float formatting of the optimization results, is
+//! deterministic for a fixed seed and must match byte-for-byte.
+//!
+//! If an intentional schema change lands, regenerate the golden with:
+//!
+//! ```text
+//! msrnet-cli batch --count 3 --terminals 5 --seed 7 --spacing 1000 \
+//!   | sed -E 's/("(wall_ms|nets_per_s|micros)": )[0-9.eE+-]+/\1"<volatile>"/' \
+//!   > crates/cli/tests/golden/batch-count3-seed7.json
+//! ```
+
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/batch-count3-seed7.json");
+
+/// Replaces the values of timing keys with `"<volatile>"`, leaving all
+/// structural and numeric-result content untouched.
+fn normalize(json: &str) -> String {
+    let mut result = String::with_capacity(json.len());
+    let mut rest = json;
+    loop {
+        let Some(pos) = ["\"wall_ms\": ", "\"nets_per_s\": ", "\"micros\": "]
+            .iter()
+            .filter_map(|k| rest.find(k).map(|p| p + k.len()))
+            .min()
+        else {
+            result.push_str(rest);
+            return result;
+        };
+        result.push_str(&rest[..pos]);
+        result.push_str("\"<volatile>\"");
+        let tail = &rest[pos..];
+        let end = tail
+            .find([',', '}', '\n'])
+            .expect("number terminated by delimiter");
+        rest = &tail[end..];
+    }
+}
+
+#[test]
+fn batch_json_matches_golden_schema() {
+    let out = Command::new(env!("CARGO_BIN_EXE_msrnet-cli"))
+        .args([
+            "batch", "--count", "3", "--terminals", "5", "--seed", "7", "--spacing", "1000",
+        ])
+        .output()
+        .expect("spawn msrnet-cli");
+    assert!(
+        out.status.success(),
+        "batch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let actual = normalize(&String::from_utf8(out.stdout).expect("utf8 json"));
+    let expected = normalize(GOLDEN);
+    assert_eq!(
+        actual, expected,
+        "batch JSON diverged from the golden schema; if intentional, \
+         regenerate crates/cli/tests/golden/batch-count3-seed7.json \
+         (see module docs)"
+    );
+}
+
+#[test]
+fn normalize_scrubs_only_timing_fields() {
+    let sample = "{\"wall_ms\": 1.5,\n\"micros\": 42, \"bare_ard\": 7.25}";
+    assert_eq!(
+        normalize(sample),
+        "{\"wall_ms\": \"<volatile>\",\n\"micros\": \"<volatile>\", \"bare_ard\": 7.25}"
+    );
+}

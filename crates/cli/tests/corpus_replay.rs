@@ -1,0 +1,64 @@
+//! Replays the shrunk-repro corpus through the verification registry.
+//!
+//! Every `.msr` under `crates/verify/corpus/` is a pinned instance:
+//! either a seed covering an adversarial regime or a shrunk repro
+//! promoted from a past `msrnet-cli verify` failure. Each must pass
+//! every oracle and metamorphic check — a `Fail` here means a fixed
+//! bug has come back.
+
+use std::path::PathBuf;
+
+use msrnet_cli::format::parse_net_file;
+use msrnet_verify::{registry, run_check, CheckOutcome, Instance};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../verify/corpus")
+}
+
+#[test]
+fn corpus_instances_pass_every_check() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.expect("corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "msr"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "corpus at {} holds no .msr files",
+        dir.display()
+    );
+
+    let mut failures = Vec::new();
+    for path in &entries {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path).expect("readable corpus file");
+        let parsed = parse_net_file(&text)
+            .unwrap_or_else(|e| panic!("{}: invalid .msr: {e}", path.display()));
+        let inst = Instance::from_net(&stem, parsed.net, parsed.library);
+        for check in registry() {
+            if let CheckOutcome::Fail(msg) = run_check(check, &inst) {
+                failures.push(format!("{stem}: {}: {msg}", check.name));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "corpus regressions:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn corpus_covers_adversarial_regimes() {
+    // The seed corpus must keep covering the regimes the generator
+    // treats as adversarial; shrunk repros only ever add to this.
+    let dir = corpus_dir();
+    for name in [
+        "seed-zero-length-edge.msr",
+        "seed-asymmetric.msr",
+        "seed-inverting.msr",
+        "seed-extreme-rc.msr",
+        "seed-degenerate-two-terminal.msr",
+        "seed-single-terminal.msr",
+    ] {
+        assert!(dir.join(name).is_file(), "missing corpus seed {name}");
+    }
+}

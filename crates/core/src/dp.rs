@@ -354,8 +354,13 @@ impl Solver<'_> {
             sets[v.0] = Some(set);
         }
 
-        // The root is a leaf terminal with exactly one child subtree.
+        // The root is a leaf terminal with exactly one child subtree — or
+        // none at all when the net is a single terminal, which has no
+        // distinct source/sink pair and therefore no defined ARD.
         let children = self.rooted.children(root_v);
+        if children.is_empty() {
+            return Err(MsriError::NoFeasiblePair);
+        }
         debug_assert_eq!(children.len(), 1, "leaf root has one child");
         let child = children[0];
         let below = sets[child.0].take().expect("child processed");

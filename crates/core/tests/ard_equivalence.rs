@@ -1,0 +1,116 @@
+//! ARD oracle agreement on degenerate nets.
+//!
+//! The `msrnet-cli verify` harness cross-checks `ard_linear` against
+//! `ard_naive` on generated instances; these tests pin the degenerate
+//! corners of that pair explicitly — the smallest nets where the linear
+//! sweep's bookkeeping (top-two merges, local terminal roles) could
+//! plausibly diverge from the brute-force definition.
+
+use msrnet_core::ard::{ard_linear, ard_naive};
+use msrnet_core::{optimize, MsriError, MsriOptions, TerminalOptions};
+use msrnet_geom::Point;
+use msrnet_rctree::{Assignment, NetBuilder, Technology, Terminal, TerminalId};
+
+fn tech() -> Technology {
+    Technology::new(0.03, 0.000_35)
+}
+
+#[test]
+fn two_terminal_zero_insertion_point_net_agrees() {
+    let mut b = NetBuilder::new(tech());
+    let a = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(12.0, 80.0, 0.05, 180.0));
+    let c = b.terminal(Point::new(1500.0, 0.0), Terminal::bidirectional(45.0, 70.0, 0.09, 120.0));
+    b.wire_with_length(a, c, 1500.0);
+    let net = b.build().expect("valid two-terminal net");
+
+    let asg = Assignment::empty(net.topology.vertex_count());
+    for root in net.terminal_ids() {
+        let rooted = net.rooted_at_terminal(root);
+        let fast = ard_linear(&net, &rooted, &[], &asg);
+        let slow = ard_naive(&net, &rooted, &[], &asg);
+        assert!(fast.ard.is_finite(), "two sources and two sinks must pair");
+        assert!(
+            (fast.ard - slow.ard).abs() <= 1e-9 * slow.ard.abs(),
+            "root {root:?}: linear {} vs naive {}",
+            fast.ard,
+            slow.ard
+        );
+        assert_eq!(fast.critical, slow.critical, "root {root:?}");
+    }
+
+    // With no insertion points the DP has a single (empty) frontier
+    // point whose ARD is the bare net's.
+    let rooted = net.rooted_at_terminal(TerminalId(0));
+    let bare = ard_linear(&net, &rooted, &[], &asg);
+    let curve = optimize(
+        &net,
+        TerminalId(0),
+        &[],
+        &TerminalOptions::defaults(&net),
+        &MsriOptions::default(),
+    )
+    .expect("two-terminal net optimizes");
+    let best = curve
+        .points()
+        .iter()
+        .map(|p| p.ard)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        (best - bare.ard).abs() <= 1e-9 * bare.ard.abs(),
+        "frontier {best} vs bare ARD {}",
+        bare.ard
+    );
+}
+
+#[test]
+fn single_terminal_net_rejected_everywhere() {
+    let mut b = NetBuilder::new(tech());
+    b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(5.0, 50.0, 0.05, 180.0));
+    let net = b.build().expect("single-terminal net is a valid net");
+
+    // No distinct source/sink pair exists: both ARD sweeps must agree
+    // on -inf with no critical pair…
+    let rooted = net.rooted_at_terminal(TerminalId(0));
+    let asg = Assignment::empty(net.topology.vertex_count());
+    let fast = ard_linear(&net, &rooted, &[], &asg);
+    let slow = ard_naive(&net, &rooted, &[], &asg);
+    assert_eq!(fast.ard, f64::NEG_INFINITY);
+    assert_eq!(slow.ard, f64::NEG_INFINITY);
+    assert_eq!(fast.critical, None);
+    assert_eq!(slow.critical, None);
+
+    // …and the DP must reject instead of panicking on a root with no
+    // child subtree (regression: used to index `children[0]` blindly).
+    let err = optimize(
+        &net,
+        TerminalId(0),
+        &[],
+        &TerminalOptions::defaults(&net),
+        &MsriOptions::default(),
+    )
+    .expect_err("no feasible source/sink pair");
+    assert_eq!(err, MsriError::NoFeasiblePair);
+}
+
+#[test]
+fn directional_two_terminal_net_agrees() {
+    // One pure source driving one pure sink: exactly one ordered pair,
+    // so both sweeps must report it — and rooting at either end (the
+    // sink root exercises the arrival/delay split at a leaf root).
+    let mut b = NetBuilder::new(tech());
+    let s = b.terminal(Point::new(0.0, 0.0), Terminal::source_only(30.0, 0.06, 150.0));
+    let t = b.terminal(Point::new(900.0, 0.0), Terminal::sink_only(40.0, 0.11));
+    b.wire_with_length(s, t, 900.0);
+    let net = b.build().expect("valid source/sink net");
+
+    let asg = Assignment::empty(net.topology.vertex_count());
+    for root in net.terminal_ids() {
+        let rooted = net.rooted_at_terminal(root);
+        let fast = ard_linear(&net, &rooted, &[], &asg);
+        let slow = ard_naive(&net, &rooted, &[], &asg);
+        assert!(fast.ard.is_finite());
+        assert!((fast.ard - slow.ard).abs() <= 1e-9 * slow.ard.abs());
+        assert_eq!(fast.critical, Some((TerminalId(0), TerminalId(1))));
+        assert_eq!(fast.critical, slow.critical);
+    }
+}

@@ -8,6 +8,12 @@
 //! driver-sizing menus built from sized buffers, and random net
 //! generators over the 1 cm × 1 cm grid.
 //!
+//! Beyond the paper's experiments, these generators seed the
+//! differential-verification harness (`msrnet-verify`): its regime grid
+//! draws random Steiner and clustered topologies from [`ExperimentNet`]
+//! and then perturbs them toward adversarial geometry (zero-length
+//! edges, duplicate points, extreme R/C corners).
+//!
 //! # Examples
 //!
 //! ```

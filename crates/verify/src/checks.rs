@@ -1,0 +1,776 @@
+//! The oracle-pair and metamorphic-property registry.
+//!
+//! Every check is a total function `Instance -> CheckOutcome`: it either
+//! passes, skips (with a reason — e.g. the exhaustive oracle refuses
+//! search spaces it cannot enumerate), or fails with a human-readable
+//! mismatch description. Checks never panic on valid instances; a panic
+//! is itself a bug the harness should surface, so the runner wraps each
+//! check in [`std::panic::catch_unwind`].
+//!
+//! Oracle pairs (two independent implementations, compared):
+//! 1. `ard_linear_vs_naive` — the one-DFS linear ARD vs the
+//!    `O(n·|sources|)` definitional oracle, on the bare net and on
+//!    random repeater assignments.
+//! 2. `dp_vs_exhaustive` — the MSRI dynamic program's Pareto frontier vs
+//!    brute-force enumeration (Theorem 4.1), gated on search-space size.
+//! 3. `wires_dp_vs_exhaustive` — the wire-sizing DP vs brute force over
+//!    joint repeater × driver × wire-width choices.
+//! 4. `arena_vs_alloc` — `optimize` vs `optimize_in` with a reused
+//!    [`MsriWorkspace`]: the fused arena path must be *bit-identical*.
+//! 5. `batch_parallel_vs_sequential` — the multi-net engine at 3 threads
+//!    vs 1 thread, compared with [`reports_bit_identical`].
+//! 6. `feasibility_consistency` — `optimize` returns `NoFeasiblePair`
+//!    exactly when the bare ARD is `-∞`.
+//!
+//! Metamorphic properties (one implementation, transformed input):
+//! 1. `rescaling_invariance` — Elmore delay is a sum of R·C products, so
+//!    scaling every resistance by 8 and every capacitance by 1/8 (exact
+//!    power-of-two float ops) must leave the ARD bit-identical.
+//! 2. `sink_load_monotonicity` — increasing a sink's required time `q`
+//!    or its pin capacitance can only increase the ARD.
+//! 3. `pruning_strategies_agree` — divide-and-conquer MFS, naive MFS
+//!    and whole-domain-only pruning must yield the same (cost, ARD)
+//!    frontier values.
+//! 4. `rooting_invariance` — the ARD does not depend on which terminal
+//!    the traversal is rooted at.
+
+use crate::gen::Instance;
+use msrnet_batch::{reports_bit_identical, run_batch, BatchJob};
+use msrnet_core::ard::{ard_linear, ard_naive};
+use msrnet_core::exhaustive::{exhaustive_frontier, exhaustive_frontier_with_wires};
+use msrnet_core::{
+    optimize, optimize_in, optimize_with_wires, MsriError, MsriOptions, MsriWorkspace,
+    PruningStrategy, TradeoffCurve,
+};
+use msrnet_rctree::{Assignment, Orientation};
+use msrnet_rng::{Rng, SeedableRng, SplitMix64};
+
+/// Classification of a check, reported per-check in the JSON output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckKind {
+    /// Two independent implementations compared on the same input.
+    Oracle,
+    /// One implementation compared against itself on a transformed input.
+    Metamorphic,
+}
+
+/// Result of running one check on one instance.
+#[derive(Clone, Debug)]
+pub enum CheckOutcome {
+    /// The oracle pair agreed / the property held.
+    Pass,
+    /// The check does not apply to this instance (reason attached).
+    Skip(String),
+    /// Disagreement — the payload describes both sides.
+    Fail(String),
+}
+
+/// A named check in the registry.
+pub struct CheckDef {
+    /// Stable identifier, used in reports and by the shrinker.
+    pub name: &'static str,
+    /// Oracle pair or metamorphic property.
+    pub kind: CheckKind,
+    /// The check body.
+    pub run: fn(&Instance) -> CheckOutcome,
+}
+
+/// The full registry, in execution order (cheap checks first).
+pub fn registry() -> &'static [CheckDef] {
+    &[
+        CheckDef {
+            name: "ard_linear_vs_naive",
+            kind: CheckKind::Oracle,
+            run: check_ard_linear_vs_naive,
+        },
+        CheckDef {
+            name: "rescaling_invariance",
+            kind: CheckKind::Metamorphic,
+            run: check_rescaling_invariance,
+        },
+        CheckDef {
+            name: "sink_load_monotonicity",
+            kind: CheckKind::Metamorphic,
+            run: check_sink_load_monotonicity,
+        },
+        CheckDef {
+            name: "rooting_invariance",
+            kind: CheckKind::Metamorphic,
+            run: check_rooting_invariance,
+        },
+        CheckDef {
+            name: "feasibility_consistency",
+            kind: CheckKind::Oracle,
+            run: check_feasibility_consistency,
+        },
+        CheckDef {
+            name: "arena_vs_alloc",
+            kind: CheckKind::Oracle,
+            run: check_arena_vs_alloc,
+        },
+        CheckDef {
+            name: "pruning_strategies_agree",
+            kind: CheckKind::Metamorphic,
+            run: check_pruning_strategies_agree,
+        },
+        CheckDef {
+            name: "dp_vs_exhaustive",
+            kind: CheckKind::Oracle,
+            run: check_dp_vs_exhaustive,
+        },
+        CheckDef {
+            name: "wires_dp_vs_exhaustive",
+            kind: CheckKind::Oracle,
+            run: check_wires_dp_vs_exhaustive,
+        },
+        CheckDef {
+            name: "batch_parallel_vs_sequential",
+            kind: CheckKind::Oracle,
+            run: check_batch_parallel_vs_sequential,
+        },
+    ]
+}
+
+/// Looks up a check by name (used by the shrinker to re-run the one
+/// failing check on candidate reductions).
+pub fn find_check(name: &str) -> Option<&'static CheckDef> {
+    registry().iter().find(|c| c.name == name)
+}
+
+/// Runs one check, converting panics into failures (a panicking oracle
+/// is as much a mismatch as a disagreeing one).
+pub fn run_check(check: &CheckDef, inst: &Instance) -> CheckOutcome {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (check.run)(inst)));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            CheckOutcome::Fail(format!("check panicked: {msg}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Relative closeness with `-∞ == -∞` treated as agreement.
+fn ard_close(a: f64, b: f64) -> bool {
+    if a == f64::NEG_INFINITY || b == f64::NEG_INFINITY {
+        return a == b;
+    }
+    let tol = 1e-6 * a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol
+}
+
+/// Draws `count` random (not necessarily useful) repeater assignments on
+/// the instance's insertion points, deterministically from `check_seed`.
+fn random_assignments(inst: &Instance, count: usize) -> Vec<Assignment> {
+    let mut rng = SplitMix64::seed_from_u64(inst.check_seed ^ 0x00A5_516E);
+    let ips: Vec<_> = inst.net.topology.insertion_points().collect();
+    let mut out = Vec::new();
+    if inst.library.is_empty() || ips.is_empty() {
+        return out;
+    }
+    for _ in 0..count {
+        let mut asg = Assignment::empty(inst.net.topology.vertex_count());
+        for &v in &ips {
+            if rng.gen_bool(0.4) {
+                let rep = rng.gen_range(0..inst.library.len());
+                let orient = if rng.gen_bool(0.5) {
+                    Orientation::AFacesParent
+                } else {
+                    Orientation::BFacesParent
+                };
+                asg.place(v, rep, orient);
+            }
+        }
+        out.push(asg);
+    }
+    out
+}
+
+/// Estimated DP candidate-set size at the worst node.
+///
+/// Measured on path nets: symmetric libraries keep per-node sets linear
+/// in the insertion-point count (~2 per point), but any asymmetric or
+/// inverting repeater makes orientation/polarity distinctions pile up
+/// quadratically — and `JoinSets` at Steiner vertices then multiplies
+/// two such sets. The harness gates the DP-running oracles on this
+/// estimate instead of letting one adversarial case eat the whole
+/// wall-clock budget.
+fn dp_set_estimate(inst: &Instance) -> f64 {
+    let ips = inst.net.topology.insertion_point_count() as f64;
+    // Each distinct repeater cost adds a dimension of undominated
+    // Pareto levels (two cost denominations reach O(ips^2) distinct
+    // sums); asymmetric orientation / inverting polarity adds one more.
+    let distinct_costs = inst
+        .library
+        .iter()
+        .map(|r| r.cost.to_bits())
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    let mut dims = distinct_costs.min(2) as i32;
+    if inst
+        .library
+        .iter()
+        .any(|r| !r.is_symmetric() || r.inverting)
+    {
+        dims += 1;
+    }
+    (ips + 1.0).powi(dims)
+}
+
+/// Skip reason when the DP would be too expensive for a fuzz case.
+fn dp_intractable(inst: &Instance) -> Option<String> {
+    let est = dp_set_estimate(inst);
+    (est > 150.0).then(|| format!("DP set estimate {est:.0} exceeds the per-case budget"))
+}
+
+/// Estimated exhaustive-search size: repeater/orientation choices per
+/// insertion point times the driver-menu product.
+fn exhaustive_combos(inst: &Instance) -> f64 {
+    let per_ip = 1.0 + 2.0 * inst.library.len() as f64;
+    let ips = inst.net.topology.insertion_point_count() as f64;
+    let mut combos = per_ip.powf(ips);
+    for t in inst.net.terminal_ids() {
+        combos *= inst.drivers.for_terminal(t).len().max(1) as f64;
+    }
+    combos
+}
+
+/// Runs `optimize` and formats errors for comparison.
+fn run_dp(inst: &Instance, options: &MsriOptions) -> Result<TradeoffCurve, MsriError> {
+    optimize(
+        &inst.net,
+        inst.root,
+        &inst.library,
+        &inst.drivers,
+        options,
+    )
+}
+
+/// Compares two frontiers on (cost, ARD) values within tolerance.
+fn frontiers_close(a: &[(f64, f64)], b: &[(f64, f64)], label_a: &str, label_b: &str) -> CheckOutcome {
+    if a.len() != b.len() {
+        return CheckOutcome::Fail(format!(
+            "frontier sizes differ: {label_a}={} vs {label_b}={} (a={a:?} b={b:?})",
+            a.len(),
+            b.len()
+        ));
+    }
+    for (i, (pa, pb)) in a.iter().zip(b).enumerate() {
+        let cost_ok = (pa.0 - pb.0).abs() <= 1e-9 * pa.0.abs().max(pb.0.abs()).max(1.0);
+        if !cost_ok || !ard_close(pa.1, pb.1) {
+            return CheckOutcome::Fail(format!(
+                "frontier point {i} differs: {label_a}=({:.12}, {:.12}) vs {label_b}=({:.12}, {:.12})",
+                pa.0, pa.1, pb.0, pb.1
+            ));
+        }
+    }
+    CheckOutcome::Pass
+}
+
+// ---------------------------------------------------------------------------
+// Oracle pairs
+// ---------------------------------------------------------------------------
+
+fn check_ard_linear_vs_naive(inst: &Instance) -> CheckOutcome {
+    let rooted = inst.net.rooted_at_terminal(inst.root);
+    let mut assignments = vec![Assignment::empty(inst.net.topology.vertex_count())];
+    assignments.extend(random_assignments(inst, 3));
+    for (k, asg) in assignments.iter().enumerate() {
+        let fast = ard_linear(&inst.net, &rooted, &inst.library, asg);
+        let slow = ard_naive(&inst.net, &rooted, &inst.library, asg);
+        if !ard_close(fast.ard, slow.ard) {
+            return CheckOutcome::Fail(format!(
+                "assignment {k} ({} repeaters): linear={} naive={}",
+                asg.placed_count(),
+                fast.ard,
+                slow.ard
+            ));
+        }
+        if fast.critical.is_some() != slow.critical.is_some() {
+            return CheckOutcome::Fail(format!(
+                "assignment {k}: critical-pair presence differs (linear={:?} naive={:?})",
+                fast.critical, slow.critical
+            ));
+        }
+    }
+    CheckOutcome::Pass
+}
+
+fn check_dp_vs_exhaustive(inst: &Instance) -> CheckOutcome {
+    if !inst.terminals_are_leaves() {
+        return CheckOutcome::Skip("non-leaf terminal (DP precondition)".into());
+    }
+    let combos = exhaustive_combos(inst);
+    if combos > 2e4 {
+        return CheckOutcome::Skip(format!("search space too large ({combos:.0})"));
+    }
+    let dp = run_dp(inst, &inst.options);
+    let exact = exhaustive_frontier(&inst.net, inst.root, &inst.library, &inst.drivers);
+    match dp {
+        Err(MsriError::NoFeasiblePair) => {
+            if exact.is_empty() {
+                CheckOutcome::Pass
+            } else {
+                CheckOutcome::Fail(format!(
+                    "DP says NoFeasiblePair but exhaustive found {} points",
+                    exact.len()
+                ))
+            }
+        }
+        Err(e) => CheckOutcome::Fail(format!("DP error {e:?} on an enumerable instance")),
+        Ok(curve) => {
+            let a: Vec<_> = curve.points().iter().map(|p| (p.cost, p.ard)).collect();
+            let b: Vec<_> = exact.iter().map(|p| (p.cost, p.ard)).collect();
+            frontiers_close(&a, &b, "dp", "exhaustive")
+        }
+    }
+}
+
+fn check_wires_dp_vs_exhaustive(inst: &Instance) -> CheckOutcome {
+    if inst.wire_options.len() < 2 {
+        return CheckOutcome::Skip("no wire sizing in this regime".into());
+    }
+    if !inst.terminals_are_leaves() {
+        return CheckOutcome::Skip("non-leaf terminal (DP precondition)".into());
+    }
+    let sized_edges = inst
+        .net
+        .topology
+        .edges()
+        .filter(|&e| inst.net.topology.length(e) > 0.0)
+        .count();
+    let combos =
+        exhaustive_combos(inst) * (inst.wire_options.len() as f64).powf(sized_edges as f64);
+    if combos > 2e4 {
+        return CheckOutcome::Skip(format!("wire search space too large ({combos:.0})"));
+    }
+    let dp = optimize_with_wires(
+        &inst.net,
+        inst.root,
+        &inst.library,
+        &inst.drivers,
+        &inst.wire_options,
+        &inst.options,
+    );
+    let exact = exhaustive_frontier_with_wires(
+        &inst.net,
+        inst.root,
+        &inst.library,
+        &inst.drivers,
+        &inst.wire_options,
+    );
+    match dp {
+        Err(MsriError::NoFeasiblePair) if exact.is_empty() => CheckOutcome::Pass,
+        Err(e) => CheckOutcome::Fail(format!("wire DP error {e:?}, exhaustive has {} points", exact.len())),
+        Ok(curve) => {
+            let a: Vec<_> = curve.points().iter().map(|p| (p.cost, p.ard)).collect();
+            let b: Vec<_> = exact.iter().map(|p| (p.cost, p.ard)).collect();
+            frontiers_close(&a, &b, "wire-dp", "wire-exhaustive")
+        }
+    }
+}
+
+fn check_arena_vs_alloc(inst: &Instance) -> CheckOutcome {
+    if let Some(reason) = dp_intractable(inst) {
+        return CheckOutcome::Skip(reason);
+    }
+    if inst.check_seed % 3 != 1 {
+        return CheckOutcome::Skip("sampled out (runs on 1/3 of cases)".into());
+    }
+    let plain = run_dp(inst, &inst.options);
+    let mut ws = MsriWorkspace::new();
+    // Prime the workspace on a first run so the comparison run actually
+    // exercises arena reuse, then compare the second run.
+    let _ = optimize_in(
+        &inst.net,
+        inst.root,
+        &inst.library,
+        &inst.drivers,
+        &inst.options,
+        &mut ws,
+    );
+    let arena = optimize_in(
+        &inst.net,
+        inst.root,
+        &inst.library,
+        &inst.drivers,
+        &inst.options,
+        &mut ws,
+    );
+    match (plain, arena) {
+        (Err(a), Err(b)) => {
+            if a == b {
+                CheckOutcome::Pass
+            } else {
+                CheckOutcome::Fail(format!("error variants differ: plain={a:?} arena={b:?}"))
+            }
+        }
+        (Ok(_), Err(e)) => CheckOutcome::Fail(format!("plain succeeded, arena failed: {e:?}")),
+        (Err(e), Ok(_)) => CheckOutcome::Fail(format!("arena succeeded, plain failed: {e:?}")),
+        (Ok(a), Ok(b)) => {
+            if a.len() != b.len() {
+                return CheckOutcome::Fail(format!(
+                    "frontier sizes differ: plain={} arena={}",
+                    a.len(),
+                    b.len()
+                ));
+            }
+            for (i, (pa, pb)) in a.points().iter().zip(b.points()).enumerate() {
+                // Bit-identical contract: the arena path is the same
+                // arithmetic in the same order, only without allocation.
+                if pa.cost.to_bits() != pb.cost.to_bits()
+                    || pa.ard.to_bits() != pb.ard.to_bits()
+                    || pa.assignment != pb.assignment
+                    || pa.terminal_choices != pb.terminal_choices
+                {
+                    return CheckOutcome::Fail(format!(
+                        "point {i} not bit-identical: plain=({:?}, {:?}) arena=({:?}, {:?})",
+                        pa.cost, pa.ard, pb.cost, pb.ard
+                    ));
+                }
+            }
+            CheckOutcome::Pass
+        }
+    }
+}
+
+fn check_batch_parallel_vs_sequential(inst: &Instance) -> CheckOutcome {
+    // 2 thread-counts x 3 jobs = six DP solves per case, so the work
+    // gate is tighter than the single-solve oracles'.
+    let est = dp_set_estimate(inst);
+    if est > 60.0 {
+        return CheckOutcome::Skip(format!(
+            "DP set estimate {est:.0} too large for the batch re-runs"
+        ));
+    }
+    // Six DP solves per case is the most expensive check in the
+    // registry; a deterministic quarter of the stream (keyed on the
+    // case's own seed) keeps it exercised without dominating the run.
+    if !inst.check_seed.is_multiple_of(4) {
+        return CheckOutcome::Skip("sampled out (runs on 1/4 of cases)".into());
+    }
+    if inst.net.topology.vertex_count() > 80 {
+        return CheckOutcome::Skip("net too large for the 2× batch re-run budget".into());
+    }
+    // Three jobs (clones with distinct names) so the parallel run has
+    // actual scheduling freedom to get wrong.
+    let jobs: Vec<BatchJob> = (0..3)
+        .map(|i| BatchJob {
+            name: format!("{}-{i}", inst.name),
+            net: inst.net.clone(),
+            root: inst.root,
+            library: inst.library.clone(),
+            drivers: inst.drivers.clone(),
+            options: inst.options,
+        })
+        .collect();
+    let seq = run_batch(&jobs, 1);
+    let par = run_batch(&jobs, 3);
+    if reports_bit_identical(&seq, &par) {
+        CheckOutcome::Pass
+    } else {
+        CheckOutcome::Fail("parallel batch report differs from sequential".into())
+    }
+}
+
+fn check_feasibility_consistency(inst: &Instance) -> CheckOutcome {
+    if let Some(reason) = dp_intractable(inst) {
+        return CheckOutcome::Skip(reason);
+    }
+    if !inst.terminals_are_leaves() {
+        return CheckOutcome::Skip("non-leaf terminal (DP precondition)".into());
+    }
+    let rooted = inst.net.rooted_at_terminal(inst.root);
+    let bare = ard_linear(
+        &inst.net,
+        &rooted,
+        &inst.library,
+        &Assignment::empty(inst.net.topology.vertex_count()),
+    );
+    let dp = run_dp(inst, &inst.options);
+    match (bare.ard == f64::NEG_INFINITY, dp) {
+        (true, Err(MsriError::NoFeasiblePair)) => CheckOutcome::Pass,
+        (true, Ok(curve)) => CheckOutcome::Fail(format!(
+            "bare ARD is -∞ but DP produced a {}-point frontier",
+            curve.len()
+        )),
+        (false, Err(e)) => {
+            CheckOutcome::Fail(format!("bare ARD is finite but DP failed: {e:?}"))
+        }
+        (false, Ok(_)) => CheckOutcome::Pass,
+        (true, Err(e)) => CheckOutcome::Fail(format!(
+            "bare ARD is -∞ but DP failed with {e:?} instead of NoFeasiblePair"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic properties
+// ---------------------------------------------------------------------------
+
+/// Scales every resistance by `k` and every capacitance by `1/k`.
+fn rescale_instance(inst: &Instance, k: f64) -> Instance {
+    let mut out = inst.clone();
+    out.net.tech.unit_res *= k;
+    out.net.tech.unit_cap /= k;
+    for t in &mut out.net.terminals {
+        t.drive_res *= k;
+        t.cap /= k;
+    }
+    out.library = inst
+        .library
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.a_to_b.out_res *= k;
+            r.b_to_a.out_res *= k;
+            r.cap_a /= k;
+            r.cap_b /= k;
+            r
+        })
+        .collect();
+    out
+}
+
+fn check_rescaling_invariance(inst: &Instance) -> CheckOutcome {
+    // k = 8 is a power of two: R·k and C/k are exact float operations
+    // whose exponent shifts cancel in every R·C product, so the entire
+    // Elmore computation is bit-for-bit reproducible.
+    let scaled = rescale_instance(inst, 8.0);
+    let rooted = inst.net.rooted_at_terminal(inst.root);
+    let rooted_s = scaled.net.rooted_at_terminal(scaled.root);
+    let mut assignments = vec![Assignment::empty(inst.net.topology.vertex_count())];
+    assignments.extend(random_assignments(inst, 2));
+    for (k, asg) in assignments.iter().enumerate() {
+        let base = ard_linear(&inst.net, &rooted, &inst.library, asg);
+        let resc = ard_linear(&scaled.net, &rooted_s, &scaled.library, asg);
+        let both_neg_inf =
+            base.ard == f64::NEG_INFINITY && resc.ard == f64::NEG_INFINITY;
+        if !both_neg_inf && base.ard.to_bits() != resc.ard.to_bits() {
+            return CheckOutcome::Fail(format!(
+                "assignment {k}: ARD not invariant under R×8, C/8 rescale: {} vs {}",
+                base.ard, resc.ard
+            ));
+        }
+    }
+    CheckOutcome::Pass
+}
+
+fn check_sink_load_monotonicity(inst: &Instance) -> CheckOutcome {
+    let sinks: Vec<_> = inst
+        .net
+        .terminal_ids()
+        .filter(|&t| inst.net.terminal(t).is_sink())
+        .collect();
+    let Some(&victim) = sinks.first() else {
+        return CheckOutcome::Skip("no sink terminal".into());
+    };
+    let rooted = inst.net.rooted_at_terminal(inst.root);
+    let asg = Assignment::empty(inst.net.topology.vertex_count());
+    let base = ard_linear(&inst.net, &rooted, &inst.library, &asg).ard;
+
+    // (a) A later required time at one sink can only worsen the ARD.
+    let mut heavier_q = inst.net.clone();
+    heavier_q.terminals[victim.0].downstream += 50.0;
+    let with_q = ard_linear(
+        &heavier_q,
+        &heavier_q.rooted_at_terminal(inst.root),
+        &inst.library,
+        &asg,
+    )
+    .ard;
+    // (b) More pin capacitance anywhere can only slow Elmore delays.
+    let mut heavier_c = inst.net.clone();
+    heavier_c.terminals[victim.0].cap *= 2.0;
+    let with_c = ard_linear(
+        &heavier_c,
+        &heavier_c.rooted_at_terminal(inst.root),
+        &inst.library,
+        &asg,
+    )
+    .ard;
+
+    let tol = 1e-9 * base.abs().max(1.0);
+    if base.is_finite() && with_q < base - tol {
+        return CheckOutcome::Fail(format!(
+            "ARD decreased when sink {victim:?} q increased: {base} -> {with_q}"
+        ));
+    }
+    if base.is_finite() && with_c < base - tol {
+        return CheckOutcome::Fail(format!(
+            "ARD decreased when sink {victim:?} cap doubled: {base} -> {with_c}"
+        ));
+    }
+    CheckOutcome::Pass
+}
+
+fn check_pruning_strategies_agree(inst: &Instance) -> CheckOutcome {
+    // Naive MFS pruning is quadratic in candidate-set size, so this
+    // check takes a tighter work gate than the other DP oracles.
+    let est = dp_set_estimate(inst);
+    if est > 40.0 {
+        return CheckOutcome::Skip(format!(
+            "DP set estimate {est:.0} too large for the naive-pruning re-run"
+        ));
+    }
+    if !inst.check_seed.is_multiple_of(3) {
+        return CheckOutcome::Skip("sampled out (runs on 1/3 of cases)".into());
+    }
+    if !inst.terminals_are_leaves() {
+        return CheckOutcome::Skip("non-leaf terminal (DP precondition)".into());
+    }
+    if inst.net.topology.vertex_count() > 60 {
+        return CheckOutcome::Skip("net too large for the naive-pruning re-run".into());
+    }
+    let strategies = [
+        ("divide_conquer", PruningStrategy::DivideConquer),
+        ("naive", PruningStrategy::Naive),
+        ("whole_domain", PruningStrategy::WholeDomainOnly),
+    ];
+    type FrontierResult = Result<Vec<(f64, f64)>, MsriError>;
+    let mut baseline: Option<(&str, FrontierResult)> = None;
+    for (label, pruning) in strategies {
+        let opts = MsriOptions {
+            pruning,
+            ..inst.options
+        };
+        let got = run_dp(inst, &opts).map(|c| {
+            c.points()
+                .iter()
+                .map(|p| (p.cost, p.ard))
+                .collect::<Vec<_>>()
+        });
+        match &baseline {
+            None => baseline = Some((label, got)),
+            Some((base_label, base)) => match (base, &got) {
+                (Err(a), Err(b)) if a == b => {}
+                (Ok(a), Ok(b)) => {
+                    if let CheckOutcome::Fail(msg) = frontiers_close(a, b, base_label, label) {
+                        return CheckOutcome::Fail(format!("pruning strategies disagree: {msg}"));
+                    }
+                }
+                (a, b) => {
+                    return CheckOutcome::Fail(format!(
+                        "pruning {base_label} -> {a:?} but {label} -> {b:?}"
+                    ));
+                }
+            },
+        }
+    }
+    CheckOutcome::Pass
+}
+
+fn check_rooting_invariance(inst: &Instance) -> CheckOutcome {
+    if inst.net.topology.terminal_count() < 2 {
+        return CheckOutcome::Skip("fewer than two terminals".into());
+    }
+    let asg = Assignment::empty(inst.net.topology.vertex_count());
+    let mut rng = SplitMix64::seed_from_u64(inst.check_seed ^ 0x0000_7007);
+    let mut roots: Vec<_> = inst.net.terminal_ids().collect();
+    rng.shuffle(&mut roots);
+    roots.truncate(3);
+    let mut baseline: Option<(msrnet_rctree::TerminalId, f64)> = None;
+    for &r in &roots {
+        let rooted = inst.net.rooted_at_terminal(r);
+        let got = ard_linear(&inst.net, &rooted, &inst.library, &asg).ard;
+        match baseline {
+            None => baseline = Some((r, got)),
+            Some((r0, base)) => {
+                if !ard_close(base, got) {
+                    return CheckOutcome::Fail(format!(
+                        "ARD depends on root: rooted at {r0:?} -> {base}, at {r:?} -> {got}"
+                    ));
+                }
+            }
+        }
+    }
+    CheckOutcome::Pass
+}
+
+/// Test-only check used by the harness's own self-tests and by the
+/// shrinker tests: fails whenever the net has a source/sink pair and at
+/// least 3 terminals — a stand-in for an injected implementation bug
+/// that lets the shrinker's convergence be asserted without patching
+/// production code.
+#[doc(hidden)]
+pub fn synthetic_failure_check(inst: &Instance) -> CheckOutcome {
+    let rooted = inst.net.rooted_at_terminal(inst.root);
+    let asg = Assignment::empty(inst.net.topology.vertex_count());
+    let bare = ard_linear(&inst.net, &rooted, &inst.library, &asg);
+    if bare.ard.is_finite() && inst.net.topology.terminal_count() >= 3 {
+        CheckOutcome::Fail("synthetic failure (self-test)".into())
+    } else {
+        CheckOutcome::Pass
+    }
+}
+
+/// Lets callers (tests, the shrinker) dispatch either a registry check
+/// by name or the synthetic self-test check.
+pub fn run_named(name: &str, inst: &Instance) -> Option<CheckOutcome> {
+    if name == "synthetic_failure" {
+        return Some(synthetic_failure_check(inst));
+    }
+    find_check(name).map(|c| run_check(c, inst))
+}
+
+/// Convenience predicate: does `name` still fail on `inst`?
+pub fn still_fails(name: &str, inst: &Instance) -> bool {
+    matches!(run_named(name, inst), Some(CheckOutcome::Fail(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn registry_names_are_unique_and_cover_required_mix() {
+        let reg = registry();
+        let mut names: Vec<_> = reg.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "duplicate check names");
+        let oracles = reg.iter().filter(|c| c.kind == CheckKind::Oracle).count();
+        let metas = reg
+            .iter()
+            .filter(|c| c.kind == CheckKind::Metamorphic)
+            .count();
+        assert!(oracles >= 5, "need ≥5 oracle pairs, have {oracles}");
+        assert!(metas >= 3, "need ≥3 metamorphic properties, have {metas}");
+    }
+
+    #[test]
+    fn all_checks_pass_on_a_small_case_sample() {
+        for i in 0..18 {
+            let Some(inst) = generate(11, i) else { continue };
+            for check in registry() {
+                match run_check(check, &inst) {
+                    CheckOutcome::Fail(msg) => {
+                        panic!("{} failed on {}: {msg}", check.name, inst.name)
+                    }
+                    CheckOutcome::Pass | CheckOutcome::Skip(_) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_check_fails_on_a_three_terminal_net() {
+        // Find a generated case with ≥3 terminals and a feasible pair.
+        let inst = (0..40)
+            .filter_map(|i| generate(5, i))
+            .find(|inst| {
+                matches!(synthetic_failure_check(inst), CheckOutcome::Fail(_))
+            })
+            .expect("grid contains a ≥3-terminal feasible case");
+        assert!(still_fails("synthetic_failure", &inst));
+    }
+}

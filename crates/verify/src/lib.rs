@@ -1,0 +1,48 @@
+//! Differential verification harness for the msrnet workspace.
+//!
+//! The paper's central claims are *exact equivalences* — the linear-time
+//! ARD algorithm must match the `O(n·|sources|)` definition, and the
+//! MSRI dynamic program must match exhaustive enumeration (Theorem 4.1)
+//! — and the workspace adds two more layers with bit-identity contracts
+//! (arena-fused PWL ops, parallel batch). This crate turns those
+//! contracts into a systematic, seeded differential-testing subsystem:
+//!
+//! 1. [`gen`] draws instances across a structured regime grid — topology
+//!    shape (path / star / random-Steiner / clustered), library
+//!    composition (symmetric / asymmetric / inverting, wire sizing),
+//!    adversarial geometry (zero-length edges, duplicate points, extreme
+//!    R/C corners) and degenerate sizes — from platform-stable
+//!    `msrnet-rng` streams.
+//! 2. [`checks`] runs each instance through a registry of oracle pairs
+//!    and metamorphic properties.
+//! 3. [`mod@shrink`] reduces any failing instance to a minimal repro by
+//!    greedy delta debugging.
+//! 4. [`report`] drives a budgeted run and emits a stable JSON report;
+//!    `msrnet-cli verify` is a thin wrapper around it.
+//!
+//! # Examples
+//!
+//! ```
+//! use msrnet_verify::{run_verify, VerifyConfig};
+//!
+//! let report = run_verify(&VerifyConfig {
+//!     seed: 7,
+//!     cases: 12,
+//!     budget_ms: 0,     // no wall-clock budget
+//!     max_failures: 0,  // no failure cap
+//! });
+//! assert!(report.clean());
+//! assert_eq!(report.cases_run + report.cases_skipped, 12);
+//! ```
+
+pub mod checks;
+pub mod gen;
+pub mod report;
+pub mod shrink;
+
+pub use checks::{
+    find_check, registry, run_check, run_named, still_fails, CheckDef, CheckKind, CheckOutcome,
+};
+pub use gen::{generate, Instance, TopologyClass};
+pub use report::{run_verify, CheckStats, Failure, VerifyConfig, VerifyReport};
+pub use shrink::{shrink, ShrinkResult};

@@ -1,0 +1,335 @@
+//! Greedy failure shrinking (delta debugging).
+//!
+//! Given an instance on which a named check fails, repeatedly tries
+//! simplifying moves — reset driver menus to defaults, drop wire-sizing
+//! options, drop library entries, delete terminals, splice out insertion
+//! points — keeping a move only when the *same* check still fails on the
+//! reduced instance. Runs passes until a fixpoint. The `check_seed` is
+//! held fixed throughout so every candidate evaluation is deterministic.
+//!
+//! Net surgery works by rebuilding the surviving structure through
+//! [`NetBuilder`]: a candidate whose rebuilt net fails validation (tree
+//! split, insertion point at wrong degree, no source/sink left) is
+//! simply rejected — the builder's own checks are the safety net.
+
+use crate::checks::still_fails;
+use crate::gen::Instance;
+use msrnet_core::TerminalOptions;
+use msrnet_rctree::{NetBuilder, TerminalId, VertexId, VertexKind};
+
+/// Outcome of a shrink run.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimized instance (still failing `check`).
+    pub instance: Instance,
+    /// Number of accepted simplifying moves.
+    pub moves_accepted: usize,
+    /// Number of candidate evaluations (accepted + rejected).
+    pub candidates_tried: usize,
+}
+
+/// Shrinks `inst` with respect to the named check. `inst` must already
+/// fail the check; returns it unchanged (zero moves) otherwise.
+pub fn shrink(inst: &Instance, check: &str) -> ShrinkResult {
+    let mut cur = inst.clone();
+    let mut moves_accepted = 0;
+    let mut candidates_tried = 0;
+    if !still_fails(check, &cur) {
+        return ShrinkResult {
+            instance: cur,
+            moves_accepted,
+            candidates_tried,
+        };
+    }
+    let try_move =
+        |cur: &mut Instance, cand: Option<Instance>, tried: &mut usize, accepted: &mut usize| {
+            let Some(cand) = cand else { return false };
+            *tried += 1;
+            if still_fails(check, &cand) {
+                *cur = cand;
+                *accepted += 1;
+                true
+            } else {
+                false
+            }
+        };
+
+    loop {
+        let mut improved = false;
+
+        // 1. Structure-preserving simplifications first: they make the
+        //    repro file smaller without changing the topology.
+        if cur.wire_options.len() > 1 {
+            let mut cand = cur.clone();
+            cand.wire_options.truncate(1);
+            if try_move(&mut cur, Some(cand), &mut candidates_tried, &mut moves_accepted) {
+                improved = true;
+            }
+        }
+        {
+            let defaults = TerminalOptions::defaults(&cur.net);
+            if !options_equal(&cur.drivers, &defaults, &cur.net) {
+                let mut cand = cur.clone();
+                cand.drivers = defaults;
+                if try_move(&mut cur, Some(cand), &mut candidates_tried, &mut moves_accepted) {
+                    improved = true;
+                }
+            }
+        }
+
+        // 2. Library entries, last first so indices stay stable.
+        let mut j = cur.library.len();
+        while j > 0 {
+            j -= 1;
+            let mut cand = cur.clone();
+            cand.library.remove(j);
+            cand.options.allow_inverting = cand.library.iter().any(|r| r.inverting);
+            if try_move(&mut cur, Some(cand), &mut candidates_tried, &mut moves_accepted) {
+                improved = true;
+            }
+        }
+
+        // 3. Terminals, last first (renumbering shifts later ids only).
+        let mut t = cur.net.topology.terminal_count();
+        while t > 0 {
+            t -= 1;
+            if cur.net.topology.terminal_count() <= 1 {
+                break;
+            }
+            let cand = remove_terminal(&cur, TerminalId(t));
+            if try_move(&mut cur, cand, &mut candidates_tried, &mut moves_accepted) {
+                improved = true;
+            }
+        }
+
+        // 4. Insertion points: splice each out where the two incident
+        //    edges have matching width scaling.
+        let ips: Vec<VertexId> = cur.net.topology.insertion_points().collect();
+        for v in ips {
+            // The vertex may already be gone after an earlier splice.
+            if v.0 >= cur.net.topology.vertex_count() {
+                continue;
+            }
+            if !matches!(cur.net.topology.kind(v), VertexKind::InsertionPoint) {
+                continue;
+            }
+            let cand = splice_insertion_point(&cur, v);
+            if try_move(&mut cur, cand, &mut candidates_tried, &mut moves_accepted) {
+                improved = true;
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    cur.name = format!("{}-shrunk", inst.name);
+    ShrinkResult {
+        instance: cur,
+        moves_accepted,
+        candidates_tried,
+    }
+}
+
+fn options_equal(a: &TerminalOptions, b: &TerminalOptions, net: &msrnet_rctree::Net) -> bool {
+    net.terminal_ids()
+        .all(|t| a.for_terminal(t) == b.for_terminal(t))
+}
+
+/// An extra edge injected during rebuild: `(a, b, length, (res_scale,
+/// cap_scale))` in *old* vertex ids.
+type ExtraEdge = (VertexId, VertexId, f64, (f64, f64));
+
+/// Rebuilds the instance's net keeping only vertices where
+/// `removed[v] == false`, plus `extra_edges`. Dangling non-terminal
+/// vertices are pruned iteratively before the rebuild. Returns `None`
+/// when the surviving structure is not a valid net.
+fn rebuild(inst: &Instance, mut removed: Vec<bool>, extra_edges: &[ExtraEdge]) -> Option<Instance> {
+    let topo = &inst.net.topology;
+    // Iteratively prune non-terminal vertices that lost connectivity.
+    loop {
+        let mut changed = false;
+        for v in topo.vertices() {
+            if removed[v.0] || matches!(topo.kind(v), VertexKind::Terminal(_)) {
+                continue;
+            }
+            let live_deg = topo
+                .neighbors(v)
+                .iter()
+                .filter(|(u, _)| !removed[u.0])
+                .count()
+                + extra_edges
+                    .iter()
+                    .filter(|(a, b, _, _)| (*a == v || *b == v) && !removed[a.0] && !removed[b.0])
+                    .count();
+            if live_deg <= 1 {
+                removed[v.0] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut b = NetBuilder::new(inst.net.tech);
+    let mut map: Vec<Option<VertexId>> = vec![None; topo.vertex_count()];
+    let mut kept_terms: Vec<TerminalId> = Vec::new();
+    // Terminals first, in id order, so surviving terminals renumber
+    // predictably and driver menus can follow them.
+    for tid in inst.net.terminal_ids() {
+        let v = topo.terminal_vertex(tid);
+        if removed[v.0] {
+            continue;
+        }
+        map[v.0] = Some(b.terminal(topo.position(v), inst.net.terminal(tid).clone()));
+        kept_terms.push(tid);
+    }
+    for v in topo.vertices() {
+        if removed[v.0] || map[v.0].is_some() {
+            continue;
+        }
+        map[v.0] = Some(match topo.kind(v) {
+            VertexKind::Steiner => b.steiner(topo.position(v)),
+            VertexKind::InsertionPoint => b.insertion_point(topo.position(v)),
+            VertexKind::Terminal(_) => unreachable!("terminals handled above"),
+        });
+    }
+    let mut edge_scalings: Vec<(msrnet_rctree::EdgeId, (f64, f64))> = Vec::new();
+    for e in topo.edges() {
+        let (a, c) = topo.endpoints(e);
+        if removed[a.0] || removed[c.0] {
+            continue;
+        }
+        let ne = b.wire_with_length(map[a.0]?, map[c.0]?, topo.length(e));
+        edge_scalings.push((ne, topo.edge_scaling(e)));
+    }
+    for &(a, c, len, scaling) in extra_edges {
+        if removed[a.0] || removed[c.0] {
+            continue;
+        }
+        let ne = b.wire_with_length(map[a.0]?, map[c.0]?, len);
+        edge_scalings.push((ne, scaling));
+    }
+    let mut net = b.build().ok()?;
+    for (ne, (rs, cs)) in edge_scalings {
+        net.topology.set_edge_scaling(ne, rs, cs);
+    }
+
+    let menus = kept_terms
+        .iter()
+        .map(|&tid| inst.drivers.for_terminal(tid).to_vec())
+        .collect();
+    let root = net
+        .terminal_ids()
+        .find(|&t| net.terminal(t).is_source())
+        .unwrap_or(TerminalId(0));
+    Some(Instance {
+        name: inst.name.clone(),
+        net,
+        library: inst.library.clone(),
+        drivers: TerminalOptions::new(menus),
+        wire_options: inst.wire_options.clone(),
+        options: inst.options,
+        root,
+        check_seed: inst.check_seed,
+    })
+}
+
+/// Candidate with terminal `t` (and any structure left dangling by its
+/// departure) deleted.
+fn remove_terminal(inst: &Instance, t: TerminalId) -> Option<Instance> {
+    let mut removed = vec![false; inst.net.topology.vertex_count()];
+    removed[inst.net.topology.terminal_vertex(t).0] = true;
+    rebuild(inst, removed, &[])
+}
+
+/// Candidate with degree-2 insertion point `v` spliced out, its two
+/// edges merged into one of summed length. Requires both edges to carry
+/// the same width scaling.
+fn splice_insertion_point(inst: &Instance, v: VertexId) -> Option<Instance> {
+    let topo = &inst.net.topology;
+    let nb = topo.neighbors(v);
+    if nb.len() != 2 {
+        return None;
+    }
+    let (u1, e1) = nb[0];
+    let (u2, e2) = nb[1];
+    if topo.edge_scaling(e1) != topo.edge_scaling(e2) {
+        return None;
+    }
+    let mut removed = vec![false; topo.vertex_count()];
+    removed[v.0] = true;
+    let merged = (
+        u1,
+        u2,
+        topo.length(e1) + topo.length(e2),
+        topo.edge_scaling(e1),
+    );
+    rebuild(inst, removed, &[merged])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::{still_fails, CheckOutcome};
+    use crate::gen::generate;
+
+    /// The synthetic check (fails while ≥3 terminals + feasible pair)
+    /// must shrink any failing case down to exactly 3 terminals.
+    #[test]
+    fn synthetic_failure_shrinks_to_three_terminals() {
+        let inst = (0..60)
+            .filter_map(|i| generate(5, i))
+            .find(|inst| {
+                inst.net.topology.terminal_count() >= 5
+                    && still_fails("synthetic_failure", inst)
+            })
+            .expect("grid contains a ≥5-terminal failing case");
+        let before = inst.net.topology.terminal_count();
+        let result = shrink(&inst, "synthetic_failure");
+        let after = result.instance.net.topology.terminal_count();
+        assert!(still_fails("synthetic_failure", &result.instance));
+        assert_eq!(after, 3, "shrunk from {before} to {after}, expected 3");
+        assert!(result.candidates_tried > 0);
+    }
+
+    /// Shrinking a passing instance is a no-op.
+    #[test]
+    fn shrink_on_passing_instance_is_identity() {
+        let inst = generate(11, 0).expect("case exists");
+        assert!(matches!(
+            crate::checks::run_named("ard_linear_vs_naive", &inst),
+            Some(CheckOutcome::Pass)
+        ));
+        let result = shrink(&inst, "ard_linear_vs_naive");
+        assert_eq!(result.candidates_tried, 0);
+        assert_eq!(
+            result.instance.net.topology.vertex_count(),
+            inst.net.topology.vertex_count()
+        );
+    }
+
+    /// Insertion-point splicing preserves total wirelength.
+    #[test]
+    fn splice_preserves_wirelength() {
+        let inst = (0..30)
+            .filter_map(|i| generate(9, i))
+            .find(|inst| inst.net.topology.insertion_point_count() >= 1)
+            .expect("grid contains a case with insertion points");
+        let v = inst.net.topology.insertion_points().next().unwrap();
+        if let Some(cand) = splice_insertion_point(&inst, v) {
+            let before = inst.net.topology.total_wirelength();
+            let after = cand.net.topology.total_wirelength();
+            assert!(
+                (before - after).abs() < 1e-9 * before.max(1.0),
+                "wirelength changed: {before} -> {after}"
+            );
+            assert_eq!(
+                cand.net.topology.insertion_point_count(),
+                inst.net.topology.insertion_point_count() - 1
+            );
+        }
+    }
+}
