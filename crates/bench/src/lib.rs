@@ -54,6 +54,13 @@ impl Instance {
         }
     }
 
+    /// Replaces the repeater library (e.g. with the asymmetric
+    /// multi-cost regime) while keeping the same net and driver menus.
+    pub fn with_library(mut self, library: Vec<Repeater>) -> Self {
+        self.library = library;
+        self
+    }
+
     /// Runs driver sizing (no repeaters).
     pub fn run_sizing(&self, options: &MsriOptions) -> TradeoffCurve {
         optimize(&self.net, self.root, &[], &self.sizing_drivers, options)
@@ -191,6 +198,21 @@ pub fn table4_row(params: &TechParams, n: usize, trials: usize, seed0: u64) -> T
         sizing_time: sizing_total / trials as u32,
         repeater_time: repeater_total / trials as u32,
     }
+}
+
+/// The asymmetric multi-cost repeater library: three denominations whose
+/// pairwise cost sums stay distinct, so joins multiply rather than merge
+/// cost classes. This is the Pareto-explosion regime of the verify grid
+/// and the one the join cutoffs and bucketed MFS sweep target.
+pub fn multicost_asym_library(params: &TechParams) -> Vec<Repeater> {
+    let b1 = &params.buf_1x;
+    let b2 = b1.scaled(2.0);
+    let b4 = b1.scaled(4.0);
+    vec![
+        Repeater::from_buffer_pair("asym_s", b1, &b2),
+        Repeater::from_buffer_pair("rep2x", &b2, &b2),
+        Repeater::from_buffer_pair("asym_l", &b2, &b4),
+    ]
 }
 
 /// Result of one pruning-strategy ablation run.

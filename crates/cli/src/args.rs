@@ -56,13 +56,13 @@ impl<'a> Flags<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a message when the value does not parse as a number.
+    /// Returns a message when the value does not parse as a **finite**
+    /// number — `NaN` and `inf` would silently poison every downstream
+    /// `total_cmp` sort and comparison, so they fail loudly here.
     pub fn get_num(&self, name: &str, default: f64) -> Result<f64, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{name}: invalid number `{v}`")),
+            Some(v) => parse_finite(name, v),
         }
     }
 
@@ -85,6 +85,24 @@ impl<'a> Flags<'a> {
         }
         Ok(())
     }
+}
+
+/// Parses `v` as a finite `f64`, naming `name` in the error. Shared by
+/// [`Flags::get_num`] and the commands that parse flag values by hand
+/// (e.g. `--spec`), so `--spec NaN` cannot slip a non-finite value into
+/// the optimizer's comparisons anywhere.
+///
+/// # Errors
+///
+/// Returns a message when `v` is not a number or not finite.
+pub fn parse_finite(name: &str, v: &str) -> Result<f64, String> {
+    let parsed: f64 = v
+        .parse()
+        .map_err(|_| format!("--{name}: invalid number `{v}`"))?;
+    if !parsed.is_finite() {
+        return Err(format!("--{name}: must be finite, got `{v}`"));
+    }
+    Ok(parsed)
 }
 
 #[cfg(test)]
@@ -130,6 +148,19 @@ mod tests {
         let refs: Vec<&String> = owned.iter().collect();
         let f = Flags::parse(&refs, &[]).unwrap();
         assert!(f.get_num("spec", 0.0).is_err());
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        for bad in ["NaN", "nan", "inf", "-inf", "infinity"] {
+            let owned = strings(&["--spec", bad]);
+            let refs: Vec<&String> = owned.iter().collect();
+            let f = Flags::parse(&refs, &[]).unwrap();
+            let err = f.get_num("spec", 0.0).unwrap_err();
+            assert!(err.contains("finite"), "`{bad}` accepted: {err}");
+            assert!(parse_finite("spec", bad).is_err());
+        }
+        assert_eq!(parse_finite("spec", "2.5"), Ok(2.5));
     }
 
     #[test]

@@ -11,13 +11,14 @@
 
 use std::process::ExitCode;
 
-use msrnet_cli::args::Flags;
+use msrnet_cli::args::{parse_finite, Flags};
 use msrnet_cli::format::{parse_net_file, write_net_file};
 use msrnet_cli::svg::{render_svg, RenderOptions};
 use msrnet_core::ard::ard_linear;
 use msrnet_core::exhaustive::apply_terminal_choices;
 use msrnet_core::{
-    optimize, optimize_with_wires, MsriOptions, TerminalOption, TerminalOptions, WireOption,
+    optimize, optimize_with_wires, MsriOptions, PruningStrategy, StepStats, TerminalOption,
+    TerminalOptions, TradeoffCurve, WireOption,
 };
 use msrnet_netgen::{table1, ExperimentNet};
 use msrnet_rctree::{Assignment, TerminalId};
@@ -42,6 +43,8 @@ const USAGE: &str = "usage:
   msrnet-cli ard FILE [--root T]
   msrnet-cli optimize FILE [--root T] [--spec PS] [--driver-cost C]
                        [--sizes 1,2,4] [--widths 1,2,4 [--width-cost C/um]]
+                       [--pruning divide-conquer|naive|bucketed|whole-domain|approx:EPS]
+                       [--stats]
   msrnet-cli batch [FILES...] [--count N --terminals T --seed S [--spacing UM]]
                        [--threads K] [--driver-cost C] [-o FILE.json]
   msrnet-cli render FILE [-o FILE.svg] [--best] [--no-labels]
@@ -170,8 +173,71 @@ fn parse_list(raw: &str, flag: &str) -> Result<Vec<f64>, String> {
         .collect()
 }
 
+/// Parses `--pruning` into a [`PruningStrategy`] (default when absent).
+fn pruning_flag(f: &Flags<'_>) -> Result<PruningStrategy, String> {
+    match f.get("pruning") {
+        None => Ok(PruningStrategy::default()),
+        Some("divide-conquer") => Ok(PruningStrategy::DivideConquer),
+        Some("naive") => Ok(PruningStrategy::Naive),
+        Some("bucketed") => Ok(PruningStrategy::Bucketed),
+        Some("whole-domain") => Ok(PruningStrategy::WholeDomainOnly),
+        Some(v) => match v.strip_prefix("approx:") {
+            Some(eps_raw) => {
+                let eps = parse_finite("pruning", eps_raw)?;
+                if !(0.0..1.0).contains(&eps) {
+                    return Err(format!("--pruning: approx eps must be in [0, 1), got {eps}"));
+                }
+                Ok(PruningStrategy::Approximate { eps })
+            }
+            None => Err(format!(
+                "--pruning: unknown strategy `{v}` (expected divide-conquer, naive, \
+                 bucketed, whole-domain, or approx:EPS)"
+            )),
+        },
+    }
+}
+
+/// Deterministic pruning-statistics JSON for `optimize --stats`: no
+/// timing fields, so the output is byte-stable for a fixed input and can
+/// be pinned by a golden-file test.
+fn stats_json(curve: &TradeoffCurve) -> String {
+    let s = curve.stats();
+    let step = |st: &StepStats| {
+        format!(
+            "{{\"generated\": {}, \"scalar_pruned\": {}, \"pwl_pruned\": {}, \"peak_set\": {}}}",
+            st.generated, st.scalar_pruned, st.pwl_pruned, st.peak_set
+        )
+    };
+    format!(
+        "{{\n  \"generated\": {},\n  \"surviving\": {},\n  \"prunes\": {},\n  \
+         \"max_set_size\": {},\n  \"max_segments\": {},\n  \"peak_set\": {},\n  \
+         \"tradeoff_points\": {},\n  \"steps\": {{\n    \"leaf\": {},\n    \
+         \"augment\": {},\n    \"join\": {},\n    \"repeater\": {}\n  }}\n}}",
+        s.generated,
+        s.surviving,
+        s.prunes,
+        s.max_set_size,
+        s.max_segments,
+        s.peak_set(),
+        curve.len(),
+        step(&s.leaf),
+        step(&s.augment),
+        step(&s.join),
+        step(&s.repeater),
+    )
+}
+
 fn cmd_optimize(args: &[&String]) -> Result<(), String> {
-    let f = Flags::parse(args, &[])?;
+    let f = Flags::parse(args, &["stats"])?;
+    f.reject_unknown(&[
+        "root",
+        "spec",
+        "driver-cost",
+        "sizes",
+        "widths",
+        "width-cost",
+        "pruning",
+    ])?;
     let path = f.positional.first().ok_or("missing net file")?;
     let nf = load(path)?;
     let root = root_flag(&f, &nf)?;
@@ -222,13 +288,17 @@ fn cmd_optimize(args: &[&String]) -> Result<(), String> {
     };
     let options = MsriOptions {
         allow_inverting: nf.library.iter().any(|r| r.inverting),
+        pruning: pruning_flag(&f)?,
         ..MsriOptions::default()
     };
     let curve = optimize_with_wires(&nf.net, root, &nf.library, &term_opts, &wire_options, &options)
         .map_err(|e| e.to_string())?;
     println!("{curve}");
+    if f.has("stats") {
+        println!("{}", stats_json(&curve));
+    }
     if let Some(spec) = f.get("spec") {
-        let spec: f64 = spec.parse().map_err(|_| "--spec: invalid number")?;
+        let spec = parse_finite("spec", spec)?;
         match curve.min_cost_meeting(spec) {
             None => println!("spec {spec} ps: UNACHIEVABLE (best is {:.2})", curve.best_ard().ard),
             Some(p) => {
@@ -394,7 +464,7 @@ fn cmd_report(args: &[&String]) -> Result<(), String> {
     let root = root_flag(&f, &nf)?;
     let spec = match f.get("spec") {
         None => None,
-        Some(v) => Some(v.parse().map_err(|_| "--spec: invalid number")?),
+        Some(v) => Some(parse_finite("spec", v)?),
     };
     let opts = ReportOptions {
         root,

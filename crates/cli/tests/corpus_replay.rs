@@ -9,10 +9,29 @@
 use std::path::PathBuf;
 
 use msrnet_cli::format::parse_net_file;
-use msrnet_verify::{registry, run_check, CheckOutcome, Instance};
+use msrnet_core::WireOption;
+use msrnet_verify::{registry, run_check, run_named, CheckOutcome, Instance};
 
 fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../verify/corpus")
+}
+
+fn load_corpus(stem: &str) -> Instance {
+    let path = corpus_dir().join(format!("{stem}.msr"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("corpus file {}: {e}", path.display()));
+    let parsed = parse_net_file(&text).expect("valid corpus .msr");
+    Instance::from_net(stem, parsed.net, parsed.library)
+}
+
+/// The named check must run to a verdict — a `Skip` would make the
+/// regression test vacuous — and that verdict must be `Pass`.
+fn assert_check_passes(inst: &Instance, check: &str) {
+    match run_named(check, inst).expect("known check name") {
+        CheckOutcome::Pass => {}
+        CheckOutcome::Skip(why) => panic!("{check} skipped ({why}) — regression not exercised"),
+        CheckOutcome::Fail(msg) => panic!("{check} regressed: {msg}"),
+    }
 }
 
 #[test]
@@ -44,6 +63,38 @@ fn corpus_instances_pass_every_check() {
         }
     }
     assert!(failures.is_empty(), "corpus regressions:\n{}", failures.join("\n"));
+}
+
+/// Regression for the seed-23 sweep failure (`msrnet-cli verify
+/// --seed 23 --cases 2000`, case1090, shrunk to 2 terminals): an
+/// asymmetric two-cost library produced two configurations with
+/// mathematically equal delay whose float evaluations landed an ulp
+/// apart. The DP's exact dominance kept both frontier points while the
+/// exhaustive oracle's slack collapsed the tie, so `dp_vs_exhaustive`
+/// (and `pruning_strategies_agree`, where strategies order the
+/// arithmetic differently) failed on frontier length alone. The
+/// comparison now canonicalizes both frontiers at the check tolerances.
+#[test]
+fn regression_ulp_tie_asym_frontier() {
+    let mut inst = load_corpus("repro-ulp-tie-asym-frontier");
+    // Defeat the 1-in-3 sampling gate: the content-derived seed must
+    // not decide whether a pinned regression is exercised.
+    inst.check_seed = 0;
+    assert_check_passes(&inst, "dp_vs_exhaustive");
+    assert_check_passes(&inst, "pruning_strategies_agree");
+}
+
+/// Regression for the seed-42 sweep failure (`msrnet-cli verify
+/// --seed 42 --cases 2000`, case1654): with wire sizing on, two
+/// configurations of equal total wire cost evaluated an ulp apart on
+/// the *cost* axis, so neither dominated the other in the DP while the
+/// exhaustive oracle collapsed them. The `.msr` format does not carry
+/// wire options, so the failing regime's menu is restored here.
+#[test]
+fn regression_ulp_tie_wire_cost() {
+    let mut inst = load_corpus("repro-ulp-tie-wire-cost");
+    inst.wire_options = vec![WireOption::unit(), WireOption::width("2W", 2.0, 0.0004)];
+    assert_check_passes(&inst, "wires_dp_vs_exhaustive");
 }
 
 #[test]

@@ -1,0 +1,60 @@
+//! Golden-file test for the `msrnet-cli optimize --stats` output.
+//!
+//! The pruning-statistics JSON is a documented interface (the ablation
+//! bench and CI quantify pruning wins from it), and it is deliberately
+//! free of timing fields, so the entire stdout of `optimize --stats` on
+//! a fixed generated net is byte-deterministic and pinned verbatim.
+//!
+//! If an intentional schema or engine change lands, regenerate with:
+//!
+//! ```text
+//! msrnet-cli gen --terminals 5 --seed 7 --spacing 1000 -o net.msr
+//! msrnet-cli optimize net.msr --stats \
+//!   > crates/cli/tests/golden/optimize-stats-seed7.txt
+//! ```
+
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/optimize-stats-seed7.txt");
+
+#[test]
+fn optimize_stats_matches_golden_output() {
+    let dir = std::env::temp_dir().join("msrnet-stats-golden");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let net = dir.join("net.msr");
+    let gen = Command::new(env!("CARGO_BIN_EXE_msrnet-cli"))
+        .args([
+            "gen",
+            "--terminals",
+            "5",
+            "--seed",
+            "7",
+            "--spacing",
+            "1000",
+            "-o",
+            net.to_str().expect("utf8 temp path"),
+        ])
+        .output()
+        .expect("spawn msrnet-cli gen");
+    assert!(
+        gen.status.success(),
+        "gen failed: {}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_msrnet-cli"))
+        .args(["optimize", net.to_str().expect("utf8 temp path"), "--stats"])
+        .output()
+        .expect("spawn msrnet-cli optimize");
+    assert!(
+        out.status.success(),
+        "optimize failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let actual = String::from_utf8(out.stdout).expect("utf8 output");
+    assert_eq!(
+        actual, GOLDEN,
+        "optimize --stats diverged from the golden output; if intentional, \
+         regenerate crates/cli/tests/golden/optimize-stats-seed7.txt \
+         (see module docs)"
+    );
+}

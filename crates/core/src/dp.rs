@@ -20,7 +20,7 @@
 //! curve, from which "min cost subject to `ARD ≤ spec`" (Problem 2.1) is
 //! read off directly.
 
-use msrnet_pwl::{mfs_divide_conquer, mfs_naive, FuncPoint, Pwl, SegmentArena};
+use msrnet_pwl::{mfs_divide_conquer, mfs_naive, mfs_sorted_sweep, FuncPoint, Pwl, SegmentArena};
 use msrnet_rctree::{
     Assignment, Net, Orientation, Repeater, Rooted, TerminalId, VertexId, VertexKind,
 };
@@ -76,7 +76,8 @@ enum TraceNode {
 }
 
 /// Counters describing one optimizer run — used by the ablation benches
-/// to compare pruning strategies.
+/// to compare pruning strategies and surfaced as `msrnet-cli optimize
+/// --stats` JSON.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct MsriStats {
     /// Candidates generated across all DP steps.
@@ -89,6 +90,82 @@ pub struct MsriStats {
     pub max_segments: usize,
     /// Number of prune invocations.
     pub prunes: u64,
+    /// Per-step counters for `LeafSolutions` (Fig. 6).
+    pub leaf: StepStats,
+    /// Per-step counters for `Augment` (Fig. 10).
+    pub augment: StepStats,
+    /// Per-step counters for `JoinSets` (Fig. 7), including the
+    /// pre-materialization cutoffs (counted as `scalar_pruned`).
+    pub join: StepStats,
+    /// Per-step counters for `RepeaterSolutions` (Fig. 8).
+    pub repeater: StepStats,
+}
+
+impl MsriStats {
+    fn step_mut(&mut self, step: Step) -> &mut StepStats {
+        match step {
+            Step::Leaf => &mut self.leaf,
+            Step::Augment => &mut self.augment,
+            Step::Join => &mut self.join,
+            Step::Repeater => &mut self.repeater,
+        }
+    }
+
+    /// Largest candidate set entering any prune, across all DP steps —
+    /// the memory high-water mark of the run.
+    pub fn peak_set(&self) -> usize {
+        self.leaf
+            .peak_set
+            .max(self.augment.peak_set)
+            .max(self.join.peak_set)
+            .max(self.repeater.peak_set)
+    }
+}
+
+/// Per-subroutine pruning counters: one row per DP step in
+/// [`MsriStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepStats {
+    /// Candidates materialized by this step.
+    pub generated: u64,
+    /// Candidates eliminated by cheap scalar predicates: `JoinSets`'
+    /// pre-materialization cutoffs (empty shifted domain, champion
+    /// dominance) plus the sorted sweep's whole-domain summary kills
+    /// under the bucketed/approximate strategies.
+    pub scalar_pruned: u64,
+    /// Candidates fully eliminated during pruning by exact PWL region
+    /// comparisons (including any whose validity domain was already
+    /// empty when the prune ran).
+    pub pwl_pruned: u64,
+    /// Largest candidate set entering a prune of this step.
+    pub peak_set: usize,
+}
+
+/// DP subroutine tag for attributing per-step statistics.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Leaf,
+    Augment,
+    Join,
+    Repeater,
+}
+
+/// Conservative summary of a strong `JoinSets` survivor with one
+/// contiguous validity span, used to kill dominated products before they
+/// are materialized. All fields are upper bounds over the whole span, so
+/// a champion whose span covers a product's bounding span and whose
+/// ceilings sit below the product's floors dominates that product
+/// everywhere it could be defined.
+#[derive(Clone, Copy, Debug)]
+struct Champion {
+    parity: bool,
+    cost: f64,
+    cap: f64,
+    d_sinks: f64,
+    dom_lo: f64,
+    dom_hi: f64,
+    y_hi: f64,
+    d_hi: f64,
 }
 
 /// Solves Problem 2.1 for `net`: returns the Pareto trade-off between
@@ -327,6 +404,14 @@ fn cap_bound(
     (net.total_wire_cap() * wire_scale_max + terms_max_sum + lib_max) * (1.0 + 1e-9) + 1e-9
 }
 
+/// Incremental-pruning block size for the product-generating steps
+/// (JoinSets and RepeaterSolutions). MFS pruning is confluent —
+/// dominated candidates may be discarded at any time without changing
+/// the final subset — so these steps prune mid-generation whenever the
+/// working set reaches `2 * BLOCK_LIMIT`, bounding peak memory instead
+/// of materializing whole products.
+const BLOCK_LIMIT: usize = 8192;
+
 struct Solver<'a> {
     net: &'a Net,
     rooted: &'a Rooted,
@@ -383,7 +468,16 @@ impl Solver<'_> {
                 let trace = self.push_trace(TraceNode::Empty);
                 let arrival = self.arena.neg_inf(0.0, self.cap_bound);
                 let diameter = self.arena.neg_inf(0.0, self.cap_bound);
-                vec![self.candidate(trace, false, 0.0, 0.0, f64::NEG_INFINITY, arrival, diameter)]
+                vec![self.candidate(
+                    Step::Leaf,
+                    trace,
+                    false,
+                    0.0,
+                    0.0,
+                    f64::NEG_INFINITY,
+                    arrival,
+                    diameter,
+                )]
             }
             VertexKind::Steiner => {
                 let mut acc: Option<Vec<Cand>> = None;
@@ -394,7 +488,7 @@ impl Solver<'_> {
                         None => au,
                         Some(prev) => {
                             let joined = self.join(prev, au);
-                            self.prune(joined)
+                            self.prune(joined, Step::Join)
                         }
                     });
                 }
@@ -405,7 +499,7 @@ impl Solver<'_> {
                 let su = sets[children[0].0].take().expect("child processed");
                 let au = self.augment(su, children[0]);
                 let buffered = self.repeater_solutions(au, v);
-                self.prune(buffered)
+                self.prune(buffered, Step::Repeater)
             }
         }
     }
@@ -419,6 +513,7 @@ impl Solver<'_> {
     #[allow(clippy::too_many_arguments)]
     fn candidate(
         &mut self,
+        step: Step,
         trace: u32,
         parity: bool,
         cost: f64,
@@ -428,6 +523,7 @@ impl Solver<'_> {
         diameter: Pwl,
     ) -> Cand {
         self.stats.generated += 1;
+        self.stats.step_mut(step).generated += 1;
         let segs = arrival.segments().len() + diameter.segments().len();
         self.stats.max_segments = self.stats.max_segments.max(segs);
         FuncPoint::new(
@@ -466,9 +562,18 @@ impl Solver<'_> {
                 f64::NEG_INFINITY
             };
             let diameter = self.arena.neg_inf(0.0, b);
-            out.push(self.candidate(trace, false, o.cost, o.cap, d_sinks, arrival, diameter));
+            out.push(self.candidate(
+                Step::Leaf,
+                trace,
+                false,
+                o.cost,
+                o.cap,
+                d_sinks,
+                arrival,
+                diameter,
+            ));
         }
-        self.prune(out)
+        self.prune(out, Step::Leaf)
     }
 
     /// Paper Fig. 10: extend candidates at `v` through `v`'s parent wire,
@@ -507,6 +612,7 @@ impl Solver<'_> {
                     cand.payload.trace
                 };
                 out.push(self.candidate(
+                    Step::Augment,
                     trace,
                     cand.payload.parity,
                     cost,
@@ -523,7 +629,7 @@ impl Solver<'_> {
             }
         }
         if sizing {
-            self.prune(out)
+            self.prune(out, Step::Augment)
         } else {
             out
         }
@@ -539,16 +645,61 @@ impl Solver<'_> {
     /// generation preserves exactness while bounding memory — combined
     /// driver-sizing × wire-sizing × repeater runs would otherwise
     /// materialize products with billions of entries.
+    ///
+    /// Two exact pre-materialization cutoffs kill hopeless products
+    /// before any PWL work happens:
+    ///
+    /// 1. **Empty shifted domain.** The product's PWLs live on the
+    ///    intersection of each side's domain shifted down by the sibling
+    ///    capacitance, clamped to `[0, cap_bound]`. When the bounding
+    ///    spans alone prove that intersection empty, the product would be
+    ///    born with no validity domain and could never reach the root —
+    ///    skipping it is exactly equivalent to materializing and later
+    ///    discarding it.
+    /// 2. **Champion dominance.** A bounded pool of recent single-span
+    ///    survivors ([`Champion`]) is compared against the product's
+    ///    *optimistic lower bounds*: `arrival ≥ max` of the side floors,
+    ///    `diameter ≥ max` of the side floors and the cross terms
+    ///    `Y_floor + d_sinks`. A champion whose span covers the product's
+    ///    bounding span and whose scalars and value *ceilings* sit at or
+    ///    below those floors dominates the product over its entire
+    ///    domain, so by confluence the product may be dropped. Champions
+    ///    are generated earlier than any product they kill, so the
+    ///    stable (cost, cap) prune order would have kept the champion on
+    ///    exact ties too — the final subset is unchanged.
     fn join(&mut self, left: Vec<Cand>, right: Vec<Cand>) -> Vec<Cand> {
-        const BLOCK_LIMIT: usize = 8192;
+        const CHAMPION_CAP: usize = 24;
         let b = self.cap_bound;
         let mut out = Vec::with_capacity((left.len() * right.len()).min(2 * BLOCK_LIMIT));
         let inverting = self.options.allow_inverting;
-        for l in &left {
-            if out.len() >= 2 * BLOCK_LIMIT {
-                out = self.prune(out);
-            }
-            for r in &right {
+        // Per-side summaries, computed once: domain bounding span and
+        // value floors of each PWL. `[dom_lo, dom_hi, y_floor, d_floor]`;
+        // an invalid side summarizes to `[+∞, -∞, +∞, +∞]`, which fails
+        // the domain test below for every product it appears in.
+        let info = |c: &Cand| -> [f64; 4] {
+            let spans = c.domain().spans();
+            [
+                spans.first().map_or(f64::INFINITY, |s| s.0),
+                spans.last().map_or(f64::NEG_INFINITY, |s| s.1),
+                c.pwls[ARR].min_value().unwrap_or(f64::INFINITY),
+                c.pwls[DIA].min_value().unwrap_or(f64::INFINITY),
+            ]
+        };
+        let l_info: Vec<[f64; 4]> = left.iter().map(info).collect();
+        let r_info: Vec<[f64; 4]> = right.iter().map(info).collect();
+        let mut champs: Vec<Champion> = Vec::new();
+        // High-water mark for block pruning, checked per product (a
+        // single left row can be tens of thousands of products wide).
+        // Rearmed at survivors + BLOCK_LIMIT so every prune is amortized
+        // over at least BLOCK_LIMIT fresh candidates even when the
+        // survivor floor itself exceeds the block size.
+        let mut next_prune = 2 * BLOCK_LIMIT;
+        for (l, li) in left.iter().zip(&l_info) {
+            for (r, ri) in right.iter().zip(&r_info) {
+                if out.len() >= next_prune {
+                    out = self.prune(out, Step::Join);
+                    next_prune = out.len() + BLOCK_LIMIT;
+                }
                 // Inverting-repeater extension: every internal terminal
                 // must agree on polarity at the junction.
                 let mut parity = false;
@@ -567,6 +718,43 @@ impl Solver<'_> {
                 let cost = l.scalars[COST] + r.scalars[COST];
                 let cap = l.scalars[CAP] + r.scalars[CAP];
                 let d_sinks = l.scalars[DSINKS].max(r.scalars[DSINKS]);
+                // Cutoff 1: bounding span of the product's shifted,
+                // clamped validity domain.
+                let dom_lo = (li[0] - r.scalars[CAP])
+                    .max(ri[0] - l.scalars[CAP])
+                    .max(0.0);
+                let dom_hi = (li[1] - r.scalars[CAP])
+                    .min(ri[1] - l.scalars[CAP])
+                    .min(b);
+                if dom_hi < dom_lo {
+                    self.stats.join.scalar_pruned += 1;
+                    continue;
+                }
+                // Cutoff 2: optimistic lower bounds on the product's
+                // arrival and diameter anywhere in its domain. (The
+                // +∞ floors of invalid sides cannot reach this point, so
+                // the cross terms never mix infinities into a NaN.)
+                let y_floor = li[2].max(ri[2]);
+                let d_floor = li[3]
+                    .max(ri[3])
+                    .max(li[2] + r.scalars[DSINKS])
+                    .max(ri[2] + l.scalars[DSINKS]);
+                if let Some(k) = champs.iter().position(|c| {
+                    c.parity == parity
+                        && c.cost <= cost
+                        && c.cap <= cap
+                        && c.d_sinks <= d_sinks
+                        && c.dom_lo <= dom_lo
+                        && c.dom_hi >= dom_hi
+                        && c.y_hi <= y_floor
+                        && c.d_hi <= d_floor
+                }) {
+                    // Move-to-front: a champion that kills tends to kill
+                    // again for neighbouring products.
+                    champs[..=k].rotate_right(1);
+                    self.stats.join.scalar_pruned += 1;
+                    continue;
+                }
                 let yl = self.arena.shift_clamp(&l.pwls[ARR], r.scalars[CAP], 0.0, b);
                 let yr = self.arena.shift_clamp(&r.pwls[ARR], l.scalars[CAP], 0.0, b);
                 let dl = self.arena.shift_clamp(&l.pwls[DIA], r.scalars[CAP], 0.0, b);
@@ -586,7 +774,38 @@ impl Solver<'_> {
                     left: l.payload.trace,
                     right: r.payload.trace,
                 });
-                out.push(self.candidate(trace, parity, cost, cap, d_sinks, arrival, diameter));
+                let cand = self.candidate(
+                    Step::Join,
+                    trace,
+                    parity,
+                    cost,
+                    cap,
+                    d_sinks,
+                    arrival,
+                    diameter,
+                );
+                // Single-span products feed the champion pool (split
+                // domains cannot certify whole-domain coverage cheaply).
+                let spans = cand.domain().spans();
+                if let [span] = spans {
+                    if champs.len() == CHAMPION_CAP {
+                        champs.pop();
+                    }
+                    champs.insert(
+                        0,
+                        Champion {
+                            parity,
+                            cost,
+                            cap,
+                            d_sinks,
+                            dom_lo: span.0,
+                            dom_hi: span.1,
+                            y_hi: cand.pwls[ARR].max_value().unwrap_or(f64::INFINITY),
+                            d_hi: cand.pwls[DIA].max_value().unwrap_or(f64::INFINITY),
+                        },
+                    );
+                }
+                out.push(cand);
             }
         }
         // Both input sets are fully consumed at this point.
@@ -605,10 +824,23 @@ impl Solver<'_> {
     /// repeater's child-side input capacitance, so `Y` and `D` are
     /// *evaluated* there — `D` becomes a constant and `Y` a fresh line
     /// whose slope is the upstream output resistance.
+    ///
+    /// Like [`Solver::join`], the buffered candidates are pruned
+    /// incrementally in blocks: under multi-size libraries this step
+    /// multiplies the incoming set by `1 + orientations·|library|`, and
+    /// on asymmetric multi-cost regimes that product — not the join —
+    /// is where the peak candidate set used to live.
     fn repeater_solutions(&mut self, set: Vec<Cand>, v: VertexId) -> Vec<Cand> {
         let b = self.cap_bound;
-        let mut out: Vec<Cand> = Vec::with_capacity(set.len() * (1 + 2 * self.library.len()));
+        let mut out: Vec<Cand> = Vec::with_capacity(
+            (set.len() * (1 + 2 * self.library.len())).min(2 * BLOCK_LIMIT + set.len()),
+        );
+        let mut next_prune = 2 * BLOCK_LIMIT;
         for cand in &set {
+            if out.len() >= next_prune {
+                out = self.prune(out, Step::Repeater);
+                next_prune = out.len() + BLOCK_LIMIT;
+            }
             for (ri, rep) in self.library.iter().enumerate() {
                 let orientations: &[Orientation] = if rep.is_symmetric() {
                     &[Orientation::AFacesParent]
@@ -647,9 +879,24 @@ impl Solver<'_> {
                         repeater: ri,
                         orientation: o,
                     });
-                    out.push(self.candidate(trace, parity, cost, cp, d_sinks, arrival, diameter));
+                    out.push(self.candidate(
+                        Step::Repeater,
+                        trace,
+                        parity,
+                        cost,
+                        cp,
+                        d_sinks,
+                        arrival,
+                        diameter,
+                    ));
                 }
             }
+        }
+        // Merging the unbuffered passthroughs can stack a full block on
+        // top of the buffered survivors; pre-prune so the caller's final
+        // prune stays within the same peak bound as the blocks above.
+        if out.len() + set.len() > 2 * BLOCK_LIMIT {
+            out = self.prune(out, Step::Repeater);
         }
         out.extend(set);
         out
@@ -772,8 +1019,13 @@ impl Solver<'_> {
     }
 
     /// Minimal-functional-subset pruning between DP steps.
-    fn prune(&mut self, mut set: Vec<Cand>) -> Vec<Cand> {
+    fn prune(&mut self, mut set: Vec<Cand>, step: Step) -> Vec<Cand> {
         self.stats.prunes += 1;
+        let before = set.len();
+        {
+            let st = self.stats.step_mut(step);
+            st.peak_set = st.peak_set.max(before);
+        }
         // Cheap locality: similar costs/caps cluster, which lets the
         // divide-and-conquer kill candidates deep in the recursion
         // (paper §V organizational note).
@@ -784,27 +1036,44 @@ impl Solver<'_> {
         });
         // Inverting-repeater extension: candidates of different parity
         // are incomparable; prune within each class.
-        let kept = if self.options.allow_inverting {
+        let (kept, scalar_killed) = if self.options.allow_inverting {
             let (even, odd): (Vec<Cand>, Vec<Cand>) =
                 set.into_iter().partition(|c| !c.payload.parity);
-            let mut kept = self.prune_class(even);
-            kept.extend(self.prune_class(odd));
-            kept
+            let (mut kept, ke) = self.prune_class(even);
+            let (odd_kept, ko) = self.prune_class(odd);
+            kept.extend(odd_kept);
+            (kept, ke + ko)
         } else {
             self.prune_class(set)
         };
+        let st = self.stats.step_mut(step);
+        st.scalar_pruned += scalar_killed;
+        st.pwl_pruned += (before - kept.len()) as u64 - scalar_killed;
         self.stats.surviving += kept.len() as u64;
         self.stats.max_set_size = self.stats.max_set_size.max(kept.len());
         kept
     }
 
-    fn prune_class(&mut self, set: Vec<Cand>) -> Vec<Cand> {
+    /// Dispatches one parity class to the configured MFS; returns the
+    /// survivors and how many candidates the strategy eliminated with
+    /// cheap scalar/summary predicates (zero for strategies that only do
+    /// full PWL comparisons).
+    fn prune_class(&mut self, set: Vec<Cand>) -> (Vec<Cand>, u64) {
         match self.options.pruning {
-            PruningStrategy::DivideConquer => {
-                mfs_divide_conquer(set, self.options.mfs_leaf_threshold)
+            PruningStrategy::DivideConquer => (
+                mfs_divide_conquer(set, self.options.mfs_leaf_threshold),
+                0,
+            ),
+            PruningStrategy::Naive => (mfs_naive(set), 0),
+            PruningStrategy::Bucketed => {
+                let (kept, counts) = mfs_sorted_sweep(set, 0.0);
+                (kept, counts.scalar_killed)
             }
-            PruningStrategy::Naive => mfs_naive(set),
-            PruningStrategy::WholeDomainOnly => whole_domain_prune(set),
+            PruningStrategy::WholeDomainOnly => (whole_domain_prune(set), 0),
+            PruningStrategy::Approximate { eps } => {
+                let (kept, counts) = mfs_sorted_sweep(set, eps);
+                (kept, counts.scalar_killed)
+            }
         }
     }
 }
@@ -968,12 +1237,12 @@ mod tests {
         let t_right = s.push_trace(TraceNode::Empty);
         let b = s.cap_bound;
         let left = s.candidate(
-            t_left, false, 1.0, 2.0, 10.0,
+            Step::Leaf, t_left, false, 1.0, 2.0, 10.0,
             Pwl::linear(4.0, 1.0, 0.0, b), // Y_l = 4 + x
             Pwl::neg_inf(0.0, b),
         );
         let right = s.candidate(
-            t_right, false, 2.0, 3.0, 20.0,
+            Step::Leaf, t_right, false, 2.0, 3.0, 20.0,
             Pwl::linear(30.0, 2.0, 0.0, b), // Y_r = 30 + 2x
             Pwl::neg_inf(0.0, b),
         );
@@ -999,7 +1268,7 @@ mod tests {
         let t = s.push_trace(TraceNode::Empty);
         let b = s.cap_bound;
         let cand = s.candidate(
-            t, false, 0.0, 4.0, 9.0,
+            Step::Leaf, t, false, 0.0, 4.0, 9.0,
             Pwl::linear(6.0, 2.0, 0.0, b),  // Y(x) = 6 + 2x
             Pwl::linear(12.0, 1.0, 0.0, b), // D(x) = 12 + x
         );
@@ -1034,7 +1303,7 @@ mod tests {
         // Candidate valid only for c_E ≥ 1, but the repeater's child-side
         // cap is 0.5: the buffered version must be skipped.
         let cand = s.candidate(
-            t, false, 0.0, 4.0, 9.0,
+            Step::Leaf, t, false, 0.0, 4.0, 9.0,
             Pwl::linear(6.0, 2.0, 1.0, b),
             Pwl::linear(12.0, 1.0, 1.0, b),
         );

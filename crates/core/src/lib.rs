@@ -66,6 +66,7 @@ mod tradeoff;
 
 pub use dp::{
     optimize, optimize_in, optimize_with_wires, optimize_with_wires_in, MsriStats, MsriWorkspace,
+    StepStats,
 };
 pub use options::{
     MsriError, MsriOptions, PruningStrategy, TerminalOption, TerminalOptions, WireOption,

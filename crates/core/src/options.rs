@@ -211,18 +211,39 @@ impl Default for WireOption {
 }
 
 /// How the solution sets are pruned between dynamic-programming steps.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// `DivideConquer`, `Naive`, `Bucketed` and `WholeDomainOnly` are exact:
+/// they produce identical trade-off curves. `Approximate` trades a
+/// bounded relative error for smaller candidate sets; with `eps = 0.0`
+/// it too is exact.
+// No `Eq`: `Approximate` carries an `f64`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum PruningStrategy {
     /// The paper's divide-and-conquer MFS (Fig. 4) — the default.
     #[default]
     DivideConquer,
     /// Naive pairwise MFS (`O(n²)` comparisons, same result).
     Naive,
+    /// Cost-bucketed sorted-sweep MFS ([`msrnet_pwl::mfs_bucketed`]):
+    /// candidates are sorted by `(cost, cap, …)` with `total_cmp` and
+    /// scalar/summary-dominated ones are eliminated before any PWL
+    /// region comparison (Li–Shi-style predicate ordering). Exact —
+    /// same frontiers as the default.
+    Bucketed,
     /// Ablation: discard a candidate only when another dominates it over
     /// its **whole** remaining domain; no partial-region invalidation.
     /// Correct but weaker — kept to quantify the value of functional
     /// (region-wise) pruning.
     WholeDomainOnly,
+    /// Bucketed sweep plus eps-relative coalescing
+    /// ([`msrnet_pwl::mfs_approximate`]): candidates within a relative
+    /// `eps` of a kept candidate in every dimension are dropped, with a
+    /// (1+eps) coverage guarantee on the resulting frontier. `eps` must
+    /// be in `[0, 1)`; `eps = 0.0` is exact.
+    Approximate {
+        /// Relative coalescing tolerance, in `[0, 1)`.
+        eps: f64,
+    },
 }
 
 /// Optimizer knobs.

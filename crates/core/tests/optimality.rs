@@ -278,7 +278,9 @@ fn pruning_strategies_agree() {
         for strategy in [
             PruningStrategy::DivideConquer,
             PruningStrategy::Naive,
+            PruningStrategy::Bucketed,
             PruningStrategy::WholeDomainOnly,
+            PruningStrategy::Approximate { eps: 0.0 },
         ] {
             let o = MsriOptions {
                 pruning: strategy,

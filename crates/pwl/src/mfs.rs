@@ -1,6 +1,11 @@
 //! Minimal functional subset (MFS) computation — dominance pruning over
 //! tuples of scalars and PWL functions (paper §IV-D, Definition 4.3 and
-//! the divide-and-conquer algorithm of Fig. 4).
+//! the divide-and-conquer algorithm of Fig. 4), plus a cost-bucketed
+//! sorted-sweep engine ([`mfs_bucketed`]) that front-loads cheap scalar
+//! predicates before any PWL comparison, in the spirit of Li & Shi's
+//! sorted-candidate buffer-insertion pruning.
+
+use std::cmp::Ordering;
 
 use crate::{IntervalSet, Pwl};
 
@@ -161,6 +166,225 @@ fn pairwise<T>(items: &mut [FuncPoint<T>]) {
     }
 }
 
+/// Counters describing one sorted-sweep MFS run ([`mfs_sorted_sweep`]):
+/// how many candidates were eliminated by the cheap summary predicate
+/// alone (no PWL region computation) versus by the exact region-wise
+/// comparisons.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MfsCounts {
+    /// Candidates fully eliminated by the scalar/summary predicate,
+    /// before any `dominance_region` call.
+    pub scalar_killed: u64,
+    /// Candidates fully eliminated by exact PWL region pruning.
+    pub pwl_killed: u64,
+}
+
+/// Cached O(1)-comparable summary of a candidate: bounding span of its
+/// validity domain and per-PWL-dimension value range. Recomputed only
+/// when the candidate's domain shrinks.
+struct Summary {
+    dom_lo: f64,
+    dom_hi: f64,
+    /// Whether the validity domain is one contiguous span (required for
+    /// the summary to certify full-domain coverage of another candidate).
+    single_span: bool,
+    /// Per-PWL-dimension minimum value over the current domain.
+    lo: Vec<f64>,
+    /// Per-PWL-dimension maximum value over the current domain.
+    hi: Vec<f64>,
+}
+
+fn summarize<T>(fp: &FuncPoint<T>) -> Summary {
+    let spans = fp.domain().spans();
+    Summary {
+        dom_lo: spans.first().map_or(f64::INFINITY, |s| s.0),
+        dom_hi: spans.last().map_or(f64::NEG_INFINITY, |s| s.1),
+        single_span: spans.len() == 1,
+        lo: fp
+            .pwls
+            .iter()
+            .map(|p| p.min_value().unwrap_or(f64::INFINITY))
+            .collect(),
+        hi: fp
+            .pwls
+            .iter()
+            .map(|p| p.max_value().unwrap_or(f64::NEG_INFINITY))
+            .collect(),
+    }
+}
+
+/// `t + eps·|t|` with exact fallback where the slack is not finite —
+/// monotone increasing in `t` for `eps < 1`, which is what makes
+/// single-step (1+eps) coverage arguments compose with later *exact*
+/// invalidations of the killer.
+fn relaxed_le(a: f64, b: f64, eps: f64) -> bool {
+    if eps == 0.0 {
+        return a <= b;
+    }
+    let slack = eps * b.abs();
+    if slack.is_finite() {
+        a <= b + slack
+    } else {
+        a <= b
+    }
+}
+
+/// Sufficient (never speculative) predicate: `a` dominates `b` over
+/// *all* of `b`'s remaining domain, established from summaries alone.
+/// With `eps > 0` the comparisons are relaxed by a relative `eps`,
+/// trading exactness for coalescing near-duplicates.
+fn summary_kills<T>(
+    a: &FuncPoint<T>,
+    sa: &Summary,
+    b: &FuncPoint<T>,
+    sb: &Summary,
+    eps: f64,
+) -> bool {
+    if !sa.single_span || sa.dom_lo > sb.dom_lo || sa.dom_hi < sb.dom_hi {
+        return false;
+    }
+    let scalars_ok = a
+        .scalars
+        .iter()
+        .zip(&b.scalars)
+        .all(|(x, y)| relaxed_le(*x, *y, eps));
+    scalars_ok
+        && sa
+            .hi
+            .iter()
+            .zip(&sb.lo)
+            .all(|(ah, bl)| relaxed_le(*ah, *bl, eps))
+}
+
+/// Necessary condition for `a.dominance_region(b)` to be non-empty,
+/// checked from summaries in O(dims) — skips the expensive `le_regions`
+/// intersection for hopeless pairs.
+fn may_dominate<T>(a: &FuncPoint<T>, sa: &Summary, b: &FuncPoint<T>, sb: &Summary) -> bool {
+    a.scalars_le(b)
+        && sa.dom_lo <= sb.dom_hi
+        && sb.dom_lo <= sa.dom_hi
+        && sa.lo.iter().zip(&sb.hi).all(|(al, bh)| *al <= *bh)
+}
+
+/// Cost-bucketed sorted-sweep MFS: sorts candidates lexicographically by
+/// their scalars with `total_cmp`, eliminates summary-dominated
+/// candidates with cheap O(dims) predicates, and runs the exact PWL
+/// `dominance_region` comparisons only on pairs the summaries cannot
+/// decide. Produces the same optimal envelopes as [`mfs_naive`].
+///
+/// Sorting makes cross-bucket pruning one-directional: a candidate can
+/// only be region-pruned by candidates of smaller-or-equal first scalar
+/// ("cost"), so the reverse `dominance_region` is attempted only within
+/// a bucket of equal cost. Note that comparisons are *not* restricted to
+/// adjacent cost levels — a level-`i` candidate can dominate a
+/// level-`i+2` candidate even when level `i+1` offers no coverage, so an
+/// adjacent-only sweep would keep dominated candidates alive; the cheap
+/// summary prefilters are what keep the full sweep fast.
+pub fn mfs_bucketed<T>(items: Vec<FuncPoint<T>>) -> Vec<FuncPoint<T>> {
+    mfs_sorted_sweep(items, 0.0).0
+}
+
+/// Approximate MFS with a documented (1+eps) guarantee: in addition to
+/// exact region pruning, coalesces candidates whose scalars and PWL
+/// envelopes are within a relative `eps` of a kept candidate.
+///
+/// Guarantee (for `0 ≤ eps < 1`): for every discarded candidate `p` and
+/// every point `x` of `p`'s domain, some survivor `s` is defined at `x`
+/// with `s.scalar[k] ≤ p.scalar[k] + eps·|p.scalar[k]|` for every scalar
+/// and `s.pwl[d](x) ≤ p.pwl[d](x) + eps·|p.pwl[d](x)|` for every PWL
+/// dimension — i.e. within a factor `(1+eps)` for non-negative values.
+/// Relaxed kills are never chained: only a candidate that is itself kept
+/// (or later replaced by an *exactly* better one) can absorb another, so
+/// the error never compounds. With `eps = 0` this is exactly
+/// [`mfs_bucketed`] and the result's envelopes equal [`mfs_naive`]'s.
+///
+/// # Panics
+///
+/// Panics if `eps` is not in `[0, 1)` or is NaN.
+pub fn mfs_approximate<T>(items: Vec<FuncPoint<T>>, eps: f64) -> Vec<FuncPoint<T>> {
+    assert!(
+        (0.0..1.0).contains(&eps),
+        "eps must be in [0, 1), got {eps}"
+    );
+    mfs_sorted_sweep(items, eps).0
+}
+
+/// The engine behind [`mfs_bucketed`] / [`mfs_approximate`], returning
+/// elimination counters so callers (the DP's pruning statistics) can
+/// attribute kills to the scalar presweep vs the PWL comparisons.
+///
+/// `eps = 0` is exact; see [`mfs_approximate`] for the `eps > 0`
+/// semantics.
+pub fn mfs_sorted_sweep<T>(
+    mut items: Vec<FuncPoint<T>>,
+    eps: f64,
+) -> (Vec<FuncPoint<T>>, MfsCounts) {
+    let mut counts = MfsCounts::default();
+    // Lexicographic sort on all scalars; total_cmp keeps the order total
+    // (and deterministic) even if a caller feeds NaN scalars. The sort
+    // is stable, so exact ties keep their generation order and the
+    // forward sweep's "earlier index wins ties" rule is well defined.
+    items.sort_by(|a, b| {
+        a.scalars
+            .iter()
+            .zip(&b.scalars)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or(Ordering::Equal)
+    });
+    let mut summaries: Vec<Summary> = items.iter().map(summarize).collect();
+    for j in 1..items.len() {
+        if !items[j].is_valid() {
+            continue;
+        }
+        for i in 0..j {
+            if !items[i].is_valid() {
+                continue;
+            }
+            let (head, tail) = items.split_at_mut(j);
+            let a = &mut head[i];
+            let b = &mut tail[0];
+            // Cheapest first: full elimination from summaries alone.
+            if summary_kills(a, &summaries[i], b, &summaries[j], eps) {
+                let whole = b.domain().clone();
+                b.invalidate(&whole);
+                counts.scalar_killed += 1;
+                break;
+            }
+            // Exact region-wise pruning, gated on the necessary-condition
+            // prefilter. Forward direction first (a's cost ≤ b's cost by
+            // the sort), then — as in `prune_pair` — the reverse against
+            // b's *updated* domain, possible only on an exact cost tie.
+            if may_dominate(a, &summaries[i], b, &summaries[j]) {
+                let r = a.dominance_region(b);
+                if !r.is_empty() {
+                    b.invalidate(&r);
+                    if !b.is_valid() {
+                        counts.pwl_killed += 1;
+                        break;
+                    }
+                    summaries[j] = summarize(b);
+                }
+            }
+            if a.scalars.first() == b.scalars.first()
+                && may_dominate(b, &summaries[j], a, &summaries[i])
+            {
+                let r = b.dominance_region(a);
+                if !r.is_empty() {
+                    a.invalidate(&r);
+                    if !a.is_valid() {
+                        counts.pwl_killed += 1;
+                    } else {
+                        summaries[i] = summarize(a);
+                    }
+                }
+            }
+        }
+    }
+    items.retain(FuncPoint::is_valid);
+    (items, counts)
+}
+
 /// Computes the minimal functional subset by the paper's
 /// divide-and-conquer scheme (Fig. 4): split, recurse, then cross-prune
 /// the two surviving halves.
@@ -201,6 +425,7 @@ pub fn mfs_divide_conquer<T>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Segment;
 
     fn fp(name: &'static str, scalars: &[f64], pwls: Vec<Pwl>) -> FuncPoint<&'static str> {
         FuncPoint::new(name, scalars.to_vec(), pwls)
@@ -338,7 +563,7 @@ mod tests {
                     .filter(|p| p.domain().contains(x))
                     .map(|p| (p.scalars[0], p.pwls[0].eval(x).unwrap()))
                     .collect();
-                pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
                 pts
             };
             let fa = frontier(&naive);
@@ -349,6 +574,90 @@ mod tests {
             };
             assert!((best(&fa) - best(&fb)).abs() < 1e-6, "x={x}");
         }
+    }
+
+    #[test]
+    fn bucketed_sweep_matches_naive_on_basic_cases() {
+        // Re-run the simple dominance scenarios through the sorted sweep.
+        let items = vec![
+            fp("a", &[1.0, 1.0], vec![]),
+            fp("b", &[2.0, 2.0], vec![]),
+            fp("c", &[0.0, 3.0], vec![]),
+        ];
+        let (kept, counts) = mfs_sorted_sweep(items, 0.0);
+        let mut names: Vec<_> = kept.iter().map(|p| p.payload).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "c"]);
+        assert_eq!(counts.scalar_killed, 1, "b dies on the summary predicate");
+
+        let mk = || fp("x", &[1.0], vec![Pwl::constant(2.0, 0.0, 10.0)]);
+        assert_eq!(mfs_bucketed(vec![mk(), mk(), mk()]).len(), 1);
+    }
+
+    #[test]
+    fn bucketed_sweep_crosses_non_adjacent_cost_levels() {
+        // Cost level 1 dominates level 3; the intermediate level 2
+        // candidate lives on a disjoint domain and covers nothing — an
+        // adjacent-level-only sweep would miss the kill.
+        let items = vec![
+            fp("lvl1", &[1.0], vec![Pwl::constant(1.0, 0.0, 10.0)]),
+            fp("lvl2", &[2.0], vec![Pwl::constant(0.5, 20.0, 30.0)]),
+            fp("lvl3", &[3.0], vec![Pwl::constant(5.0, 0.0, 10.0)]),
+        ];
+        let kept = mfs_bucketed(items);
+        let mut names: Vec<_> = kept.iter().map(|p| p.payload).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["lvl1", "lvl2"]);
+    }
+
+    #[test]
+    fn summary_predicate_respects_split_domains() {
+        // The would-be dominator has a hole in its domain, so the cheap
+        // predicate must not certify full coverage; region pruning then
+        // removes only the covered parts.
+        let split = FuncPoint::new(
+            "split",
+            vec![1.0],
+            vec![Pwl::from_segments(vec![
+                Segment::new(0.0, 4.0, 1.0, 0.0),
+                Segment::new(6.0, 10.0, 1.0, 0.0),
+            ])],
+        );
+        let whole = fp("whole", &[2.0], vec![Pwl::constant(5.0, 0.0, 10.0)]);
+        let (kept, counts) = mfs_sorted_sweep(vec![split, whole], 0.0);
+        assert_eq!(counts.scalar_killed, 0);
+        assert_eq!(kept.len(), 2);
+        let whole = kept.iter().find(|p| p.payload == "whole").unwrap();
+        assert!(whole.domain().contains(5.0), "survives inside the hole");
+        assert!(!whole.domain().contains(2.0));
+        assert!(!whole.domain().contains(8.0));
+    }
+
+    #[test]
+    fn approximate_zero_eps_is_exact_and_relaxed_eps_coalesces() {
+        // Incomparable pair: one is cheaper, the other faster — but only
+        // by 0.4% in each dimension.
+        let cheap_slow = fp("cheap_slow", &[1.0], vec![Pwl::constant(100.4, 0.0, 10.0)]);
+        let costly_fast = fp("costly_fast", &[1.004], vec![Pwl::constant(100.0, 0.0, 10.0)]);
+        let exact = mfs_approximate(vec![cheap_slow.clone(), costly_fast.clone()], 0.0);
+        assert_eq!(exact.len(), 2, "eps = 0 keeps incomparable candidates");
+        let coalesced = mfs_approximate(vec![cheap_slow, costly_fast], 0.01);
+        assert_eq!(coalesced.len(), 1, "1% slack absorbs the near-duplicate");
+        assert_eq!(coalesced[0].payload, "cheap_slow", "earlier in sort order wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in [0, 1)")]
+    fn approximate_rejects_out_of_range_eps() {
+        let _ = mfs_approximate(vec![fp("a", &[1.0], vec![])], 1.5);
+    }
+
+    #[test]
+    fn relaxed_le_handles_non_finite_thresholds() {
+        assert!(relaxed_le(f64::NEG_INFINITY, f64::NEG_INFINITY, 0.1));
+        assert!(!relaxed_le(0.0, f64::NEG_INFINITY, 0.1));
+        assert!(relaxed_le(-10.0, -9.999, 0.1), "negative values relax too");
+        assert!(!relaxed_le(-9.0, -10.0, 0.01));
     }
 
     #[test]

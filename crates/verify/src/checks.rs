@@ -28,8 +28,9 @@
 //!    power-of-two float ops) must leave the ARD bit-identical.
 //! 2. `sink_load_monotonicity` — increasing a sink's required time `q`
 //!    or its pin capacitance can only increase the ARD.
-//! 3. `pruning_strategies_agree` — divide-and-conquer MFS, naive MFS
-//!    and whole-domain-only pruning must yield the same (cost, ARD)
+//! 3. `pruning_strategies_agree` — divide-and-conquer MFS, naive MFS,
+//!    whole-domain-only pruning, the cost-bucketed sorted sweep and the
+//!    approximate sweep at `eps = 0` must yield the same (cost, ARD)
 //!    frontier values.
 //! 4. `rooting_invariance` — the ARD does not depend on which terminal
 //!    the traversal is rooted at.
@@ -206,15 +207,18 @@ fn random_assignments(inst: &Instance, count: usize) -> Vec<Assignment> {
 fn dp_set_estimate(inst: &Instance) -> f64 {
     let ips = inst.net.topology.insertion_point_count() as f64;
     // Each distinct repeater cost adds a dimension of undominated
-    // Pareto levels (two cost denominations reach O(ips^2) distinct
+    // Pareto levels (k cost denominations reach O(ips^k) distinct
     // sums); asymmetric orientation / inverting polarity adds one more.
+    // Counting every denomination (an earlier revision capped this at 2
+    // and badly underestimated ≥3-cost libraries) keeps the estimate
+    // honest on the asymmetric multi-cost regimes.
     let distinct_costs = inst
         .library
         .iter()
         .map(|r| r.cost.to_bits())
         .collect::<std::collections::BTreeSet<_>>()
         .len();
-    let mut dims = distinct_costs.min(2) as i32;
+    let mut dims = distinct_costs as i32;
     if inst
         .library
         .iter()
@@ -225,10 +229,17 @@ fn dp_set_estimate(inst: &Instance) -> f64 {
     (ips + 1.0).powi(dims)
 }
 
+/// Work gate for the DP-running oracles. Calibrated for the engine with
+/// join pre-materialization cutoffs and per-step pruning: a 500-case
+/// sweep including the asymmetric/inverting regimes fits a 30 s budget
+/// on one core (measured; see EXPERIMENTS.md).
+const DP_ESTIMATE_LIMIT: f64 = 4000.0;
+
 /// Skip reason when the DP would be too expensive for a fuzz case.
 fn dp_intractable(inst: &Instance) -> Option<String> {
     let est = dp_set_estimate(inst);
-    (est > 150.0).then(|| format!("DP set estimate {est:.0} exceeds the per-case budget"))
+    (est > DP_ESTIMATE_LIMIT)
+        .then(|| format!("DP set estimate {est:.0} exceeds the per-case budget"))
 }
 
 /// Estimated exhaustive-search size: repeater/orientation choices per
@@ -254,8 +265,55 @@ fn run_dp(inst: &Instance, options: &MsriOptions) -> Result<TradeoffCurve, MsriE
     )
 }
 
+/// Re-runs Pareto dominance at the comparison tolerances, collapsing
+/// float-noise ties.
+///
+/// Two engines evaluating the same configuration in different
+/// association orders can land an ulp apart; when that happens *at* the
+/// frontier, one engine's dominance filter collapses the tie while the
+/// other keeps both points (the DP prunes with exact `<=`, the
+/// exhaustive oracle with a small slack), and the frontiers differ in
+/// length even though every surviving point agrees within tolerance.
+/// Found by the un-gated verify sweep (seeds 23 and 42); the shrunk
+/// repros are pinned in `crates/verify/corpus/`. A point is dropped
+/// here exactly when another point matches-or-beats it on both axes
+/// within the check tolerances and beats it beyond tolerance on at
+/// least one — any disagreement this hides was already invisible to the
+/// per-point comparison below.
+fn canonical_frontier(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let cost_close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0);
+    let mut keep = vec![true; points.len()];
+    for i in 0..points.len() {
+        let (ci, di) = points[i];
+        for j in 0..points.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            let (cj, dj) = points[j];
+            let cost_le = cj < ci || cost_close(ci, cj);
+            let ard_le = dj < di || ard_close(di, dj);
+            let strictly = (cj < ci && !cost_close(ci, cj)) || (dj < di && !ard_close(di, dj));
+            if cost_le && ard_le && strictly {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    points
+        .iter()
+        .zip(&keep)
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect()
+}
+
 /// Compares two frontiers on (cost, ARD) values within tolerance.
+///
+/// Both sides are canonicalized first (see [`canonical_frontier`]) so
+/// that ulp-level Pareto ties resolved differently by the two engines
+/// do not read as a mismatch.
 fn frontiers_close(a: &[(f64, f64)], b: &[(f64, f64)], label_a: &str, label_b: &str) -> CheckOutcome {
+    let a = canonical_frontier(a);
+    let b = canonical_frontier(b);
     if a.len() != b.len() {
         return CheckOutcome::Fail(format!(
             "frontier sizes differ: {label_a}={} vs {label_b}={} (a={a:?} b={b:?})",
@@ -446,7 +504,7 @@ fn check_batch_parallel_vs_sequential(inst: &Instance) -> CheckOutcome {
     // 2 thread-counts x 3 jobs = six DP solves per case, so the work
     // gate is tighter than the single-solve oracles'.
     let est = dp_set_estimate(inst);
-    if est > 60.0 {
+    if est > DP_ESTIMATE_LIMIT / 6.0 {
         return CheckOutcome::Skip(format!(
             "DP set estimate {est:.0} too large for the batch re-runs"
         ));
@@ -613,12 +671,13 @@ fn check_sink_load_monotonicity(inst: &Instance) -> CheckOutcome {
 }
 
 fn check_pruning_strategies_agree(inst: &Instance) -> CheckOutcome {
-    // Naive MFS pruning is quadratic in candidate-set size, so this
-    // check takes a tighter work gate than the other DP oracles.
+    // Naive and whole-domain MFS pruning are quadratic in candidate-set
+    // size, so this check takes a tighter work gate than the other DP
+    // oracles.
     let est = dp_set_estimate(inst);
-    if est > 40.0 {
+    if est > DP_ESTIMATE_LIMIT / 8.0 {
         return CheckOutcome::Skip(format!(
-            "DP set estimate {est:.0} too large for the naive-pruning re-run"
+            "DP set estimate {est:.0} too large for the quadratic-pruning re-runs"
         ));
     }
     if !inst.check_seed.is_multiple_of(3) {
@@ -634,6 +693,8 @@ fn check_pruning_strategies_agree(inst: &Instance) -> CheckOutcome {
         ("divide_conquer", PruningStrategy::DivideConquer),
         ("naive", PruningStrategy::Naive),
         ("whole_domain", PruningStrategy::WholeDomainOnly),
+        ("bucketed", PruningStrategy::Bucketed),
+        ("approx_eps0", PruningStrategy::Approximate { eps: 0.0 }),
     ];
     type FrontierResult = Result<Vec<(f64, f64)>, MsriError>;
     let mut baseline: Option<(&str, FrontierResult)> = None;
@@ -760,6 +821,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn canonical_frontier_collapses_ulp_ties() {
+        // Delay-axis tie (seed-23 repro shape): the costlier point is an
+        // ulp *better* on delay, so exact dominance keeps it while a
+        // slack-based filter collapses it; within the check tolerance
+        // the cheaper point eps-dominates.
+        let d = 302235.55941798404;
+        let d_lo = 302235.559417984;
+        let a = vec![(6.0, 350627.16), (9.0, d), (10.0, d_lo), (12.0, 294998.93)];
+        assert_eq!(
+            canonical_frontier(&a),
+            vec![(6.0, 350627.16), (9.0, d), (12.0, 294998.93)]
+        );
+
+        // Cost-axis tie (seed-42 repro shape): two costs an ulp apart,
+        // the marginally cheaper one carrying a far worse delay.
+        let c = 4.762572559757079;
+        let c_lo = 4.7625725597570785;
+        let b = vec![(4.0, 28266.1), (c_lo, 26897.0), (c, 23414.9), (5.5, 22045.8)];
+        assert_eq!(
+            canonical_frontier(&b),
+            vec![(4.0, 28266.1), (c, 23414.9), (5.5, 22045.8)]
+        );
+
+        // Genuinely distinct frontier points are untouched.
+        let f = vec![(1.0, 100.0), (2.0, 50.0), (3.0, 25.0)];
+        assert_eq!(canonical_frontier(&f), f);
     }
 
     #[test]

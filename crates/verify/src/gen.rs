@@ -355,9 +355,10 @@ fn build_degenerate(rng: &mut SplitMix64, tech: Technology) -> Option<Net> {
 }
 
 /// The library-composition class for a case index (classes ≥ 3 contain
-/// asymmetric or inverting repeaters).
+/// asymmetric or inverting repeaters; class 6 is the asymmetric
+/// multi-cost regime with three distinct cost denominations).
 fn library_class(index: usize) -> usize {
-    (index / TOPOLOGY_CYCLE.len()) % 6
+    (index / TOPOLOGY_CYCLE.len()) % 7
 }
 
 /// Library compositions, cycled so that symmetric, asymmetric and
@@ -382,12 +383,24 @@ fn draw_library(rng: &mut SplitMix64, index: usize) -> Vec<Repeater> {
             Repeater::from_buffer_pair("rep1x", &b1, &b1),
             Repeater::from_buffer_pair("inv1x", &b1, &b1).inverting(),
         ],
-        _ => {
+        5 => {
             let k = rng.gen_range(1..5usize) as f64;
             let bk = b1.scaled(k);
             vec![
                 Repeater::from_buffer_pair("asym", &b1, &bk),
                 Repeater::from_buffer_pair("iasym", &bk, &b1).inverting(),
+            ]
+        }
+        _ => {
+            // Asymmetric multi-cost: three cost denominations whose
+            // pairwise sums stay distinct — the Pareto-explosion regime
+            // the bucketed sweep and join cutoffs target.
+            let b2 = b1.scaled(2.0);
+            let b4 = b1.scaled(4.0);
+            vec![
+                Repeater::from_buffer_pair("asym_s", &b1, &b2),
+                Repeater::from_buffer_pair("rep2x", &b2, &b2),
+                Repeater::from_buffer_pair("asym_l", &b2, &b4),
             ]
         }
     }
@@ -452,15 +465,19 @@ mod tests {
         let mut saw_empty_lib = false;
         let mut saw_inverting = false;
         let mut saw_asymmetric = false;
+        let mut saw_multicost = false;
         let mut saw_wires = false;
         let mut saw_single_terminal = false;
         let mut saw_zero_len = false;
-        for i in 0..72 {
+        for i in 0..84 {
             let Some(inst) = generate(3, i) else { continue };
             assert!(inst.net.check().is_ok(), "case {i} invalid");
             saw_empty_lib |= inst.library.is_empty();
             saw_inverting |= inst.library.iter().any(|r| r.inverting);
             saw_asymmetric |= inst.library.iter().any(|r| !r.is_symmetric());
+            let costs: std::collections::BTreeSet<u64> =
+                inst.library.iter().map(|r| r.cost.to_bits()).collect();
+            saw_multicost |= costs.len() >= 3;
             saw_wires |= inst.wire_options.len() > 1;
             saw_single_terminal |= inst.net.topology.terminal_count() == 1;
             saw_zero_len |= inst
@@ -472,6 +489,7 @@ mod tests {
         assert!(saw_empty_lib, "no empty-library case");
         assert!(saw_inverting, "no inverting case");
         assert!(saw_asymmetric, "no asymmetric case");
+        assert!(saw_multicost, "no multi-cost-library case");
         assert!(saw_wires, "no wire-sizing case");
         assert!(saw_single_terminal, "no single-terminal case");
         assert!(saw_zero_len, "no zero-length-edge case");
