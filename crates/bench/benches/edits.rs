@@ -1,0 +1,164 @@
+//! Edit-replay benchmark: incremental dirty-path recomputation vs
+//! from-scratch re-solves over a seeded edit trace.
+//!
+//! The correctness contract (every incremental result bit-identical to
+//! a from-scratch recompute, incremental never rebuilding more nodes
+//! than scratch) is **asserted** here — the benchmark doubles as a
+//! smoke gate. The speedup figure is informational only: CI runs on a
+//! one-core container where wall-clock ratios are noisy, so the hard
+//! acceptance signal is the node-visit counters, not time.
+//!
+//! Environment knobs:
+//! * `EDITS_BENCH_EDITS` — edits per trace (default 50; CI smoke uses
+//!   a smaller count).
+//! * `EDITS_BENCH_TERMINALS` — net size (default 8).
+//! * `EDITS_TIMINGS_JSON` — when set, writes the per-edit timing table
+//!   to this path as JSON.
+
+use std::time::Instant;
+
+use msrnet_bench::Instance;
+use msrnet_core::{MsriOptions, TradeoffCurve, WireOption};
+use msrnet_incremental::{random_trace, IncrementalOptimizer};
+use msrnet_netgen::table1;
+
+const SEED: u64 = 7;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn curves_bit_identical(a: &TradeoffCurve, b: &TradeoffCurve) -> bool {
+    a.len() == b.len()
+        && a.points().iter().zip(b.points()).all(|(pa, pb)| {
+            pa.cost.to_bits() == pb.cost.to_bits()
+                && pa.ard.to_bits() == pb.ard.to_bits()
+                && pa.assignment == pb.assignment
+                && pa.terminal_choices == pb.terminal_choices
+                && pa.wire_choices == pb.wire_choices
+        })
+}
+
+fn main() {
+    let edits = env_usize("EDITS_BENCH_EDITS", 50);
+    let terminals = env_usize("EDITS_BENCH_TERMINALS", 8);
+    let inst = Instance::random(&table1(), terminals, SEED, 800.0);
+    let trace = random_trace(&inst.net, SEED, edits);
+    let mut session = IncrementalOptimizer::new(
+        inst.net.clone(),
+        inst.root,
+        inst.library.clone(),
+        inst.fixed_drivers.clone(),
+        vec![WireOption::unit()],
+        MsriOptions::default(),
+    );
+
+    println!(
+        "edit replay: {} terminals, {} insertion points, {} edits (seed {SEED})",
+        terminals,
+        inst.net.topology.insertion_point_count(),
+        trace.len()
+    );
+
+    // Row per compared step: (op, inc µs, scratch µs, rebuilt, visited).
+    let mut rows: Vec<(String, f64, f64, usize, usize)> = Vec::new();
+    let mut inc_total = 0.0f64;
+    let mut scratch_total = 0.0f64;
+    let mut rebuilt_total = 0usize;
+    let mut visited_total = 0usize;
+    let mut applied = 0usize;
+
+    for step in 0..=trace.len() {
+        let op = if step == 0 {
+            "initial".to_string()
+        } else {
+            let edit = &trace[step - 1];
+            if session.apply(edit).is_err() {
+                continue;
+            }
+            applied += 1;
+            edit.op_name().to_string()
+        };
+        let t0 = Instant::now();
+        let inc = session.recompute();
+        let inc_us = t0.elapsed().as_secs_f64() * 1e6;
+        let t1 = Instant::now();
+        let scratch = session.from_scratch();
+        let scratch_us = t1.elapsed().as_secs_f64() * 1e6;
+        match (inc, scratch) {
+            (Ok((a, sa)), Ok((b, sb))) => {
+                assert!(
+                    curves_bit_identical(&a, &b),
+                    "step {step} ({op}): incremental diverged from scratch"
+                );
+                assert!(
+                    sa.nodes_recomputed <= sb.nodes_recomputed,
+                    "step {step} ({op}): incremental rebuilt {} nodes, scratch {}",
+                    sa.nodes_recomputed,
+                    sb.nodes_recomputed
+                );
+                if step > 0 {
+                    inc_total += inc_us;
+                    scratch_total += scratch_us;
+                    rebuilt_total += sa.nodes_recomputed;
+                    visited_total += sa.nodes_visited;
+                }
+                rows.push((op, inc_us, scratch_us, sa.nodes_recomputed, sa.nodes_visited));
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a, b, "step {step} ({op}): error variants diverged");
+                rows.push((op, inc_us, scratch_us, 0, 0));
+            }
+            (inc, _) => panic!(
+                "step {step} ({op}): only one side solved (incremental ok: {})",
+                inc.is_ok()
+            ),
+        }
+    }
+
+    println!("  applied     : {applied}/{} edits", trace.len());
+    println!("  escalations : {}", session.escalations());
+    println!(
+        "  rebuilt     : {rebuilt_total}/{visited_total} visited nodes across edits ({:.0}%)",
+        100.0 * rebuilt_total as f64 / visited_total.max(1) as f64
+    );
+    println!("  incremental : {:.1} ms total over edits", inc_total / 1e3);
+    println!("  from-scratch: {:.1} ms total over edits", scratch_total / 1e3);
+    println!(
+        "  speedup     : {:.2}x (informational; 1-core CI wall time is noisy — \
+         the asserted contract is bit-identity and the node counters)",
+        scratch_total / inc_total.max(1e-9)
+    );
+
+    if let Ok(path) = std::env::var("EDITS_TIMINGS_JSON") {
+        let mut out = String::from("{\n  \"benchmark\": \"msrnet_edit_replay\",\n");
+        out.push_str(&format!("  \"terminals\": {terminals},\n"));
+        out.push_str(&format!("  \"edits\": {},\n  \"applied\": {applied},\n", trace.len()));
+        out.push_str(&format!("  \"rebuilt_nodes\": {rebuilt_total},\n"));
+        out.push_str(&format!("  \"visited_nodes\": {visited_total},\n"));
+        out.push_str(&format!("  \"incremental_us\": {inc_total},\n"));
+        out.push_str(&format!("  \"scratch_us\": {scratch_total},\n"));
+        out.push_str("  \"steps\": [\n");
+        for (i, (op, inc_us, scratch_us, rebuilt, visited)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"op\": \"{op}\", \"incremental_us\": {inc_us}, \
+                 \"scratch_us\": {scratch_us}, \"rebuilt\": {rebuilt}, \"visited\": {visited}}}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write timings JSON");
+        println!("  wrote per-edit timings to {path}");
+    }
+
+    // A replay where no point edit reused anything would mean the
+    // dirty-path machinery is inert; fail loudly rather than report a
+    // meaningless speedup. (SwapLibrary/Reroot legitimately rebuild all.)
+    assert!(
+        rebuilt_total < visited_total,
+        "no node reuse across {applied} edits — incremental engine inert"
+    );
+}

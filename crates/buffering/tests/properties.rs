@@ -1,0 +1,237 @@
+//! Randomized property tests of the single-source buffering frontier,
+//! driven by a seeded in-tree generator so every run checks the same
+//! cases (style of `crates/geom/tests/properties.rs`).
+//!
+//! The in-module unit tests pin exact values on hand-built lines; these
+//! tests instead assert the *shape* invariants of
+//! [`min_cost_buffering`] over random branching nets: frontier
+//! monotonicity, assignment accounting, agreement with an independent
+//! Elmore re-evaluation of every returned placement, and metamorphic
+//! library relations (supersets never hurt, duplicates change nothing).
+
+use msrnet_buffering::{max_slack_buffering, min_cost_buffering};
+use msrnet_geom::Point;
+use msrnet_rctree::{
+    elmore::Elmore, Assignment, Buffer, Net, NetBuilder, Orientation, Repeater, Technology,
+    Terminal, TerminalId, VertexId,
+};
+use msrnet_rng::{Rng, SeedableRng, SplitMix64};
+
+const CASES: usize = 48;
+
+/// A random branching net: source terminal `t0` at the origin, a random
+/// tree of Steiner branch vertices hanging off it, 1–3 sink terminals
+/// attached to random branch vertices, and 0–2 insertion points dropped
+/// onto each wire (insertion points must keep degree 2). Zero-length
+/// segments (coincident positions) are possible and deliberate.
+fn arb_net(rng: &mut SplitMix64) -> Net {
+    let mut b = NetBuilder::new(Technology::new(0.03, 0.00035));
+    let pt = |rng: &mut SplitMix64| {
+        Point::new(
+            rng.gen_range(0..4000i32) as f64,
+            rng.gen_range(0..4000i32) as f64,
+        )
+    };
+    // Wires a–b directly or through a chain of insertion points.
+    fn connect(b: &mut NetBuilder, rng: &mut SplitMix64, from: VertexId, to: VertexId, at: Point) {
+        let mut prev = from;
+        for _ in 0..rng.gen_range(0..3usize) {
+            let ip = b.insertion_point(at);
+            b.wire(prev, ip);
+            prev = ip;
+        }
+        b.wire(prev, to);
+    }
+    let src = b.terminal(Point::new(0.0, 0.0), Terminal::source_only(0.0, 0.05, 180.0));
+    let mut branches: Vec<VertexId> = Vec::new();
+    for i in 0..rng.gen_range(1..4usize) {
+        let attach = if i == 0 {
+            src
+        } else {
+            branches[rng.gen_range(0..branches.len())]
+        };
+        let p = pt(rng);
+        let s = b.steiner(p);
+        connect(&mut b, rng, attach, s, p);
+        branches.push(s);
+    }
+    for _ in 0..rng.gen_range(1..4usize) {
+        let attach = branches[rng.gen_range(0..branches.len())];
+        let q = rng.gen_range(0..50i32) as f64;
+        let cap = 0.02 + rng.gen_range(0..80i32) as f64 / 1000.0;
+        let p = pt(rng);
+        let snk = b.terminal(p, Terminal::sink_only(q, cap));
+        connect(&mut b, rng, attach, snk, p);
+    }
+    b.build().expect("generated net is well-formed")
+}
+
+/// A random 1–3 entry library; the base buffer always sits at index 0
+/// so metamorphic tests can extend the menu without renumbering.
+fn arb_library(rng: &mut SplitMix64) -> Vec<Buffer> {
+    let base = Buffer::new("1X", 50.0, 180.0, 0.05, 1.0);
+    let mut lib = vec![base.clone()];
+    for k in 0..rng.gen_range(0..3usize) {
+        let scale = (2 + rng.gen_range(0..3i32)) as f64;
+        lib.push(base.scaled(scale + k as f64));
+    }
+    lib
+}
+
+fn sink_ids(net: &Net) -> Vec<TerminalId> {
+    net.terminal_ids()
+        .filter(|&t| net.terminal(t).is_sink())
+        .collect()
+}
+
+/// Re-evaluates a frontier placement with the Elmore engine: worst
+/// source-to-sink path delay over all sinks.
+fn elmore_worst_delay(net: &Net, library: &[Buffer], asg_src: &msrnet_buffering::BufferAssignment) -> f64 {
+    let reps: Vec<Repeater> = library
+        .iter()
+        .map(|b| Repeater::from_buffer_pair(&b.name, b, b))
+        .collect();
+    let mut asg = Assignment::empty(net.topology.vertex_count());
+    for v in 0..net.topology.vertex_count() {
+        if let Some(b) = asg_src.at(VertexId(v)) {
+            asg.place(VertexId(v), b, Orientation::AFacesParent);
+        }
+    }
+    let rooted = net.rooted_at_terminal(TerminalId(0));
+    let elmore = Elmore::new(net, &rooted, &reps, &asg);
+    // The frontier's delay axis includes each sink's own downstream
+    // delay `q`; path_delay stops at the pin, so add it back.
+    sink_ids(net)
+        .iter()
+        .map(|&w| elmore.path_delay(TerminalId(0), w) + net.terminal(w).downstream)
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[test]
+fn frontier_shape_and_endpoints() {
+    let mut rng = SplitMix64::seed_from_u64(101);
+    for _ in 0..CASES {
+        let net = arb_net(&mut rng);
+        let lib = arb_library(&mut rng);
+        let frontier = min_cost_buffering(&net, TerminalId(0), &lib);
+        assert!(!frontier.is_empty());
+        // The cheapest point is always the unbuffered net.
+        assert_eq!(frontier[0].cost, 0.0);
+        assert_eq!(frontier[0].assignment.placed_count(), 0);
+        // Ascending cost, strictly decreasing delay: a true frontier.
+        for w in frontier.windows(2) {
+            assert!(w[0].cost <= w[1].cost, "{} > {}", w[0].cost, w[1].cost);
+            assert!(
+                w[1].max_delay < w[0].max_delay - 1e-12,
+                "non-dominating point survived: {} vs {}",
+                w[1].max_delay,
+                w[0].max_delay
+            );
+        }
+        // max_slack_buffering is exactly the expensive end.
+        let best = max_slack_buffering(&net, TerminalId(0), &lib);
+        let last = frontier.last().unwrap();
+        assert_eq!(best.cost.to_bits(), last.cost.to_bits());
+        assert_eq!(best.max_delay.to_bits(), last.max_delay.to_bits());
+        assert_eq!(best.assignment.placed_count(), last.assignment.placed_count());
+    }
+}
+
+#[test]
+fn assignment_accounting_matches_reported_cost() {
+    let mut rng = SplitMix64::seed_from_u64(102);
+    for _ in 0..CASES {
+        let net = arb_net(&mut rng);
+        let lib = arb_library(&mut rng);
+        let ips: Vec<VertexId> = net.topology.insertion_points().collect();
+        for sol in min_cost_buffering(&net, TerminalId(0), &lib) {
+            // The placement's own cost accounting reproduces the
+            // frontier's cost axis.
+            assert!(
+                (sol.assignment.total_cost(&lib) - sol.cost).abs() < 1e-9,
+                "assignment cost {} vs reported {}",
+                sol.assignment.total_cost(&lib),
+                sol.cost
+            );
+            let placed: Vec<VertexId> = (0..net.topology.vertex_count())
+                .map(VertexId)
+                .filter(|&v| sol.assignment.at(v).is_some())
+                .collect();
+            assert_eq!(placed.len(), sol.assignment.placed_count());
+            // Buffers land on insertion points only, with in-range
+            // library indices.
+            for &v in &placed {
+                assert!(ips.contains(&v), "buffer on non-insertion vertex {v:?}");
+                assert!(sol.assignment.at(v).unwrap() < lib.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn frontier_delays_match_elmore_oracle() {
+    let mut rng = SplitMix64::seed_from_u64(103);
+    for _ in 0..CASES {
+        let net = arb_net(&mut rng);
+        let lib = arb_library(&mut rng);
+        for sol in min_cost_buffering(&net, TerminalId(0), &lib) {
+            // Independent re-evaluation: materialize the placement and
+            // let the Elmore engine time it from scratch.
+            let oracle = elmore_worst_delay(&net, &lib, &sol.assignment);
+            assert!(
+                (sol.max_delay - oracle).abs() < 1e-6,
+                "frontier delay {} vs Elmore {}",
+                sol.max_delay,
+                oracle
+            );
+        }
+    }
+}
+
+#[test]
+fn bigger_library_never_hurts() {
+    let mut rng = SplitMix64::seed_from_u64(104);
+    for _ in 0..CASES {
+        let net = arb_net(&mut rng);
+        let small = arb_library(&mut rng);
+        let mut big = small.clone();
+        big.push(small[0].scaled(6.0)); // appended: existing indices keep meaning
+        let fs = min_cost_buffering(&net, TerminalId(0), &small);
+        let fb = min_cost_buffering(&net, TerminalId(0), &big);
+        // Every small-library point is weakly dominated by some
+        // big-library point: a superset menu explores a superset of
+        // placements.
+        for s in &fs {
+            assert!(
+                fb.iter()
+                    .any(|b| b.cost <= s.cost + 1e-9 && b.max_delay <= s.max_delay + 1e-6),
+                "({}, {}) undominated under the larger library",
+                s.cost,
+                s.max_delay
+            );
+        }
+        let best_s = fs.last().unwrap().max_delay;
+        let best_b = fb.last().unwrap().max_delay;
+        assert!(best_b <= best_s + 1e-6, "{best_b} vs {best_s}");
+    }
+}
+
+#[test]
+fn duplicate_buffers_change_nothing() {
+    let mut rng = SplitMix64::seed_from_u64(105);
+    for _ in 0..CASES {
+        let net = arb_net(&mut rng);
+        let lib = arb_library(&mut rng);
+        let mut doubled = lib.clone();
+        doubled.extend(lib.iter().cloned());
+        let fa = min_cost_buffering(&net, TerminalId(0), &lib);
+        let fb = min_cost_buffering(&net, TerminalId(0), &doubled);
+        // Duplicating every menu entry offers no new trade-off: the
+        // (cost, delay) frontier is unchanged.
+        assert_eq!(fa.len(), fb.len(), "frontier length changed");
+        for (a, b) in fa.iter().zip(&fb) {
+            assert!((a.cost - b.cost).abs() < 1e-9);
+            assert!((a.max_delay - b.max_delay).abs() < 1e-9);
+        }
+    }
+}

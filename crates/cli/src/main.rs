@@ -6,6 +6,7 @@
 //! msrnet-cli ard net.msr [--root 0]
 //! msrnet-cli optimize net.msr [--root 0] [--spec PS] [--driver-cost C]
 //! msrnet-cli batch a.msr b.msr [--threads 4] [-o report.json]
+//! msrnet-cli edits net.msr --trace edits.json [--timing] [-o report.json]
 //! msrnet-cli render net.msr -o net.svg [--best] [--no-labels]
 //! ```
 
@@ -46,7 +47,9 @@ const USAGE: &str = "usage:
                        [--pruning divide-conquer|naive|bucketed|whole-domain|approx:EPS]
                        [--stats]
   msrnet-cli batch [FILES...] [--count N --terminals T --seed S [--spacing UM]]
-                       [--threads K] [--driver-cost C] [-o FILE.json]
+                       [--threads K] [--driver-cost C] [--incremental E] [-o FILE.json]
+  msrnet-cli edits FILE --trace EDITS.json [--root T] [--driver-cost C]
+                       [--pruning STRATEGY] [--timing] [-o FILE.json]
   msrnet-cli render FILE [-o FILE.svg] [--best] [--no-labels]
   msrnet-cli report FILE [-o FILE.md] [--root T] [--spec PS] [--driver-cost C]
   msrnet-cli verify [--seed S] [--cases N] [--budget-ms B] [--max-failures K]
@@ -62,6 +65,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "ard" => cmd_ard(&rest),
         "optimize" => cmd_optimize(&rest),
         "batch" => cmd_batch(&rest),
+        "edits" => cmd_edits(&rest),
         "render" => cmd_render(&rest),
         "report" => cmd_report(&rest),
         "verify" => cmd_verify(&rest),
@@ -322,7 +326,7 @@ fn cmd_optimize(args: &[&String]) -> Result<(), String> {
 }
 
 fn cmd_batch(args: &[&String]) -> Result<(), String> {
-    use msrnet_batch::{random_jobs, run_batch, BatchJob};
+    use msrnet_batch::{random_jobs, run_batch, run_batch_incremental, BatchJob};
     let f = Flags::parse(args, &[])?;
     f.reject_unknown(&[
         "threads",
@@ -331,6 +335,7 @@ fn cmd_batch(args: &[&String]) -> Result<(), String> {
         "terminals",
         "seed",
         "spacing",
+        "incremental",
         "o",
     ])?;
     let threads = f.get_num("threads", 1.0)? as usize;
@@ -359,6 +364,39 @@ fn cmd_batch(args: &[&String]) -> Result<(), String> {
     if jobs.is_empty() {
         return Err("no nets to optimize: pass FILE arguments or --count N".into());
     }
+    // --incremental E: instead of one solve per net, replay E seeded
+    // random edits through an incremental session per net, each
+    // recompute cross-checked against a from-scratch oracle.
+    let edits_per_net = f.get_num("incremental", 0.0)? as usize;
+    if edits_per_net > 0 {
+        let seed = f.get_num("seed", 1.0)? as u64;
+        let report = run_batch_incremental(&jobs, threads, edits_per_net, seed);
+        let visited: u64 = report.results.iter().map(|r| r.nodes_visited).sum();
+        let recomputed: u64 = report.results.iter().map(|r| r.nodes_recomputed).sum();
+        let scratch: u64 = report.results.iter().map(|r| r.scratch_recomputed).sum();
+        eprintln!(
+            "replayed {edits_per_net} edits on {} nets ({} mismatches); \
+             rebuilt {recomputed}/{visited} visited nodes (scratch would rebuild {scratch})",
+            report.results.len(),
+            report.mismatches(),
+        );
+        let json = report.to_json();
+        match f.get("o") {
+            Some(out) => {
+                std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+                eprintln!("wrote {out}");
+            }
+            None => print!("{json}"),
+        }
+        return if report.mismatches() == 0 {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} incremental recompute(s) diverged from the from-scratch oracle",
+                report.mismatches()
+            ))
+        };
+    }
     let report = run_batch(&jobs, threads);
     let failed = report.results.iter().filter(|r| r.outcome.is_err()).count();
     eprintln!(
@@ -376,6 +414,169 @@ fn cmd_batch(args: &[&String]) -> Result<(), String> {
         None => print!("{json}"),
     }
     Ok(())
+}
+
+/// Bit-level curve equality (values and realizations) for the per-edit
+/// incremental-vs-scratch cross-check.
+fn curves_bit_identical(a: &TradeoffCurve, b: &TradeoffCurve) -> bool {
+    a.len() == b.len()
+        && a.points().iter().zip(b.points()).all(|(pa, pb)| {
+            pa.cost.to_bits() == pb.cost.to_bits()
+                && pa.ard.to_bits() == pb.ard.to_bits()
+                && pa.assignment == pb.assignment
+                && pa.terminal_choices == pb.terminal_choices
+                && pa.wire_choices == pb.wire_choices
+        })
+}
+
+/// A finite float as JSON, non-finite as `null`.
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn cmd_edits(args: &[&String]) -> Result<(), String> {
+    use msrnet_core::required_cap_bound;
+    use msrnet_incremental::{parse_trace, IncrementalOptimizer};
+    use std::time::Instant;
+
+    let f = Flags::parse(args, &["timing"])?;
+    f.reject_unknown(&["trace", "root", "driver-cost", "pruning", "o"])?;
+    let path = f.positional.first().ok_or("missing net file")?;
+    let nf = load(path)?;
+    let root = root_flag(&f, &nf)?;
+    let trace_path = f.get("trace").ok_or("missing --trace EDITS.json")?;
+    let trace_text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("reading {trace_path}: {e}"))?;
+    let edits = parse_trace(&trace_text).map_err(|e| format!("{trace_path}: {e}"))?;
+    let driver_cost = f.get_num("driver-cost", 0.0)?;
+    let timing = f.has("timing");
+    let term_opts = TerminalOptions::defaults_with_cost(&nf.net, driver_cost);
+    let wire_options = vec![WireOption::unit()];
+    let options = MsriOptions {
+        allow_inverting: nf.library.iter().any(|r| r.inverting),
+        pruning: pruning_flag(&f)?,
+        ..MsriOptions::default()
+    };
+    let bound = required_cap_bound(&nf.net, &nf.library, &term_opts, &wire_options);
+    if !bound.is_finite() || bound <= 0.0 {
+        return Err(format!("degenerate configuration: cap bound {bound}"));
+    }
+    let mut session = IncrementalOptimizer::new(
+        nf.net.clone(),
+        root,
+        nf.library.clone(),
+        term_opts,
+        wire_options,
+        options,
+    );
+
+    // One row per step: step 0 is the initial all-dirty compute, each
+    // later step replays one trace edit. Every recompute is compared
+    // bit-for-bit against a from-scratch re-solve. Timing is only
+    // emitted under --timing so the default output is byte-stable.
+    let mut rows: Vec<String> = Vec::new();
+    let mut applied = 0usize;
+    let mut rejected = 0usize;
+    let mut mismatches = 0usize;
+    for step in 0..=edits.len() {
+        let op: String = if step == 0 {
+            "initial".into()
+        } else {
+            let edit = &edits[step - 1];
+            if let Err(e) = session.apply(edit) {
+                rejected += 1;
+                rows.push(format!(
+                    "    {{\"step\": {step}, \"op\": \"{}\", \"status\": \"rejected\", \
+                     \"reason\": \"{e}\", \"bit_identical\": null, \"micros\": null}}",
+                    edit.op_name()
+                ));
+                continue;
+            }
+            applied += 1;
+            edit.op_name().into()
+        };
+        let t0 = Instant::now();
+        let inc = session.recompute();
+        let micros = if timing {
+            format!("{}", t0.elapsed().as_micros())
+        } else {
+            "null".into()
+        };
+        let scratch = session.from_scratch();
+        match (inc, scratch) {
+            (Ok((a, sa)), Ok((b, _))) => {
+                let bit = curves_bit_identical(&a, &b);
+                if !bit {
+                    mismatches += 1;
+                }
+                let best = a.best_ard();
+                rows.push(format!(
+                    "    {{\"step\": {step}, \"op\": \"{op}\", \"status\": \"ok\", \
+                     \"nodes_visited\": {}, \"nodes_recomputed\": {}, \"nodes_reused\": {}, \
+                     \"points\": {}, \"best_ard\": {}, \"min_cost\": {}, \
+                     \"bit_identical\": {bit}, \"micros\": {micros}}}",
+                    sa.nodes_visited,
+                    sa.nodes_recomputed,
+                    sa.nodes_reused,
+                    a.len(),
+                    json_num(best.ard),
+                    json_num(a.min_cost().cost),
+                ));
+            }
+            (Err(a), Err(b)) => {
+                let bit = a == b;
+                if !bit {
+                    mismatches += 1;
+                }
+                rows.push(format!(
+                    "    {{\"step\": {step}, \"op\": \"{op}\", \"status\": \"infeasible\", \
+                     \"error\": \"{a}\", \"bit_identical\": {bit}, \"micros\": {micros}}}"
+                ));
+            }
+            (inc, _) => {
+                mismatches += 1;
+                rows.push(format!(
+                    "    {{\"step\": {step}, \"op\": \"{op}\", \"status\": \"mismatch\", \
+                     \"error\": \"only one side solved (incremental ok: {})\", \
+                     \"bit_identical\": false, \"micros\": {micros}}}",
+                    inc.is_ok()
+                ));
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"msrnet_edits\",\n  \"net\": \"{path}\",\n  \
+         \"root\": {},\n  \"edits\": {},\n  \"applied\": {applied},\n  \
+         \"rejected\": {rejected},\n  \"escalations\": {},\n  \
+         \"mismatches\": {mismatches},\n  \"steps\": [\n{}\n  ]\n}}\n",
+        root.0,
+        edits.len(),
+        session.escalations(),
+        rows.join(",\n"),
+    );
+    eprintln!(
+        "replayed {} edits ({applied} applied, {rejected} rejected, {mismatches} mismatches)",
+        edits.len()
+    );
+    match f.get("o") {
+        Some(out) => {
+            std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{json}"),
+    }
+    if mismatches == 0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "{mismatches} incremental recompute(s) diverged from the from-scratch oracle"
+        ))
+    }
 }
 
 fn cmd_verify(args: &[&String]) -> Result<(), String> {
@@ -428,6 +629,13 @@ fn cmd_verify(args: &[&String]) -> Result<(), String> {
             let test = format!("{base}.test.rs");
             std::fs::write(&test, VerifyReport::regression_test_snippet(fail, &msr))
                 .map_err(|e| format!("writing {test}: {e}"))?;
+            // Companion edit trace so the incremental-session checks can
+            // be replayed from the pinned corpus files.
+            if !inst.edits.is_empty() {
+                let trace = format!("{base}.edits.json");
+                std::fs::write(&trace, msrnet_incremental::trace_to_json(&inst.edits))
+                    .map_err(|e| format!("writing {trace}: {e}"))?;
+            }
             eprintln!(
                 "mismatch: {} on {} ({} -> {} terminals after shrinking); repro {msr}, regression test {test}",
                 fail.check, fail.case, fail.terminals_before, fail.terminals_after

@@ -24,6 +24,20 @@ fn load_corpus(stem: &str) -> Instance {
     Instance::from_net(stem, parsed.net, parsed.library)
 }
 
+/// Loads a corpus instance together with its pinned `.edits.json`
+/// companion trace (required — these repros exercise the incremental
+/// engine, which skips on an empty trace).
+fn load_corpus_with_trace(stem: &str) -> Instance {
+    let mut inst = load_corpus(stem);
+    let path = corpus_dir().join(format!("{stem}.edits.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("companion trace {}: {e}", path.display()));
+    inst.edits = msrnet_incremental::parse_trace(&text)
+        .unwrap_or_else(|e| panic!("companion trace {}: {e}", path.display()));
+    assert!(!inst.edits.is_empty(), "{stem}: empty pinned trace");
+    inst
+}
+
 /// The named check must run to a verdict — a `Skip` would make the
 /// regression test vacuous — and that verdict must be `Pass`.
 fn assert_check_passes(inst: &Instance, check: &str) {
@@ -95,6 +109,32 @@ fn regression_ulp_tie_wire_cost() {
     let mut inst = load_corpus("repro-ulp-tie-wire-cost");
     inst.wire_options = vec![WireOption::unit(), WireOption::width("2W", 2.0, 0.0004)];
     assert_check_passes(&inst, "wires_dp_vs_exhaustive");
+}
+
+/// Pinned edit-trace repro exercising [`msrnet_incremental`]'s
+/// `reroot` path: rerooting invalidates every cached subtree (candidate
+/// sets are functions of the rooted orientation), and a stale cache
+/// entry surviving a reroot is exactly the class of bug these checks
+/// exist to catch. The trace reroots twice with point edits between.
+#[test]
+fn regression_edit_trace_reroot() {
+    let inst = load_corpus_with_trace("repro-edit-reroot");
+    assert!(inst.edits.iter().any(|e| e.op_name() == "reroot"));
+    assert_check_passes(&inst, "incremental_vs_scratch");
+    assert_check_passes(&inst, "edit_inverse_restores_frontier");
+}
+
+/// Pinned edit-trace repro exercising `swap_library`: a power-of-two
+/// library rescale (exactly invertible in floating point) followed by
+/// its inverse must restore the original frontier bit-for-bit, and
+/// every post-swap recompute must match a from-scratch solve under the
+/// swapped library.
+#[test]
+fn regression_edit_trace_swap_library() {
+    let inst = load_corpus_with_trace("repro-edit-swap-library");
+    assert!(inst.edits.iter().any(|e| e.op_name() == "swap_library"));
+    assert_check_passes(&inst, "incremental_vs_scratch");
+    assert_check_passes(&inst, "edit_inverse_restores_frontier");
 }
 
 #[test]

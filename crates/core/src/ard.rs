@@ -130,12 +130,47 @@ pub fn ard_linear(
     ard_linear_with(&elmore, net, rooted)
 }
 
+/// Reusable buffers for the per-subtree `a`/`s`/`D` sweep of
+/// [`ard_linear_in`], so repeated ARD queries (incremental sessions,
+/// batch loops) allocate nothing after warm-up.
+#[derive(Debug, Default)]
+pub struct ArdWorkspace {
+    arr: Vec<Tagged>,
+    dts: Vec<Tagged>,
+    dia: Vec<PairTagged>,
+}
+
+impl ArdWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        ArdWorkspace::default()
+    }
+}
+
 /// Like [`ard_linear`], reusing an already-built [`Elmore`] engine.
 pub fn ard_linear_with(elmore: &Elmore<'_>, net: &Net, rooted: &Rooted) -> ArdReport {
+    ard_linear_in(elmore, net, rooted, &mut ArdWorkspace::new())
+}
+
+/// Re-entrant form of [`ard_linear_with`]: the `a`/`s`/`D` sweep runs in
+/// `workspace`'s buffers, making repeated queries allocation-free.
+/// Bit-identical to [`ard_linear`] (same traversal, same arithmetic).
+pub fn ard_linear_in(
+    elmore: &Elmore<'_>,
+    net: &Net,
+    rooted: &Rooted,
+    workspace: &mut ArdWorkspace,
+) -> ArdReport {
     let n = net.topology.vertex_count();
-    let mut arr = vec![Tagged::NEG_INF; n];
-    let mut dts = vec![Tagged::NEG_INF; n];
-    let mut dia = vec![PairTagged::NEG_INF; n];
+    let arr = &mut workspace.arr;
+    let dts = &mut workspace.dts;
+    let dia = &mut workspace.dia;
+    arr.clear();
+    arr.resize(n, Tagged::NEG_INF);
+    dts.clear();
+    dts.resize(n, Tagged::NEG_INF);
+    dia.clear();
+    dia.resize(n, PairTagged::NEG_INF);
 
     for v in rooted.postorder() {
         // Arrival/“delay to sinks” measured at v itself (child side of any
@@ -573,6 +608,29 @@ mod tests {
         let (u, w) = profile.critical.unwrap();
         assert!(slacks[u.0][w.0].abs() < 1e-9);
         assert!(slacks.iter().flatten().all(|&s| s >= -1e-9));
+    }
+
+    #[test]
+    fn reentrant_ard_is_bit_identical_across_reuse() {
+        let mut b = NetBuilder::new(Technology::new(1.0, 1.0));
+        let t0 = b.terminal(Point::new(0.0, 0.0), term(10.0, 5.0));
+        let s = b.steiner(Point::new(1.0, 0.0));
+        let t1 = b.terminal(Point::new(2.0, 0.0), term(0.0, 40.0));
+        let t2 = b.terminal(Point::new(1.0, 3.0), Terminal::sink_only(7.0, 1.0));
+        b.wire(t0, s);
+        b.wire(s, t1);
+        b.wire(s, t2);
+        let net = b.build().unwrap();
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let asg = Assignment::empty(net.topology.vertex_count());
+        let elmore = msrnet_rctree::elmore::Elmore::new(&net, &rooted, &[], &asg);
+        let fresh = ard_linear(&net, &rooted, &[], &asg);
+        let mut ws = ArdWorkspace::new();
+        for _ in 0..3 {
+            let again = ard_linear_in(&elmore, &net, &rooted, &mut ws);
+            assert_eq!(again.ard.to_bits(), fresh.ard.to_bits());
+            assert_eq!(again.critical, fresh.critical);
+        }
     }
 
     #[test]

@@ -258,6 +258,19 @@ impl MsriWorkspace {
     pub fn arena(&self) -> &SegmentArena {
         &self.arena
     }
+
+    /// Records the arena's free-list level — see
+    /// [`SegmentArena::checkpoint`]. Long-lived sessions checkpoint
+    /// after warm-up and [`MsriWorkspace::arena_restore`] after each
+    /// query so scratch memory stays bounded.
+    pub fn arena_checkpoint(&self) -> msrnet_pwl::ArenaCheckpoint {
+        self.arena.checkpoint()
+    }
+
+    /// Trims the arena free list back to a checkpointed level.
+    pub fn arena_restore(&mut self, cp: &msrnet_pwl::ArenaCheckpoint) {
+        self.arena.restore(cp);
+    }
 }
 
 /// Like [`optimize`], but reusing `workspace` scratch memory — the entry
@@ -333,6 +346,33 @@ pub fn optimize_with_wires_in(
     options: &MsriOptions,
     workspace: &mut MsriWorkspace,
 ) -> Result<TradeoffCurve, MsriError> {
+    validate(net, root, library, term_opts, wire_options, options)?;
+    let rooted = net.rooted_at_terminal(root);
+    let mut trace = Vec::new();
+    let mut solver = Solver {
+        net,
+        rooted: &rooted,
+        library,
+        term_opts,
+        wire_options,
+        options,
+        trace: &mut trace,
+        cap_bound: cap_bound(net, library, term_opts, wire_options),
+        stats: MsriStats::default(),
+        arena: &mut workspace.arena,
+    };
+    solver.run(root)
+}
+
+/// Structural validation shared by every optimizer entry point.
+fn validate(
+    net: &Net,
+    root: TerminalId,
+    library: &[Repeater],
+    term_opts: &TerminalOptions,
+    wire_options: &[WireOption],
+    options: &MsriOptions,
+) -> Result<(), MsriError> {
     assert!(!wire_options.is_empty(), "at least one wire option required");
     net.check()?;
     if !options.allow_inverting && library.iter().any(|r| r.inverting) {
@@ -351,7 +391,136 @@ pub fn optimize_with_wires_in(
             });
         }
     }
+    Ok(())
+}
+
+/// Per-subtree DP state retained across [`optimize_incremental`] calls:
+/// one cached candidate set per processed vertex plus the append-only
+/// back-pointer log those candidates reference.
+///
+/// The cache is opaque — candidates and trace nodes are implementation
+/// details — and is valid only for a fixed
+/// `(topology shape, root, library, options, cap_bound)` configuration:
+/// callers must mark every vertex whose subtree inputs changed as dirty
+/// (see [`optimize_incremental`]) and [`DpCache::clear`] the cache
+/// outright when the library, root, options or bound change.
+#[derive(Debug, Default)]
+pub struct DpCache {
+    sets: Vec<Option<Vec<Cand>>>,
+    trace: Vec<TraceNode>,
+}
+
+impl DpCache {
+    /// Creates an empty (cold) cache.
+    pub fn new() -> Self {
+        DpCache::default()
+    }
+
+    /// Drops every cached subtree solution and back-pointer; the next
+    /// [`optimize_incremental`] call recomputes everything.
+    pub fn clear(&mut self) {
+        self.sets.clear();
+        self.trace.clear();
+    }
+
+    /// Number of vertices currently holding a cached candidate set.
+    pub fn cached_subtrees(&self) -> usize {
+        self.sets.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Length of the append-only back-pointer log. Grows monotonically
+    /// across recomputes (old entries stay valid for reused subtrees)
+    /// until [`DpCache::clear`] — long edit sessions should clear
+    /// periodically if memory matters more than warm starts.
+    pub fn trace_len(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+/// Node-visit counters for one [`optimize_incremental`] call — the
+/// machine-independent evidence that an edit recomputed only its dirty
+/// root path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecomputeStats {
+    /// Non-root vertices walked by the postorder sweep (always the full
+    /// vertex count minus one: the walk itself is `O(n)` but cheap).
+    pub nodes_visited: usize,
+    /// Vertices whose candidate set was rebuilt this call.
+    pub nodes_recomputed: usize,
+    /// Vertices served verbatim from the cache.
+    pub nodes_reused: usize,
+}
+
+/// The exact PWL domain bound `[0, B]` that [`optimize`] derives from a
+/// configuration — exposed so incremental sessions can fix one bound
+/// with headroom up front and hand it to every [`optimize_incremental`]
+/// call (results are only comparable bit-for-bit under equal bounds).
+pub fn required_cap_bound(
+    net: &Net,
+    library: &[Repeater],
+    term_opts: &TerminalOptions,
+    wire_options: &[WireOption],
+) -> f64 {
+    cap_bound(net, library, term_opts, wire_options)
+}
+
+/// Like [`optimize_with_wires_in`], but reusing per-subtree candidate
+/// sets cached in `cache` from a previous call: a vertex is recomputed
+/// only when `dirty[v]` is set, its cache entry is missing, or one of
+/// its children was recomputed this call — so an edit whose dirty set is
+/// one leaf-to-root path costs `O(depth × frontier)` instead of a full
+/// re-run.
+///
+/// `cap_bound` must be at least [`required_cap_bound`] for the current
+/// configuration and must be held **fixed** across every call sharing
+/// `cache`: the bound shapes every PWL domain and hence every pruning
+/// decision, so mixing bounds silently invalidates cached sets. Under a
+/// fixed bound the result is **bit-identical** to a from-scratch call
+/// with an empty cache (every subtree set is a deterministic function of
+/// its subtree inputs and the bound).
+///
+/// Callers are responsible for dirty-marking every vertex whose subtree
+/// content changed — for a point edit that is the edited vertex plus all
+/// its ancestors (the engine additionally propagates staleness upward
+/// from any recomputed child, so an under-marked *interior* vertex is
+/// caught, but an unmarked *edited* vertex is not).
+///
+/// # Errors
+///
+/// See [`MsriError`].
+///
+/// # Panics
+///
+/// Panics if `cap_bound` is not strictly positive and finite.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_incremental(
+    net: &Net,
+    root: TerminalId,
+    library: &[Repeater],
+    term_opts: &TerminalOptions,
+    wire_options: &[WireOption],
+    options: &MsriOptions,
+    cap_bound: f64,
+    dirty: &[bool],
+    cache: &mut DpCache,
+    workspace: &mut MsriWorkspace,
+) -> Result<(TradeoffCurve, RecomputeStats), MsriError> {
+    assert!(
+        cap_bound.is_finite() && cap_bound > 0.0,
+        "cap_bound must be positive and finite"
+    );
+    debug_assert!(
+        cap_bound >= required_cap_bound(net, library, term_opts, wire_options),
+        "cap_bound below the configuration's required PWL domain bound"
+    );
+    validate(net, root, library, term_opts, wire_options, options)?;
     let rooted = net.rooted_at_terminal(root);
+    let n = net.topology.vertex_count();
+    if cache.sets.len() != n {
+        cache.clear();
+        cache.sets.resize_with(n, || None);
+    }
+    let DpCache { sets, trace } = cache;
     let mut solver = Solver {
         net,
         rooted: &rooted,
@@ -359,12 +528,56 @@ pub fn optimize_with_wires_in(
         term_opts,
         wire_options,
         options,
-        trace: Vec::new(),
-        cap_bound: cap_bound(net, library, term_opts, wire_options),
+        trace,
+        cap_bound,
         stats: MsriStats::default(),
         arena: &mut workspace.arena,
     };
-    solver.run(root)
+    let root_v = rooted.root();
+    let mut stats = RecomputeStats::default();
+    let mut fresh = vec![false; n];
+    for v in rooted.postorder() {
+        if v == root_v {
+            break; // handled by RootSolutions below
+        }
+        stats.nodes_visited += 1;
+        let stale = dirty.get(v.0).copied().unwrap_or(true)
+            || sets[v.0].is_none()
+            || rooted.children(v).iter().any(|u| fresh[u.0]);
+        if !stale {
+            stats.nodes_reused += 1;
+            continue;
+        }
+        // The replaced set's buffers feed the recomputation instead of
+        // the allocator.
+        if let Some(old) = sets[v.0].take() {
+            for c in old {
+                for p in c.pwls {
+                    solver.arena.recycle(p);
+                }
+            }
+        }
+        let set = solver.solutions_at(v, &mut |u| {
+            sets[u.0].as_ref().expect("child cached").clone()
+        });
+        sets[v.0] = Some(set);
+        fresh[v.0] = true;
+        stats.nodes_recomputed += 1;
+    }
+
+    // RootSolutions always re-evaluates (it is cheap: one pass over the
+    // root child's frontier), cloning so the cache keeps its entry.
+    let children = rooted.children(root_v);
+    if children.is_empty() {
+        return Err(MsriError::NoFeasiblePair);
+    }
+    debug_assert_eq!(children.len(), 1, "leaf root has one child");
+    let child = children[0];
+    let below = sets[child.0].as_ref().expect("child processed").clone();
+    let at_root = solver.augment(below, child);
+    let evals = solver.root_solutions(at_root, root);
+    let curve = solver.finish(evals, root)?;
+    Ok((curve, stats))
 }
 
 /// Upper bound for the PWL domain clamp `[0, B]`.
@@ -419,7 +632,7 @@ struct Solver<'a> {
     term_opts: &'a TerminalOptions,
     wire_options: &'a [WireOption],
     options: &'a MsriOptions,
-    trace: Vec<TraceNode>,
+    trace: &'a mut Vec<TraceNode>,
     cap_bound: f64,
     stats: MsriStats,
     arena: &'a mut SegmentArena,
@@ -435,7 +648,9 @@ impl Solver<'_> {
             if v == root_v {
                 break; // handled by RootSolutions below
             }
-            let set = self.solutions_at(v, &mut sets);
+            let set = self.solutions_at(v, &mut |u| {
+                sets[u.0].take().expect("child processed")
+            });
             sets[v.0] = Some(set);
         }
 
@@ -456,7 +671,17 @@ impl Solver<'_> {
 
     /// Candidate set for the subtree at `v`, measured at `v`'s
     /// parent-side pin.
-    fn solutions_at(&mut self, v: VertexId, sets: &mut [Option<Vec<Cand>>]) -> Vec<Cand> {
+    ///
+    /// Child sets are obtained through `fetch`, which either hands over
+    /// ownership (the from-scratch path takes them out of its scratch
+    /// table) or clones a cached copy (the incremental path keeps the
+    /// cache entry alive); either way the returned `Vec` is consumed
+    /// here and its PWL buffers recycled into the arena.
+    fn solutions_at(
+        &mut self,
+        v: VertexId,
+        fetch: &mut dyn FnMut(VertexId) -> Vec<Cand>,
+    ) -> Vec<Cand> {
         let children: Vec<VertexId> = self.rooted.children(v).to_vec();
         match self.net.topology.kind(v) {
             VertexKind::Terminal(t) => {
@@ -482,7 +707,7 @@ impl Solver<'_> {
             VertexKind::Steiner => {
                 let mut acc: Option<Vec<Cand>> = None;
                 for &u in &children {
-                    let su = sets[u.0].take().expect("child processed");
+                    let su = fetch(u);
                     let au = self.augment(su, u);
                     acc = Some(match acc {
                         None => au,
@@ -496,7 +721,7 @@ impl Solver<'_> {
             }
             VertexKind::InsertionPoint => {
                 debug_assert_eq!(children.len(), 1, "insertion points are degree 2");
-                let su = sets[children[0].0].take().expect("child processed");
+                let su = fetch(children[0]);
                 let au = self.augment(su, children[0]);
                 let buffered = self.repeater_solutions(au, v);
                 self.prune(buffered, Step::Repeater)
@@ -1137,6 +1362,7 @@ mod tests {
         ip: VertexId,
         t1_v: VertexId,
         workspace: MsriWorkspace,
+        trace: Vec<TraceNode>,
     }
 
     impl Fix {
@@ -1166,6 +1392,7 @@ mod tests {
                 options: MsriOptions::default(),
                 ip,
                 workspace: MsriWorkspace::new(),
+                trace: Vec::new(),
             }
         }
 
@@ -1177,7 +1404,7 @@ mod tests {
                 term_opts: &self.term_opts,
                 wire_options: &self.wire_options,
                 options: &self.options,
-                trace: Vec::new(),
+                trace: &mut self.trace,
                 cap_bound: cap_bound(&self.net, &self.library, &self.term_opts, &self.wire_options),
                 stats: MsriStats::default(),
                 arena: &mut self.workspace.arena,
@@ -1310,6 +1537,129 @@ mod tests {
         let out = s.repeater_solutions(vec![cand], ip);
         assert_eq!(out.len(), 1, "only the passthrough survives");
         assert_eq!(out[0].scalars[COST], 0.0);
+    }
+
+    /// Bit-level frontier equality: point count, cost/ARD bit patterns,
+    /// and the full materialized configuration of every point.
+    fn curves_bit_eq(a: &TradeoffCurve, b: &TradeoffCurve) -> bool {
+        a.points().len() == b.points().len()
+            && a.points().iter().zip(b.points()).all(|(p, q)| {
+                p.cost.to_bits() == q.cost.to_bits()
+                    && p.ard.to_bits() == q.ard.to_bits()
+                    && p.assignment == q.assignment
+                    && p.terminal_choices == q.terminal_choices
+                    && p.wire_choices == q.wire_choices
+            })
+    }
+
+    #[test]
+    fn incremental_cold_cache_matches_optimize_bit_for_bit() {
+        let fix = Fix::new();
+        let n = fix.net.topology.vertex_count();
+        let bound =
+            required_cap_bound(&fix.net, &fix.library, &fix.term_opts, &fix.wire_options);
+        let mut ws = MsriWorkspace::new();
+        let mut cache = DpCache::new();
+        let (inc, stats) = optimize_incremental(
+            &fix.net,
+            TerminalId(0),
+            &fix.library,
+            &fix.term_opts,
+            &fix.wire_options,
+            &fix.options,
+            bound,
+            &vec![true; n],
+            &mut cache,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(stats.nodes_visited, n - 1);
+        assert_eq!(stats.nodes_recomputed, n - 1);
+        assert_eq!(stats.nodes_reused, 0);
+        assert_eq!(cache.cached_subtrees(), n - 1);
+
+        let plain = optimize_with_wires_in(
+            &fix.net,
+            TerminalId(0),
+            &fix.library,
+            &fix.term_opts,
+            &fix.wire_options,
+            &fix.options,
+            &mut MsriWorkspace::new(),
+        )
+        .unwrap();
+        assert!(curves_bit_eq(&inc, &plain), "cold incremental ≡ optimize");
+
+        // Warm cache, nothing dirty: every node is reused, same answer.
+        let (warm, stats) = optimize_incremental(
+            &fix.net,
+            TerminalId(0),
+            &fix.library,
+            &fix.term_opts,
+            &fix.wire_options,
+            &fix.options,
+            bound,
+            &vec![false; n],
+            &mut cache,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(stats.nodes_recomputed, 0);
+        assert_eq!(stats.nodes_reused, n - 1);
+        assert!(curves_bit_eq(&warm, &plain), "warm reuse ≡ optimize");
+    }
+
+    #[test]
+    fn incremental_dirty_path_recomputes_only_the_path() {
+        let fix = Fix::new();
+        let n = fix.net.topology.vertex_count();
+        let bound =
+            required_cap_bound(&fix.net, &fix.library, &fix.term_opts, &fix.wire_options);
+        let mut ws = MsriWorkspace::new();
+        let mut cache = DpCache::new();
+        let run = |net: &Net, dirty: &[bool], cache: &mut DpCache, ws: &mut MsriWorkspace| {
+            optimize_incremental(
+                net,
+                TerminalId(0),
+                &fix.library,
+                &fix.term_opts,
+                &fix.wire_options,
+                &fix.options,
+                bound,
+                dirty,
+                cache,
+                ws,
+            )
+            .unwrap()
+        };
+        run(&fix.net, &vec![true; n], &mut cache, &mut ws);
+
+        // Edit t1's arrival and dirty exactly its root path
+        // (t1 → steiner → insertion point; the root itself never caches).
+        let mut net2 = fix.net.clone();
+        net2.terminals[1].arrival = 42.0;
+        let mut dirty = vec![false; n];
+        let mut v = Some(fix.t1_v);
+        while let Some(u) = v {
+            dirty[u.0] = true;
+            v = fix.rooted.parent(u);
+        }
+        let (inc, stats) = run(&net2, &dirty, &mut cache, &mut ws);
+        assert_eq!(stats.nodes_recomputed, 3, "t1, steiner, ip only");
+        assert_eq!(stats.nodes_reused, n - 1 - 3);
+
+        // Oracle: from-scratch with an empty cache under the same bound.
+        let (scratch, _) = run(&net2, &vec![true; n], &mut DpCache::new(), &mut ws);
+        assert!(curves_bit_eq(&inc, &scratch), "dirty-path ≡ from-scratch");
+    }
+
+    #[test]
+    fn required_cap_bound_matches_internal_bound() {
+        let fix = Fix::new();
+        assert_eq!(
+            required_cap_bound(&fix.net, &fix.library, &fix.term_opts, &fix.wire_options),
+            cap_bound(&fix.net, &fix.library, &fix.term_opts, &fix.wire_options),
+        );
     }
 
     #[test]

@@ -1,0 +1,969 @@
+//! Incremental re-optimization sessions for multi-source nets.
+//!
+//! A production timing optimizer is queried repeatedly under engineering
+//! changes — an arrival time moves, a sink load changes, a library cell
+//! is swapped, the net is re-rooted. The Lillis–Cheng DP (paper §IV) is
+//! bottom-up over the routing tree and each subtree's candidate set is a
+//! pure function of that subtree's contents (it characterizes the
+//! subtree as a function of the *external* capacitance `c_E`, so nothing
+//! outside the subtree leaks in). That makes subtree solutions cacheable
+//! across edits: a point edit invalidates only the leaf-to-root path
+//! above it, and [`IncrementalOptimizer`] recomputes exactly those path
+//! nodes against cached siblings — `O(depth × frontier)` per edit
+//! instead of a full re-run, **bit-identical** to a from-scratch
+//! recompute under the session's fixed capacitance bound.
+//!
+//! The session also serves fixed-assignment ARD queries
+//! ([`IncrementalOptimizer::bare_ard`]): the bottom-up capacitance pass
+//! (paper Eq. 1) is maintained incrementally along dirty paths, while
+//! the top-down pass (Eq. 2) and the `a`/`s`/`D` sweep — which genuinely
+//! depend on caps *outside* each subtree — are recomputed per query in
+//! reusable buffers (`O(n)` scalar work, allocation-free).
+//!
+//! # Examples
+//!
+//! ```
+//! use msrnet_geom::Point;
+//! use msrnet_core::{MsriOptions, TerminalOptions, WireOption};
+//! use msrnet_incremental::{Edit, IncrementalOptimizer};
+//! use msrnet_rctree::{NetBuilder, Technology, Terminal, TerminalId};
+//!
+//! let mut b = NetBuilder::new(Technology::new(1.0, 1.0));
+//! let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 1.0, 3.0));
+//! let ip = b.insertion_point(Point::new(2.0, 0.0));
+//! let t1 = b.terminal(Point::new(4.0, 0.0), Terminal::bidirectional(5.0, 7.0, 1.0, 3.0));
+//! b.wire(t0, ip);
+//! b.wire(ip, t1);
+//! let net = b.build()?;
+//! let opts = TerminalOptions::defaults(&net);
+//! let mut session = IncrementalOptimizer::new(
+//!     net, TerminalId(0), vec![], opts, vec![WireOption::unit()], MsriOptions::default());
+//! let (before, _) = session.recompute()?;
+//! session.apply(&Edit::SetArrival { terminal: TerminalId(1), value: 50.0 })?;
+//! let (after, stats) = session.recompute()?;
+//! assert!(stats.nodes_recomputed <= stats.nodes_visited);
+//! assert!(after.best_ard().ard > before.best_ard().ard);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+
+use msrnet_core::ard::{ard_linear_in, ArdReport, ArdWorkspace};
+use msrnet_core::{
+    optimize_incremental, required_cap_bound, DpCache, MsriError, MsriOptions, MsriWorkspace,
+    RecomputeStats, TerminalOptions, TradeoffCurve, WireOption,
+};
+use msrnet_geom::Point;
+use msrnet_pwl::ArenaCheckpoint;
+use msrnet_rctree::elmore::Elmore;
+use msrnet_rctree::{Assignment, EdgeId, Net, Repeater, Rooted, TerminalId, VertexId, VertexKind};
+use msrnet_rng::{Rng, SeedableRng, SplitMix64};
+
+mod trace;
+pub use trace::{parse_trace, trace_to_json, TraceError};
+
+/// Multiplier applied to the configuration's required capacitance bound
+/// when a session picks its fixed PWL domain bound: edits that grow the
+/// net's total capacitance (loads, moves, wire widths, library swaps) up
+/// to this factor stay within the session bound and keep the cache warm;
+/// past it the session escalates (new bound, full invalidation).
+pub const BOUND_HEADROOM: f64 = 4.0;
+
+/// One typed engineering change to a net under optimization.
+///
+/// Every variant is a *point* edit except [`Edit::SwapLibrary`] and
+/// [`Edit::Reroot`], which invalidate the whole cache (the repeater
+/// library enters the DP at every insertion point; re-rooting changes
+/// the tree orientation every subtree is expressed against).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Edit {
+    /// Sets terminal `terminal`'s source arrival time `AT`, ps.
+    SetArrival {
+        /// Terminal to edit.
+        terminal: TerminalId,
+        /// New arrival time (may be `-∞` to disable the source role).
+        value: f64,
+    },
+    /// Sets terminal `terminal`'s sink-side downstream delay `q`
+    /// (required-time slack proxy), ps.
+    SetRequired {
+        /// Terminal to edit.
+        terminal: TerminalId,
+        /// New downstream delay (may be `-∞` to disable the sink role).
+        value: f64,
+    },
+    /// Sets the pin capacitance terminal `terminal` presents to the net,
+    /// pF. The terminal's driver-menu options all take the same pin cap
+    /// (menus model drive alternatives of one physical pin).
+    SetSinkLoad {
+        /// Terminal to edit.
+        terminal: TerminalId,
+        /// New pin capacitance, ≥ 0.
+        cap: f64,
+    },
+    /// Moves a leaf terminal to `(x, y)`; its single incident wire's
+    /// length is re-derived as the L1 distance to the neighbor.
+    MoveTerminal {
+        /// Terminal to move (must be a leaf).
+        terminal: TerminalId,
+        /// New horizontal coordinate, µm.
+        x: f64,
+        /// New vertical coordinate, µm.
+        y: f64,
+    },
+    /// Sets the width scaling of one wire (see
+    /// `Topology::set_edge_scaling`).
+    SetWireRc {
+        /// Edge to edit.
+        edge: EdgeId,
+        /// Resistance scale, ≥ 0.
+        res_scale: f64,
+        /// Capacitance scale, ≥ 0.
+        cap_scale: f64,
+    },
+    /// Re-sizes every repeater in the library by drive-strength factor
+    /// `scale`: output resistances divide by it, input capacitances and
+    /// costs multiply by it, intrinsic delays are unchanged. Power-of-two
+    /// scales are exactly invertible.
+    SwapLibrary {
+        /// Drive-strength factor, > 0.
+        scale: f64,
+    },
+    /// Makes `terminal` the DP root (the tree is re-oriented; the full
+    /// cache is invalidated).
+    Reroot {
+        /// New root terminal.
+        terminal: TerminalId,
+    },
+}
+
+impl Edit {
+    /// The stable lowercase operation name used in JSON edit traces.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Edit::SetArrival { .. } => "set_arrival",
+            Edit::SetRequired { .. } => "set_required",
+            Edit::SetSinkLoad { .. } => "set_sink_load",
+            Edit::MoveTerminal { .. } => "move_terminal",
+            Edit::SetWireRc { .. } => "set_wire_rc",
+            Edit::SwapLibrary { .. } => "swap_library",
+            Edit::Reroot { .. } => "reroot",
+        }
+    }
+}
+
+/// Why an [`IncrementalOptimizer::apply`] call was rejected. Rejected
+/// edits leave the session untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EditError {
+    /// The edit names a terminal the net does not have.
+    UnknownTerminal(usize),
+    /// The edit names an edge the net does not have.
+    UnknownEdge(usize),
+    /// A value that must be a number (or `-∞` where documented) is NaN
+    /// or `+∞`.
+    NonFinite(&'static str),
+    /// A scale or capacitance that must be non-negative is negative
+    /// (or zero where a positive value is required).
+    OutOfRange(&'static str),
+    /// `move_terminal` targets a terminal that is not a leaf.
+    NotALeaf(usize),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownTerminal(t) => write!(f, "unknown terminal t{t}"),
+            EditError::UnknownEdge(e) => write!(f, "unknown edge e{e}"),
+            EditError::NonFinite(what) => write!(f, "{what} must be finite"),
+            EditError::OutOfRange(what) => write!(f, "{what} out of range"),
+            EditError::NotALeaf(t) => write!(f, "terminal t{t} is not a leaf"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// A long-lived optimization session over one net: owns the
+/// configuration, a per-subtree DP cache, the PWL arena, and the
+/// incremental state of the ARD capacitance pass. See the crate docs for
+/// the caching model.
+///
+/// The session fixes its PWL capacitance bound at creation
+/// ([`BOUND_HEADROOM`] × required) and holds it constant so successive
+/// results are mutually bit-comparable; an edit that pushes the required
+/// bound past the session bound triggers a transparent escalation
+/// (counted by [`IncrementalOptimizer::escalations`]).
+#[derive(Debug)]
+pub struct IncrementalOptimizer {
+    net: Net,
+    root: TerminalId,
+    library: Vec<Repeater>,
+    term_opts: TerminalOptions,
+    wire_options: Vec<WireOption>,
+    options: MsriOptions,
+    rooted: Rooted,
+    cap_bound: f64,
+    dirty: Vec<bool>,
+    cache: DpCache,
+    workspace: MsriWorkspace,
+    checkpoint: Option<ArenaCheckpoint>,
+    escalations: u64,
+    // Fixed-assignment ARD state: Eq. 1 bottom-up caps for the empty
+    // (unbuffered) assignment, maintained along dirty paths.
+    empty_asg: Assignment,
+    down_caps: Option<Vec<f64>>,
+    ard_ws: ArdWorkspace,
+}
+
+impl IncrementalOptimizer {
+    /// Creates a session with the default bound headroom. The first
+    /// [`IncrementalOptimizer::recompute`] performs the initial full
+    /// compute (everything starts dirty).
+    pub fn new(
+        net: Net,
+        root: TerminalId,
+        library: Vec<Repeater>,
+        term_opts: TerminalOptions,
+        wire_options: Vec<WireOption>,
+        options: MsriOptions,
+    ) -> Self {
+        let bound =
+            required_cap_bound(&net, &library, &term_opts, &wire_options) * BOUND_HEADROOM;
+        Self::with_bound(net, root, library, term_opts, wire_options, options, bound)
+    }
+
+    /// Like [`IncrementalOptimizer::new`] with an explicit capacitance
+    /// bound — used by oracles that must run a second session under the
+    /// *same* bound as a first one so results compare bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_bound` is below the configuration's required bound
+    /// or not strictly positive and finite.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_bound(
+        net: Net,
+        root: TerminalId,
+        library: Vec<Repeater>,
+        term_opts: TerminalOptions,
+        wire_options: Vec<WireOption>,
+        options: MsriOptions,
+        cap_bound: f64,
+    ) -> Self {
+        assert!(
+            cap_bound.is_finite() && cap_bound > 0.0,
+            "cap_bound must be positive and finite"
+        );
+        assert!(
+            cap_bound >= required_cap_bound(&net, &library, &term_opts, &wire_options),
+            "cap_bound below the configuration's required bound"
+        );
+        let rooted = net.rooted_at_terminal(root);
+        let n = net.topology.vertex_count();
+        IncrementalOptimizer {
+            empty_asg: Assignment::empty(n),
+            net,
+            root,
+            library,
+            term_opts,
+            wire_options,
+            options,
+            rooted,
+            cap_bound,
+            dirty: vec![true; n],
+            cache: DpCache::new(),
+            workspace: MsriWorkspace::new(),
+            checkpoint: None,
+            escalations: 0,
+            down_caps: None,
+            ard_ws: ArdWorkspace::new(),
+        }
+    }
+
+    /// The session's fixed PWL capacitance bound.
+    pub fn cap_bound(&self) -> f64 {
+        self.cap_bound
+    }
+
+    /// How many times an edit forced a new bound + full invalidation.
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// The net in its current (edited) state.
+    pub fn net(&self) -> &Net {
+        &self.net
+    }
+
+    /// The current DP root terminal.
+    pub fn root(&self) -> TerminalId {
+        self.root
+    }
+
+    /// The current repeater library (reflecting any `swap_library`).
+    pub fn library(&self) -> &[Repeater] {
+        &self.library
+    }
+
+    /// The current per-terminal driver menus.
+    pub fn term_opts(&self) -> &TerminalOptions {
+        &self.term_opts
+    }
+
+    /// The wire sizing menu (fixed for the session's lifetime).
+    pub fn wire_options(&self) -> &[WireOption] {
+        &self.wire_options
+    }
+
+    /// The DP options (fixed for the session's lifetime).
+    pub fn options(&self) -> &MsriOptions {
+        &self.options
+    }
+
+    /// Per-vertex dirty flags consumed by the next
+    /// [`IncrementalOptimizer::recompute`].
+    pub fn dirty(&self) -> &[bool] {
+        &self.dirty
+    }
+
+    /// Applies one edit: validates it, mutates the configuration, marks
+    /// the edited vertex's root path dirty (or everything, for
+    /// [`Edit::SwapLibrary`] / [`Edit::Reroot`]), and keeps the
+    /// incremental ARD capacitance pass in sync.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EditError`] (leaving the session untouched) when the
+    /// edit references unknown elements or carries invalid values.
+    pub fn apply(&mut self, edit: &Edit) -> Result<(), EditError> {
+        match *edit {
+            Edit::SetArrival { terminal, value } => {
+                self.check_terminal(terminal)?;
+                if value.is_nan() || value == f64::INFINITY {
+                    return Err(EditError::NonFinite("arrival"));
+                }
+                self.net.terminals[terminal.0].arrival = value;
+                self.mark_path(self.net.topology.terminal_vertex(terminal));
+            }
+            Edit::SetRequired { terminal, value } => {
+                self.check_terminal(terminal)?;
+                if value.is_nan() || value == f64::INFINITY {
+                    return Err(EditError::NonFinite("required"));
+                }
+                self.net.terminals[terminal.0].downstream = value;
+                self.mark_path(self.net.topology.terminal_vertex(terminal));
+            }
+            Edit::SetSinkLoad { terminal, cap } => {
+                self.check_terminal(terminal)?;
+                if !cap.is_finite() {
+                    return Err(EditError::NonFinite("sink load"));
+                }
+                if cap < 0.0 {
+                    return Err(EditError::OutOfRange("sink load"));
+                }
+                self.net.terminals[terminal.0].cap = cap;
+                let mut menu = self.term_opts.for_terminal(terminal).to_vec();
+                for o in &mut menu {
+                    o.cap = cap;
+                }
+                self.term_opts.set(terminal, menu);
+                let v = self.net.topology.terminal_vertex(terminal);
+                self.mark_path(v);
+                self.refresh_down_path(v);
+                self.maybe_escalate();
+            }
+            Edit::MoveTerminal { terminal, x, y } => {
+                self.check_terminal(terminal)?;
+                if !x.is_finite() || !y.is_finite() {
+                    return Err(EditError::NonFinite("position"));
+                }
+                let v = self.net.topology.terminal_vertex(terminal);
+                let &[(nbr, e)] = self.net.topology.neighbors(v) else {
+                    return Err(EditError::NotALeaf(terminal.0));
+                };
+                let pos = Point::new(x, y);
+                let len = pos.l1_distance(self.net.topology.position(nbr));
+                self.net.topology.set_position(v, pos);
+                self.net.topology.set_edge_length(e, len);
+                self.mark_path(v);
+                self.mark_path(nbr);
+                self.refresh_down_path(self.lower_endpoint(e));
+                self.maybe_escalate();
+            }
+            Edit::SetWireRc {
+                edge,
+                res_scale,
+                cap_scale,
+            } => {
+                if edge.0 >= self.net.topology.edge_count() {
+                    return Err(EditError::UnknownEdge(edge.0));
+                }
+                if !res_scale.is_finite() || !cap_scale.is_finite() {
+                    return Err(EditError::NonFinite("wire scale"));
+                }
+                if res_scale < 0.0 || cap_scale < 0.0 {
+                    return Err(EditError::OutOfRange("wire scale"));
+                }
+                self.net.topology.set_edge_scaling(edge, res_scale, cap_scale);
+                let (a, b) = self.net.topology.endpoints(edge);
+                self.mark_path(a);
+                self.mark_path(b);
+                self.refresh_down_path(self.lower_endpoint(edge));
+                self.maybe_escalate();
+            }
+            Edit::SwapLibrary { scale } => {
+                if !scale.is_finite() {
+                    return Err(EditError::NonFinite("library scale"));
+                }
+                if scale <= 0.0 {
+                    return Err(EditError::OutOfRange("library scale"));
+                }
+                for rep in &mut self.library {
+                    rep.a_to_b.out_res /= scale;
+                    rep.b_to_a.out_res /= scale;
+                    rep.cap_a *= scale;
+                    rep.cap_b *= scale;
+                    rep.cost *= scale;
+                }
+                // Repeaters enter the DP at every insertion point: the
+                // whole cache is stale. The unbuffered ARD caps are not
+                // (no repeater is placed in the empty assignment).
+                self.invalidate_all();
+                self.maybe_escalate();
+            }
+            Edit::Reroot { terminal } => {
+                self.check_terminal(terminal)?;
+                self.root = terminal;
+                self.rooted = self.net.rooted_at_terminal(terminal);
+                // Every cached set (and the Eq. 1 vector) is expressed
+                // against the old orientation.
+                self.invalidate_all();
+                self.down_caps = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// The exact inverse of `edit` **against the current session
+    /// state** — compute it *before* applying `edit`. Returns `None`
+    /// when no single edit restores the state bit-for-bit:
+    ///
+    /// * `set_sink_load` — only when the terminal's menu caps currently
+    ///   all equal its pin cap (the edit collapses them to one value);
+    /// * `move_terminal` — only when the incident wire's length is
+    ///   currently the L1 distance to the neighbor (a custom length
+    ///   cannot be re-derived from a position);
+    /// * `swap_library` — only for power-of-two scales (division is then
+    ///   exact and `1/scale` round-trips every field).
+    pub fn inverse_of(&self, edit: &Edit) -> Option<Edit> {
+        match *edit {
+            Edit::SetArrival { terminal, .. } => Some(Edit::SetArrival {
+                terminal,
+                value: self.net.terminals.get(terminal.0)?.arrival,
+            }),
+            Edit::SetRequired { terminal, .. } => Some(Edit::SetRequired {
+                terminal,
+                value: self.net.terminals.get(terminal.0)?.downstream,
+            }),
+            Edit::SetSinkLoad { terminal, .. } => {
+                let cap = self.net.terminals.get(terminal.0)?.cap;
+                let uniform = self
+                    .term_opts
+                    .for_terminal(terminal)
+                    .iter()
+                    .all(|o| o.cap.to_bits() == cap.to_bits());
+                uniform.then_some(Edit::SetSinkLoad { terminal, cap })
+            }
+            Edit::MoveTerminal { terminal, .. } => {
+                if terminal.0 >= self.net.terminals.len() {
+                    return None;
+                }
+                let v = self.net.topology.terminal_vertex(terminal);
+                let &[(nbr, e)] = self.net.topology.neighbors(v) else {
+                    return None;
+                };
+                let pos = self.net.topology.position(v);
+                let derived = pos.l1_distance(self.net.topology.position(nbr));
+                (self.net.topology.length(e).to_bits() == derived.to_bits()).then_some(
+                    Edit::MoveTerminal {
+                        terminal,
+                        x: pos.x,
+                        y: pos.y,
+                    },
+                )
+            }
+            Edit::SetWireRc { edge, .. } => {
+                if edge.0 >= self.net.topology.edge_count() {
+                    return None;
+                }
+                let (res_scale, cap_scale) = self.net.topology.edge_scaling(edge);
+                Some(Edit::SetWireRc {
+                    edge,
+                    res_scale,
+                    cap_scale,
+                })
+            }
+            Edit::SwapLibrary { scale } => is_power_of_two(scale)
+                .then_some(Edit::SwapLibrary { scale: 1.0 / scale }),
+            Edit::Reroot { .. } => Some(Edit::Reroot {
+                terminal: self.root,
+            }),
+        }
+    }
+
+    /// Recomputes the trade-off curve, rebuilding only dirty-path nodes
+    /// (see [`optimize_incremental`]); on success the dirty set clears.
+    /// The PWL arena is trimmed back to its post-first-compute level
+    /// after every call so a long edit session cannot grow scratch
+    /// memory without bound.
+    ///
+    /// # Errors
+    ///
+    /// See [`MsriError`]. On error the dirty set is retained, so a later
+    /// call (after further edits) recomputes everything still pending.
+    pub fn recompute(&mut self) -> Result<(TradeoffCurve, RecomputeStats), MsriError> {
+        let out = optimize_incremental(
+            &self.net,
+            self.root,
+            &self.library,
+            &self.term_opts,
+            &self.wire_options,
+            &self.options,
+            self.cap_bound,
+            &self.dirty,
+            &mut self.cache,
+            &mut self.workspace,
+        );
+        if out.is_ok() {
+            self.dirty.fill(false);
+        }
+        match self.checkpoint {
+            Some(cp) => self.workspace.arena_restore(&cp),
+            None => self.checkpoint = Some(self.workspace.arena_checkpoint()),
+        }
+        out
+    }
+
+    /// A from-scratch recompute of the current configuration under the
+    /// session bound, using a throwaway cache — the oracle against which
+    /// incremental results must be bit-identical. Leaves the session's
+    /// cache and dirty set untouched.
+    ///
+    /// # Errors
+    ///
+    /// See [`MsriError`].
+    pub fn from_scratch(&mut self) -> Result<(TradeoffCurve, RecomputeStats), MsriError> {
+        let n = self.net.topology.vertex_count();
+        let out = optimize_incremental(
+            &self.net,
+            self.root,
+            &self.library,
+            &self.term_opts,
+            &self.wire_options,
+            &self.options,
+            self.cap_bound,
+            &vec![true; n],
+            &mut DpCache::new(),
+            &mut self.workspace,
+        );
+        if let Some(cp) = self.checkpoint {
+            self.workspace.arena_restore(&cp);
+        }
+        out
+    }
+
+    /// The ARD of the current net under the *empty* (unbuffered)
+    /// assignment. The bottom-up capacitance pass (Eq. 1) is served from
+    /// the session's incrementally maintained vector; the top-down pass
+    /// and the `a`/`s`/`D` sweep run per query in reusable buffers.
+    /// Bit-identical to `ard_linear` on the current net.
+    pub fn bare_ard(&mut self) -> ArdReport {
+        let caps = match self.down_caps.take() {
+            Some(caps) => caps,
+            None => {
+                Elmore::new(&self.net, &self.rooted, &[], &self.empty_asg).into_down_caps()
+            }
+        };
+        let elmore =
+            Elmore::with_down_caps(&self.net, &self.rooted, &[], &self.empty_asg, caps);
+        let report = ard_linear_in(&elmore, &self.net, &self.rooted, &mut self.ard_ws);
+        self.down_caps = Some(elmore.into_down_caps());
+        report
+    }
+
+    fn check_terminal(&self, t: TerminalId) -> Result<(), EditError> {
+        if t.0 < self.net.terminals.len() {
+            Ok(())
+        } else {
+            Err(EditError::UnknownTerminal(t.0))
+        }
+    }
+
+    /// Marks `v` and all its ancestors dirty.
+    fn mark_path(&mut self, v: VertexId) {
+        let mut cur = Some(v);
+        while let Some(u) = cur {
+            self.dirty[u.0] = true;
+            cur = self.rooted.parent(u);
+        }
+    }
+
+    fn invalidate_all(&mut self) {
+        self.dirty.fill(true);
+        self.cache.clear();
+    }
+
+    /// The endpoint of `e` on the leaf side (the one whose parent edge
+    /// is `e`).
+    fn lower_endpoint(&self, e: EdgeId) -> VertexId {
+        let (a, b) = self.net.topology.endpoints(e);
+        if self.rooted.parent_edge(a) == Some(e) {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Re-derives the Eq. 1 bottom-up capacitances along `start`'s root
+    /// path (the only entries a point edit can change), using the same
+    /// per-vertex summation order as the full pass so the maintained
+    /// vector stays bit-identical to a fresh one.
+    fn refresh_down_path(&mut self, start: VertexId) {
+        let Some(caps) = self.down_caps.as_mut() else {
+            return;
+        };
+        let mut cur = Some(start);
+        while let Some(v) = cur {
+            let mut c = match self.net.topology.kind(v) {
+                VertexKind::Terminal(t) => self.net.terminal(t).cap,
+                _ => 0.0,
+            };
+            for &u in self.rooted.children(v) {
+                let e = self.rooted.parent_edge(u).expect("child has a parent edge");
+                c += self.net.edge_cap(e) + caps[u.0];
+            }
+            caps[v.0] = c;
+            cur = self.rooted.parent(v);
+        }
+    }
+
+    /// Re-derives the required bound after a cap-affecting edit; if it
+    /// outgrew the session bound, adopts a new head-roomed bound and
+    /// invalidates everything (cached sets are only valid under the
+    /// bound they were computed with).
+    fn maybe_escalate(&mut self) {
+        let required = required_cap_bound(
+            &self.net,
+            &self.library,
+            &self.term_opts,
+            &self.wire_options,
+        );
+        if required > self.cap_bound {
+            self.cap_bound = required * BOUND_HEADROOM;
+            self.escalations += 1;
+            self.invalidate_all();
+        }
+    }
+}
+
+/// `true` iff `x` is an exact (normal) power of two — the scales for
+/// which [`Edit::SwapLibrary`] is exactly invertible.
+fn is_power_of_two(x: f64) -> bool {
+    const MANTISSA_MASK: u64 = (1 << 52) - 1;
+    x.is_finite() && x > 0.0 && x.to_bits() & MANTISSA_MASK == 0
+}
+
+/// A seeded random edit trace against `net`: the fuzz driver behind the
+/// verify harness's incremental checks and the batch/bench replay modes.
+///
+/// Edits reference only elements the net has; library and wire scales
+/// are powers of two so every generated edit admits an exact inverse
+/// (see [`IncrementalOptimizer::inverse_of`]). The trace does not depend
+/// on any session state, so the same `(net, seed, count)` triple always
+/// yields the same edits.
+pub fn random_trace(net: &Net, seed: u64, count: usize) -> Vec<Edit> {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xED17_7ACE_0000_0000);
+    let terms: Vec<TerminalId> = net.terminal_ids().collect();
+    let edges = net.topology.edge_count();
+    const SCALES: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let t = terms[rng.gen_range(0..terms.len())];
+        let op = rng.gen_range(0..8u32);
+        let edit = match op {
+            0 | 1 => Edit::SetArrival {
+                terminal: t,
+                value: rng.gen_range(0.0..120.0),
+            },
+            2 => Edit::SetRequired {
+                terminal: t,
+                value: rng.gen_range(0.0..120.0),
+            },
+            3 => Edit::SetSinkLoad {
+                terminal: t,
+                cap: rng.gen_range(0.05..4.0),
+            },
+            4 => {
+                let v = net.topology.terminal_vertex(t);
+                let p = net.topology.position(v);
+                Edit::MoveTerminal {
+                    terminal: t,
+                    x: p.x + rng.gen_range(-20.0..20.0),
+                    y: p.y + rng.gen_range(-20.0..20.0),
+                }
+            }
+            5 if edges > 0 => Edit::SetWireRc {
+                edge: EdgeId(rng.gen_range(0..edges)),
+                res_scale: SCALES[rng.gen_range(0..SCALES.len())],
+                cap_scale: SCALES[rng.gen_range(0..SCALES.len())],
+            },
+            6 => Edit::SwapLibrary {
+                scale: SCALES[rng.gen_range(0..SCALES.len())],
+            },
+            _ => Edit::Reroot { terminal: t },
+        };
+        out.push(edit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrnet_core::ard::ard_linear;
+    use msrnet_netgen::{table1, ExperimentNet};
+    use msrnet_rctree::Technology;
+
+    /// A 6-terminal random net with insertion points and a 2-repeater
+    /// symmetric library — small enough for exhaustive edit loops, big
+    /// enough that paths are a strict subset of the tree.
+    fn session() -> IncrementalOptimizer {
+        let params = table1();
+        let mut rng = SplitMix64::seed_from_u64(99);
+        let exp = ExperimentNet::random(&mut rng, 6, &params).unwrap();
+        let net = exp.with_insertion_points(4000.0);
+        let library = vec![params.repeater(1.0), params.repeater(2.0)];
+        let term_opts = TerminalOptions::defaults(&net);
+        IncrementalOptimizer::new(
+            net,
+            TerminalId(0),
+            library,
+            term_opts,
+            vec![WireOption::unit()],
+            MsriOptions::default(),
+        )
+    }
+
+    fn bit_eq(a: &TradeoffCurve, b: &TradeoffCurve) -> bool {
+        a.points().len() == b.points().len()
+            && a.points().iter().zip(b.points()).all(|(p, q)| {
+                p.cost.to_bits() == q.cost.to_bits()
+                    && p.ard.to_bits() == q.ard.to_bits()
+                    && p.assignment == q.assignment
+                    && p.terminal_choices == q.terminal_choices
+                    && p.wire_choices == q.wire_choices
+            })
+    }
+
+    #[test]
+    fn edit_replay_is_bit_identical_to_scratch() {
+        let mut s = session();
+        s.recompute().unwrap();
+        let edits = random_trace(s.net(), 5, 24);
+        for edit in &edits {
+            s.apply(edit).unwrap();
+            let (inc, stats) = s.recompute().unwrap();
+            let (scratch, full) = s.from_scratch().unwrap();
+            assert!(bit_eq(&inc, &scratch), "divergence after {edit:?}");
+            assert!(stats.nodes_recomputed <= full.nodes_recomputed);
+        }
+    }
+
+    #[test]
+    fn point_edits_recompute_only_path_nodes() {
+        let mut s = session();
+        s.recompute().unwrap();
+        let n = s.net().topology.vertex_count();
+        s.apply(&Edit::SetArrival {
+            terminal: TerminalId(1),
+            value: 77.0,
+        })
+        .unwrap();
+        let (_, stats) = s.recompute().unwrap();
+        assert!(stats.nodes_recomputed > 0);
+        assert!(
+            stats.nodes_recomputed < stats.nodes_visited,
+            "a path edit must not recompute the whole tree \
+             ({} of {} nodes, n = {n})",
+            stats.nodes_recomputed,
+            stats.nodes_visited,
+        );
+        // Idempotence: nothing dirty, nothing recomputed.
+        let (_, stats) = s.recompute().unwrap();
+        assert_eq!(stats.nodes_recomputed, 0);
+    }
+
+    #[test]
+    fn inverse_edits_restore_the_frontier() {
+        let mut s = session();
+        let (orig, _) = s.recompute().unwrap();
+        for edit in random_trace(s.net(), 17, 16) {
+            let Some(inverse) = s.inverse_of(&edit) else {
+                continue;
+            };
+            s.apply(&edit).unwrap();
+            s.recompute().unwrap();
+            s.apply(&inverse).unwrap();
+            let (back, _) = s.recompute().unwrap();
+            assert!(bit_eq(&orig, &back), "inverse of {edit:?} failed");
+        }
+    }
+
+    #[test]
+    fn bare_ard_tracks_edits_bit_identically() {
+        let mut s = session();
+        for edit in random_trace(s.net(), 23, 20) {
+            s.apply(&edit).unwrap();
+            let got = s.bare_ard();
+            let rooted = s.net().rooted_at_terminal(s.root());
+            let asg = Assignment::empty(s.net().topology.vertex_count());
+            let fresh = ard_linear(s.net(), &rooted, &[], &asg);
+            assert_eq!(got.ard.to_bits(), fresh.ard.to_bits(), "after {edit:?}");
+            assert_eq!(got.critical, fresh.critical);
+        }
+    }
+
+    #[test]
+    fn rejected_edits_leave_the_session_untouched() {
+        let mut s = session();
+        let (before, _) = s.recompute().unwrap();
+        let bad = [
+            Edit::SetArrival {
+                terminal: TerminalId(99),
+                value: 1.0,
+            },
+            Edit::SetArrival {
+                terminal: TerminalId(0),
+                value: f64::NAN,
+            },
+            Edit::SetSinkLoad {
+                terminal: TerminalId(0),
+                cap: -1.0,
+            },
+            Edit::SetWireRc {
+                edge: EdgeId(9999),
+                res_scale: 1.0,
+                cap_scale: 1.0,
+            },
+            Edit::SwapLibrary { scale: 0.0 },
+            Edit::Reroot {
+                terminal: TerminalId(42),
+            },
+        ];
+        for edit in &bad {
+            assert!(s.apply(edit).is_err(), "{edit:?} must be rejected");
+        }
+        let (after, stats) = s.recompute().unwrap();
+        assert_eq!(stats.nodes_recomputed, 0, "no dirt from rejected edits");
+        assert!(bit_eq(&before, &after));
+    }
+
+    #[test]
+    fn escalation_triggers_on_outsized_loads_and_stays_correct() {
+        let mut s = session();
+        s.recompute().unwrap();
+        let bound = s.cap_bound();
+        // A load far past the headroom forces a new bound.
+        s.apply(&Edit::SetSinkLoad {
+            terminal: TerminalId(1),
+            cap: 1e4,
+        })
+        .unwrap();
+        assert_eq!(s.escalations(), 1);
+        assert!(s.cap_bound() > bound);
+        let (inc, _) = s.recompute().unwrap();
+        let (scratch, _) = s.from_scratch().unwrap();
+        assert!(bit_eq(&inc, &scratch));
+    }
+
+    #[test]
+    fn move_terminal_rederives_wire_length() {
+        let mut s = session();
+        s.recompute().unwrap();
+        let t = TerminalId(2);
+        let v = s.net().topology.terminal_vertex(t);
+        let (nbr, e) = s.net().topology.neighbors(v)[0];
+        let target = s.net().topology.position(nbr);
+        s.apply(&Edit::MoveTerminal {
+            terminal: t,
+            x: target.x,
+            y: target.y,
+        })
+        .unwrap();
+        assert_eq!(s.net().topology.length(e), 0.0);
+        let (inc, _) = s.recompute().unwrap();
+        let (scratch, _) = s.from_scratch().unwrap();
+        assert!(bit_eq(&inc, &scratch));
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(0.25));
+        assert!(is_power_of_two(1.0));
+        assert!(is_power_of_two(4.0));
+        assert!(!is_power_of_two(3.0));
+        assert!(!is_power_of_two(0.1));
+        assert!(!is_power_of_two(0.0));
+        assert!(!is_power_of_two(-2.0));
+        assert!(!is_power_of_two(f64::INFINITY));
+        assert!(!is_power_of_two(f64::NAN));
+    }
+
+    #[test]
+    fn random_trace_is_deterministic_and_valid() {
+        let s = session();
+        let a = random_trace(s.net(), 7, 40);
+        let b = random_trace(s.net(), 7, 40);
+        assert_eq!(a, b);
+        let mut s2 = session();
+        for e in &a {
+            s2.apply(e).unwrap();
+        }
+        assert_ne!(a, random_trace(s.net(), 8, 40));
+    }
+
+    #[test]
+    fn builder_net_quickstart_example_shape() {
+        // Single-wire net: recompute works and reroot swaps orientation.
+        let mut b = msrnet_rctree::NetBuilder::new(Technology::new(1.0, 1.0));
+        let t0 = b.terminal(
+            Point::new(0.0, 0.0),
+            msrnet_rctree::Terminal::bidirectional(0.0, 0.0, 1.0, 3.0),
+        );
+        let t1 = b.terminal(
+            Point::new(2.0, 0.0),
+            msrnet_rctree::Terminal::bidirectional(5.0, 7.0, 1.0, 3.0),
+        );
+        b.wire(t0, t1);
+        let net = b.build().unwrap();
+        let opts = TerminalOptions::defaults(&net);
+        let mut s = IncrementalOptimizer::new(
+            net,
+            TerminalId(0),
+            vec![],
+            opts,
+            vec![WireOption::unit()],
+            MsriOptions::default(),
+        );
+        let (c0, _) = s.recompute().unwrap();
+        s.apply(&Edit::Reroot {
+            terminal: TerminalId(1),
+        })
+        .unwrap();
+        let (c1, _) = s.recompute().unwrap();
+        // Rooting invariance of the ARD value (paper: the ARD is a net
+        // property, not a rooting property).
+        assert!((c0.best_ard().ard - c1.best_ard().ard).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,509 @@
+//! JSON edit traces: the on-disk interchange format for replaying edit
+//! sequences through an [`IncrementalOptimizer`](crate::IncrementalOptimizer).
+//!
+//! A trace is a single object `{"edits": [...]}` whose array holds one
+//! object per edit, discriminated by its `"op"` field:
+//!
+//! ```json
+//! {"edits": [
+//!   {"op": "set_arrival",   "terminal": 1, "value": 12.5},
+//!   {"op": "set_required",  "terminal": 2, "value": 30.0},
+//!   {"op": "set_sink_load", "terminal": 1, "cap": 0.8},
+//!   {"op": "move_terminal", "terminal": 3, "x": 100.0, "y": -40.0},
+//!   {"op": "set_wire_rc",   "edge": 3, "res_scale": 2.0, "cap_scale": 0.5},
+//!   {"op": "swap_library",  "scale": 2.0},
+//!   {"op": "reroot",        "terminal": 1}
+//! ]}
+//! ```
+//!
+//! The parser is a small recursive-descent JSON reader (the workspace is
+//! dependency-free by design), strict about structure — unknown ops,
+//! missing fields, and trailing garbage are all errors with positions —
+//! but tolerant of field order and whitespace.
+
+use std::fmt;
+
+use msrnet_rctree::{EdgeId, TerminalId};
+
+use crate::Edit;
+
+/// A parse failure, with the byte offset where it was detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// Byte offset into the input at which the problem was found.
+    pub at: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a JSON edit trace (see the module docs for the format).
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] on malformed JSON, an unknown `"op"`,
+/// missing or mistyped fields, or trailing input after the root object.
+pub fn parse_trace(input: &str) -> Result<Vec<Edit>, TraceError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing input after the trace object"));
+    }
+    let Value::Obj(fields) = root else {
+        return Err(TraceError {
+            at: 0,
+            message: "trace root must be an object".into(),
+        });
+    };
+    let edits_val = get(&fields, "edits")
+        .ok_or_else(|| TraceError {
+            at: 0,
+            message: "trace object is missing the \"edits\" array".into(),
+        })?;
+    let Value::Arr(items) = edits_val else {
+        return Err(TraceError {
+            at: 0,
+            message: "\"edits\" must be an array".into(),
+        });
+    };
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| edit_from(item, i))
+        .collect()
+}
+
+/// Serializes edits into the trace format accepted by [`parse_trace`].
+/// Numbers use Rust's shortest round-trip formatting; non-finite values
+/// (legal in [`Edit::SetArrival`] / [`Edit::SetRequired`], where `-∞`
+/// disables a role) serialize as the strings `"-inf"` / `"inf"`, which
+/// the parser maps back.
+pub fn trace_to_json(edits: &[Edit]) -> String {
+    let mut out = String::from("{\"edits\": [");
+    for (i, e) in edits.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{{\"op\": \"{}\"", e.op_name()));
+        match *e {
+            Edit::SetArrival { terminal, value } | Edit::SetRequired { terminal, value } => {
+                out.push_str(&format!(
+                    ", \"terminal\": {}, \"value\": {}",
+                    terminal.0,
+                    num(value)
+                ));
+            }
+            Edit::SetSinkLoad { terminal, cap } => {
+                out.push_str(&format!(
+                    ", \"terminal\": {}, \"cap\": {}",
+                    terminal.0,
+                    num(cap)
+                ));
+            }
+            Edit::MoveTerminal { terminal, x, y } => {
+                out.push_str(&format!(
+                    ", \"terminal\": {}, \"x\": {}, \"y\": {}",
+                    terminal.0,
+                    num(x),
+                    num(y)
+                ));
+            }
+            Edit::SetWireRc {
+                edge,
+                res_scale,
+                cap_scale,
+            } => {
+                out.push_str(&format!(
+                    ", \"edge\": {}, \"res_scale\": {}, \"cap_scale\": {}",
+                    edge.0,
+                    num(res_scale),
+                    num(cap_scale)
+                ));
+            }
+            Edit::SwapLibrary { scale } => {
+                out.push_str(&format!(", \"scale\": {}", num(scale)));
+            }
+            Edit::Reroot { terminal } => {
+                out.push_str(&format!(", \"terminal\": {}", terminal.0));
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else if x == f64::NEG_INFINITY {
+        "\"-inf\"".into()
+    } else if x == f64::INFINITY {
+        "\"inf\"".into()
+    } else {
+        "\"nan\"".into()
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn edit_from(item: &Value, index: usize) -> Result<Edit, TraceError> {
+    let fail = |message: String| TraceError {
+        at: 0,
+        message: format!("edit #{index}: {message}"),
+    };
+    let Value::Obj(fields) = item else {
+        return Err(fail("must be an object".into()));
+    };
+    let Some(Value::Str(op)) = get(fields, "op") else {
+        return Err(fail("missing string field \"op\"".into()));
+    };
+    let id = |key: &str| -> Result<usize, TraceError> {
+        match get(fields, key) {
+            Some(Value::Num(x)) if *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64 => {
+                Ok(*x as usize)
+            }
+            Some(_) => Err(fail(format!("\"{key}\" must be a non-negative integer"))),
+            None => Err(fail(format!("missing field \"{key}\""))),
+        }
+    };
+    // Numeric field that may also be the strings "inf"/"-inf"/"nan"
+    // (the emitter's encoding for non-finite values).
+    let number = |key: &str| -> Result<f64, TraceError> {
+        match get(fields, key) {
+            Some(Value::Num(x)) => Ok(*x),
+            Some(Value::Str(s)) if s == "inf" => Ok(f64::INFINITY),
+            Some(Value::Str(s)) if s == "-inf" => Ok(f64::NEG_INFINITY),
+            Some(Value::Str(s)) if s == "nan" => Ok(f64::NAN),
+            Some(_) => Err(fail(format!("\"{key}\" must be a number"))),
+            None => Err(fail(format!("missing field \"{key}\""))),
+        }
+    };
+    match op.as_str() {
+        "set_arrival" => Ok(Edit::SetArrival {
+            terminal: TerminalId(id("terminal")?),
+            value: number("value")?,
+        }),
+        "set_required" => Ok(Edit::SetRequired {
+            terminal: TerminalId(id("terminal")?),
+            value: number("value")?,
+        }),
+        "set_sink_load" => Ok(Edit::SetSinkLoad {
+            terminal: TerminalId(id("terminal")?),
+            cap: number("cap")?,
+        }),
+        "move_terminal" => Ok(Edit::MoveTerminal {
+            terminal: TerminalId(id("terminal")?),
+            x: number("x")?,
+            y: number("y")?,
+        }),
+        "set_wire_rc" => Ok(Edit::SetWireRc {
+            edge: EdgeId(id("edge")?),
+            res_scale: number("res_scale")?,
+            cap_scale: number("cap_scale")?,
+        }),
+        "swap_library" => Ok(Edit::SwapLibrary {
+            scale: number("scale")?,
+        }),
+        "reroot" => Ok(Edit::Reroot {
+            terminal: TerminalId(id("terminal")?),
+        }),
+        other => Err(fail(format!("unknown op \"{other}\""))),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> TraceError {
+        TraceError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), TraceError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, TraceError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.numeral(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, TraceError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected \"{word}\"")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, TraceError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, TraceError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, TraceError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        other => {
+                            return Err(
+                                self.err(format!("unsupported escape '\\{}'", other as char))
+                            )
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar (input is &str, so
+                    // boundaries are well-formed).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input came from &str");
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn numeral(&mut self) -> Result<Value, TraceError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| TraceError {
+                at: start,
+                message: format!("invalid number \"{text}\""),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_ops() -> Vec<Edit> {
+        vec![
+            Edit::SetArrival {
+                terminal: TerminalId(1),
+                value: 12.5,
+            },
+            Edit::SetRequired {
+                terminal: TerminalId(2),
+                value: f64::NEG_INFINITY,
+            },
+            Edit::SetSinkLoad {
+                terminal: TerminalId(0),
+                cap: 0.875,
+            },
+            Edit::MoveTerminal {
+                terminal: TerminalId(3),
+                x: -40.25,
+                y: 1e3,
+            },
+            Edit::SetWireRc {
+                edge: EdgeId(7),
+                res_scale: 2.0,
+                cap_scale: 0.5,
+            },
+            Edit::SwapLibrary { scale: 4.0 },
+            Edit::Reroot {
+                terminal: TerminalId(2),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_every_op_bitwise() {
+        let edits = all_ops();
+        let json = trace_to_json(&edits);
+        let back = parse_trace(&json).unwrap();
+        assert_eq!(edits, back);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        assert_eq!(parse_trace("{\"edits\": []}").unwrap(), vec![]);
+        assert_eq!(trace_to_json(&[]), "{\"edits\": []}");
+    }
+
+    #[test]
+    fn field_order_and_whitespace_are_flexible() {
+        let json = "{ \"edits\" : [ { \"value\" : 3 ,\n \"terminal\": 0, \"op\": \"set_arrival\" } ] }";
+        assert_eq!(
+            parse_trace(json).unwrap(),
+            vec![Edit::SetArrival {
+                terminal: TerminalId(0),
+                value: 3.0
+            }]
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_fail_with_positions() {
+        for (input, needle) in [
+            ("", "unexpected end"),
+            ("[1, 2]", "must be an object"),
+            ("{\"edits\": 3}", "must be an array"),
+            ("{}", "missing the \"edits\""),
+            ("{\"edits\": [{}]}", "missing string field \"op\""),
+            ("{\"edits\": [{\"op\": \"explode\"}]}", "unknown op"),
+            (
+                "{\"edits\": [{\"op\": \"set_arrival\", \"terminal\": 0}]}",
+                "missing field \"value\"",
+            ),
+            (
+                "{\"edits\": [{\"op\": \"set_arrival\", \"terminal\": 1.5, \"value\": 0}]}",
+                "non-negative integer",
+            ),
+            (
+                "{\"edits\": [{\"op\": \"set_arrival\", \"terminal\": -1, \"value\": 0}]}",
+                "non-negative integer",
+            ),
+            ("{\"edits\": []} trailing", "trailing input"),
+            ("{\"edits\": [", "unexpected end"),
+            ("{\"edits\": [{\"op\": \"reroot\" \"terminal\": 1}]}", "expected ','"),
+            ("{\"edits\": [{\"op\": \"reroot\", \"terminal\": 1e}]}", "invalid number"),
+        ] {
+            let err = parse_trace(input).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "for {input:?}: got {:?}, wanted substring {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn string_escapes_are_decoded() {
+        // Escapes only appear in keys/ops for this format, but the
+        // parser handles them uniformly.
+        let err = parse_trace("{\"edits\": [{\"op\": \"set\\u0041\"}]}").unwrap_err();
+        assert!(err.message.contains("unsupported escape"));
+    }
+}

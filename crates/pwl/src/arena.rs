@@ -55,6 +55,12 @@ pub struct SegmentArena {
     reused: u64,
 }
 
+/// A free-list level captured by [`SegmentArena::checkpoint`].
+#[derive(Clone, Copy, Debug)]
+pub struct ArenaCheckpoint {
+    free_len: usize,
+}
+
 impl SegmentArena {
     /// Creates an empty arena.
     pub fn new() -> Self {
@@ -74,6 +80,26 @@ impl SegmentArena {
     /// Buffers currently parked on the free list.
     pub fn free_buffers(&self) -> usize {
         self.free.len()
+    }
+
+    /// Records the arena's current free-list level so a later
+    /// [`SegmentArena::restore`] can cap it back. Long-lived sessions
+    /// (the incremental optimizer runs many queries against one arena)
+    /// checkpoint after their steady-state warm-up and restore after
+    /// each query: cached candidate sets own their segments outright, so
+    /// trimming the free list never invalidates them — it only bounds
+    /// how much scratch memory a pathological query leaves behind.
+    pub fn checkpoint(&self) -> ArenaCheckpoint {
+        ArenaCheckpoint {
+            free_len: self.free.len(),
+        }
+    }
+
+    /// Drops free buffers in excess of `cp`'s level. Buffers handed out
+    /// or recycled since the checkpoint are unaffected beyond that cap;
+    /// the `taken`/`reused` counters keep running.
+    pub fn restore(&mut self, cp: &ArenaCheckpoint) {
+        self.free.truncate(cp.free_len);
     }
 
     /// Returns a `Pwl`'s backing storage to the free list.
@@ -263,6 +289,37 @@ mod tests {
             arena.recycle(fused);
         }
         assert!(arena.reused() > 0, "free list is exercised");
+    }
+
+    #[test]
+    fn checkpoint_restore_caps_the_free_list() {
+        let mut rng = SplitMix64::seed_from_u64(72);
+        let mut arena = SegmentArena::new();
+        // Warm up with a couple of parked buffers.
+        for _ in 0..2 {
+            let f = arb_pwl(&mut rng);
+            arena.recycle(f);
+        }
+        let cp = arena.checkpoint();
+        let level = arena.free_buffers();
+        // A query leaves extra scratch behind...
+        for _ in 0..8 {
+            let f = arb_pwl(&mut rng);
+            arena.recycle(f);
+        }
+        assert!(arena.free_buffers() > level);
+        // ...restore trims back to the checkpoint, not below.
+        arena.restore(&cp);
+        assert_eq!(arena.free_buffers(), level);
+        arena.restore(&cp);
+        assert_eq!(arena.free_buffers(), level);
+        // Restoring does not break reuse: the surviving buffers still
+        // serve requests, and operations after restore stay correct.
+        let f = arb_pwl(&mut rng);
+        let fused = arena.shift_clamp(&f, 1.0, 0.0, 8.0);
+        let composed = f.shifted_arg(1.0).clamp_domain(0.0, 8.0);
+        assert_eq!(fused.segments(), composed.segments());
+        assert!(arena.reused() > 0);
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod interval;
 mod mfs;
 mod segment;
 
-pub use arena::SegmentArena;
+pub use arena::{ArenaCheckpoint, SegmentArena};
 pub use function::{lower_envelope, upper_envelope, Pwl};
 pub use interval::IntervalSet;
 pub use mfs::{

@@ -98,6 +98,72 @@ impl<'a> Elmore<'a> {
         engine
     }
 
+    /// Builds the evaluator from caller-maintained bottom-up subtree
+    /// capacitances, running only the top-down pass (paper Eq. 2).
+    ///
+    /// `down[v]` must equal what [`Elmore::new`] would compute for the
+    /// same `(net, rooted, library, assignment)` — incremental sessions
+    /// keep that vector alive across edits (updating only root-path
+    /// entries, see [`Elmore::into_down_caps`]) and rebuild the
+    /// evaluator here without repeating the `O(n)` bottom-up pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `down.len()` differs from the vertex count. Debug
+    /// builds additionally spot-check `down` at the root against a fresh
+    /// bottom-up pass.
+    pub fn with_down_caps(
+        net: &'a Net,
+        rooted: &'a Rooted,
+        library: &'a [Repeater],
+        assignment: &'a Assignment,
+        down: Vec<f64>,
+    ) -> Self {
+        let n = net.topology.vertex_count();
+        assert_eq!(down.len(), n, "down-cap vector length mismatch");
+        let mut pe_res = vec![0.0; n];
+        let mut pe_cap = vec![0.0; n];
+        for v in net.topology.vertices() {
+            if let Some(e) = rooted.parent_edge(v) {
+                pe_res[v.0] = net.edge_res(e);
+                pe_cap[v.0] = net.edge_cap(e);
+            }
+        }
+        let mut engine = Elmore {
+            net,
+            rooted,
+            library,
+            assignment,
+            down,
+            up: vec![0.0; n],
+            pe_res,
+            pe_cap,
+        };
+        #[cfg(debug_assertions)]
+        {
+            let fresh = Elmore::new(net, rooted, library, assignment);
+            let r = rooted.root();
+            debug_assert!(
+                engine.down[r.0].to_bits() == fresh.down[r.0].to_bits(),
+                "caller-maintained down caps diverge from Eq. 1 at the root"
+            );
+        }
+        engine.compute_up();
+        engine
+    }
+
+    /// The caller-maintainable bottom-up capacitance vector (paper
+    /// Eq. 1), indexed by vertex.
+    pub fn down_caps(&self) -> &[f64] {
+        &self.down
+    }
+
+    /// Consumes the evaluator, returning the bottom-up capacitance
+    /// vector for reuse with [`Elmore::with_down_caps`].
+    pub fn into_down_caps(self) -> Vec<f64> {
+        self.down
+    }
+
     fn own_cap(&self, v: VertexId) -> f64 {
         match self.net.topology.kind(v) {
             VertexKind::Terminal(t) => self.net.terminal(t).cap,
@@ -535,6 +601,30 @@ mod tests {
             let d = e.delays_from(t);
             assert!(d.iter().all(|x| x.is_finite()), "all vertices reached");
         }
+    }
+
+    #[test]
+    fn with_down_caps_matches_full_construction() {
+        let (net, rep) = repeater_net();
+        let lib = [rep];
+        let rooted = net.rooted_at_terminal(TerminalId(0));
+        let mut asg = Assignment::empty(net.topology.vertex_count());
+        let ip = net.topology.insertion_points().next().unwrap();
+        asg.place(ip, 0, Orientation::AFacesParent);
+        let full = Elmore::new(&net, &rooted, &lib, &asg);
+        let down = full.down_caps().to_vec();
+        let rebuilt = Elmore::with_down_caps(&net, &rooted, &lib, &asg, down);
+        for v in net.topology.vertices() {
+            assert_eq!(full.down_cap(v).to_bits(), rebuilt.down_cap(v).to_bits());
+            assert_eq!(full.up_cap(v).to_bits(), rebuilt.up_cap(v).to_bits());
+        }
+        assert_eq!(
+            full.path_delay(TerminalId(0), TerminalId(1)).to_bits(),
+            rebuilt.path_delay(TerminalId(0), TerminalId(1)).to_bits()
+        );
+        // The vector survives a round-trip for the next rebuild.
+        let down = rebuilt.into_down_caps();
+        assert_eq!(down.len(), net.topology.vertex_count());
     }
 
     #[test]

@@ -149,6 +149,30 @@ impl Topology {
         rec.cap_scale = cap_scale;
     }
 
+    /// Moves vertex `v` to `pos` without touching edge lengths — pair
+    /// with [`Topology::set_edge_length`] when the move should change
+    /// wire parasitics (edge length and position are stored
+    /// independently so detours and non-geometric lengths stay
+    /// expressible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is non-finite.
+    pub fn set_position(&mut self, v: VertexId, pos: Point) {
+        assert!(pos.x.is_finite() && pos.y.is_finite(), "bad position");
+        self.positions[v.0] = pos;
+    }
+
+    /// Sets the physical length of edge `e`, µm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is non-finite or negative.
+    pub fn set_edge_length(&mut self, e: EdgeId, length: f64) {
+        assert!(length.is_finite() && length >= 0.0, "bad edge length");
+        self.edges[e.0].length = length;
+    }
+
     /// Total wirelength, µm.
     pub fn total_wirelength(&self) -> f64 {
         self.edges.iter().map(|e| e.length).sum()

@@ -1,0 +1,174 @@
+//! Randomized property tests of the P-Tree topology layer
+//! ([`nn_tour`], [`two_opt`], [`ptree_topology`]), driven by a seeded
+//! in-tree generator so every run checks the same cases (style of
+//! `crates/geom/tests/properties.rs`).
+//!
+//! Coordinates are drawn from a small integer grid so duplicate and
+//! collinear terminals — the degenerate-merge cases the DP must splice
+//! away — occur regularly.
+
+use msrnet_geom::{BoundingBox, Point};
+use msrnet_rng::{Rng, SeedableRng, SplitMix64};
+use msrnet_steiner::{mst_length, nn_tour, ptree_topology, two_opt, SteinerTopology};
+
+const CASES: usize = 48;
+
+fn arb_points(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<Point> {
+    let n = rng.gen_range(lo..hi);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0..60i32) as f64,
+                rng.gen_range(0..60i32) as f64,
+            )
+        })
+        .collect()
+}
+
+fn open_path_length(points: &[Point], order: &[usize]) -> f64 {
+    order
+        .windows(2)
+        .map(|w| points[w[0]].l1_distance(points[w[1]]))
+        .sum()
+}
+
+fn assert_is_permutation(order: &[usize], n: usize) {
+    let mut sorted = order.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "not a permutation");
+}
+
+fn assert_spanning_tree(t: &SteinerTopology) {
+    assert_eq!(t.edges.len() + 1, t.points.len(), "tree shape");
+    let mut seen = vec![false; t.points.len()];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for &(a, b) in &t.edges {
+            let other = if a == v {
+                b
+            } else if b == v {
+                a
+            } else {
+                continue;
+            };
+            if !seen[other] {
+                seen[other] = true;
+                count += 1;
+                stack.push(other);
+            }
+        }
+    }
+    assert_eq!(count, t.points.len(), "connected");
+}
+
+#[test]
+fn nn_tour_is_a_permutation_from_any_start() {
+    let mut rng = SplitMix64::seed_from_u64(201);
+    for _ in 0..CASES {
+        let pts = arb_points(&mut rng, 1, 10);
+        let start = rng.gen_range(0..pts.len());
+        let tour = nn_tour(&pts, start);
+        assert_eq!(tour[0], start);
+        assert_is_permutation(&tour, pts.len());
+    }
+}
+
+#[test]
+fn two_opt_preserves_permutation_and_converges() {
+    let mut rng = SplitMix64::seed_from_u64(202);
+    for _ in 0..CASES {
+        let pts = arb_points(&mut rng, 2, 10);
+        let tour = nn_tour(&pts, rng.gen_range(0..pts.len()));
+        let before = open_path_length(&pts, &tour);
+        let improved = two_opt(&pts, tour);
+        assert_is_permutation(&improved, pts.len());
+        let after = open_path_length(&pts, &improved);
+        assert!(after <= before + 1e-9, "2-opt lengthened: {after} > {before}");
+        // Convergence: the fixed point of 2-opt is 2-opt-stable, so a
+        // second pass finds nothing.
+        let again = two_opt(&pts, improved.clone());
+        assert!((open_path_length(&pts, &again) - after).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn ptree_is_a_spanning_tree_within_length_bounds() {
+    let mut rng = SplitMix64::seed_from_u64(203);
+    for _ in 0..CASES {
+        let pts = arb_points(&mut rng, 1, 8);
+        let n = pts.len();
+        let order = two_opt(&pts, nn_tour(&pts, rng.gen_range(0..n)));
+        let t = ptree_topology(&pts, &order);
+        assert_spanning_tree(&t);
+        // Terminal indices refer to the original slice: the terminals
+        // come first, untouched, with merge points appended after.
+        assert_eq!(t.terminal_count, n);
+        assert_eq!(&t.points[..n], &pts[..]);
+        // A binary merge tree over n leaves adds at most n−1 internal
+        // points (fewer once degenerate merges are spliced).
+        assert!(t.steiner_count() <= n.saturating_sub(1));
+        // Upper bound: the chain through the order is one admissible
+        // topology. Lower bounds: the Steiner ratio against the MST,
+        // and the bounding-box half-perimeter any connected spanning
+        // graph must cover.
+        assert!(t.wirelength() <= open_path_length(&pts, &order) + 1e-6);
+        assert!(t.wirelength() >= mst_length(&pts) * 2.0 / 3.0 - 1e-6);
+        let hp = BoundingBox::of(pts.iter().copied()).unwrap().half_perimeter();
+        assert!(t.wirelength() >= hp - 1e-6, "{} < {hp}", t.wirelength());
+    }
+}
+
+#[test]
+fn order_reversal_preserves_wirelength() {
+    let mut rng = SplitMix64::seed_from_u64(204);
+    for _ in 0..CASES {
+        let pts = arb_points(&mut rng, 1, 8);
+        let order = nn_tour(&pts, 0);
+        let mut rev = order.clone();
+        rev.reverse();
+        // The interval DP is symmetric under reversing the permutation:
+        // both directions describe the same family of topologies.
+        let a = ptree_topology(&pts, &order).wirelength();
+        let b = ptree_topology(&pts, &rev).wirelength();
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn translation_invariance() {
+    let mut rng = SplitMix64::seed_from_u64(205);
+    for _ in 0..CASES {
+        let pts = arb_points(&mut rng, 1, 8);
+        let (dx, dy) = (
+            rng.gen_range(0..500i32) as f64,
+            rng.gen_range(0..500i32) as f64,
+        );
+        let moved: Vec<Point> = pts.iter().map(|p| Point::new(p.x + dx, p.y + dy)).collect();
+        let order = nn_tour(&pts, 0);
+        let a = ptree_topology(&pts, &order).wirelength();
+        let b = ptree_topology(&moved, &order).wirelength();
+        assert!((a - b).abs() < 1e-6, "{a} vs {b} after translation");
+    }
+}
+
+#[test]
+fn degenerate_sizes_are_exact() {
+    let mut rng = SplitMix64::seed_from_u64(206);
+    for _ in 0..CASES {
+        // One terminal: a single point, no wire.
+        let p = arb_points(&mut rng, 1, 2);
+        let t1 = ptree_topology(&p, &[0]);
+        assert_eq!(t1.wirelength(), 0.0);
+        assert!(t1.edges.is_empty());
+        // Two terminals: the direct rectilinear wire, both orders.
+        let pts = arb_points(&mut rng, 2, 3);
+        let d = pts[0].l1_distance(pts[1]);
+        for order in [[0, 1], [1, 0]] {
+            let t2 = ptree_topology(&pts, &order);
+            assert_spanning_tree(&t2);
+            assert!((t2.wirelength() - d).abs() < 1e-9);
+        }
+    }
+}

@@ -21,6 +21,10 @@
 //!    vs 1 thread, compared with [`reports_bit_identical`].
 //! 6. `feasibility_consistency` — `optimize` returns `NoFeasiblePair`
 //!    exactly when the bare ARD is `-∞`.
+//! 7. `incremental_vs_scratch` — an [`IncrementalOptimizer`] session
+//!    replaying the instance's seeded edit trace, each dirty-path
+//!    recompute compared *bit-identically* against a from-scratch
+//!    re-solve of the same configuration under the same domain bound.
 //!
 //! Metamorphic properties (one implementation, transformed input):
 //! 1. `rescaling_invariance` — Elmore delay is a sum of R·C products, so
@@ -34,15 +38,19 @@
 //!    frontier values.
 //! 4. `rooting_invariance` — the ARD does not depend on which terminal
 //!    the traversal is rooted at.
+//! 5. `edit_inverse_restores_frontier` — applying an edit and its exact
+//!    inverse (when one exists) must restore the original trade-off
+//!    curve bit-for-bit through the incremental engine's cache.
 
 use crate::gen::Instance;
 use msrnet_batch::{reports_bit_identical, run_batch, BatchJob};
 use msrnet_core::ard::{ard_linear, ard_naive};
 use msrnet_core::exhaustive::{exhaustive_frontier, exhaustive_frontier_with_wires};
 use msrnet_core::{
-    optimize, optimize_in, optimize_with_wires, MsriError, MsriOptions, MsriWorkspace,
-    PruningStrategy, TradeoffCurve,
+    optimize, optimize_in, optimize_with_wires, required_cap_bound, MsriError, MsriOptions,
+    MsriWorkspace, PruningStrategy, TradeoffCurve,
 };
+use msrnet_incremental::IncrementalOptimizer;
 use msrnet_rctree::{Assignment, Orientation};
 use msrnet_rng::{Rng, SeedableRng, SplitMix64};
 
@@ -128,6 +136,16 @@ pub fn registry() -> &'static [CheckDef] {
             name: "batch_parallel_vs_sequential",
             kind: CheckKind::Oracle,
             run: check_batch_parallel_vs_sequential,
+        },
+        CheckDef {
+            name: "incremental_vs_scratch",
+            kind: CheckKind::Oracle,
+            run: check_incremental_vs_scratch,
+        },
+        CheckDef {
+            name: "edit_inverse_restores_frontier",
+            kind: CheckKind::Metamorphic,
+            run: check_edit_inverse_restores_frontier,
         },
     ]
 }
@@ -568,6 +586,198 @@ fn check_feasibility_consistency(inst: &Instance) -> CheckOutcome {
             "bare ARD is -∞ but DP failed with {e:?} instead of NoFeasiblePair"
         )),
     }
+}
+
+/// Shared precondition/work gate for the incremental-session checks.
+/// Every replayed edit costs up to one full re-solve (the oracle side),
+/// so the gate mirrors the quadratic-pruning check's tighter budget.
+fn incremental_gate(inst: &Instance) -> Option<String> {
+    if inst.edits.is_empty() {
+        return Some("no edit trace attached".into());
+    }
+    if !inst.terminals_are_leaves() {
+        return Some("non-leaf terminal (DP precondition)".into());
+    }
+    let est = dp_set_estimate(inst);
+    if est > DP_ESTIMATE_LIMIT / 8.0 {
+        return Some(format!(
+            "DP set estimate {est:.0} too large for the per-edit re-solves"
+        ));
+    }
+    if inst.net.topology.vertex_count() > 60 {
+        return Some("net too large for the per-edit re-solve budget".into());
+    }
+    // `IncrementalOptimizer::new` asserts a finite positive domain bound;
+    // degenerate regimes (e.g. a terminal with infinite cap) must skip
+    // rather than panic-fail.
+    let bound = required_cap_bound(&inst.net, &inst.library, &inst.drivers, &inst.wire_options);
+    if !bound.is_finite() || bound <= 0.0 {
+        return Some(format!("degenerate cap bound {bound}"));
+    }
+    None
+}
+
+/// Opens an incremental session on the instance's configuration.
+fn open_session(inst: &Instance) -> IncrementalOptimizer {
+    IncrementalOptimizer::new(
+        inst.net.clone(),
+        inst.root,
+        inst.library.clone(),
+        inst.drivers.clone(),
+        inst.wire_options.clone(),
+        inst.options,
+    )
+}
+
+/// Bit-level curve equality, values *and* realizations.
+fn curves_bit_eq(a: &TradeoffCurve, b: &TradeoffCurve) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("frontier sizes differ: {} vs {}", a.len(), b.len()));
+    }
+    for (i, (pa, pb)) in a.points().iter().zip(b.points()).enumerate() {
+        if pa.cost.to_bits() != pb.cost.to_bits()
+            || pa.ard.to_bits() != pb.ard.to_bits()
+            || pa.assignment != pb.assignment
+            || pa.terminal_choices != pb.terminal_choices
+            || pa.wire_choices != pb.wire_choices
+        {
+            return Err(format!(
+                "point {i} not bit-identical: ({}, {}) vs ({}, {})",
+                pa.cost, pa.ard, pb.cost, pb.ard
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_incremental_vs_scratch(inst: &Instance) -> CheckOutcome {
+    if let Some(reason) = incremental_gate(inst) {
+        return CheckOutcome::Skip(reason);
+    }
+    let mut session = open_session(inst);
+    // Step 0 compares the initial all-dirty compute, then each applied
+    // edit compares its dirty-path recompute against a from-scratch
+    // re-solve of the identical configuration under the same bound.
+    for step in 0..=inst.edits.len() {
+        let label: String = if step == 0 {
+            "initial".into()
+        } else {
+            let edit = &inst.edits[step - 1];
+            if session.apply(edit).is_err() {
+                // Rejected edits leave the session untouched; nothing
+                // new to compare.
+                continue;
+            }
+            format!("edit {} ({})", step - 1, edit.op_name())
+        };
+        let inc = session.recompute();
+        let scratch = session.from_scratch();
+        match (inc, scratch) {
+            (Err(a), Err(b)) => {
+                if a != b {
+                    return CheckOutcome::Fail(format!(
+                        "{label}: error variants differ: incremental={a:?} scratch={b:?}"
+                    ));
+                }
+            }
+            (Ok(_), Err(e)) => {
+                return CheckOutcome::Fail(format!(
+                    "{label}: incremental succeeded, scratch failed: {e:?}"
+                ));
+            }
+            (Err(e), Ok(_)) => {
+                return CheckOutcome::Fail(format!(
+                    "{label}: scratch succeeded, incremental failed: {e:?}"
+                ));
+            }
+            (Ok((a, sa)), Ok((b, sb))) => {
+                if sa.nodes_recomputed > sb.nodes_recomputed {
+                    return CheckOutcome::Fail(format!(
+                        "{label}: incremental rebuilt {} nodes, more than scratch's {}",
+                        sa.nodes_recomputed, sb.nodes_recomputed
+                    ));
+                }
+                if sa.nodes_recomputed + sa.nodes_reused != sa.nodes_visited {
+                    return CheckOutcome::Fail(format!(
+                        "{label}: visit accounting broken: {} rebuilt + {} reused != {} visited",
+                        sa.nodes_recomputed, sa.nodes_reused, sa.nodes_visited
+                    ));
+                }
+                if let Err(msg) = curves_bit_eq(&a, &b) {
+                    return CheckOutcome::Fail(format!("{label}: {msg}"));
+                }
+            }
+        }
+    }
+    CheckOutcome::Pass
+}
+
+fn check_edit_inverse_restores_frontier(inst: &Instance) -> CheckOutcome {
+    if let Some(reason) = incremental_gate(inst) {
+        return CheckOutcome::Skip(reason);
+    }
+    let mut session = open_session(inst);
+    let Ok((mut baseline, _)) = session.recompute() else {
+        return CheckOutcome::Skip("base configuration has no feasible pair".into());
+    };
+    let mut escalations = session.escalations();
+    for (k, edit) in inst.edits.iter().enumerate() {
+        // The inverse reads the *current* state, so capture it first.
+        let Some(inverse) = session.inverse_of(edit) else {
+            continue;
+        };
+        if session.apply(edit).is_err() {
+            continue;
+        }
+        // The intermediate configuration may legitimately be infeasible;
+        // the dirty set carries over to the restoring recompute.
+        let _ = session.recompute();
+        if session.apply(&inverse).is_err() {
+            return CheckOutcome::Fail(format!(
+                "edit {k} ({}): exact inverse was rejected",
+                edit.op_name()
+            ));
+        }
+        let restored = match session.recompute() {
+            Err(e) => {
+                return CheckOutcome::Fail(format!(
+                    "edit {k} ({}): restored configuration failed: {e:?}",
+                    edit.op_name()
+                ));
+            }
+            Ok((curve, _)) => curve,
+        };
+        if session.escalations() != escalations {
+            // The round trip escalated the domain bound. The restored
+            // configuration equals the original, but cached solutions now
+            // live on a wider PWL domain, so re-baseline from scratch
+            // under the new bound instead of comparing across bounds.
+            escalations = session.escalations();
+            match session.from_scratch() {
+                Err(e) => {
+                    return CheckOutcome::Fail(format!(
+                        "edit {k} ({}): post-escalation scratch failed: {e:?}",
+                        edit.op_name()
+                    ));
+                }
+                Ok((fresh, _)) => {
+                    if let Err(msg) = curves_bit_eq(&fresh, &restored) {
+                        return CheckOutcome::Fail(format!(
+                            "edit {k} ({}): post-escalation restore diverged: {msg}",
+                            edit.op_name()
+                        ));
+                    }
+                    baseline = restored;
+                }
+            }
+        } else if let Err(msg) = curves_bit_eq(&baseline, &restored) {
+            return CheckOutcome::Fail(format!(
+                "edit {k} ({}): frontier not restored: {msg}",
+                edit.op_name()
+            ));
+        }
+    }
+    CheckOutcome::Pass
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 
 use msrnet_core::{MsriOptions, TerminalOption, TerminalOptions, WireOption};
 use msrnet_geom::Point;
+use msrnet_incremental::{random_trace, Edit};
 use msrnet_netgen::{table1, ExperimentNet};
 use msrnet_rctree::{
     Buffer, Net, NetBuilder, Repeater, Technology, Terminal, TerminalId,
@@ -38,6 +39,9 @@ pub struct Instance {
     pub root: TerminalId,
     /// Seed for check-internal randomness.
     pub check_seed: u64,
+    /// Seeded edit trace for the incremental-session checks (empty for
+    /// replayed corpus files unless a companion trace is loaded).
+    pub edits: Vec<Edit>,
 }
 
 impl Instance {
@@ -62,6 +66,7 @@ impl Instance {
             options: MsriOptions::default(),
             root: TerminalId(0),
             check_seed,
+            edits: Vec::new(),
         }
         .with_options(options)
     }
@@ -158,6 +163,9 @@ pub fn generate(seed: u64, index: usize) -> Option<Instance> {
         .terminal_ids()
         .find(|&t| net.terminal(t).is_source())
         .unwrap_or(TerminalId(0));
+    // A short edit trace for the incremental-session checks; seeded from
+    // the case stream so every regime exercises the edit API too.
+    let edits = random_trace(&net, check_seed, 3 + (check_seed % 4) as usize);
     Some(Instance {
         name: format!("case{index:04}-{topo:?}").to_lowercase(),
         net,
@@ -167,6 +175,7 @@ pub fn generate(seed: u64, index: usize) -> Option<Instance> {
         options,
         root,
         check_seed,
+        edits,
     })
 }
 

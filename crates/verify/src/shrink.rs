@@ -15,6 +15,7 @@
 use crate::checks::still_fails;
 use crate::gen::Instance;
 use msrnet_core::TerminalOptions;
+use msrnet_incremental::Edit;
 use msrnet_rctree::{NetBuilder, TerminalId, VertexId, VertexKind};
 
 /// Outcome of a shrink run.
@@ -56,6 +57,18 @@ pub fn shrink(inst: &Instance, check: &str) -> ShrinkResult {
 
     loop {
         let mut improved = false;
+
+        // 0. Edits first, last-first: a shorter trace is cheaper to
+        //    evaluate for every later structural candidate.
+        let mut k = cur.edits.len();
+        while k > 0 {
+            k -= 1;
+            let mut cand = cur.clone();
+            cand.edits.remove(k);
+            if try_move(&mut cur, Some(cand), &mut candidates_tried, &mut moves_accepted) {
+                improved = true;
+            }
+        }
 
         // 1. Structure-preserving simplifications first: they make the
         //    repro file smaller without changing the topology.
@@ -225,6 +238,7 @@ fn rebuild(inst: &Instance, mut removed: Vec<bool>, extra_edges: &[ExtraEdge]) -
         .terminal_ids()
         .find(|&t| net.terminal(t).is_source())
         .unwrap_or(TerminalId(0));
+    let edits = remap_edits(&inst.edits, &kept_terms);
     Some(Instance {
         name: inst.name.clone(),
         net,
@@ -234,7 +248,40 @@ fn rebuild(inst: &Instance, mut removed: Vec<bool>, extra_edges: &[ExtraEdge]) -
         options: inst.options,
         root,
         check_seed: inst.check_seed,
+        edits,
     })
+}
+
+/// Renumbers terminal references in an edit trace after net surgery.
+/// Edits naming a removed terminal are dropped; `SetWireRc` edits are
+/// dropped wholesale because edge ids do not renumber predictably.
+fn remap_edits(edits: &[Edit], kept_terms: &[TerminalId]) -> Vec<Edit> {
+    let remap = |t: TerminalId| {
+        kept_terms
+            .iter()
+            .position(|&k| k == t)
+            .map(TerminalId)
+    };
+    edits
+        .iter()
+        .filter_map(|e| match *e {
+            Edit::SetArrival { terminal, value } => {
+                remap(terminal).map(|terminal| Edit::SetArrival { terminal, value })
+            }
+            Edit::SetRequired { terminal, value } => {
+                remap(terminal).map(|terminal| Edit::SetRequired { terminal, value })
+            }
+            Edit::SetSinkLoad { terminal, cap } => {
+                remap(terminal).map(|terminal| Edit::SetSinkLoad { terminal, cap })
+            }
+            Edit::MoveTerminal { terminal, x, y } => {
+                remap(terminal).map(|terminal| Edit::MoveTerminal { terminal, x, y })
+            }
+            Edit::SetWireRc { .. } => None,
+            Edit::SwapLibrary { scale } => Some(Edit::SwapLibrary { scale }),
+            Edit::Reroot { terminal } => remap(terminal).map(|terminal| Edit::Reroot { terminal }),
+        })
+        .collect()
 }
 
 /// Candidate with terminal `t` (and any structure left dangling by its

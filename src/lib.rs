@@ -42,9 +42,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use msrnet_batch as batch;
 pub use msrnet_buffering as buffering;
 pub use msrnet_core as core;
 pub use msrnet_geom as geom;
+pub use msrnet_incremental as incremental;
 pub use msrnet_netgen as netgen;
 pub use msrnet_pwl as pwl;
 pub use msrnet_rctree as rctree;
