@@ -1,0 +1,486 @@
+//! A minimal Rust token scanner.
+//!
+//! The analyzer does not need a full parser: every lint in this crate
+//! works on the token stream plus a little local context (neighbouring
+//! tokens, brace depth, attribute spans). What the lexer *must* get
+//! right is the part `grep` cannot: comments, string literals (regular,
+//! raw, byte), char literals vs. lifetimes, and float literals — so
+//! that `// a comment mentioning partial_cmp` or a `format!` template
+//! containing `.unwrap()` never produces a false diagnostic, and so
+//! that `msrnet-allow` markers can be read back out of the comments.
+//!
+//! Tokens carry byte offsets plus 1-based line/column so diagnostics
+//! can point at an exact span.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `f64`).
+    Ident,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// A numeric literal (`42`, `1.5e3`, `0xff`, `2.0f32`).
+    Num,
+    /// A string / raw string / byte-string literal.
+    Str,
+    /// A `char` or byte (`b'x'`) literal.
+    Char,
+    /// An operator or delimiter; multi-char operators (`==`, `::`,
+    /// `->`, …) are combined into a single token.
+    Punct,
+}
+
+/// One lexed token with its exact source span.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based byte column within the line.
+    pub col: u32,
+}
+
+/// A comment (line or block), kept separately from the token stream so
+/// the marker scanner can read `msrnet-allow:` annotations.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// The raw comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so the match is greedy.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "=>", "->", "&&", "||", "::", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `text` into tokens and comments.
+///
+/// The scanner is lossy in ways that do not matter to the lints: it
+/// does not validate escapes, suffixes or delimiters, and unterminated
+/// literals simply run to end-of-file. It never fails.
+pub fn lex(text: &str) -> Lexed {
+    Scanner::new(text).run()
+}
+
+struct Scanner<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Byte offset of the start of the current line.
+    line_start: usize,
+    out: Lexed,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Scanner {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn col(&self, at: usize) -> u32 {
+        (at - self.line_start) as u32 + 1
+    }
+
+    /// Advances one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.bytes.len() {
+            let c = self.peek(0);
+            let start = self.pos;
+            let line = self.line;
+            let col = self.col(start);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'r' if self.peek(1) == b'"' || self.peek(1) == b'#' => {
+                    if self.raw_string_literal(1) {
+                        self.push(TokenKind::Str, start, line, col);
+                    } else {
+                        // `r#ident` (raw identifier) or a lone `r`.
+                        self.ident();
+                        self.push(TokenKind::Ident, start, line, col);
+                    }
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump();
+                    self.string_literal();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump();
+                    self.char_literal();
+                    self.push(TokenKind::Char, start, line, col);
+                }
+                b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') => {
+                    if self.raw_string_literal(2) {
+                        self.push(TokenKind::Str, start, line, col);
+                    } else {
+                        self.ident();
+                        self.push(TokenKind::Ident, start, line, col);
+                    }
+                }
+                b'\'' => {
+                    let kind = self.char_or_lifetime();
+                    self.push(kind, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokenKind::Num, start, line, col);
+                }
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                _ => {
+                    self.operator();
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: self.text[start..self.pos].to_string(),
+            line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.text[start..self.pos].to_string(),
+            line,
+        });
+    }
+
+    /// Consumes a `"…"` literal starting at the opening quote.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes `r"…"` / `r#"…"#` / `br#"…"#` starting `hashes_at` bytes
+    /// in (after the `r` / `br` prefix). Returns false — consuming
+    /// nothing — when the `#`s are not followed by a quote (that is a
+    /// raw identifier like `r#fn`, not a string).
+    fn raw_string_literal(&mut self, prefix: usize) -> bool {
+        let mut i = prefix;
+        let mut hashes = 0usize;
+        while self.peek(i) == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        if self.peek(i) != b'"' {
+            return false;
+        }
+        self.bump_n(i + 1); // prefix, hashes, opening quote
+        'scan: while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                for h in 0..hashes {
+                    if self.peek(1 + h) != b'#' {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                return true;
+            }
+            self.bump();
+        }
+        true
+    }
+
+    /// Consumes a `'…'` char literal starting at the quote.
+    fn char_literal(&mut self) {
+        self.bump(); // opening quote
+        if self.peek(0) == b'\\' {
+            self.bump_n(2);
+        } else if self.pos < self.bytes.len() {
+            // Skip one full UTF-8 character.
+            let n = utf8_len(self.peek(0));
+            self.bump_n(n);
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+    }
+
+    /// Distinguishes `'a'` (char) from `'a` (lifetime) at a `'`.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let next = self.peek(1);
+        if next == b'\\' {
+            self.char_literal();
+            return TokenKind::Char;
+        }
+        // `'x'` where x is a single character → char literal.
+        let n = utf8_len(next);
+        if next != 0 && self.peek(1 + n) == b'\'' {
+            self.char_literal();
+            return TokenKind::Char;
+        }
+        // Lifetime: `'` followed by an identifier.
+        self.bump();
+        while is_ident_byte(self.peek(0)) {
+            self.bump();
+        }
+        TokenKind::Lifetime
+    }
+
+    fn number(&mut self) {
+        let hex = self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'X' | b'o' | b'b');
+        if hex {
+            self.bump_n(2);
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            return;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // Fractional part: only when the dot is followed by a digit, so
+        // ranges (`0..n`) and method calls on integers stay separate.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), b'e' | b'E')
+            && (self.peek(1).is_ascii_digit()
+                || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+        {
+            self.bump_n(if self.peek(1).is_ascii_digit() { 1 } else { 2 });
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Type suffix (`f64`, `u32`, …).
+        while is_ident_byte(self.peek(0)) {
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self) {
+        // Accept a raw-identifier prefix.
+        if self.peek(0) == b'r' && self.peek(1) == b'#' {
+            self.bump_n(2);
+        }
+        while is_ident_byte(self.peek(0)) || self.peek(0) >= 0x80 {
+            self.bump();
+        }
+    }
+
+    fn operator(&mut self) {
+        for op in OPERATORS {
+            if self.text[self.pos..].starts_with(op) {
+                self.bump_n(op.len());
+                return;
+            }
+        }
+        self.bump();
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+impl Token {
+    /// The token's text within the file it was lexed from.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Whether a [`TokenKind::Num`] literal text denotes a float (has a
+/// fractional part, a decimal exponent, or an `f32`/`f64` suffix).
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.bytes().any(|b| b == b'e' || b == b'E')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(TokenKind, String)> {
+        lex(text)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, t.text(text).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = "\n// has .unwrap() inside\nlet s = \"also .unwrap() here\";\n\
+                   /* block /* nested */ .unwrap() */\nlet t = r\"raw .unwrap()\";\n";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().all(|t| t.text(src) != "unwrap"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let x = r#\"quote \" inside\"#; y.unwrap()";
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("inside")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "let c = 'x'; fn f<'a>(v: &'a str) { let n = '\\n'; }";
+        let toks = kinds(src);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        let lifes: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(lifes.len(), 2);
+    }
+
+    #[test]
+    fn float_and_int_literals() {
+        assert!(is_float_literal("1.5"));
+        assert!(is_float_literal("2.0f32"));
+        assert!(is_float_literal("1e9"));
+        assert!(is_float_literal("1_000.5"));
+        assert!(!is_float_literal("42"));
+        assert!(!is_float_literal("0xff"));
+        assert!(!is_float_literal("1_000"));
+        let toks = kinds("a == 1.5; b == 2; 0..10; x.0");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1.5", "2", "0", "10", "0"]);
+    }
+
+    #[test]
+    fn multichar_operators_combine() {
+        let toks = kinds("a == b != c :: d -> e => f <= g");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->", "=>", "<="]);
+    }
+
+    #[test]
+    fn spans_are_exact() {
+        let src = "let x = 5;\n  y.partial_cmp(&z)";
+        let lexed = lex(src);
+        let t = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text(src) == "partial_cmp")
+            .expect("token present");
+        assert_eq!(t.line, 2);
+        assert_eq!(t.col, 5);
+        assert_eq!(t.end - t.start, "partial_cmp".len());
+    }
+}

@@ -1,0 +1,219 @@
+//! msrnet-analyzer — the static rung of the verification ladder.
+//!
+//! The workspace's core guarantee is *bit-identical determinism*:
+//! parallel batch runs, arena-backed DP and incremental recomputes all
+//! reproduce their from-scratch oracles exactly, and the differential
+//! harness (`crates/verify`) checks that at runtime. This crate checks
+//! the hazards that would silently erode the guarantee *statically*,
+//! before any fuzzing runs:
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `D1` | no `HashMap`/`HashSet` in non-test code (iteration order) |
+//! | `D2` | no `partial_cmp` orderings (NaN-unsafe; use `total_cmp`) |
+//! | `D3` | no float `==`/`!=` against float literals outside tests |
+//! | `P1` | no `unwrap`/`expect`/`panic!` in library non-test code |
+//! | `L1` | crate dependencies respect the layering DAG, acyclically |
+//! | `W1` | wall-clock and `std::env` reads confined to bench/cli |
+//! | `M1` | `msrnet-allow` markers are well-formed and all used |
+//!
+//! Any finding can be suppressed at the site with a justified
+//! `// msrnet-allow: <key> <reason>` marker (except `M1`); unused and
+//! malformed markers are themselves findings, so the suppression set
+//! can only shrink.
+//!
+//! The analyzer has zero external dependencies — an in-house token
+//! scanner with the same offline discipline as `crates/rng` — and its
+//! JSON report is byte-deterministic for a fixed tree.
+//!
+//! # Example
+//!
+//! ```
+//! use msrnet_analyzer::{analyze_file, FileCtx, FileKind};
+//!
+//! let ctx = FileCtx {
+//!     crate_name: "msrnet-core".to_string(),
+//!     path: "crates/core/src/dp.rs".to_string(),
+//!     kind: FileKind::Library,
+//! };
+//! let analysis = analyze_file(&ctx, "fn k(a: f64, b: f64) -> bool { a == 0.5 }\n");
+//! assert_eq!(analysis.diagnostics.len(), 1);
+//! assert_eq!(analysis.diagnostics[0].lint.id(), "D3");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod lints;
+pub mod manifest;
+pub mod markers;
+pub mod report;
+pub mod scopes;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use lints::{analyze_file, FileAnalysis, FileCtx, FileKind};
+pub use manifest::{check_cycles, check_layering, parse_manifest, workspace_layers, Manifest};
+pub use report::{Diagnostic, Lint, Report};
+
+/// A fatal analysis error (I/O problems; lint findings are *not*
+/// errors, they are [`Report`] rows).
+#[derive(Debug)]
+pub struct AnalyzeError {
+    /// What failed.
+    pub message: String,
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Crates whose `src/` is front-end code: P1/W1 exempt (they parse
+/// arguments, read clocks and may panic on broken invariants).
+const FRONT_END_CRATES: &[&str] = &["msrnet-cli", "msrnet-bench"];
+
+/// Analyzes the whole workspace rooted at `root` (the directory
+/// holding the top-level `Cargo.toml`).
+///
+/// Scans, deterministically (crates and files in sorted order):
+/// * every member crate's `Cargo.toml` → the `L1` layering lint;
+/// * every `.rs` file under each member's `src/` → the token lints.
+///
+/// Files under `tests/`, `benches/` and `examples/` are deliberately
+/// not scanned: test code is exempt from every lint, and the
+/// analyzer's own fixture corpus of known-bad files lives there.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] only for I/O failures (unreadable root,
+/// undecodable file); lint findings never error.
+pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
+    let mut report = Report::default();
+    let mut manifests: Vec<(String, Manifest)> = Vec::new();
+
+    // Member crates: `crates/*` plus the root facade package.
+    let mut crate_dirs: Vec<(PathBuf, String)> = vec![(root.to_path_buf(), String::new())];
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir).map_err(|e| AnalyzeError {
+        message: format!("reading {}: {e}", crates_dir.display()),
+    })?;
+    let mut names: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| AnalyzeError {
+            message: format!("reading {}: {e}", crates_dir.display()),
+        })?;
+        if entry.path().join("Cargo.toml").is_file() {
+            names.push(entry.path());
+        }
+    }
+    names.sort();
+    for dir in names {
+        let rel = format!(
+            "crates/{}",
+            dir.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        );
+        crate_dirs.push((dir, rel));
+    }
+
+    let layers = workspace_layers();
+    for (dir, rel) in &crate_dirs {
+        let manifest_path = dir.join("Cargo.toml");
+        let text = fs::read_to_string(&manifest_path).map_err(|e| AnalyzeError {
+            message: format!("reading {}: {e}", manifest_path.display()),
+        })?;
+        let m = parse_manifest(&text);
+        if m.name.is_empty() {
+            // A virtual manifest (workspace-only section) has no
+            // package to layer-check.
+            continue;
+        }
+        report.crates_scanned += 1;
+        let report_path = if rel.is_empty() {
+            "Cargo.toml".to_string()
+        } else {
+            format!("{rel}/Cargo.toml")
+        };
+        report.diagnostics.extend(check_layering(&report_path, &m, &layers));
+        let kind = if FRONT_END_CRATES.contains(&m.name.as_str()) {
+            FileKind::FrontEnd
+        } else {
+            FileKind::Library
+        };
+        let src_dir = dir.join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files);
+        files.sort();
+        for file in files {
+            let text = fs::read_to_string(&file).map_err(|e| AnalyzeError {
+                message: format!("reading {}: {e}", file.display()),
+            })?;
+            let file_rel = relative_path(root, &file);
+            // `src/bin/*` are binary targets: front-end rules.
+            let file_kind = if file_rel.contains("/src/bin/") {
+                FileKind::FrontEnd
+            } else {
+                kind
+            };
+            let ctx = FileCtx {
+                crate_name: m.name.clone(),
+                path: file_rel,
+                kind: file_kind,
+            };
+            let analysis = analyze_file(&ctx, &text);
+            report.files_scanned += 1;
+            report.suppressed += analysis.suppressed;
+            report.diagnostics.extend(analysis.diagnostics);
+        }
+        manifests.push((report_path, m));
+    }
+    report.diagnostics.extend(check_cycles(&manifests));
+    report.canonicalize();
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir` (missing dir → none).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `file` relative to `root`, with forward slashes.
+fn relative_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_compiles_and_fires() {
+        let ctx = FileCtx {
+            crate_name: "msrnet-core".to_string(),
+            path: "x.rs".to_string(),
+            kind: FileKind::Library,
+        };
+        let a = analyze_file(&ctx, "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n");
+        assert!(a.diagnostics.iter().any(|d| d.lint == Lint::D2));
+        assert!(a.diagnostics.iter().any(|d| d.lint == Lint::P1));
+    }
+}

@@ -1,0 +1,260 @@
+//! Cargo manifest scanning and the L1 crate-layering lint.
+//!
+//! The workspace has a strict layering DAG:
+//!
+//! ```text
+//! layer 0: rng, geom, analyzer          (leaf utilities, no deps)
+//! layer 1: pwl, rctree                  (models)
+//! layer 2: core                         (the MSRI/ARD engine)
+//! layer 3: buffering, steiner, netgen   (companion algorithms)
+//! layer 4: incremental, batch, verify   (execution engines)
+//! layer 5: cli, bench, msrnet           (front ends and the facade)
+//! ```
+//!
+//! A `[dependencies]` entry pointing at a *higher* layer is rejected,
+//! as are dependency cycles and crates missing from the layer map.
+//! Edges within a layer are allowed (e.g. `batch → incremental`,
+//! `verify → batch`) as long as the graph stays acyclic.
+//!
+//! The parser is a line-oriented subset of TOML — section headers and
+//! `key = value` / `key.path = value` lines — which is all Cargo
+//! manifests in this workspace use.
+
+use std::collections::BTreeMap;
+
+use crate::report::{Diagnostic, Lint};
+
+/// The layer of every workspace crate. Adding a crate without
+/// extending this map is itself an L1 diagnostic, so the map cannot
+/// silently rot.
+pub const LAYERS: &[(&str, u32)] = &[
+    ("msrnet-rng", 0),
+    ("msrnet-geom", 0),
+    ("msrnet-analyzer", 0),
+    ("msrnet-pwl", 1),
+    ("msrnet-rctree", 1),
+    ("msrnet-core", 2),
+    ("msrnet-buffering", 3),
+    ("msrnet-steiner", 3),
+    ("msrnet-netgen", 3),
+    ("msrnet-incremental", 4),
+    ("msrnet-batch", 4),
+    ("msrnet-verify", 4),
+    ("msrnet-cli", 5),
+    ("msrnet-bench", 5),
+    ("msrnet", 5),
+];
+
+/// One parsed manifest: the crate's name and its workspace-internal
+/// dependencies with the line each was declared on.
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    /// `package.name`.
+    pub name: String,
+    /// `(dep name, 1-based line)` from `[dependencies]` only —
+    /// dev-dependencies may point anywhere (tests legitimately pull
+    /// helper crates from any layer).
+    pub deps: Vec<(String, u32)>,
+}
+
+/// Parses the subset of TOML the workspace manifests use.
+pub fn parse_manifest(text: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('[') {
+            section = h.trim_end_matches(']').trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        // `msrnet-geom.workspace = true` declares dep `msrnet-geom`.
+        let key = key.trim().split('.').next().unwrap_or("").trim();
+        if section == "package" && key == "name" {
+            m.name = value.trim().trim_matches('"').to_string();
+        }
+        if section == "dependencies" && !key.is_empty() {
+            m.deps.push((key.to_string(), idx as u32 + 1));
+        }
+    }
+    m
+}
+
+/// The layer lookup used by [`check_layering`]; tests may substitute
+/// their own map.
+pub type LayerMap = BTreeMap<String, u32>;
+
+/// The workspace's canonical layer map.
+pub fn workspace_layers() -> LayerMap {
+    LAYERS
+        .iter()
+        .map(|&(n, l)| (n.to_string(), l))
+        .collect()
+}
+
+/// Runs the L1 lint over one manifest. `path` is the report path of
+/// the Cargo.toml. Only dependencies on crates *in the map* are
+/// layer-checked (external crates — the workspace has none, by policy
+/// elsewhere — are out of scope for L1).
+pub fn check_layering(path: &str, m: &Manifest, layers: &LayerMap) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(&own) = layers.get(&m.name) else {
+        out.push(Diagnostic {
+            lint: Lint::L1,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            len: 0,
+            snippet: m.name.clone(),
+            message: format!(
+                "crate `{}` is not in the analyzer layer map; add it to LAYERS in \
+                 crates/analyzer/src/manifest.rs with an explicit layer",
+                m.name
+            ),
+        });
+        return out;
+    };
+    for (dep, line) in &m.deps {
+        if let Some(&dl) = layers.get(dep) {
+            if dl > own {
+                out.push(Diagnostic {
+                    lint: Lint::L1,
+                    path: path.to_string(),
+                    line: *line,
+                    col: 1,
+                    len: dep.len() as u32,
+                    snippet: dep.clone(),
+                    message: format!(
+                        "upward dependency: `{}` (layer {own}) depends on `{dep}` (layer {dl}); \
+                         the layering DAG is rng/geom/analyzer → pwl/rctree → core → \
+                         buffering/steiner/netgen → incremental/batch/verify → cli/bench",
+                        m.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Detects dependency cycles across a set of parsed manifests and
+/// reports each crate on a cycle once. Cargo itself rejects cycles in
+/// `[dependencies]`, but the analyzer re-checks so that fixture tests
+/// (and any future non-Cargo build description) have the same guard.
+pub fn check_cycles(manifests: &[(String, Manifest)]) -> Vec<Diagnostic> {
+    let index: BTreeMap<&str, usize> = manifests
+        .iter()
+        .enumerate()
+        .map(|(i, (_, m))| (m.name.as_str(), i))
+        .collect();
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; manifests.len()];
+    let mut on_cycle = vec![false; manifests.len()];
+    for start in 0..manifests.len() {
+        if state[start] == 0 {
+            dfs(start, manifests, &index, &mut state, &mut on_cycle);
+        }
+    }
+    manifests
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| on_cycle[i])
+        .map(|(_, (path, m))| Diagnostic {
+            lint: Lint::L1,
+            path: path.clone(),
+            line: 1,
+            col: 1,
+            len: 0,
+            snippet: m.name.clone(),
+            message: format!("crate `{}` participates in a dependency cycle", m.name),
+        })
+        .collect()
+}
+
+fn dfs(
+    v: usize,
+    manifests: &[(String, Manifest)],
+    index: &BTreeMap<&str, usize>,
+    state: &mut [u8],
+    on_cycle: &mut [bool],
+) {
+    state[v] = 1;
+    for (dep, _) in &manifests[v].1.deps {
+        if let Some(&u) = index.get(dep.as_str()) {
+            if state[u] == 0 {
+                dfs(u, manifests, index, state, on_cycle);
+            } else if state[u] == 1 {
+                on_cycle[u] = true;
+                on_cycle[v] = true;
+            }
+        }
+    }
+    state[v] = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "msrnet-core"
+version.workspace = true
+
+[dependencies]
+msrnet-pwl.workspace = true
+msrnet-rctree = { path = "../rctree" }
+
+[dev-dependencies]
+msrnet-rng.workspace = true
+"#;
+
+    #[test]
+    fn parses_name_and_runtime_deps_only() {
+        let m = parse_manifest(SAMPLE);
+        assert_eq!(m.name, "msrnet-core");
+        let names: Vec<_> = m.deps.iter().map(|(d, _)| d.as_str()).collect();
+        assert_eq!(names, vec!["msrnet-pwl", "msrnet-rctree"]);
+    }
+
+    #[test]
+    fn downward_deps_are_clean() {
+        let m = parse_manifest(SAMPLE);
+        assert!(check_layering("crates/core/Cargo.toml", &m, &workspace_layers()).is_empty());
+    }
+
+    #[test]
+    fn upward_dep_is_rejected() {
+        let text = "[package]\nname = \"msrnet-pwl\"\n[dependencies]\nmsrnet-core.workspace = true\n";
+        let m = parse_manifest(text);
+        let diags = check_layering("crates/pwl/Cargo.toml", &m, &workspace_layers());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint, Lint::L1);
+        assert_eq!(diags[0].line, 4);
+        assert!(diags[0].message.contains("upward dependency"));
+    }
+
+    #[test]
+    fn unknown_crate_is_rejected() {
+        let m = parse_manifest("[package]\nname = \"msrnet-mystery\"\n");
+        let diags = check_layering("crates/mystery/Cargo.toml", &m, &workspace_layers());
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("layer map"));
+    }
+
+    #[test]
+    fn same_layer_edges_are_allowed_but_cycles_are_not() {
+        let a = parse_manifest("[package]\nname = \"msrnet-batch\"\n[dependencies]\nmsrnet-incremental.workspace = true\n");
+        assert!(check_layering("a", &a, &workspace_layers()).is_empty());
+
+        let b = parse_manifest("[package]\nname = \"msrnet-incremental\"\n[dependencies]\nmsrnet-batch.workspace = true\n");
+        let cycle = check_cycles(&[("a".to_string(), a), ("b".to_string(), b)]);
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.iter().all(|d| d.message.contains("cycle")));
+    }
+}

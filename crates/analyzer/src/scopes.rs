@@ -1,0 +1,196 @@
+//! Test-scope detection: which byte ranges of a file are test code.
+//!
+//! The determinism and panic-policy lints only apply to code that can
+//! run in production. Anything under `#[cfg(test)]` or `#[test]` (and
+//! whole files under `tests/`, `benches/` or `examples/`, which the
+//! workspace walker never hands to the lints in the first place) is
+//! exempt: a test that `unwrap()`s is asserting, not crashing a user.
+//!
+//! Detection is token-based: an attribute `#[…]` whose content is
+//! `test`, `bench`, or a `cfg(…)` mentioning `test` marks the item that
+//! follows — up to its closing brace, or to the `;` for brace-less
+//! items — as a test region.
+
+use crate::lexer::{Lexed, TokenKind};
+
+/// Byte ranges of `text` that hold test-only code.
+#[derive(Clone, Debug, Default)]
+pub struct TestRegions {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl TestRegions {
+    /// Whether byte offset `at` falls inside a test region.
+    pub fn contains(&self, at: usize) -> bool {
+        self.ranges.iter().any(|&(s, e)| s <= at && at < e)
+    }
+
+    /// The detected regions, in source order.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+}
+
+/// Scans the token stream for test-marked items.
+pub fn find_test_regions(source: &str, lexed: &Lexed) -> TestRegions {
+    let toks = &lexed.tokens;
+    let mut regions = TestRegions::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // An attribute introducer: `#` `[` (outer) or `#` `!` `[` (inner).
+        let is_pound = toks[i].kind == TokenKind::Punct && toks[i].text(source) == "#";
+        if !is_pound {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].text(source) == "!" {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].text(source) != "[" {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute body up to the matching `]`.
+        let body_start = j + 1;
+        let mut depth = 1usize;
+        let mut k = body_start;
+        while k < toks.len() && depth > 0 {
+            match toks[k].text(source) {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let body = &toks[body_start..k.saturating_sub(1).max(body_start)];
+        if !attr_is_test(source, body.iter().map(|t| t.text(source))) {
+            i = k;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut item = k;
+        while item + 1 < toks.len() && toks[item].text(source) == "#" {
+            let mut jj = item + 1;
+            if toks[jj].text(source) == "!" {
+                jj += 1;
+            }
+            if jj >= toks.len() || toks[jj].text(source) != "[" {
+                break;
+            }
+            let mut d = 1usize;
+            let mut kk = jj + 1;
+            while kk < toks.len() && d > 0 {
+                match toks[kk].text(source) {
+                    "[" => d += 1,
+                    "]" => d -= 1,
+                    _ => {}
+                }
+                kk += 1;
+            }
+            item = kk;
+        }
+        // The item extends to its matching close brace, or to a `;`
+        // that appears before any brace opens (e.g. `use` items).
+        let start_byte = toks[i].start;
+        let mut depth = 0usize;
+        let mut end_byte = source.len();
+        let mut m = item;
+        while m < toks.len() {
+            match toks[m].text(source) {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_byte = toks[m].end;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end_byte = toks[m].end;
+                    break;
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        regions.ranges.push((start_byte, end_byte));
+        i = m.max(k) + 1;
+    }
+    regions
+}
+
+/// Whether an attribute body marks test code: `test`, `bench`, or a
+/// `cfg`/`cfg_attr` whose arguments mention `test`.
+fn attr_is_test<'a>(_source: &str, mut body: impl Iterator<Item = &'a str>) -> bool {
+    let Some(first) = body.next() else {
+        return false;
+    };
+    match first {
+        "test" | "bench" => true,
+        "cfg" | "cfg_attr" => body.any(|t| t == "test"),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn regions_of(src: &str) -> TestRegions {
+        find_test_regions(src, &lex(src))
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_region() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_prod() {}\n";
+        let r = regions_of(src);
+        assert_eq!(r.ranges().len(), 1);
+        let unwrap_at = src.find("unwrap").expect("present");
+        assert!(r.contains(unwrap_at));
+        let prod_at = src.find("prod").expect("present");
+        assert!(!r.contains(prod_at));
+        let after = src.find("also_prod").expect("present");
+        assert!(!r.contains(after));
+    }
+
+    #[test]
+    fn test_fn_is_a_region() {
+        let src = "#[test]\nfn check() { assert!(x.unwrap()); }\nfn prod() {}\n";
+        let r = regions_of(src);
+        assert!(r.contains(src.find("unwrap").expect("present")));
+        assert!(!r.contains(src.find("prod").expect("present")));
+    }
+
+    #[test]
+    fn stacked_attributes_are_covered() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn f() {} }\nfn prod() {}\n";
+        let r = regions_of(src);
+        assert!(r.contains(src.find("dead_code").expect("present")));
+        assert!(r.contains(src.find("fn f").expect("present")));
+        assert!(!r.contains(src.find("prod").expect("present")));
+    }
+
+    #[test]
+    fn cfg_any_with_test_counts() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod helpers { fn h() {} }\n";
+        let r = regions_of(src);
+        assert!(r.contains(src.find("fn h").expect("present")));
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_mark() {
+        let src = "#[derive(Debug)]\nstruct S { x: u32 }\n#[inline]\nfn f() {}\n";
+        let r = regions_of(src);
+        assert!(r.ranges().is_empty());
+    }
+
+    #[test]
+    fn nested_braces_close_correctly() {
+        let src = "#[cfg(test)]\nmod tests { fn a() { if x { y() } } fn b() {} }\nfn prod() {}\n";
+        let r = regions_of(src);
+        assert!(r.contains(src.find("fn b").expect("present")));
+        assert!(!r.contains(src.find("prod").expect("present")));
+    }
+}

@@ -1,0 +1,85 @@
+//! Injected-violation drill: take a *real* production source file,
+//! inject a known hazard into an in-memory copy, and assert the
+//! analyzer pins it at the exact line/column/span. This guards against
+//! the failure mode where the lint pass silently goes blind (e.g. a
+//! lexer regression swallowing tokens) while the workspace-clean test
+//! keeps passing vacuously.
+
+use msrnet_analyzer::{analyze_file, FileCtx, FileKind, Lint};
+use std::path::Path;
+
+fn real_source(rel: &str) -> String {
+    // CARGO_MANIFEST_DIR = crates/analyzer; the workspace root is two up.
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn ctx(path: &str) -> FileCtx {
+    FileCtx {
+        crate_name: "msrnet-core".to_string(),
+        path: path.to_string(),
+        kind: FileKind::Library,
+    }
+}
+
+#[test]
+fn baseline_dp_rs_is_clean() {
+    let src = real_source("crates/core/src/dp.rs");
+    let a = analyze_file(&ctx("crates/core/src/dp.rs"), &src);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    assert!(a.suppressed > 0, "dp.rs carries justified markers");
+}
+
+#[test]
+fn injected_partial_cmp_is_pinned_at_exact_span() {
+    let src = real_source("crates/core/src/dp.rs");
+
+    // Swap the first NaN-safe sort key for the NaN-unsafe idiom the
+    // pre-analyzer codebase used, exactly as a regressing patch would.
+    let safe = "total_cmp";
+    let pos = src.find(safe).expect("dp.rs sorts with total_cmp");
+    let injected = format!(
+        "{}partial_cmp{}",
+        &src[..pos],
+        &src[pos + safe.len()..]
+    );
+
+    let a = analyze_file(&ctx("crates/core/src/dp.rs"), &injected);
+    let d2: Vec<_> = a.diagnostics.iter().filter(|d| d.lint == Lint::D2).collect();
+    assert_eq!(d2.len(), 1, "exactly the injected site: {:?}", a.diagnostics);
+
+    // Recompute the expected 1-based line/col of the injection point
+    // from the patched text itself.
+    let before = &injected[..pos];
+    let line = before.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+    let col = (pos - before.rfind('\n').map_or(0, |i| i + 1)) as u32 + 1;
+    let d = d2[0];
+    assert_eq!((d.line, d.col), (line, col), "span drifted: {d:?}");
+    assert_eq!(d.len, "partial_cmp".len() as u32);
+    assert_eq!(d.snippet, "partial_cmp");
+}
+
+#[test]
+fn injected_hashmap_in_incremental_is_caught() {
+    let src = real_source("crates/incremental/src/lib.rs");
+    // Prepend a use; line 1 is outside any test region.
+    let injected = format!("use std::collections::HashMap;\n{src}");
+    let a = analyze_file(&ctx("crates/incremental/src/lib.rs"), &injected);
+    let d1: Vec<_> = a.diagnostics.iter().filter(|d| d.lint == Lint::D1).collect();
+    assert_eq!(d1.len(), 1, "{:?}", a.diagnostics);
+    assert_eq!(d1[0].line, 1);
+    assert_eq!(d1[0].snippet, "HashMap");
+}
+
+#[test]
+fn injected_wall_clock_in_core_is_caught() {
+    let src = real_source("crates/core/src/dp.rs");
+    let injected = format!("{src}\nfn sneak() -> std::time::Instant {{ std::time::Instant::now() }}\n");
+    let a = analyze_file(&ctx("crates/core/src/dp.rs"), &injected);
+    let w1: Vec<_> = a.diagnostics.iter().filter(|d| d.lint == Lint::W1).collect();
+    assert!(!w1.is_empty(), "{:?}", a.diagnostics);
+    let last_line = injected.lines().count() as u32;
+    assert!(w1.iter().all(|d| d.line == last_line), "{w1:?}");
+}

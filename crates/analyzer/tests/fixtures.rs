@@ -1,0 +1,196 @@
+//! Fixture-corpus tests: every lint gets a positive (bad), negative
+//! (good) and marker-suppressed fixture, analyzed through the public
+//! `analyze_file` entry point exactly as the workspace scan would.
+
+use msrnet_analyzer::{analyze_file, FileCtx, FileKind, Lint};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn analyze(name: &str, kind: FileKind) -> msrnet_analyzer::FileAnalysis {
+    let ctx = FileCtx {
+        crate_name: "fixture".to_string(),
+        path: format!("tests/fixtures/{name}"),
+        kind,
+    };
+    analyze_file(&ctx, &fixture(name))
+}
+
+fn lints_of(a: &msrnet_analyzer::FileAnalysis) -> Vec<Lint> {
+    a.diagnostics.iter().map(|d| d.lint).collect()
+}
+
+#[test]
+fn d1_bad_flags_both_hash_collections() {
+    let a = analyze("d1_bad.rs", FileKind::Library);
+    let ls = lints_of(&a);
+    assert!(ls.iter().filter(|&&l| l == Lint::D1).count() >= 3, "{ls:?}");
+    assert_eq!(a.suppressed, 0);
+}
+
+#[test]
+fn d1_good_is_clean() {
+    let a = analyze("d1_good.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn d1_marker_suppresses() {
+    let a = analyze("d1_suppressed.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    assert!(a.suppressed >= 1);
+}
+
+#[test]
+fn d2_bad_flags_partial_cmp_unwrap() {
+    let a = analyze("d2_bad.rs", FileKind::Library);
+    let ls = lints_of(&a);
+    assert!(ls.contains(&Lint::D2), "{ls:?}");
+}
+
+#[test]
+fn d2_good_ignores_comments_and_strings() {
+    let a = analyze("d2_good.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn d2_marker_suppresses() {
+    // The partial_cmp idiom raises both D2 (the ordering) and P1 (the
+    // unwrap); the fixture carries one marker for each, so the file is
+    // fully clean and both suppressions are counted.
+    let a = analyze("d2_suppressed.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    assert_eq!(a.suppressed, 2);
+}
+
+#[test]
+fn d3_bad_flags_literal_and_nan() {
+    let a = analyze("d3_bad.rs", FileKind::Library);
+    let ls = lints_of(&a);
+    assert!(ls.iter().filter(|&&l| l == Lint::D3).count() >= 2, "{ls:?}");
+}
+
+#[test]
+fn d3_good_allows_tolerance_infinity_and_ints() {
+    let a = analyze("d3_good.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn d3_marker_suppresses() {
+    let a = analyze("d3_suppressed.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    assert!(a.suppressed >= 1);
+}
+
+#[test]
+fn p1_bad_flags_unwrap_expect_panic_unreachable() {
+    let a = analyze("p1_bad.rs", FileKind::Library);
+    let ls = lints_of(&a);
+    assert!(ls.iter().filter(|&&l| l == Lint::P1).count() >= 4, "{ls:?}");
+}
+
+#[test]
+fn p1_good_is_clean() {
+    let a = analyze("p1_good.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn p1_marker_suppresses() {
+    let a = analyze("p1_suppressed.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    assert!(a.suppressed >= 1);
+}
+
+#[test]
+fn p1_exempt_in_front_end_crates() {
+    let a = analyze("p1_bad.rs", FileKind::FrontEnd);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn w1_bad_flags_instant_systemtime_env() {
+    let a = analyze("w1_bad.rs", FileKind::Library);
+    let ls = lints_of(&a);
+    assert!(ls.iter().filter(|&&l| l == Lint::W1).count() >= 3, "{ls:?}");
+}
+
+#[test]
+fn w1_good_is_clean() {
+    let a = analyze("w1_good.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn w1_marker_suppresses() {
+    let a = analyze("w1_suppressed.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    assert!(a.suppressed >= 1);
+}
+
+#[test]
+fn w1_exempt_in_front_end_crates() {
+    let a = analyze("w1_bad.rs", FileKind::FrontEnd);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn unused_marker_raises_m1() {
+    let src = "// msrnet-allow: panic nothing here actually panics\nfn ok() {}\n";
+    let ctx = FileCtx {
+        crate_name: "fixture".to_string(),
+        path: "unused.rs".to_string(),
+        kind: FileKind::Library,
+    };
+    let a = analyze_file(&ctx, src);
+    assert_eq!(lints_of(&a), vec![Lint::M1], "{:?}", a.diagnostics);
+}
+
+#[test]
+fn malformed_marker_raises_m1() {
+    let src = "// msrnet-allow: no-such-key reason text\nfn ok() {}\n";
+    let ctx = FileCtx {
+        crate_name: "fixture".to_string(),
+        path: "malformed.rs".to_string(),
+        kind: FileKind::Library,
+    };
+    let a = analyze_file(&ctx, src);
+    assert_eq!(lints_of(&a), vec![Lint::M1], "{:?}", a.diagnostics);
+}
+
+#[test]
+fn layering_rejects_upward_dependency() {
+    use msrnet_analyzer::{check_layering, parse_manifest, workspace_layers};
+    let toml = "[package]\nname = \"msrnet-rctree\"\n\n[dependencies]\nmsrnet-core.workspace = true\n";
+    let m = parse_manifest(toml);
+    let diags = check_layering("crates/rctree/Cargo.toml", &m, &workspace_layers());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, Lint::L1);
+    assert!(diags[0].message.contains("msrnet-core"), "{}", diags[0].message);
+}
+
+#[test]
+fn layering_accepts_downward_and_same_layer() {
+    use msrnet_analyzer::{check_layering, parse_manifest, workspace_layers};
+    let toml = "[package]\nname = \"msrnet-batch\"\n\n[dependencies]\nmsrnet-core.workspace = true\nmsrnet-incremental.workspace = true\n";
+    let m = parse_manifest(toml);
+    let diags = check_layering("crates/batch/Cargo.toml", &m, &workspace_layers());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn cycle_detection_flags_all_participants() {
+    use msrnet_analyzer::{check_cycles, parse_manifest};
+    let a = parse_manifest("[package]\nname = \"a\"\n[dependencies]\nb = { path = \"../b\" }\n");
+    let b = parse_manifest("[package]\nname = \"b\"\n[dependencies]\na = { path = \"../a\" }\n");
+    let diags = check_cycles(&[("a/Cargo.toml".into(), a), ("b/Cargo.toml".into(), b)]);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.lint == Lint::L1));
+}

@@ -1,0 +1,14 @@
+// Fixture: D1 positive — hash collections in non-test code.
+use std::collections::HashMap;
+
+fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+fn uniq(xs: &[u32]) -> std::collections::HashSet<u32> {
+    xs.iter().copied().collect()
+}

@@ -1,0 +1,22 @@
+// Fixture: D1 negative — ordered collections, plus hash collections
+// confined to a test module (exempt).
+use std::collections::BTreeMap;
+
+fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_is_fine_here() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

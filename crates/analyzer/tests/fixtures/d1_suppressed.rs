@@ -1,0 +1,11 @@
+// Fixture: D1 suppressed — each HashMap mention carries a justified
+// marker (the window is the marker's line and the line below it).
+// msrnet-allow: unordered-iter keys are drained into a sorted Vec before any iteration
+use std::collections::HashMap;
+
+// msrnet-allow: unordered-iter keys are drained into a sorted Vec before any iteration
+fn sorted_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}

@@ -1,0 +1,4 @@
+// Fixture: D2 positive — NaN-unsafe ordering via partial_cmp().unwrap().
+fn sort_desc(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}

@@ -1,0 +1,10 @@
+// Fixture: D2 suppressed — the nan-ord marker on the preceding line
+// covers D2, and a trailing same-line panic marker covers the P1 that
+// the `.unwrap()` in the same idiom would raise.
+fn max_finite(v: &[f64]) -> f64 {
+    v.iter()
+        .copied()
+        // msrnet-allow: nan-ord inputs are validated finite at the API boundary
+        .max_by(|a, b| a.partial_cmp(b).unwrap()) // msrnet-allow: panic finite inputs make partial_cmp total
+        .unwrap_or(0.0)
+}

@@ -1,0 +1,8 @@
+// Fixture: D3 positive — float literal equality in non-test code.
+fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+fn is_nan_probe(x: f64) -> bool {
+    x == f64::NAN
+}

@@ -1,0 +1,23 @@
+// Fixture: D3 negative — tolerance compare, infinity sentinels, and
+// integer equality are all fine; test modules are exempt.
+fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() < 1e-12
+}
+
+fn saturated(x: f64) -> bool {
+    x == f64::INFINITY || x == f64::NEG_INFINITY
+}
+
+fn is_three(n: u32) -> bool {
+    n == 3
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_is_fine_here() {
+        assert!(super::close(0.5, 0.5));
+        let x = 0.5;
+        assert!(x == 0.5);
+    }
+}

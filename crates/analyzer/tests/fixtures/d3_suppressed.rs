@@ -1,0 +1,5 @@
+// Fixture: D3 suppressed — exact sentinel comparison with a reason.
+fn skip_scaling(factor: f64) -> bool {
+    // msrnet-allow: float-eq 1.0 is the exact parsed default; scaling is skipped only then
+    factor == 1.0
+}

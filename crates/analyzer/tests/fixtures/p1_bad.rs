@@ -1,0 +1,15 @@
+// Fixture: P1 positive — panicking calls in library non-test code.
+fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("has two elements")
+}
+
+fn boom(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+    unreachable!("not reached");
+}

@@ -1,0 +1,18 @@
+// Fixture: P1 negative — fallible signatures, and unwrap confined to
+// tests (exempt). `Option::unwrap_or` is not `unwrap`.
+fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+fn first_or_zero(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: P1 suppressed — invariant-backed expect with a marker.
+fn last(v: &[u32]) -> u32 {
+    // msrnet-allow: panic callers validate non-emptiness at the API boundary
+    *v.last().expect("non-empty by construction")
+}

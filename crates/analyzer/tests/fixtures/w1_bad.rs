@@ -1,0 +1,16 @@
+// Fixture: W1 positive — wall-clock and environment reads in library code.
+use std::time::Instant;
+
+fn timed<F: FnOnce()>(f: F) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn home() -> Option<String> {
+    std::env::var("HOME").ok()
+}

@@ -1,0 +1,5 @@
+// Fixture: W1 negative — deterministic virtual time, no ambient reads.
+fn advance(clock_ps: &mut u64, step_ps: u64) -> u64 {
+    *clock_ps += step_ps;
+    *clock_ps
+}

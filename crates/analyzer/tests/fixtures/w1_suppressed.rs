@@ -1,0 +1,9 @@
+// Fixture: W1 suppressed — elapsed-time reporting with a marker.
+use std::time::Instant;
+
+fn timed<F: FnOnce()>(f: F) -> f64 {
+    // msrnet-allow: wall-clock elapsed-time report field only; never feeds results
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}

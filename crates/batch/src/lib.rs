@@ -43,6 +43,8 @@
 //! assert!(json.contains("\"nets\": 8"));
 //! ```
 
+#![warn(missing_docs)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -170,6 +172,7 @@ pub fn reports_bit_identical(a: &BatchReport, b: &BatchReport) -> bool {
 pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
     let threads = threads.max(1);
     let workers = threads.min(jobs.len()).max(1);
+    // msrnet-allow: wall-clock elapsed-time report field only; never feeds optimization results
     let start = Instant::now();
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<NetResult>> = (0..jobs.len()).map(|_| None).collect();
@@ -189,6 +192,7 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
             })
             .collect();
         for h in handles {
+            // msrnet-allow: panic a worker panic is already fatal; re-raising it on join is the intended behaviour
             for (i, r) in h.join().expect("batch workers do not panic") {
                 slots[i] = Some(r);
             }
@@ -199,6 +203,7 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
         wall: start.elapsed(),
         results: slots
             .into_iter()
+            // msrnet-allow: panic the atomic queue hands every index to exactly one worker
             .map(|s| s.expect("every job index is claimed exactly once"))
             .collect(),
     }
@@ -206,6 +211,7 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
 
 /// Characterizes and optimizes one net with a reused workspace.
 fn process(job: &BatchJob, ws: &mut MsriWorkspace) -> NetResult {
+    // msrnet-allow: wall-clock per-net elapsed-ms stat only; never feeds optimization results
     let t = Instant::now();
     let outcome = (|| {
         let rooted = job.net.rooted_at_terminal(job.root);
@@ -378,6 +384,7 @@ pub fn run_batch_incremental(
 ) -> ReplayReport {
     let threads = threads.max(1);
     let workers = threads.min(jobs.len()).max(1);
+    // msrnet-allow: wall-clock elapsed-time report field only; never feeds optimization results
     let start = Instant::now();
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<ReplayResult>> = (0..jobs.len()).map(|_| None).collect();
@@ -397,6 +404,7 @@ pub fn run_batch_incremental(
             })
             .collect();
         for h in handles {
+            // msrnet-allow: panic a worker panic is already fatal; re-raising it on join is the intended behaviour
             for (i, r) in h.join().expect("replay workers do not panic") {
                 slots[i] = Some(r);
             }
@@ -408,6 +416,7 @@ pub fn run_batch_incremental(
         wall: start.elapsed(),
         results: slots
             .into_iter()
+            // msrnet-allow: panic the atomic queue hands every index to exactly one worker
             .map(|s| s.expect("every job index is claimed exactly once"))
             .collect(),
     }
@@ -427,6 +436,7 @@ fn curves_bit_identical(a: &TradeoffCurve, b: &TradeoffCurve) -> bool {
 
 /// Replays one job's seeded edit trace against the scratch oracle.
 fn replay(job: &BatchJob, edits_per_net: usize, seed: u64) -> ReplayResult {
+    // msrnet-allow: wall-clock per-net elapsed-ms stat only; never feeds optimization results
     let t = Instant::now();
     let mut result = ReplayResult {
         name: job.name.clone(),

@@ -128,6 +128,7 @@ pub fn min_cost_buffering(
     // non-leaf source by joining all its child branches.
     let mut acc: Option<Vec<Cand>> = None;
     for &u in children {
+        // msrnet-allow: panic post-order traversal fills every child slot before its parent
         let su = sets[u.0].take().expect("child processed");
         let au = augment(net, &rooted, su, u);
         acc = Some(match acc {
@@ -135,6 +136,7 @@ pub fn min_cost_buffering(
             Some(prev) => prune(join(prev, au, &mut trace)),
         });
     }
+    // msrnet-allow: panic validated nets give the source at least one child branch
     let set = acc.expect("nonempty");
 
     let term = net.terminal(source);
@@ -177,6 +179,7 @@ pub fn max_slack_buffering(
 ) -> BufferedSolution {
     min_cost_buffering(net, source, library)
         .pop()
+        // msrnet-allow: panic the frontier always contains the zero-buffer candidate
         .expect("frontier is never empty")
 }
 
@@ -214,6 +217,7 @@ fn solutions_at(
         VertexKind::Steiner => {
             let mut acc: Option<Vec<Cand>> = None;
             for &u in &children {
+                // msrnet-allow: panic post-order traversal fills every child slot before its parent
                 let su = sets[u.0].take().expect("child processed");
                 let au = augment(net, rooted, su, u);
                 acc = Some(match acc {
@@ -221,9 +225,11 @@ fn solutions_at(
                     Some(prev) => prune(join(prev, au, trace)),
                 });
             }
+            // msrnet-allow: panic Steiner vertices have degree >= 2, so at least one child
             acc.expect("at least one child")
         }
         VertexKind::InsertionPoint => {
+            // msrnet-allow: panic post-order traversal fills every child slot before its parent
             let su = sets[children[0].0].take().expect("child processed");
             let au = augment(net, rooted, su, children[0]);
             let mut out = Vec::with_capacity(au.len() * (1 + library.len()));
@@ -250,6 +256,7 @@ fn solutions_at(
 }
 
 fn augment(net: &Net, rooted: &Rooted, set: Vec<Cand>, v: VertexId) -> Vec<Cand> {
+    // msrnet-allow: panic augment is only called on children, which always have a parent edge
     let e = rooted.parent_edge(v).expect("non-root");
     let r = net.edge_res(e);
     let c = net.edge_cap(e);

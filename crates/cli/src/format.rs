@@ -24,7 +24,7 @@
 //!   endpoints; `res_scale`/`cap_scale` carry wire-width scaling.
 //! * Names must be unique; wires refer to names.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use msrnet_geom::Point;
@@ -83,7 +83,7 @@ impl std::error::Error for ParseNetError {}
 /// fails validation.
 pub fn parse_net_file(text: &str) -> Result<NetFile, ParseNetError> {
     let mut builder: Option<NetBuilder> = None;
-    let mut ids: HashMap<String, VertexId> = HashMap::new();
+    let mut ids: BTreeMap<String, VertexId> = BTreeMap::new();
     let mut names: Vec<String> = Vec::new();
     let mut library: Vec<Repeater> = Vec::new();
     // Wire-width scaling can only be applied once the builder has been
@@ -183,6 +183,7 @@ pub fn parse_net_file(text: &str) -> Result<NetFile, ParseNetError> {
                     .map(|v| parse_num(lineno, v))
                     .transpose()?
                     .unwrap_or(1.0);
+                // msrnet-allow: float-eq 1.0 is the exact parsed default; scaling is skipped only for bit-exact unit factors
                 if rs != 1.0 || cs != 1.0 {
                     deferred.push((e, rs, cs));
                 }
@@ -251,8 +252,8 @@ fn positional<'a, const N: usize>(
 fn keyvals<'a>(
     line: usize,
     rest: &[&'a str],
-) -> Result<HashMap<&'a str, &'a str>, ParseNetError> {
-    let mut kv = HashMap::new();
+) -> Result<BTreeMap<&'a str, &'a str>, ParseNetError> {
+    let mut kv = BTreeMap::new();
     for w in rest {
         if let Some((k, v)) = w.split_once('=') {
             if kv.insert(k, v).is_some() {
@@ -273,7 +274,7 @@ fn parse_num(line: usize, s: &str) -> Result<f64, ParseNetError> {
 /// `key=-` means −∞ (non-source / non-sink); missing key means 0.
 fn opt_num(
     line: usize,
-    kv: &HashMap<&str, &str>,
+    kv: &BTreeMap<&str, &str>,
     key: &str,
 ) -> Result<f64, ParseNetError> {
     match kv.get(key) {
@@ -283,7 +284,7 @@ fn opt_num(
     }
 }
 
-fn req_num(line: usize, kv: &HashMap<&str, &str>, key: &str) -> Result<f64, ParseNetError> {
+fn req_num(line: usize, kv: &BTreeMap<&str, &str>, key: &str) -> Result<f64, ParseNetError> {
     match kv.get(key) {
         None => Err(ParseNetError::new(line, format!("missing `{key}=`"))),
         Some(v) => parse_num(line, v),
@@ -292,7 +293,7 @@ fn req_num(line: usize, kv: &HashMap<&str, &str>, key: &str) -> Result<f64, Pars
 
 fn pair(
     line: usize,
-    kv: &HashMap<&str, &str>,
+    kv: &BTreeMap<&str, &str>,
     key: &str,
 ) -> Result<(f64, f64), ParseNetError> {
     let raw = kv
@@ -367,9 +368,11 @@ pub fn write_net_file(net: &Net, library: &[Repeater]) -> String {
             names[b.0],
             net.topology.length(e)
         ));
+        // msrnet-allow: float-eq exactly-1.0 factors are omitted so output round-trips bit-identically
         if rs != 1.0 {
             out.push_str(&format!(" res_scale={rs}"));
         }
+        // msrnet-allow: float-eq exactly-1.0 factors are omitted so output round-trips bit-identically
         if cs != 1.0 {
             out.push_str(&format!(" cap_scale={cs}"));
         }

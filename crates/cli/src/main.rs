@@ -53,7 +53,8 @@ const USAGE: &str = "usage:
   msrnet-cli render FILE [-o FILE.svg] [--best] [--no-labels]
   msrnet-cli report FILE [-o FILE.md] [--root T] [--spec PS] [--driver-cost C]
   msrnet-cli verify [--seed S] [--cases N] [--budget-ms B] [--max-failures K]
-                       [--repro-dir DIR] [-o FILE.json]";
+                       [--repro-dir DIR] [-o FILE.json]
+  msrnet-cli lint [--root DIR] [--json] [-o FILE.json]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -69,6 +70,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "render" => cmd_render(&rest),
         "report" => cmd_report(&rest),
         "verify" => cmd_verify(&rest),
+        "lint" => cmd_lint(&rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -660,6 +662,66 @@ fn cmd_verify(args: &[&String]) -> Result<(), String> {
         Err(format!(
             "{} oracle mismatch(es); shrunk repros in {repro_dir}/",
             report.failures.len()
+        ))
+    }
+}
+
+fn cmd_lint(args: &[&String]) -> Result<(), String> {
+    use std::path::Path;
+
+    let f = Flags::parse(args, &["json"])?;
+    f.reject_unknown(&["root", "o"])?;
+    // Default root: walk up from the current directory to the first
+    // ancestor holding a workspace manifest (so `msrnet-cli lint` works
+    // from anywhere inside the tree).
+    let root = match f.get("root") {
+        Some(dir) => Path::new(dir).to_path_buf(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            let mut probe = cwd.as_path();
+            loop {
+                if probe.join("Cargo.toml").is_file() && probe.join("crates").is_dir() {
+                    break probe.to_path_buf();
+                }
+                probe = probe
+                    .parent()
+                    .ok_or("no workspace root found; pass --root DIR")?;
+            }
+        }
+    };
+    let report = msrnet_analyzer::analyze_workspace(&root).map_err(|e| e.to_string())?;
+    eprintln!(
+        "linted {} crates, {} files: {} diagnostic(s), {} suppressed by markers",
+        report.crates_scanned,
+        report.files_scanned,
+        report.diagnostics.len(),
+        report.suppressed,
+    );
+    if f.has("json") || f.get("o").is_some() {
+        let json = report.to_json();
+        match f.get("o") {
+            Some(out) => {
+                std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+                eprintln!("wrote {out}");
+                if f.has("json") {
+                    print!("{json}");
+                }
+            }
+            None => print!("{json}"),
+        }
+    }
+    if !f.has("json") {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} unsuppressed lint diagnostic(s); fix them or add justified \
+             `msrnet-allow` markers",
+            report.diagnostics.len()
         ))
     }
 }

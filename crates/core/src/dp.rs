@@ -558,6 +558,7 @@ pub fn optimize_incremental(
             }
         }
         let set = solver.solutions_at(v, &mut |u| {
+            // msrnet-allow: panic post-order traversal caches every child before its parent
             sets[u.0].as_ref().expect("child cached").clone()
         });
         sets[v.0] = Some(set);
@@ -573,6 +574,7 @@ pub fn optimize_incremental(
     }
     debug_assert_eq!(children.len(), 1, "leaf root has one child");
     let child = children[0];
+    // msrnet-allow: panic the post-order loop above filled every non-root slot
     let below = sets[child.0].as_ref().expect("child processed").clone();
     let at_root = solver.augment(below, child);
     let evals = solver.root_solutions(at_root, root);
@@ -649,6 +651,7 @@ impl Solver<'_> {
                 break; // handled by RootSolutions below
             }
             let set = self.solutions_at(v, &mut |u| {
+                // msrnet-allow: panic post-order traversal fills every child slot before its parent
                 sets[u.0].take().expect("child processed")
             });
             sets[v.0] = Some(set);
@@ -663,6 +666,7 @@ impl Solver<'_> {
         }
         debug_assert_eq!(children.len(), 1, "leaf root has one child");
         let child = children[0];
+        // msrnet-allow: panic the post-order loop above filled every non-root slot
         let below = sets[child.0].take().expect("child processed");
         let at_root = self.augment(below, child);
         let evals = self.root_solutions(at_root, root);
@@ -717,6 +721,7 @@ impl Solver<'_> {
                         }
                     });
                 }
+                // msrnet-allow: panic Steiner vertices have degree >= 2, so at least one child
                 acc.expect("at least one child")
             }
             VertexKind::InsertionPoint => {
@@ -804,11 +809,13 @@ impl Solver<'_> {
     /// Paper Fig. 10: extend candidates at `v` through `v`'s parent wire,
     /// enumerating wire-width options when wire sizing is enabled.
     fn augment(&mut self, set: Vec<Cand>, v: VertexId) -> Vec<Cand> {
+        // msrnet-allow: panic augment is only called on children, which always have a parent edge
         let e = self.rooted.parent_edge(v).expect("non-root vertex");
         let len = self.net.topology.length(e);
         let base_r = self.net.edge_res(e);
         let base_c = self.net.edge_cap(e);
         let sizing = self.wire_options.len() > 1 && len > 0.0;
+        // msrnet-allow: float-eq exact-zero parasitics make augmenting the identity; any nonzero value must augment
         if !sizing && base_r == 0.0 && base_c == 0.0 {
             return set;
         }

@@ -36,11 +36,13 @@ pub struct GreedyResult {
 impl GreedyResult {
     /// The final (best) ARD reached.
     pub fn final_ard(&self) -> f64 {
+        // msrnet-allow: panic the constructor records at least the zero-repeater step
         self.trajectory.last().expect("never empty").ard
     }
 
     /// The total repeater cost spent.
     pub fn final_cost(&self) -> f64 {
+        // msrnet-allow: panic the constructor records at least the zero-repeater step
         self.trajectory.last().expect("never empty").cost
     }
 }

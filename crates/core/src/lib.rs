@@ -57,6 +57,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ard;
 mod dp;
 pub mod exhaustive;

@@ -91,6 +91,7 @@ impl TradeoffCurve {
 
     /// The fastest solution (minimum ARD, maximum cost on the frontier).
     pub fn best_ard(&self) -> &TradeoffPoint {
+        // msrnet-allow: panic TradeoffCurve construction rejects empty point sets
         self.points.last().expect("curve is never empty")
     }
 
@@ -116,6 +117,7 @@ impl TradeoffCurve {
             return &self.points[0];
         }
         let first = &self.points[0];
+        // msrnet-allow: panic the len() <= 2 guard above ensures at least three points
         let last = self.points.last().expect("nonempty");
         let dc = (last.cost - first.cost).max(1e-12);
         let da = (first.ard - last.ard).max(1e-12);

@@ -46,6 +46,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
 use std::fmt;
 
 use msrnet_core::ard::{ard_linear_in, ArdReport, ArdWorkspace};
@@ -640,6 +642,7 @@ impl IncrementalOptimizer {
                 _ => 0.0,
             };
             for &u in self.rooted.children(v) {
+                // msrnet-allow: panic children of a rooted tree always have a parent edge
                 let e = self.rooted.parent_edge(u).expect("child has a parent edge");
                 c += self.net.edge_cap(e) + caps[u.0];
             }

@@ -184,6 +184,7 @@ fn edit_from(item: &Value, index: usize) -> Result<Edit, TraceError> {
     };
     let id = |key: &str| -> Result<usize, TraceError> {
         match get(fields, key) {
+            // msrnet-allow: float-eq fract()==0.0 is the exact integrality test for a JSON id
             Some(Value::Num(x)) if *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64 => {
                 Ok(*x as usize)
             }
@@ -259,7 +260,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), TraceError> {
+    fn expect_byte(&mut self, c: u8) -> Result<(), TraceError> {
         if self.peek() == Some(c) {
             self.pos += 1;
             Ok(())
@@ -293,7 +294,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, TraceError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -304,7 +305,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let val = self.value()?;
             fields.push((key, val));
             self.skip_ws();
@@ -320,7 +321,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, TraceError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -342,7 +343,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, TraceError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -372,7 +373,9 @@ impl<'a> Parser<'a> {
                     // Advance over one UTF-8 scalar (input is &str, so
                     // boundaries are well-formed).
                     let rest = &self.bytes[self.pos..];
+                    // msrnet-allow: panic parse input arrived as &str, so a suffix at a scalar boundary is valid UTF-8
                     let s = std::str::from_utf8(rest).expect("input came from &str");
+                    // msrnet-allow: panic the Some(_) arm guarantees at least one byte remains
                     let ch = s.chars().next().expect("non-empty");
                     out.push(ch);
                     self.pos += ch.len_utf8();
@@ -393,6 +396,7 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
+        // msrnet-allow: panic the numeral scanner only consumes ASCII bytes
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
         text.parse::<f64>()
             .map(Value::Num)

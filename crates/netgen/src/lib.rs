@@ -211,6 +211,7 @@ impl ExperimentNet {
         self.net
             .terminal_ids()
             .find(|&t| self.net.terminal(t).is_source())
+            // msrnet-allow: panic generated nets always carry exactly one source terminal
             .expect("validated nets have a source")
     }
 }

@@ -50,6 +50,8 @@
 //! assert_eq!(arrival.segments().len(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 mod arena;
 mod function;
 mod interval;

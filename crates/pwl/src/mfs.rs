@@ -218,6 +218,7 @@ fn summarize<T>(fp: &FuncPoint<T>) -> Summary {
 /// single-step (1+eps) coverage arguments compose with later *exact*
 /// invalidations of the killer.
 fn relaxed_le(a: f64, b: f64, eps: f64) -> bool {
+    // msrnet-allow: float-eq eps == 0.0 selects the exact comparison path bit-identically
     if eps == 0.0 {
         return a <= b;
     }

@@ -186,6 +186,7 @@ impl<'a> Elmore<'a> {
         for v in self.rooted.postorder() {
             self.down[v.0] = match self.placed(v) {
                 Some(rep) => {
+                    // msrnet-allow: panic placed(v) returned Some, so the assignment has an entry
                     let orient = self.assignment.at(v).expect("placed").orientation;
                     rep.cap_facing_parent(orient)
                 }
@@ -209,6 +210,7 @@ impl<'a> Elmore<'a> {
             };
             self.up[v.0] = match self.placed(p) {
                 Some(rep) => {
+                    // msrnet-allow: panic placed(p) returned Some, so the assignment has an entry
                     let orient = self.assignment.at(p).expect("placed").orientation;
                     rep.cap_facing_child(orient)
                 }
@@ -280,6 +282,7 @@ impl<'a> Elmore<'a> {
         match self.placed(v) {
             None => 0.0,
             Some(rep) => {
+                // msrnet-allow: panic placed(v) returned Some, so the assignment has an entry
                 let orient = self.assignment.at(v).expect("placed").orientation;
                 let drive = rep.upstream_drive(orient);
                 drive.intrinsic + drive.out_res * (self.pe_cap[v.0] + self.up[v.0])
@@ -303,6 +306,7 @@ impl<'a> Elmore<'a> {
                 let children = self.rooted.children(v);
                 assert_eq!(children.len(), 1, "repeater vertex must have one child");
                 let u = children[0];
+                // msrnet-allow: panic placed(v) returned Some, so the assignment has an entry
                 let orient = self.assignment.at(v).expect("placed").orientation;
                 let drive = rep.downstream_drive(orient);
                 drive.intrinsic + drive.out_res * (self.pe_cap[u.0] + self.down[u.0])

@@ -120,6 +120,7 @@ pub fn moments_from(
                     }
                 }
                 if rooted.parent(p).is_some() {
+                    // msrnet-allow: panic guarded by the is_some() check on the line above
                     acc += elmore.parent_edge_cap(p) * 0.5 * (m1[p.0] + m1[rooted.parent(p).expect("has parent").0])
                         + cm_up[p.0];
                 }
@@ -142,6 +143,7 @@ pub fn moments_from(
             acc += elmore.parent_edge_cap(u) * 0.5 * (m1[src_v.0] + m1[u.0]) + cm[u.0];
         }
         if rooted.parent(src_v).is_some() {
+            // msrnet-allow: panic guarded by the is_some() check on the line above
             let p = rooted.parent(src_v).expect("has parent");
             acc += elmore.parent_edge_cap(src_v) * 0.5 * (m1[src_v.0] + m1[p.0])
                 + cm_up[src_v.0];

@@ -738,13 +738,17 @@ impl Rooted {
     pub fn lca(&self, u: VertexId, w: VertexId) -> VertexId {
         let (mut a, mut b) = (u, w);
         while self.depth[a.0] > self.depth[b.0] {
+            // msrnet-allow: panic strictly deeper vertices have a parent
             a = self.parent[a.0].expect("deeper vertex has a parent");
         }
         while self.depth[b.0] > self.depth[a.0] {
+            // msrnet-allow: panic strictly deeper vertices have a parent
             b = self.parent[b.0].expect("deeper vertex has a parent");
         }
         while a != b {
+            // msrnet-allow: panic equal-depth distinct vertices are both below the root
             a = self.parent[a.0].expect("distinct vertices have parents");
+            // msrnet-allow: panic equal-depth distinct vertices are both below the root
             b = self.parent[b.0].expect("distinct vertices have parents");
         }
         a
@@ -757,16 +761,20 @@ impl Rooted {
         let (mut a, mut b) = (u, w);
         while self.depth[a.0] > self.depth[b.0] {
             up.push(a);
+            // msrnet-allow: panic strictly deeper vertices have a parent
             a = self.parent[a.0].expect("depth > 0 has parent");
         }
         while self.depth[b.0] > self.depth[a.0] {
             down.push(b);
+            // msrnet-allow: panic strictly deeper vertices have a parent
             b = self.parent[b.0].expect("depth > 0 has parent");
         }
         while a != b {
             up.push(a);
             down.push(b);
+            // msrnet-allow: panic equal-depth distinct vertices are both below the root
             a = self.parent[a.0].expect("distinct vertices have parents");
+            // msrnet-allow: panic equal-depth distinct vertices are both below the root
             b = self.parent[b.0].expect("distinct vertices have parents");
         }
         up.push(a);

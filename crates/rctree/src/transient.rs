@@ -87,6 +87,7 @@ pub fn simulate_from(
         }
         // Fire downstream stages at frontier repeaters.
         for &(rep_v, next_v) in &stage.frontier {
+            // msrnet-allow: panic frontier entries are built from placed repeaters only
             let placed = assignment.at(rep_v).expect("frontier has repeater");
             let rep = &library[placed.repeater];
             let upward = rooted.parent(rep_v) == Some(next_v);
@@ -172,6 +173,7 @@ fn collect_stage(
                     .iter()
                     .map(|&(w, _)| w)
                     .find(|&w| w != v)
+                    // msrnet-allow: panic insertion points have degree 2, so a second neighbor exists
                     .expect("insertion points have degree 2");
                 frontier.push((u, onward));
                 continue;
@@ -217,6 +219,7 @@ fn simulate_stage(
         cap[b] += 0.5 * c;
     }
     for &(rep_v, next_v) in &stage.frontier {
+        // msrnet-allow: panic frontier entries are built from placed repeaters only
         let placed = assignment.at(rep_v).expect("repeater");
         let rep = &library[placed.repeater];
         // The cap facing *us*: if the onward vertex is the repeater's
@@ -232,6 +235,7 @@ fn simulate_stage(
             .nodes
             .iter()
             .position(|&v| v == rep_v)
+            // msrnet-allow: panic stage.nodes includes every frontier repeater by construction
             .expect("frontier node indexed");
         cap[idx] += c_in;
     }

@@ -180,6 +180,7 @@ pub fn ptree_topology(terminals: &[Point], order: &[usize]) -> SteinerTopology {
     let full = idx(0, n - 1);
     let root_p = (0..h)
         .min_by(|&a, &b| dp[full][a].total_cmp(&dp[full][b]))
+        // msrnet-allow: panic h >= 1 candidate positions are validated before the DP runs
         .expect("nonempty candidate set");
 
     // Reconstruct: terminals first (original indexing), then merge
@@ -208,6 +209,7 @@ pub fn ptree_topology(terminals: &[Point], order: &[usize]) -> SteinerTopology {
             edges.push((parent_vertex, s));
         }
         match choice[idx(i, j)][p] {
+            // msrnet-allow: panic only intervals with span > 0 are pushed, and those store Split
             Choice::Leaf => unreachable!("interval with span > 0 must split"),
             Choice::Split { k, left_q, right_q } => {
                 stack.push((i, k, left_q, s));

@@ -208,6 +208,7 @@ fn regression_{fn_name}() {{
 /// Returns the aggregate report; the caller decides how to persist
 /// shrunk repros (the CLI writes them as `.msr` files).
 pub fn run_verify(cfg: &VerifyConfig) -> VerifyReport {
+    // msrnet-allow: wall-clock elapsed-time report field only; never feeds check verdicts
     let start = Instant::now();
     let reg = registry();
     let mut checks: Vec<(String, CheckKind, CheckStats)> = reg

@@ -206,6 +206,7 @@ fn rebuild(inst: &Instance, mut removed: Vec<bool>, extra_edges: &[ExtraEdge]) -
         map[v.0] = Some(match topo.kind(v) {
             VertexKind::Steiner => b.steiner(topo.position(v)),
             VertexKind::InsertionPoint => b.insertion_point(topo.position(v)),
+            // msrnet-allow: panic the loop above already mapped every terminal vertex
             VertexKind::Terminal(_) => unreachable!("terminals handled above"),
         });
     }
