@@ -7,14 +7,16 @@
 //! layer 1: pwl, rctree                  (models)
 //! layer 2: core                         (the MSRI/ARD engine)
 //! layer 3: buffering, steiner, netgen   (companion algorithms)
-//! layer 4: incremental, batch, verify   (execution engines)
+//! layer 4: incremental, batch,
+//!          timing, verify               (execution engines)
 //! layer 5: cli, bench, msrnet           (front ends and the facade)
 //! ```
 //!
 //! A `[dependencies]` entry pointing at a *higher* layer is rejected,
 //! as are dependency cycles and crates missing from the layer map.
 //! Edges within a layer are allowed (e.g. `batch → incremental`,
-//! `verify → batch`) as long as the graph stays acyclic.
+//! `timing → batch`, `verify → timing`) as long as the graph stays
+//! acyclic.
 //!
 //! The parser is a line-oriented subset of TOML — section headers and
 //! `key = value` / `key.path = value` lines — which is all Cargo
@@ -39,6 +41,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("msrnet-netgen", 3),
     ("msrnet-incremental", 4),
     ("msrnet-batch", 4),
+    ("msrnet-timing", 4),
     ("msrnet-verify", 4),
     ("msrnet-cli", 5),
     ("msrnet-bench", 5),
@@ -132,7 +135,7 @@ pub fn check_layering(path: &str, m: &Manifest, layers: &LayerMap) -> Vec<Diagno
                     message: format!(
                         "upward dependency: `{}` (layer {own}) depends on `{dep}` (layer {dl}); \
                          the layering DAG is rng/geom/analyzer → pwl/rctree → core → \
-                         buffering/steiner/netgen → incremental/batch/verify → cli/bench",
+                         buffering/steiner/netgen → incremental/batch/timing/verify → cli/bench",
                         m.name
                     ),
                 });

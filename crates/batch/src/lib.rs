@@ -245,6 +245,63 @@ fn process(job: &BatchJob, ws: &mut MsriWorkspace) -> NetResult {
     }
 }
 
+/// Runs every job on the same worker pool as [`run_batch`] but returns
+/// the full per-net [`TradeoffCurve`]s (assignments included) instead of
+/// scalar summaries.
+///
+/// Callers that *realize* solutions — the `msrnet-timing` closure loop
+/// picks a frontier point per net and writes its repeater assignment
+/// back into the design — need the curve itself; [`run_batch`] only
+/// keeps figures of merit. Results are ordered by job index and
+/// bit-identical for every `threads` value, by the same argument as
+/// [`run_batch`] (atomic claim queue, per-worker workspaces, no shared
+/// state between nets).
+pub fn run_batch_curves(
+    jobs: &[BatchJob],
+    threads: usize,
+) -> Vec<Result<TradeoffCurve, String>> {
+    let workers = threads.max(1).min(jobs.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<TradeoffCurve, String>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ws = MsriWorkspace::new();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let curve = optimize_in(
+                            &job.net,
+                            job.root,
+                            &job.library,
+                            &job.drivers,
+                            &job.options,
+                            &mut ws,
+                        )
+                        .map_err(|e| e.to_string());
+                        local.push((i, curve));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            // msrnet-allow: panic a worker panic is already fatal; re-raising it on join is the intended behaviour
+            for (i, r) in h.join().expect("batch workers do not panic") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        // msrnet-allow: panic the atomic queue hands every index to exactly one worker
+        .map(|s| s.expect("every job index is claimed exactly once"))
+        .collect()
+}
+
 /// Builds `count` jobs over seeded random experiment nets (the paper's
 /// §VI generator): `terminals`-pin nets with insertion points every
 /// `spacing` µm, a 1X repeater pair and fixed 1X drivers.

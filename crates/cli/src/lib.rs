@@ -13,12 +13,20 @@
 //!   cost-vs-ARD frontier (optionally answering a `--spec`);
 //! * `batch` — optimize many nets on a worker pool, emitting a JSON
 //!   report;
+//! * `edits` — replay a JSON edit trace through an incremental
+//!   re-optimization session, cross-checking every recompute against a
+//!   from-scratch oracle;
+//! * `timing` — generate a seeded chip (`msrnet-timing`), run the
+//!   design-level timing-closure loop over its multisource nets, and
+//!   emit the per-round WNS/TNS trajectory as byte-stable JSON;
 //! * `render` — draw the topology (and optionally a solution) as SVG;
 //! * `report` — write a Markdown optimization report;
 //! * `verify` — run the seeded differential-verification harness
 //!   (`msrnet-verify`): oracle cross-checks plus metamorphic properties
 //!   over a generated case stream, shrinking any mismatch to a minimal
-//!   `.msr` repro.
+//!   `.msr` repro;
+//! * `lint` — run the in-workspace static analyzer (`msrnet-analyzer`)
+//!   over the source tree.
 //!
 //! # Examples
 //!

@@ -7,6 +7,7 @@
 //! msrnet-cli optimize net.msr [--root 0] [--spec PS] [--driver-cost C]
 //! msrnet-cli batch a.msr b.msr [--threads 4] [-o report.json]
 //! msrnet-cli edits net.msr --trace edits.json [--timing] [-o report.json]
+//! msrnet-cli timing --nets 40 --seed 1 [--k 8] [--rounds 8] [-o report.json]
 //! msrnet-cli render net.msr -o net.svg [--best] [--no-labels]
 //! ```
 
@@ -50,6 +51,9 @@ const USAGE: &str = "usage:
                        [--threads K] [--driver-cost C] [--incremental E] [-o FILE.json]
   msrnet-cli edits FILE --trace EDITS.json [--root T] [--driver-cost C]
                        [--pruning STRATEGY] [--timing] [-o FILE.json]
+  msrnet-cli timing [--nets N] [--levels L] [--seed S] [--max-pins P]
+                       [--spacing UM] [--clock PS] [--k K] [--rounds R]
+                       [--threads T] [--slack-target PS] [-o FILE.json]
   msrnet-cli render FILE [-o FILE.svg] [--best] [--no-labels]
   msrnet-cli report FILE [-o FILE.md] [--root T] [--spec PS] [--driver-cost C]
   msrnet-cli verify [--seed S] [--cases N] [--budget-ms B] [--max-failures K]
@@ -67,6 +71,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "optimize" => cmd_optimize(&rest),
         "batch" => cmd_batch(&rest),
         "edits" => cmd_edits(&rest),
+        "timing" => cmd_timing(&rest),
         "render" => cmd_render(&rest),
         "report" => cmd_report(&rest),
         "verify" => cmd_verify(&rest),
@@ -579,6 +584,76 @@ fn cmd_edits(args: &[&String]) -> Result<(), String> {
             "{mismatches} incremental recompute(s) diverged from the from-scratch oracle"
         ))
     }
+}
+
+fn cmd_timing(args: &[&String]) -> Result<(), String> {
+    use msrnet_timing::{generate_chip, run_closure, ChipConfig, ClosureConfig};
+    let f = Flags::parse(args, &[])?;
+    f.reject_unknown(&[
+        "nets",
+        "levels",
+        "seed",
+        "max-pins",
+        "spacing",
+        "clock",
+        "k",
+        "rounds",
+        "threads",
+        "slack-target",
+        "o",
+    ])?;
+    let threads = f.get_num("threads", 1.0)? as usize;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let chip = ChipConfig {
+        nets: f.get_num("nets", 40.0)? as usize,
+        levels: f.get_num("levels", 4.0)? as usize,
+        seed: f.get_num("seed", 1.0)? as u64,
+        max_pins: f.get_num("max-pins", 10.0)? as usize,
+        spacing: f.get_num("spacing", 2500.0)?,
+        clock: f.get_num("clock", 0.0)?,
+        ..ChipConfig::default()
+    };
+    if chip.nets == 0 {
+        return Err("--nets must be at least 1".into());
+    }
+    if chip.levels == 0 {
+        return Err("--levels must be at least 1".into());
+    }
+    let cfg = ClosureConfig {
+        k: f.get_num("k", 8.0)? as usize,
+        max_rounds: f.get_num("rounds", 8.0)? as usize,
+        threads,
+        slack_target: f.get_num("slack-target", 0.0)?,
+    };
+    let mut design = generate_chip(&chip).map_err(|e| e.to_string())?;
+    let report = run_closure(&mut design, &cfg).map_err(|e| e.to_string())?;
+    let touched: usize = report.rounds.iter().map(|r| r.touched.len()).sum();
+    eprintln!(
+        "closed timing on {} nets ({} cells, {} pins): WNS {:.2} -> {:.2} ps, \
+         TNS {:.2} -> {:.2} ps over {} round(s), {touched} nets touched, \
+         repeater cost {:.1}{}",
+        report.nets,
+        report.cells,
+        report.pins,
+        report.wns_initial,
+        report.wns_final,
+        report.tns_initial,
+        report.tns_final,
+        report.rounds.len(),
+        report.cost_added,
+        if report.converged { "" } else { " (round budget exhausted)" },
+    );
+    let json = report.to_json();
+    match f.get("o") {
+        Some(out) => {
+            std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
 }
 
 fn cmd_verify(args: &[&String]) -> Result<(), String> {

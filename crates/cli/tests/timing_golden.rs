@@ -1,0 +1,56 @@
+//! Golden-file test for the `msrnet-cli timing` JSON report.
+//!
+//! The closure report is the CI artifact other tooling parses, so its
+//! shape — key names, key order, null-vs-number conventions, per-round
+//! trajectory rows — is pinned verbatim against a checked-in golden
+//! file. Unlike the batch report, the timing report carries no
+//! wall-clock fields at all, so the comparison is byte-exact with no
+//! normalization: any drift in float formatting, chip generation, net
+//! ranking, or the closure loop itself fails this test.
+//!
+//! If an intentional schema or algorithm change lands, regenerate with:
+//!
+//! ```text
+//! msrnet-cli timing --nets 8 --seed 7 --k 3 --rounds 3 \
+//!   > crates/cli/tests/golden/timing-nets8-seed7.json
+//! ```
+
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/timing-nets8-seed7.json");
+
+fn run_timing(extra: &[&str]) -> String {
+    let mut args = vec![
+        "timing", "--nets", "8", "--seed", "7", "--k", "3", "--rounds", "3",
+    ];
+    args.extend_from_slice(extra);
+    let out = Command::new(env!("CARGO_BIN_EXE_msrnet-cli"))
+        .args(&args)
+        .output()
+        .expect("spawn msrnet-cli");
+    assert!(
+        out.status.success(),
+        "timing failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 json")
+}
+
+#[test]
+fn timing_json_matches_golden_byte_for_byte() {
+    assert_eq!(
+        run_timing(&[]),
+        GOLDEN,
+        "timing JSON diverged from the golden report; if intentional, \
+         regenerate crates/cli/tests/golden/timing-nets8-seed7.json \
+         (see module docs)"
+    );
+}
+
+#[test]
+fn timing_json_is_thread_count_invariant() {
+    // Same chip, same loop, 4 worker threads: everything except the
+    // echoed `threads` field must be bitwise identical.
+    let t4 = run_timing(&["--threads", "4"]).replace("\"threads\": 4", "\"threads\": 1");
+    assert_eq!(t4, GOLDEN, "timing JSON depends on the worker thread count");
+}

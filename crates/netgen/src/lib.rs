@@ -255,6 +255,82 @@ impl ExperimentNet {
     }
 }
 
+impl ExperimentNet {
+    /// Random region-local net with explicit unidirectional roles — the
+    /// chip regime's building block (`msrnet-timing` assembles designs
+    /// from many such nets, each confined to its own placement region).
+    ///
+    /// The first `n_sources` terminals are pure drivers (`AT = 0`,
+    /// driven through the 1X buffer's output resistance); the remaining
+    /// `n − n_sources` are pure sinks (`q = 0`, 1X receiver load). All
+    /// pins sit on distinct integer coordinates inside the `span × span`
+    /// box whose lower-left corner is `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sources` is zero or not less than `n` (a net needs
+    /// at least one driver and one sink).
+    ///
+    /// # Errors
+    ///
+    /// Propagates net-construction failures (not expected for random
+    /// point sets).
+    pub fn random_in_region<R: Rng>(
+        rng: &mut R,
+        n: usize,
+        n_sources: usize,
+        params: &TechParams,
+        origin: Point,
+        span: f64,
+    ) -> Result<Self, BuildNetError> {
+        assert!(n_sources >= 1 && n_sources < n);
+        let pts = random_points_in(rng, n, origin, span);
+        let terms: Vec<(Point, Terminal)> = pts
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let t = if i < n_sources {
+                    Terminal::source_only(0.0, params.buf_1x.in_cap, params.buf_1x.out_res)
+                } else {
+                    Terminal::sink_only(0.0, params.buf_1x.in_cap)
+                };
+                (p, t)
+            })
+            .collect();
+        let net = msrnet_steiner::build_net(params.tech, &terms)?.normalized();
+        Ok(ExperimentNet { net })
+    }
+}
+
+/// `n` distinct random integer-coordinate points inside the
+/// `span × span` box whose lower-left corner is `origin`.
+pub fn random_points_in<R: Rng>(rng: &mut R, n: usize, origin: Point, span: f64) -> Vec<Point> {
+    let s = (span as i64).max(n as i64);
+    let mut pts: Vec<Point> = Vec::with_capacity(n);
+    while pts.len() < n {
+        let p = Point::new(
+            origin.x + rng.gen_range(0..=s) as f64,
+            origin.y + rng.gen_range(0..=s) as f64,
+        );
+        if !pts.contains(&p) {
+            pts.push(p);
+        }
+    }
+    pts
+}
+
+/// A net size drawn from the skewed (power-law-like) distribution of
+/// real designs: mostly 2–3-pin nets, with a thin tail reaching
+/// `max_pins` (high-fanout control or clock-like nets). Implemented as
+/// `2 + ⌊(max_pins − 2) · u³⌋` for uniform `u` — the cube concentrates
+/// mass at the small end while keeping every size reachable.
+pub fn skewed_net_size<R: Rng>(rng: &mut R, max_pins: usize) -> usize {
+    let max_pins = max_pins.max(2);
+    let u = rng.gen_range(0.0..1.0f64);
+    let extra = ((max_pins - 2) as f64 * u * u * u) as usize;
+    (2 + extra).min(max_pins)
+}
+
 /// `n` distinct random integer-coordinate points on `[0, grid]²`.
 pub fn random_points<R: Rng>(rng: &mut R, n: usize, grid: f64) -> Vec<Point> {
     let g = grid as i64;

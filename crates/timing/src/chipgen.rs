@@ -1,0 +1,291 @@
+//! Seeded chip-scale design generation — the netgen chip regime.
+//!
+//! [`generate_chip`] assembles a [`Design`] out of many region-local
+//! multisource nets (built by [`msrnet_netgen::ExperimentNet::random_in_region`])
+//! arranged in a layered DAG of combinational logic:
+//!
+//! * net sizes follow the skewed distribution of real designs
+//!   ([`msrnet_netgen::skewed_net_size`]): mostly 2–3 pins, a thin tail
+//!   of high-fanout nets;
+//! * 1–3 drivers per net — the paper's multisource (bus) regime;
+//! * level-0 nets are driven by primary inputs with staggered arrival
+//!   times; deeper levels are driven by combinational cells whose
+//!   inputs consume sink pins of earlier-level nets (so the pin graph
+//!   is a DAG by construction);
+//! * leftover sink pins become primary outputs constrained by a
+//!   common clock. With `clock = 0` (auto) the constraint is set to
+//!   90 % of the unconstrained graph delay, so the generated design
+//!   always starts with negative WNS — work for the closure loop.
+//!
+//! Everything is drawn from one `StdRng` stream in a fixed order, so a
+//! `(config, seed)` pair maps to exactly one design.
+
+use msrnet_geom::Point;
+use msrnet_netgen::{skewed_net_size, table1, ExperimentNet};
+use msrnet_rctree::TerminalId;
+use msrnet_rng::rngs::StdRng;
+use msrnet_rng::{Rng, SeedableRng};
+
+use crate::design::{CellArc, Design, PinBind, TimingError};
+use crate::graph::propagate;
+use crate::PinId;
+
+/// Parameters for [`generate_chip`].
+#[derive(Clone, Debug)]
+pub struct ChipConfig {
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of logic levels (≥ 1).
+    pub levels: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Largest net size the skewed distribution can draw.
+    pub max_pins: usize,
+    /// Repeater insertion-point spacing, µm.
+    pub spacing: f64,
+    /// Smallest net bounding-box side, µm.
+    pub region_min: f64,
+    /// Largest net bounding-box side, µm.
+    pub region_max: f64,
+    /// Clock period (every endpoint's required time), ps.
+    /// `0.0` = auto: 90 % of the unconstrained graph delay.
+    pub clock: f64,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        ChipConfig {
+            nets: 60,
+            levels: 4,
+            seed: 1,
+            max_pins: 10,
+            spacing: 2500.0,
+            region_min: 1500.0,
+            region_max: 5000.0,
+            clock: 0.0,
+        }
+    }
+}
+
+/// Generates a seeded chip design (see the module docs for the
+/// construction).
+///
+/// # Errors
+///
+/// [`TimingError::Generate`] if a net fails to build (not expected
+/// for the generator's point sets) or the configuration is degenerate
+/// (`nets == 0` or `levels == 0`).
+///
+/// # Examples
+///
+/// ```
+/// use msrnet_timing::{generate_chip, propagate, ChipConfig};
+///
+/// let design = generate_chip(&ChipConfig {
+///     nets: 12,
+///     seed: 7,
+///     ..ChipConfig::default()
+/// })?;
+/// let timing = propagate(&design)?;
+/// // Auto clock leaves the design with work to do.
+/// assert!(timing.wns() < 0.0);
+/// # Ok::<(), msrnet_timing::TimingError>(())
+/// ```
+pub fn generate_chip(cfg: &ChipConfig) -> Result<Design, TimingError> {
+    if cfg.nets == 0 || cfg.levels == 0 {
+        return Err(TimingError::Generate(
+            "nets and levels must be at least 1".to_string(),
+        ));
+    }
+    let params = table1();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut design = Design::new();
+    // Sink pins of already-placed nets still available as cell inputs
+    // or primary outputs, per level: (net index, terminal).
+    let mut open: Vec<Vec<(usize, TerminalId)>> = vec![Vec::new(); cfg.levels];
+    let mut pi_count = 0usize;
+    let mut comb_count = 0usize;
+
+    for i in 0..cfg.nets {
+        // Levels are filled round-robin so every level gets nets even
+        // when `nets` is small.
+        let level = i % cfg.levels;
+        let n = skewed_net_size(&mut rng, cfg.max_pins);
+        let mut n_sources = 1usize;
+        if n > 2 && rng.gen_range(0..4) == 0 {
+            n_sources += 1;
+        }
+        if n > n_sources + 1 && rng.gen_range(0..5) == 0 {
+            n_sources += 1;
+        }
+        let span = rng.gen_range(cfg.region_min..=cfg.region_max);
+        let lo = 0.0;
+        let hi = (params.grid - span).max(1.0);
+        let origin = Point::new(
+            rng.gen_range(lo..=hi).floor(),
+            rng.gen_range(lo..=hi).floor(),
+        );
+        let exp = ExperimentNet::random_in_region(&mut rng, n, n_sources, &params, origin, span)
+            .map_err(|e| TimingError::Generate(e.to_string()))?;
+        let net = exp.with_insertion_points(cfg.spacing);
+        // Most nets get the 1X repeater; a quarter also get a 3X.
+        let mut library = vec![params.repeater(1.0)];
+        if rng.gen_range(0..4) == 0 {
+            library.push(params.repeater(3.0));
+        }
+
+        // One driving cell per source terminal.
+        let mut binds: Vec<PinBind> = Vec::new();
+        let sources: Vec<TerminalId> = net
+            .terminal_ids()
+            .filter(|&t| net.terminal(t).is_source())
+            .collect();
+        let sinks: Vec<TerminalId> = net
+            .terminal_ids()
+            .filter(|&t| net.terminal(t).is_sink())
+            .collect();
+        for &src in &sources {
+            let driver_inputs = if level == 0 {
+                Vec::new()
+            } else {
+                // Consume 1–3 open sink slots from earlier levels,
+                // preferring the immediately preceding one.
+                let want = rng.gen_range(1..=3usize);
+                let mut taken = Vec::new();
+                for _ in 0..want {
+                    let slot = (0..level)
+                        .rev()
+                        .find(|&l| !open[l].is_empty())
+                        .and_then(|l| open[l].pop());
+                    match slot {
+                        Some(s) => taken.push(s),
+                        None => break,
+                    }
+                }
+                taken
+            };
+            let out_pin: PinId;
+            if driver_inputs.is_empty() {
+                let at = rng.gen_range(0.0..100.0f64);
+                let cell = design.add_input(format!("pi{pi_count}"), at);
+                pi_count += 1;
+                out_pin = design.cells[cell.0].outputs[0];
+            } else {
+                let arcs: Vec<CellArc> = (0..driver_inputs.len())
+                    .map(|k| CellArc {
+                        input: k,
+                        output: 0,
+                        delay: rng.gen_range(20.0..120.0f64),
+                    })
+                    .collect();
+                let cell = design
+                    .add_comb(format!("u{comb_count}"), driver_inputs.len(), 1, arcs)?;
+                comb_count += 1;
+                out_pin = design.cells[cell.0].outputs[0];
+                for (k, (feed_net, feed_term)) in driver_inputs.iter().enumerate() {
+                    let pin = design.cells[cell.0].inputs[k];
+                    design.nets[*feed_net].binds.push(PinBind {
+                        terminal: *feed_term,
+                        pin,
+                    });
+                }
+            }
+            binds.push(PinBind {
+                terminal: src,
+                pin: out_pin,
+            });
+        }
+        let net_idx = design.nets.len();
+        // Bind the net now (driver binds only); sink binds are added
+        // as later cells or primary outputs consume the slots.
+        design.add_net(format!("n{i:04}"), net, library, binds)?;
+        for &snk in &sinks {
+            open[level].push((net_idx, snk));
+        }
+    }
+
+    // Every remaining open sink slot becomes a primary output.
+    let mut po_count = 0usize;
+    for level_slots in &open {
+        for &(net_idx, term) in level_slots {
+            let cell = design.add_output(format!("po{po_count}"), 0.0);
+            po_count += 1;
+            let pin = design.cells[cell.0].inputs[0];
+            design.nets[net_idx].binds.push(PinBind { terminal: term, pin });
+        }
+    }
+
+    // Resolve the clock: auto mode constrains to 90 % of the
+    // unconstrained graph delay so initial WNS is negative.
+    let clock = if cfg.clock > 0.0 {
+        cfg.clock
+    } else {
+        let t = propagate(&design)?;
+        let mut max_at = 0.0f64;
+        for &p in t.endpoints() {
+            let at = t.arrival(p);
+            if at.is_finite() && at > max_at {
+                max_at = at;
+            }
+        }
+        0.9 * max_at
+    };
+    design.set_all_required(clock);
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::propagate;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ChipConfig {
+            nets: 20,
+            seed: 5,
+            ..ChipConfig::default()
+        };
+        let a = generate_chip(&cfg).expect("generation succeeds");
+        let b = generate_chip(&cfg).expect("generation succeeds");
+        assert_eq!(a.pin_count(), b.pin_count());
+        assert_eq!(a.cells.len(), b.cells.len());
+        let ta = propagate(&a).expect("acyclic");
+        let tb = propagate(&b).expect("acyclic");
+        assert_eq!(ta.wns().to_bits(), tb.wns().to_bits());
+        assert_eq!(ta.tns().to_bits(), tb.tns().to_bits());
+    }
+
+    #[test]
+    fn chips_are_dags_with_negative_initial_wns() {
+        for seed in 1..=6u64 {
+            let d = generate_chip(&ChipConfig {
+                nets: 15,
+                seed,
+                ..ChipConfig::default()
+            })
+            .expect("generation succeeds");
+            let t = propagate(&d).expect("generated chips are DAGs");
+            assert!(!t.endpoints().is_empty());
+            assert!(t.wns() < 0.0, "seed {seed}: auto clock must bind");
+            assert!(t.tns() <= t.wns());
+        }
+    }
+
+    #[test]
+    fn every_bound_pin_is_consumed_exactly_once() {
+        let d = generate_chip(&ChipConfig {
+            nets: 25,
+            seed: 3,
+            ..ChipConfig::default()
+        })
+        .expect("generation succeeds");
+        let mut seen = vec![0usize; d.pin_count()];
+        for net in &d.nets {
+            for b in &net.binds {
+                seen[b.pin.0] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c <= 1));
+    }
+}

@@ -1,0 +1,613 @@
+//! Static timing analysis over the design's pin graph.
+//!
+//! The graph has one node per pin. Edges come from two families:
+//! cell arcs (input pin → output pin, the arc delay) and net arcs
+//! (every bound driver pin → every bound sink pin, the net's current
+//! stage delay). [`propagate`] runs the classic two-pass analysis in
+//! topological order:
+//!
+//! * forward **arrival times**: `AT(v) = max over edges u→v of
+//!   AT(u) + d(u,v)`, seeded at primary-input pins;
+//! * backward **required times**: `RAT(u) = min over edges u→v of
+//!   RAT(v) − d(u,v)`, seeded at primary-output pins;
+//! * **slack** `= RAT − AT` per pin; WNS/TNS over the endpoint pins.
+//!
+//! [`Timing::critical_path`] re-derives the worst path by walking
+//! backward from the worst endpoint through predecessors whose
+//! `AT + d` reproduces the node's arrival exactly — the SDF-graph
+//! technique of the `stars` analyzer (see SNIPPETS.md). The exact
+//! float comparison is sound because the walk replays the identical
+//! additions the forward pass performed.
+//!
+//! [`naive_arrival_times`] / [`naive_required_times`] compute the same
+//! quantities by memoized depth-first recursion — an independent code
+//! path used as the differential oracle in `msrnet-verify`
+//! (`graph_propagation_vs_naive`).
+
+use std::collections::VecDeque;
+
+use crate::design::{CellKind, Design, PinDir, TimingError};
+use crate::PinId;
+
+/// One directed timing edge.
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    other: usize,
+    delay: f64,
+}
+
+/// Builds the forward adjacency (and in-degrees) of the pin graph.
+fn forward_edges(design: &Design) -> (Vec<Vec<Edge>>, Vec<usize>) {
+    let n = design.pin_count();
+    let mut fwd: Vec<Vec<Edge>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for cell in &design.cells {
+        for a in &cell.arcs {
+            let u = cell.inputs[a.input].0;
+            let v = cell.outputs[a.output].0;
+            fwd[u].push(Edge {
+                other: v,
+                delay: a.delay,
+            });
+            indeg[v] += 1;
+        }
+    }
+    for net in &design.nets {
+        for db in &net.binds {
+            if design.pin(db.pin).dir != PinDir::Output {
+                continue;
+            }
+            for sb in &net.binds {
+                if design.pin(sb.pin).dir != PinDir::Input {
+                    continue;
+                }
+                fwd[db.pin.0].push(Edge {
+                    other: sb.pin.0,
+                    delay: net.delay,
+                });
+                indeg[sb.pin.0] += 1;
+            }
+        }
+    }
+    (fwd, indeg)
+}
+
+/// The result of a propagation pass: per-pin arrival and required
+/// times plus the endpoint list, with slack/WNS/TNS accessors and
+/// critical-path extraction.
+#[derive(Clone, Debug)]
+pub struct Timing {
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    endpoints: Vec<PinId>,
+    edge_count: usize,
+}
+
+impl Timing {
+    /// Arrival time at a pin (`-∞` if nothing drives it).
+    pub fn arrival(&self, p: PinId) -> f64 {
+        self.arrival[p.0]
+    }
+
+    /// Required time at a pin (`+∞` if no endpoint is downstream).
+    pub fn required(&self, p: PinId) -> f64 {
+        self.required[p.0]
+    }
+
+    /// Slack at a pin: `required − arrival`.
+    pub fn slack(&self, p: PinId) -> f64 {
+        self.required[p.0] - self.arrival[p.0]
+    }
+
+    /// The endpoint pins (primary-output inputs), in pin order.
+    pub fn endpoints(&self) -> &[PinId] {
+        &self.endpoints
+    }
+
+    /// Number of timing edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Worst (minimum) endpoint slack; `+∞` with no constrained
+    /// endpoint.
+    pub fn wns(&self) -> f64 {
+        let mut w = f64::INFINITY;
+        for &p in &self.endpoints {
+            let s = self.slack(p);
+            if s < w {
+                w = s;
+            }
+        }
+        w
+    }
+
+    /// Total negative slack: the sum of `min(0, slack)` over endpoints
+    /// with finite slack.
+    pub fn tns(&self) -> f64 {
+        let mut t = 0.0;
+        for &p in &self.endpoints {
+            let s = self.slack(p);
+            if s.is_finite() && s < 0.0 {
+                t += s;
+            }
+        }
+        t
+    }
+
+    /// The slack of the worst source→sink path *through* net `i`:
+    /// `min over bound sinks w of RAT(w) − delay − max over bound
+    /// drivers u of AT(u)`. `+∞` if the net has no constrained
+    /// driver/sink pair.
+    pub fn net_slack(&self, design: &Design, i: usize) -> f64 {
+        let net = &design.nets[i];
+        let mut worst_at = f64::NEG_INFINITY;
+        let mut worst_rat = f64::INFINITY;
+        for b in &net.binds {
+            match design.pin(b.pin).dir {
+                PinDir::Output => {
+                    let at = self.arrival[b.pin.0];
+                    if at > worst_at {
+                        worst_at = at;
+                    }
+                }
+                PinDir::Input => {
+                    let rat = self.required[b.pin.0];
+                    if rat < worst_rat {
+                        worst_rat = rat;
+                    }
+                }
+            }
+        }
+        if worst_at.is_finite() && worst_rat.is_finite() {
+            worst_rat - net.delay - worst_at
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Extracts the critical path: starting from the worst-slack
+    /// endpoint, walk backward choosing at each node the predecessor
+    /// whose `AT + d` equals the node's arrival (ties broken toward
+    /// the smallest pin id), until a seed pin. Returns source-to-sink
+    /// order; empty if there is no constrained endpoint with a finite
+    /// arrival.
+    pub fn critical_path(&self, design: &Design) -> Vec<PinId> {
+        let mut worst: Option<PinId> = None;
+        let mut ws = f64::INFINITY;
+        for &p in &self.endpoints {
+            let s = self.slack(p);
+            if s < ws || (worst.is_none() && s.is_finite()) {
+                ws = s;
+                worst = Some(p);
+            }
+        }
+        let Some(end) = worst else { return Vec::new() };
+        if !self.arrival[end.0].is_finite() {
+            return Vec::new();
+        }
+        // Backward adjacency, built on demand (extraction is rare).
+        let (fwd, _) = forward_edges(design);
+        let mut rev: Vec<Vec<Edge>> = vec![Vec::new(); design.pin_count()];
+        for (u, edges) in fwd.iter().enumerate() {
+            for e in edges {
+                rev[e.other].push(Edge {
+                    other: u,
+                    delay: e.delay,
+                });
+            }
+        }
+        let mut path = vec![end];
+        let mut cur = end.0;
+        loop {
+            let mut next: Option<usize> = None;
+            for e in &rev[cur] {
+                // Exact replay of the forward max: the winning
+                // predecessor reproduces this arrival bit-for-bit.
+                if self.arrival[e.other].is_finite()
+                    && self.arrival[e.other] + e.delay == self.arrival[cur]
+                    && next.is_none_or(|n| e.other < n)
+                {
+                    next = Some(e.other);
+                }
+            }
+            let Some(n) = next else { break };
+            path.push(PinId(n));
+            cur = n;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Runs the forward/backward propagation over the design's pin graph.
+///
+/// Deterministic: the topological order is produced by Kahn's
+/// algorithm with a FIFO queue seeded and relaxed in pin-id order, so
+/// the result (and the extracted critical path) depends only on the
+/// design, never on iteration luck.
+///
+/// # Errors
+///
+/// [`TimingError::CombinationalLoop`] if the pin graph has a cycle
+/// (the offending pin is the lowest-id pin on a cycle).
+///
+/// # Examples
+///
+/// See [`Design`] for a buildable end-to-end example.
+pub fn propagate(design: &Design) -> Result<Timing, TimingError> {
+    let n = design.pin_count();
+    let (fwd, mut indeg) = forward_edges(design);
+    let edge_count = fwd.iter().map(Vec::len).sum();
+
+    let mut arrival = vec![f64::NEG_INFINITY; n];
+    let mut required = vec![f64::INFINITY; n];
+    let mut endpoints = Vec::new();
+    for cell in &design.cells {
+        match cell.kind {
+            CellKind::Input { arrival: at } => {
+                for &p in &cell.outputs {
+                    arrival[p.0] = at;
+                }
+            }
+            CellKind::Output { required: rat } => {
+                for &p in &cell.inputs {
+                    required[p.0] = rat;
+                    endpoints.push(p);
+                }
+            }
+            CellKind::Comb => {}
+        }
+    }
+    endpoints.sort();
+
+    let mut queue: VecDeque<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut topo = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        topo.push(u);
+        for e in &fwd[u] {
+            let cand = arrival[u] + e.delay;
+            if cand > arrival[e.other] {
+                arrival[e.other] = cand;
+            }
+            indeg[e.other] -= 1;
+            if indeg[e.other] == 0 {
+                queue.push_back(e.other);
+            }
+        }
+    }
+    if topo.len() < n {
+        let looped = (0..n).find(|&v| indeg[v] > 0).unwrap_or(0);
+        return Err(TimingError::CombinationalLoop(PinId(looped)));
+    }
+
+    for &u in topo.iter().rev() {
+        for e in &fwd[u] {
+            let cand = required[e.other] - e.delay;
+            if cand < required[u] {
+                required[u] = cand;
+            }
+        }
+    }
+
+    Ok(Timing {
+        arrival,
+        required,
+        endpoints,
+        edge_count,
+    })
+}
+
+/// Arrival times by memoized depth-first recursion over backward edges
+/// — an independent reimplementation used as the propagation oracle.
+/// Iterative (explicit stack), with on-stack cycle detection.
+///
+/// # Errors
+///
+/// [`TimingError::CombinationalLoop`] on a cyclic pin graph.
+pub fn naive_arrival_times(design: &Design) -> Result<Vec<f64>, TimingError> {
+    let n = design.pin_count();
+    let (fwd, _) = forward_edges(design);
+    let mut rev: Vec<Vec<Edge>> = vec![Vec::new(); n];
+    for (u, edges) in fwd.iter().enumerate() {
+        for e in edges {
+            rev[e.other].push(Edge {
+                other: u,
+                delay: e.delay,
+            });
+        }
+    }
+    let mut seed = vec![f64::NEG_INFINITY; n];
+    for cell in &design.cells {
+        if let CellKind::Input { arrival } = cell.kind {
+            for &p in &cell.outputs {
+                seed[p.0] = arrival;
+            }
+        }
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; n];
+    let mut at = seed.clone();
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        state[start] = 1;
+        while let Some(&mut (v, ref mut next_child)) = stack.last_mut() {
+            if *next_child < rev[v].len() {
+                let e = rev[v][*next_child];
+                *next_child += 1;
+                match state[e.other] {
+                    0 => {
+                        state[e.other] = 1;
+                        stack.push((e.other, 0));
+                    }
+                    1 => return Err(TimingError::CombinationalLoop(PinId(e.other))),
+                    _ => {}
+                }
+            } else {
+                let mut best = seed[v];
+                for e in &rev[v] {
+                    let cand = at[e.other] + e.delay;
+                    if cand > best {
+                        best = cand;
+                    }
+                }
+                at[v] = best;
+                state[v] = 2;
+                stack.pop();
+            }
+        }
+    }
+    Ok(at)
+}
+
+/// Required times by memoized depth-first recursion over forward edges
+/// — the backward-pass half of the propagation oracle.
+///
+/// # Errors
+///
+/// [`TimingError::CombinationalLoop`] on a cyclic pin graph.
+pub fn naive_required_times(design: &Design) -> Result<Vec<f64>, TimingError> {
+    let n = design.pin_count();
+    let (fwd, _) = forward_edges(design);
+    let mut seed = vec![f64::INFINITY; n];
+    for cell in &design.cells {
+        if let CellKind::Output { required } = cell.kind {
+            for &p in &cell.inputs {
+                seed[p.0] = required;
+            }
+        }
+    }
+    let mut state = vec![0u8; n];
+    let mut rat = seed.clone();
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        state[start] = 1;
+        while let Some(&mut (v, ref mut next_child)) = stack.last_mut() {
+            if *next_child < fwd[v].len() {
+                let e = fwd[v][*next_child];
+                *next_child += 1;
+                match state[e.other] {
+                    0 => {
+                        state[e.other] = 1;
+                        stack.push((e.other, 0));
+                    }
+                    1 => return Err(TimingError::CombinationalLoop(PinId(e.other))),
+                    _ => {}
+                }
+            } else {
+                let mut best = seed[v];
+                for e in &fwd[v] {
+                    let cand = rat[e.other] - e.delay;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+                rat[v] = best;
+                state[v] = 2;
+                stack.pop();
+            }
+        }
+    }
+    Ok(rat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chipgen::{generate_chip, ChipConfig};
+    use crate::design::CellArc;
+
+    /// A hand-built diamond: pi → u (two arcs of different delay) → po.
+    fn diamond() -> Design {
+        use msrnet_geom::Point;
+        use msrnet_rctree::{NetBuilder, Technology, Terminal, TerminalId};
+
+        let mk_net = |len: f64| {
+            let mut b = NetBuilder::new(Technology::new(0.03, 0.000_35));
+            let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::source_only(0.0, 0.05, 180.0));
+            let t1 = b.terminal(Point::new(len, 0.0), Terminal::sink_only(0.0, 0.05));
+            b.wire(t0, t1);
+            b.build().expect("valid 2-pin net")
+        };
+
+        let mut d = Design::new();
+        let pi = d.add_input("pi", 5.0);
+        let u = d
+            .add_comb(
+                "u",
+                1,
+                2,
+                vec![
+                    CellArc {
+                        input: 0,
+                        output: 0,
+                        delay: 30.0,
+                    },
+                    CellArc {
+                        input: 0,
+                        output: 1,
+                        delay: 80.0,
+                    },
+                ],
+            )
+            .expect("valid arcs");
+        let po = d.add_output("po", 500.0);
+        let po2 = d.add_output("po2", 500.0);
+
+        let bind = |t: usize, p: PinId| crate::PinBind {
+            terminal: TerminalId(t),
+            pin: p,
+        };
+        let n0 = mk_net(1000.0);
+        let b0 = vec![
+            bind(0, d.cells[pi.0].outputs[0]),
+            bind(1, d.cells[u.0].inputs[0]),
+        ];
+        d.add_net("n0", n0, vec![], b0).expect("valid binds");
+        let n1 = mk_net(2000.0);
+        let b1 = vec![
+            bind(0, d.cells[u.0].outputs[0]),
+            bind(1, d.cells[po.0].inputs[0]),
+        ];
+        d.add_net("n1", n1, vec![], b1).expect("valid binds");
+        let n2 = mk_net(500.0);
+        let b2 = vec![
+            bind(0, d.cells[u.0].outputs[1]),
+            bind(1, d.cells[po2.0].inputs[0]),
+        ];
+        d.add_net("n2", n2, vec![], b2).expect("valid binds");
+        d
+    }
+
+    #[test]
+    fn propagation_matches_hand_computation() {
+        let d = diamond();
+        let t = propagate(&d).expect("acyclic");
+        let at_u_in = 5.0 + d.nets[0].delay;
+        let at_po = at_u_in + 30.0 + d.nets[1].delay;
+        let at_po2 = at_u_in + 80.0 + d.nets[2].delay;
+        let po_pin = t.endpoints()[0];
+        let po2_pin = t.endpoints()[1];
+        assert_eq!(t.arrival(po_pin), at_po);
+        assert_eq!(t.arrival(po2_pin), at_po2);
+        assert_eq!(t.wns(), (500.0 - at_po).min(500.0 - at_po2));
+        assert_eq!(t.tns(), 0.0);
+
+        // Critical path runs source → endpoint and respects arrivals.
+        let path = t.critical_path(&d);
+        assert!(path.len() >= 3);
+        // The worst endpoint is the one with the larger arrival.
+        assert_eq!(
+            *path.last().expect("non-empty"),
+            if at_po > at_po2 { po_pin } else { po2_pin }
+        );
+    }
+
+    #[test]
+    fn net_slack_matches_endpoint_slack_on_a_chain() {
+        let d = diamond();
+        let t = propagate(&d).expect("acyclic");
+        // Net n1 feeds endpoint po only; the path through it is the
+        // full pi→po path, so its net slack equals po's slack.
+        let po_pin = t.endpoints()[0];
+        assert!((t.net_slack(&d, 1) - t.slack(po_pin)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kahn_and_naive_agree_on_generated_chips() {
+        for seed in [1u64, 9, 42] {
+            let d = generate_chip(&ChipConfig {
+                nets: 12,
+                seed,
+                ..ChipConfig::default()
+            })
+            .expect("generation succeeds");
+            let t = propagate(&d).expect("chips are acyclic");
+            let at = naive_arrival_times(&d).expect("acyclic");
+            let rat = naive_required_times(&d).expect("acyclic");
+            for p in 0..d.pin_count() {
+                assert_eq!(t.arrival(PinId(p)).to_bits(), at[p].to_bits());
+                assert_eq!(t.required(PinId(p)).to_bits(), rat[p].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_loop_is_detected() {
+        let d = {
+            let mut d = Design::new();
+            // Two cells feeding each other through two nets.
+            let a = d
+                .add_comb(
+                    "a",
+                    1,
+                    1,
+                    vec![CellArc {
+                        input: 0,
+                        output: 0,
+                        delay: 1.0,
+                    }],
+                )
+                .expect("valid");
+            let b = d
+                .add_comb(
+                    "b",
+                    1,
+                    1,
+                    vec![CellArc {
+                        input: 0,
+                        output: 0,
+                        delay: 1.0,
+                    }],
+                )
+                .expect("valid");
+            use msrnet_geom::Point;
+            use msrnet_rctree::{NetBuilder, Technology, Terminal, TerminalId};
+            let mk = || {
+                let mut nb = NetBuilder::new(Technology::new(0.03, 0.000_35));
+                let t0 =
+                    nb.terminal(Point::new(0.0, 0.0), Terminal::source_only(0.0, 0.05, 180.0));
+                let t1 = nb.terminal(Point::new(100.0, 0.0), Terminal::sink_only(0.0, 0.05));
+                nb.wire(t0, t1);
+                nb.build().expect("valid 2-pin net")
+            };
+            let ab = vec![
+                crate::PinBind {
+                    terminal: TerminalId(0),
+                    pin: d.cells[a.0].outputs[0],
+                },
+                crate::PinBind {
+                    terminal: TerminalId(1),
+                    pin: d.cells[b.0].inputs[0],
+                },
+            ];
+            d.add_net("ab", mk(), vec![], ab).expect("valid binds");
+            let ba = vec![
+                crate::PinBind {
+                    terminal: TerminalId(0),
+                    pin: d.cells[b.0].outputs[0],
+                },
+                crate::PinBind {
+                    terminal: TerminalId(1),
+                    pin: d.cells[a.0].inputs[0],
+                },
+            ];
+            d.add_net("ba", mk(), vec![], ba).expect("valid binds");
+            d
+        };
+        assert!(matches!(
+            propagate(&d),
+            Err(TimingError::CombinationalLoop(_))
+        ));
+        assert!(matches!(
+            naive_arrival_times(&d),
+            Err(TimingError::CombinationalLoop(_))
+        ));
+    }
+}

@@ -1,0 +1,58 @@
+//! Design-level timing graph and closure loop over multisource nets.
+//!
+//! The paper optimizes one multisource net at a time; the `AT`/`q`
+//! boundary values its DP consumes come from a *global timing graph*
+//! over the whole design. This crate is that layer:
+//!
+//! * [`Design`] — a netlist of cells (input/output pins joined by
+//!   delay arcs) and multisource RC-tree nets whose terminals are
+//!   bound to cell pins ([`design`]);
+//! * [`propagate`] — deterministic forward arrival-time / backward
+//!   required-time propagation in topological order, with per-endpoint
+//!   slack, WNS/TNS, and critical-path extraction ([`graph`]);
+//! * [`run_closure`] — the timing-closure loop: rank nets by the worst
+//!   slack through them, optimize the `K` most critical with
+//!   `msrnet-batch`, write the chosen frontier delays back (clamped so
+//!   slack is monotone non-decreasing), re-propagate until the target
+//!   is met or the round budget runs out ([`closure`]);
+//! * [`generate_chip`] — the seeded chip regime: whole designs with
+//!   skewed net-size distributions and layered combinational logic
+//!   ([`chipgen`]).
+//!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the
+//! workspace and ALGORITHMS.md §9 for the recurrences and the
+//! convergence argument.
+//!
+//! # Examples
+//!
+//! Generate a chip, run closure, inspect the trajectory:
+//!
+//! ```
+//! use msrnet_timing::{generate_chip, run_closure, ChipConfig, ClosureConfig};
+//!
+//! let mut design = generate_chip(&ChipConfig {
+//!     nets: 12,
+//!     seed: 7,
+//!     ..ChipConfig::default()
+//! })?;
+//! let report = run_closure(&mut design, &ClosureConfig::default())?;
+//! assert!(report.wns_final >= report.wns_initial);
+//! let json = report.to_json();
+//! assert!(json.contains("\"benchmark\": \"msrnet_timing\""));
+//! # Ok::<(), msrnet_timing::TimingError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chipgen;
+pub mod closure;
+pub mod design;
+pub mod graph;
+
+pub use chipgen::{generate_chip, ChipConfig};
+pub use closure::{run_closure, ClosureConfig, ClosureReport, NetTouch, Round};
+pub use design::{
+    stage_delay, Cell, CellArc, CellId, CellKind, Design, DesignNet, NetId, Pin, PinBind, PinDir,
+    PinId, TimingError,
+};
+pub use graph::{naive_arrival_times, naive_required_times, propagate, Timing};

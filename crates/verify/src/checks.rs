@@ -25,6 +25,10 @@
 //!    replaying the instance's seeded edit trace, each dirty-path
 //!    recompute compared *bit-identically* against a from-scratch
 //!    re-solve of the same configuration under the same domain bound.
+//! 8. `graph_propagation_vs_naive` — the design-level timing graph's
+//!    Kahn-ordered arrival/required propagation vs an independent
+//!    memoized-DFS longest-path computation, bit-identical on every pin
+//!    of a seeded chip design (`msrnet-timing`).
 //!
 //! Metamorphic properties (one implementation, transformed input):
 //! 1. `rescaling_invariance` — Elmore delay is a sum of R·C products, so
@@ -41,6 +45,11 @@
 //! 5. `edit_inverse_restores_frontier` — applying an edit and its exact
 //!    inverse (when one exists) must restore the original trade-off
 //!    curve bit-for-bit through the incremental engine's cache.
+//! 6. `graph_slack_non_decreasing` — running the timing-closure loop on
+//!    a seeded chip design may never worsen any endpoint slack (the
+//!    clamped write-back's monotonicity guarantee): per-endpoint slack,
+//!    per-round WNS, and final WNS are all checked against the
+//!    pre-loop propagation.
 
 use crate::gen::Instance;
 use msrnet_batch::{reports_bit_identical, run_batch, BatchJob};
@@ -53,6 +62,10 @@ use msrnet_core::{
 use msrnet_incremental::IncrementalOptimizer;
 use msrnet_rctree::{Assignment, Orientation};
 use msrnet_rng::{Rng, SeedableRng, SplitMix64};
+use msrnet_timing::{
+    generate_chip, naive_arrival_times, naive_required_times, propagate, run_closure, ChipConfig,
+    ClosureConfig, PinId,
+};
 
 /// Classification of a check, reported per-check in the JSON output.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -146,6 +159,16 @@ pub fn registry() -> &'static [CheckDef] {
             name: "edit_inverse_restores_frontier",
             kind: CheckKind::Metamorphic,
             run: check_edit_inverse_restores_frontier,
+        },
+        CheckDef {
+            name: "graph_propagation_vs_naive",
+            kind: CheckKind::Oracle,
+            run: check_graph_propagation_vs_naive,
+        },
+        CheckDef {
+            name: "graph_slack_non_decreasing",
+            kind: CheckKind::Metamorphic,
+            run: check_graph_slack_non_decreasing,
         },
     ]
 }
@@ -776,6 +799,128 @@ fn check_edit_inverse_restores_frontier(inst: &Instance) -> CheckOutcome {
                 edit.op_name()
             ));
         }
+    }
+    CheckOutcome::Pass
+}
+
+// ---------------------------------------------------------------------------
+// Design-level timing-graph checks
+// ---------------------------------------------------------------------------
+
+/// A small seeded chip for the design-level checks. The chip is keyed
+/// on `check_seed` (the instance's single-net payload is irrelevant at
+/// this level — the design generator draws its own nets), so the case
+/// stream still covers a fresh design per case.
+fn check_chip(seed: u64) -> Result<msrnet_timing::Design, msrnet_timing::TimingError> {
+    generate_chip(&ChipConfig {
+        nets: 5 + (seed % 4) as usize,
+        levels: 2 + (seed % 2) as usize,
+        seed,
+        max_pins: 5,
+        spacing: 3000.0,
+        region_min: 1500.0,
+        region_max: 4000.0,
+        clock: 0.0,
+    })
+}
+
+fn check_graph_propagation_vs_naive(inst: &Instance) -> CheckOutcome {
+    if !inst.check_seed.is_multiple_of(2) {
+        return CheckOutcome::Skip("sampled out (runs on 1/2 of cases)".into());
+    }
+    let design = match check_chip(inst.check_seed) {
+        Ok(d) => d,
+        Err(e) => return CheckOutcome::Fail(format!("chip generation failed: {e}")),
+    };
+    let kahn = match propagate(&design) {
+        Ok(t) => t,
+        Err(e) => return CheckOutcome::Fail(format!("propagation failed: {e}")),
+    };
+    let at = match naive_arrival_times(&design) {
+        Ok(v) => v,
+        Err(e) => return CheckOutcome::Fail(format!("naive forward pass failed: {e}")),
+    };
+    let rat = match naive_required_times(&design) {
+        Ok(v) => v,
+        Err(e) => return CheckOutcome::Fail(format!("naive backward pass failed: {e}")),
+    };
+    for p in 0..design.pin_count() {
+        // Bit-identical contract: both passes take the max/min over
+        // the same candidate sums, only in different orders of
+        // discovery — the winning value is the same float.
+        if kahn.arrival(PinId(p)).to_bits() != at[p].to_bits() {
+            return CheckOutcome::Fail(format!(
+                "pin {p}: arrival differs: kahn={} naive={}",
+                kahn.arrival(PinId(p)),
+                at[p]
+            ));
+        }
+        if kahn.required(PinId(p)).to_bits() != rat[p].to_bits() {
+            return CheckOutcome::Fail(format!(
+                "pin {p}: required differs: kahn={} naive={}",
+                kahn.required(PinId(p)),
+                rat[p]
+            ));
+        }
+    }
+    CheckOutcome::Pass
+}
+
+fn check_graph_slack_non_decreasing(inst: &Instance) -> CheckOutcome {
+    // Each case runs up to k×rounds DP solves; a deterministic quarter
+    // of the stream keeps the cost in line with the other DP checks.
+    if inst.check_seed % 4 != 1 {
+        return CheckOutcome::Skip("sampled out (runs on 1/4 of cases)".into());
+    }
+    let mut design = match check_chip(inst.check_seed) {
+        Ok(d) => d,
+        Err(e) => return CheckOutcome::Fail(format!("chip generation failed: {e}")),
+    };
+    let before = match propagate(&design) {
+        Ok(t) => t,
+        Err(e) => return CheckOutcome::Fail(format!("pre-loop propagation failed: {e}")),
+    };
+    let cfg = ClosureConfig {
+        k: 2,
+        max_rounds: 3,
+        threads: 1,
+        slack_target: 0.0,
+    };
+    let report = match run_closure(&mut design, &cfg) {
+        Ok(r) => r,
+        Err(e) => return CheckOutcome::Fail(format!("closure loop failed: {e}")),
+    };
+    let after = match propagate(&design) {
+        Ok(t) => t,
+        Err(e) => return CheckOutcome::Fail(format!("post-loop propagation failed: {e}")),
+    };
+    for &p in before.endpoints() {
+        let (sb, sa) = (before.slack(p), after.slack(p));
+        let tol = 1e-9 * sb.abs().max(1.0);
+        if sa < sb - tol {
+            return CheckOutcome::Fail(format!(
+                "endpoint pin {} slack degraded: {sb} -> {sa}",
+                p.0
+            ));
+        }
+    }
+    for (i, r) in report.rounds.iter().enumerate() {
+        let tol = 1e-9 * r.wns_before.abs().max(1.0);
+        if r.wns_after < r.wns_before - tol {
+            return CheckOutcome::Fail(format!(
+                "round {}: WNS degraded: {} -> {}",
+                i + 1,
+                r.wns_before,
+                r.wns_after
+            ));
+        }
+    }
+    let tol = 1e-9 * report.wns_initial.abs().max(1.0);
+    if report.wns_final < report.wns_initial - tol {
+        return CheckOutcome::Fail(format!(
+            "WNS degraded across the loop: {} -> {}",
+            report.wns_initial, report.wns_final
+        ));
     }
     CheckOutcome::Pass
 }

@@ -15,7 +15,10 @@
 //! * all substrates: the RC-tree net model and Elmore engine
 //!   ([`rctree`]), PWL function algebra ([`pwl`]), rectilinear Steiner
 //!   routing ([`steiner`]), single-source van Ginneken baselines
-//!   ([`buffering`]), and experiment workload generation ([`netgen`]).
+//!   ([`buffering`]), and experiment workload generation ([`netgen`]);
+//! * the **design level** above single nets: a full-chip timing graph
+//!   with arrival/required propagation and a timing-closure loop that
+//!   re-optimizes the most critical multisource nets ([`timing`]).
 //!
 //! The facade re-exports the most common items; each subsystem is also
 //! available as its own crate (`msrnet-core`, `msrnet-rctree`, …).
@@ -51,6 +54,7 @@ pub use msrnet_netgen as netgen;
 pub use msrnet_pwl as pwl;
 pub use msrnet_rctree as rctree;
 pub use msrnet_steiner as steiner;
+pub use msrnet_timing as timing;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
