@@ -9,14 +9,14 @@
 //! layer 3: buffering, steiner, netgen   (companion algorithms)
 //! layer 4: incremental, batch,
 //!          timing, verify               (execution engines)
-//! layer 5: cli, bench, msrnet           (front ends and the facade)
+//! layer 5: service, cli, bench, msrnet  (front ends and the facade)
 //! ```
 //!
 //! A `[dependencies]` entry pointing at a *higher* layer is rejected,
 //! as are dependency cycles and crates missing from the layer map.
 //! Edges within a layer are allowed (e.g. `batch → incremental`,
-//! `timing → batch`, `verify → timing`) as long as the graph stays
-//! acyclic.
+//! `timing → batch`, `verify → timing`, `cli → service`) as long as
+//! the graph stays acyclic.
 //!
 //! The parser is a line-oriented subset of TOML — section headers and
 //! `key = value` / `key.path = value` lines — which is all Cargo
@@ -43,6 +43,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("msrnet-batch", 4),
     ("msrnet-timing", 4),
     ("msrnet-verify", 4),
+    ("msrnet-service", 5),
     ("msrnet-cli", 5),
     ("msrnet-bench", 5),
     ("msrnet", 5),
@@ -135,7 +136,8 @@ pub fn check_layering(path: &str, m: &Manifest, layers: &LayerMap) -> Vec<Diagno
                     message: format!(
                         "upward dependency: `{}` (layer {own}) depends on `{dep}` (layer {dl}); \
                          the layering DAG is rng/geom/analyzer → pwl/rctree → core → \
-                         buffering/steiner/netgen → incremental/batch/timing/verify → cli/bench",
+                         buffering/steiner/netgen → incremental/batch/timing/verify → \
+                         service/cli/bench",
                         m.name
                     ),
                 });

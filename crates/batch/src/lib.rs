@@ -590,11 +590,30 @@ impl BatchReport {
     /// Non-finite floats (e.g. a `-∞` ARD on a sink-free net) serialize
     /// as `null`; failed nets carry `"error"` text and null metrics.
     pub fn to_json(&self) -> String {
+        self.to_json_opts(true)
+    }
+
+    /// [`BatchReport::to_json`] with the timing fields made optional.
+    ///
+    /// With `timing: false` every volatile field — `wall_ms`,
+    /// `nets_per_s`, and each result's `micros` — serializes as `null`,
+    /// making the report a pure function of its inputs: byte-identical
+    /// across runs, thread counts, and machines. The served `batch`
+    /// request and its local `msrnet-cli batch --no-timing` oracle both
+    /// use this mode so equality can be asserted on raw bytes.
+    pub fn to_json_opts(&self, timing: bool) -> String {
         let wall_ms = self.wall.as_secs_f64() * 1e3;
         let nets_per_s = if self.wall.as_secs_f64() > 0.0 {
             self.results.len() as f64 / self.wall.as_secs_f64()
         } else {
             f64::INFINITY
+        };
+        let micros_of = |micros: u64| {
+            if timing {
+                micros.to_string()
+            } else {
+                "null".to_string()
+            }
         };
         let failed = self.results.iter().filter(|r| r.outcome.is_err()).count();
         let mut out = String::with_capacity(256 + 192 * self.results.len());
@@ -603,8 +622,13 @@ impl BatchReport {
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"nets\": {},\n", self.results.len()));
         out.push_str(&format!("  \"failed\": {failed},\n"));
-        out.push_str(&format!("  \"wall_ms\": {},\n", json_num(wall_ms)));
-        out.push_str(&format!("  \"nets_per_s\": {},\n", json_num(nets_per_s)));
+        if timing {
+            out.push_str(&format!("  \"wall_ms\": {},\n", json_num(wall_ms)));
+            out.push_str(&format!("  \"nets_per_s\": {},\n", json_num(nets_per_s)));
+        } else {
+            out.push_str("  \"wall_ms\": null,\n");
+            out.push_str("  \"nets_per_s\": null,\n");
+        }
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             out.push_str("    {");
@@ -618,14 +642,17 @@ impl BatchReport {
                     out.push_str(&format!("\"best_ard_cost\": {}, ", json_num(s.best_ard_cost)));
                     out.push_str(&format!("\"tradeoff_points\": {}, ", s.tradeoff_points));
                     out.push_str(&format!("\"candidates\": {}, ", s.candidates));
-                    out.push_str(&format!("\"micros\": {}, ", r.micros));
+                    out.push_str(&format!("\"micros\": {}, ", micros_of(r.micros)));
                     out.push_str("\"error\": null");
                 }
                 Err(e) => {
                     out.push_str("\"bare_ard\": null, \"min_cost\": null, ");
                     out.push_str("\"min_cost_ard\": null, \"best_ard\": null, ");
                     out.push_str("\"best_ard_cost\": null, \"tradeoff_points\": null, ");
-                    out.push_str(&format!("\"candidates\": null, \"micros\": {}, ", r.micros));
+                    out.push_str(&format!(
+                        "\"candidates\": null, \"micros\": {}, ",
+                        micros_of(r.micros)
+                    ));
                     out.push_str(&format!("\"error\": {}", json_str(e)));
                 }
             }

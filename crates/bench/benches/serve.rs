@@ -1,0 +1,218 @@
+//! Loopback soak bench for the session server: client threads hammer a
+//! resident server with open → edit → recompute → close rounds over
+//! real TCP, and every served report is checked byte-for-byte against a
+//! local `Replayer` oracle.
+//!
+//! Like `edits.rs`, the correctness contract is **asserted** (served
+//! responses bit-identical to the local oracle, session accounting
+//! closed at the end); the latency/throughput figures are
+//! informational — one-core CI wall time is noisy, so the hard signal
+//! is the identity checks and the request counters.
+//!
+//! Environment knobs:
+//! * `SERVE_SOAK_THREADS` — concurrent client threads (default 4).
+//! * `SERVE_SOAK_ROUNDS` — rounds per thread (default 10).
+//! * `SERVE_SOAK_RESIDENT` — LRU residency cap (default 3, below the
+//!   thread count so eviction pressure is exercised).
+//! * `SERVE_SOAK_JSON` — when set, writes the soak summary to this
+//!   path as JSON (uploaded as a CI artifact by the `service` job).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use msrnet_incremental::parse_trace;
+use msrnet_netgen::format::{parse_net_file, write_net_file};
+use msrnet_netgen::{table1, ExperimentNet};
+use msrnet_rng::rngs::StdRng;
+use msrnet_rng::SeedableRng;
+use msrnet_service::client::{Client, ClientError};
+use msrnet_service::net::Endpoint;
+use msrnet_service::replay::Replayer;
+use msrnet_service::server::{Server, ServerConfig};
+use msrnet_service::ErrorCode;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One thread's fixed workload and its locally computed oracle report.
+struct Workload {
+    name: String,
+    msr: String,
+    trace: String,
+    expected_report: String,
+}
+
+fn workload(thread: usize) -> Workload {
+    let params = table1();
+    let mut rng = StdRng::seed_from_u64(4000 + thread as u64);
+    let exp = ExperimentNet::random(&mut rng, 5 + thread % 4, &params).expect("generate");
+    let msr = write_net_file(&exp.with_insertion_points(2500.0), &[params.repeater(1.0)]);
+    let name = format!("bench-{thread}.msr");
+    let trace = format!(
+        "{{\"edits\": [\
+           {{\"op\": \"swap_library\", \"scale\": {}}}, \
+           {{\"op\": \"set_arrival\", \"terminal\": 1, \"value\": {}}}\
+         ]}}",
+        1.0 + thread as f64 * 0.2,
+        3.0 + thread as f64,
+    );
+    let nf = parse_net_file(&msr).expect("fixture parses");
+    let mut rep = Replayer::open(
+        name.clone(),
+        nf.net,
+        msrnet_rctree::TerminalId(0),
+        nf.library,
+        0.0,
+        msrnet_core::PruningStrategy::default(),
+        false,
+    )
+    .expect("oracle opens");
+    rep.replay(&parse_trace(&trace).expect("trace parses"), false);
+    let expected_report = rep.report();
+    Workload { name, msr, trace, expected_report }
+}
+
+/// Per-thread tallies merged into the summary at the end.
+#[derive(Default)]
+struct Tally {
+    rounds_ok: u64,
+    evictions: u64,
+    request_us: u64,
+    requests: u64,
+}
+
+fn main() {
+    let threads = env_usize("SERVE_SOAK_THREADS", 4);
+    let rounds = env_usize("SERVE_SOAK_ROUNDS", 10);
+    let max_resident = env_usize("SERVE_SOAK_RESIDENT", 3);
+
+    let server = Server::bind(
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+        ServerConfig { max_resident, ..ServerConfig::default() },
+    )
+    .expect("bind loopback");
+    let endpoint = server.local_endpoint().expect("endpoint");
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let server_thread = std::thread::spawn(move || server.run(&stop2).expect("server run"));
+
+    println!(
+        "serve soak: {threads} client thread(s) x {rounds} round(s), \
+         {max_resident} resident slot(s), endpoint {endpoint}"
+    );
+
+    let rounds_ok = AtomicU64::new(0);
+    let evictions = AtomicU64::new(0);
+    let request_us = AtomicU64::new(0);
+    let requests = AtomicU64::new(0);
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let endpoint = &endpoint;
+            let (rounds_ok, evictions, request_us, requests) =
+                (&rounds_ok, &evictions, &request_us, &requests);
+            scope.spawn(move || {
+                let w = workload(t);
+                let mut client = Client::connect(endpoint).expect("connect");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .expect("timeout");
+                let mut tally = Tally::default();
+                for round in 0..rounds {
+                    'round: for attempt in 0..64 {
+                        assert!(attempt < 63, "thread {t} round {round}: evicted forever");
+                        let t0 = Instant::now();
+                        let session =
+                            client.open(&w.name, &w.msr, 0, 0.0).expect("open");
+                        let steps: [(&str, Result<(), ClientError>); 3] = [
+                            ("edit", client.edit(session, &w.trace).map(|_| ())),
+                            (
+                                "recompute",
+                                client.recompute(session).map(|report| {
+                                    assert_eq!(
+                                        report, w.expected_report,
+                                        "thread {t} round {round}: served report \
+                                         diverged from the local oracle"
+                                    );
+                                }),
+                            ),
+                            ("close", client.close(session)),
+                        ];
+                        for (step, result) in steps {
+                            match result {
+                                Ok(()) => {}
+                                Err(ClientError::Server {
+                                    code: ErrorCode::Evicted, ..
+                                }) => {
+                                    tally.evictions += 1;
+                                    continue 'round;
+                                }
+                                Err(e) => panic!("thread {t} round {round} {step}: {e}"),
+                            }
+                        }
+                        // 4 requests (open/edit/recompute/close) made it.
+                        tally.requests += 4;
+                        tally.request_us += t0.elapsed().as_micros() as u64;
+                        tally.rounds_ok += 1;
+                        break;
+                    }
+                }
+                rounds_ok.fetch_add(tally.rounds_ok, Ordering::Relaxed);
+                evictions.fetch_add(tally.evictions, Ordering::Relaxed);
+                request_us.fetch_add(tally.request_us, Ordering::Relaxed);
+                requests.fetch_add(tally.requests, Ordering::Relaxed);
+            });
+        }
+    });
+    let wall_us = wall.elapsed().as_micros() as u64;
+
+    // Session accounting must close before shutdown.
+    let mut c = Client::connect(&endpoint).expect("stats connect");
+    c.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    let stats = c.stats().expect("stats");
+    assert!(stats.contains("\"sessions_open\": 0"), "unclosed sessions:\n{stats}");
+    drop(c);
+    stop.store(true, Ordering::Release);
+    server_thread.join().expect("server thread");
+
+    let rounds_ok = rounds_ok.load(Ordering::Relaxed);
+    let evictions = evictions.load(Ordering::Relaxed);
+    let request_us = request_us.load(Ordering::Relaxed);
+    let requests = requests.load(Ordering::Relaxed);
+    assert_eq!(rounds_ok as usize, threads * rounds, "not every round completed");
+
+    println!("  rounds ok   : {rounds_ok} ({requests} requests)");
+    println!("  evictions   : {evictions} typed Evicted retries");
+    println!(
+        "  round latency: {:.1} µs mean over completed rounds",
+        request_us as f64 / rounds_ok.max(1) as f64
+    );
+    println!(
+        "  throughput  : {:.0} requests/s (informational; 1-core CI wall \
+         time is noisy — the asserted contract is byte-identity and the \
+         session accounting)",
+        requests as f64 / (wall_us as f64 / 1e6).max(1e-9)
+    );
+
+    if let Ok(path) = std::env::var("SERVE_SOAK_JSON") {
+        let out = format!(
+            "{{\n  \"benchmark\": \"msrnet_serve_soak\",\n  \
+             \"threads\": {threads},\n  \"rounds\": {rounds},\n  \
+             \"max_resident\": {max_resident},\n  \
+             \"rounds_ok\": {rounds_ok},\n  \"requests\": {requests},\n  \
+             \"evictions\": {evictions},\n  \
+             \"round_latency_us_mean\": {},\n  \"wall_us\": {wall_us},\n  \
+             \"server_stats\": {}\n}}\n",
+            request_us as f64 / rounds_ok.max(1) as f64,
+            // The stats response is itself a JSON object; embed verbatim.
+            stats.trim_end(),
+        );
+        std::fs::write(&path, out).expect("write soak JSON");
+        println!("  wrote soak summary to {path}");
+    }
+}

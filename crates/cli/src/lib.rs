@@ -49,6 +49,11 @@
 //! ```
 
 pub mod args;
-pub mod format;
 pub mod report;
 pub mod svg;
+
+// The `.msr` format moved to `msrnet-netgen` so lower-layer consumers
+// (notably the `msrnet-service` session server, which parses uploads)
+// can use it; this re-export keeps the historical `msrnet_cli::format`
+// paths working.
+pub use msrnet_netgen::format;

@@ -7,6 +7,8 @@
 //! msrnet-cli optimize net.msr [--root 0] [--spec PS] [--driver-cost C]
 //! msrnet-cli batch a.msr b.msr [--threads 4] [-o report.json]
 //! msrnet-cli edits net.msr --trace edits.json [--timing] [-o report.json]
+//! msrnet-cli serve --tcp 127.0.0.1:0
+//! msrnet-cli client --tcp 127.0.0.1:PORT edits net.msr --trace edits.json
 //! msrnet-cli timing --nets 40 --seed 1 [--k 8] [--rounds 8] [-o report.json]
 //! msrnet-cli render net.msr -o net.svg [--best] [--no-labels]
 //! ```
@@ -48,9 +50,19 @@ const USAGE: &str = "usage:
                        [--pruning divide-conquer|naive|bucketed|whole-domain|approx:EPS]
                        [--stats]
   msrnet-cli batch [FILES...] [--count N --terminals T --seed S [--spacing UM]]
-                       [--threads K] [--driver-cost C] [--incremental E] [-o FILE.json]
+                       [--threads K] [--driver-cost C] [--incremental E]
+                       [--no-timing] [-o FILE.json]
   msrnet-cli edits FILE --trace EDITS.json [--root T] [--driver-cost C]
                        [--pruning STRATEGY] [--timing] [-o FILE.json]
+  msrnet-cli serve (--tcp HOST:PORT | --unix PATH) [--once]
+                       [--max-frame BYTES] [--max-sessions N] [--max-resident N]
+                       [--max-connections N] [--batch-threads K]
+                       [--read-timeout-ms MS]
+  msrnet-cli client (--tcp HOST:PORT | --unix PATH) edits FILE --trace EDITS.json
+                       [--root T] [--driver-cost C] [--deadline-ms MS] [-o FILE]
+  msrnet-cli client (--tcp HOST:PORT | --unix PATH) batch FILES...
+                       [--threads K] [--driver-cost C] [--deadline-ms MS] [-o FILE]
+  msrnet-cli client (--tcp HOST:PORT | --unix PATH) stats [--deadline-ms MS] [-o FILE]
   msrnet-cli timing [--nets N] [--levels L] [--seed S] [--max-pins P]
                        [--spacing UM] [--clock PS] [--k K] [--rounds R]
                        [--threads T] [--slack-target PS] [-o FILE.json]
@@ -71,6 +83,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "optimize" => cmd_optimize(&rest),
         "batch" => cmd_batch(&rest),
         "edits" => cmd_edits(&rest),
+        "serve" => cmd_serve(&rest),
+        "client" => cmd_client(&rest),
         "timing" => cmd_timing(&rest),
         "render" => cmd_render(&rest),
         "report" => cmd_report(&rest),
@@ -86,6 +100,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn cmd_gen(args: &[&String]) -> Result<(), String> {
     let f = Flags::parse(args, &[])?;
+    f.reject_unknown(&["terminals", "seed", "spacing", "o"])?;
     let n = f.get_num("terminals", 8.0)? as usize;
     let seed = f.get_num("seed", 1.0)? as u64;
     let spacing = f.get_num("spacing", 800.0)?;
@@ -128,6 +143,7 @@ fn root_flag(f: &Flags<'_>, nf: &msrnet_cli::format::NetFile) -> Result<Terminal
 
 fn cmd_stats(args: &[&String]) -> Result<(), String> {
     let f = Flags::parse(args, &[])?;
+    f.reject_unknown(&[])?;
     let path = f.positional.first().ok_or("missing net file")?;
     let nf = load(path)?;
     println!("{}", nf.net.stats());
@@ -151,6 +167,7 @@ fn cmd_stats(args: &[&String]) -> Result<(), String> {
 
 fn cmd_ard(args: &[&String]) -> Result<(), String> {
     let f = Flags::parse(args, &[])?;
+    f.reject_unknown(&["root"])?;
     let path = f.positional.first().ok_or("missing net file")?;
     let nf = load(path)?;
     let root = root_flag(&f, &nf)?;
@@ -334,7 +351,7 @@ fn cmd_optimize(args: &[&String]) -> Result<(), String> {
 
 fn cmd_batch(args: &[&String]) -> Result<(), String> {
     use msrnet_batch::{random_jobs, run_batch, run_batch_incremental, BatchJob};
-    let f = Flags::parse(args, &[])?;
+    let f = Flags::parse(args, &["no-timing"])?;
     f.reject_unknown(&[
         "threads",
         "driver-cost",
@@ -412,7 +429,10 @@ fn cmd_batch(args: &[&String]) -> Result<(), String> {
         report.threads,
         report.wall.as_secs_f64() * 1e3,
     );
-    let json = report.to_json();
+    // --no-timing nulls the volatile fields (wall_ms, nets_per_s,
+    // micros), making the report byte-identical across runs and thread
+    // counts — the local oracle for the served `batch` request.
+    let json = report.to_json_opts(!f.has("no-timing"));
     match f.get("o") {
         Some(out) => {
             std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
@@ -423,32 +443,9 @@ fn cmd_batch(args: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Bit-level curve equality (values and realizations) for the per-edit
-/// incremental-vs-scratch cross-check.
-fn curves_bit_identical(a: &TradeoffCurve, b: &TradeoffCurve) -> bool {
-    a.len() == b.len()
-        && a.points().iter().zip(b.points()).all(|(pa, pb)| {
-            pa.cost.to_bits() == pb.cost.to_bits()
-                && pa.ard.to_bits() == pb.ard.to_bits()
-                && pa.assignment == pb.assignment
-                && pa.terminal_choices == pb.terminal_choices
-                && pa.wire_choices == pb.wire_choices
-        })
-}
-
-/// A finite float as JSON, non-finite as `null`.
-fn json_num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
-    }
-}
-
 fn cmd_edits(args: &[&String]) -> Result<(), String> {
-    use msrnet_core::required_cap_bound;
-    use msrnet_incremental::{parse_trace, IncrementalOptimizer};
-    use std::time::Instant;
+    use msrnet_incremental::parse_trace;
+    use msrnet_service::replay::Replayer;
 
     let f = Flags::parse(args, &["timing"])?;
     f.reject_unknown(&["trace", "root", "driver-cost", "pruning", "o"])?;
@@ -461,114 +458,28 @@ fn cmd_edits(args: &[&String]) -> Result<(), String> {
     let edits = parse_trace(&trace_text).map_err(|e| format!("{trace_path}: {e}"))?;
     let driver_cost = f.get_num("driver-cost", 0.0)?;
     let timing = f.has("timing");
-    let term_opts = TerminalOptions::defaults_with_cost(&nf.net, driver_cost);
-    let wire_options = vec![WireOption::unit()];
-    let options = MsriOptions {
-        allow_inverting: nf.library.iter().any(|r| r.inverting),
-        pruning: pruning_flag(&f)?,
-        ..MsriOptions::default()
-    };
-    let bound = required_cap_bound(&nf.net, &nf.library, &term_opts, &wire_options);
-    if !bound.is_finite() || bound <= 0.0 {
-        return Err(format!("degenerate configuration: cap bound {bound}"));
-    }
-    let mut session = IncrementalOptimizer::new(
-        nf.net.clone(),
+
+    // The replay engine is shared with `msrnet-service`: served
+    // sessions drive this exact implementation, so this command is the
+    // byte-for-byte oracle for a served open/edit/recompute exchange.
+    let mut rep = Replayer::open(
+        *path,
+        nf.net,
         root,
-        nf.library.clone(),
-        term_opts,
-        wire_options,
-        options,
-    );
+        nf.library,
+        driver_cost,
+        pruning_flag(&f)?,
+        timing,
+    )?;
+    rep.replay(&edits, timing);
 
-    // One row per step: step 0 is the initial all-dirty compute, each
-    // later step replays one trace edit. Every recompute is compared
-    // bit-for-bit against a from-scratch re-solve. Timing is only
-    // emitted under --timing so the default output is byte-stable.
-    let mut rows: Vec<String> = Vec::new();
-    let mut applied = 0usize;
-    let mut rejected = 0usize;
-    let mut mismatches = 0usize;
-    for step in 0..=edits.len() {
-        let op: String = if step == 0 {
-            "initial".into()
-        } else {
-            let edit = &edits[step - 1];
-            if let Err(e) = session.apply(edit) {
-                rejected += 1;
-                rows.push(format!(
-                    "    {{\"step\": {step}, \"op\": \"{}\", \"status\": \"rejected\", \
-                     \"reason\": \"{e}\", \"bit_identical\": null, \"micros\": null}}",
-                    edit.op_name()
-                ));
-                continue;
-            }
-            applied += 1;
-            edit.op_name().into()
-        };
-        let t0 = Instant::now();
-        let inc = session.recompute();
-        let micros = if timing {
-            format!("{}", t0.elapsed().as_micros())
-        } else {
-            "null".into()
-        };
-        let scratch = session.from_scratch();
-        match (inc, scratch) {
-            (Ok((a, sa)), Ok((b, _))) => {
-                let bit = curves_bit_identical(&a, &b);
-                if !bit {
-                    mismatches += 1;
-                }
-                let best = a.best_ard();
-                rows.push(format!(
-                    "    {{\"step\": {step}, \"op\": \"{op}\", \"status\": \"ok\", \
-                     \"nodes_visited\": {}, \"nodes_recomputed\": {}, \"nodes_reused\": {}, \
-                     \"points\": {}, \"best_ard\": {}, \"min_cost\": {}, \
-                     \"bit_identical\": {bit}, \"micros\": {micros}}}",
-                    sa.nodes_visited,
-                    sa.nodes_recomputed,
-                    sa.nodes_reused,
-                    a.len(),
-                    json_num(best.ard),
-                    json_num(a.min_cost().cost),
-                ));
-            }
-            (Err(a), Err(b)) => {
-                let bit = a == b;
-                if !bit {
-                    mismatches += 1;
-                }
-                rows.push(format!(
-                    "    {{\"step\": {step}, \"op\": \"{op}\", \"status\": \"infeasible\", \
-                     \"error\": \"{a}\", \"bit_identical\": {bit}, \"micros\": {micros}}}"
-                ));
-            }
-            (inc, _) => {
-                mismatches += 1;
-                rows.push(format!(
-                    "    {{\"step\": {step}, \"op\": \"{op}\", \"status\": \"mismatch\", \
-                     \"error\": \"only one side solved (incremental ok: {})\", \
-                     \"bit_identical\": false, \"micros\": {micros}}}",
-                    inc.is_ok()
-                ));
-            }
-        }
-    }
-
-    let json = format!(
-        "{{\n  \"benchmark\": \"msrnet_edits\",\n  \"net\": \"{path}\",\n  \
-         \"root\": {},\n  \"edits\": {},\n  \"applied\": {applied},\n  \
-         \"rejected\": {rejected},\n  \"escalations\": {},\n  \
-         \"mismatches\": {mismatches},\n  \"steps\": [\n{}\n  ]\n}}\n",
-        root.0,
-        edits.len(),
-        session.escalations(),
-        rows.join(",\n"),
-    );
+    let json = rep.report();
     eprintln!(
-        "replayed {} edits ({applied} applied, {rejected} rejected, {mismatches} mismatches)",
-        edits.len()
+        "replayed {} edits ({} applied, {} rejected, {} mismatches)",
+        rep.edits_seen(),
+        rep.applied(),
+        rep.rejected(),
+        rep.mismatches(),
     );
     match f.get("o") {
         Some(out) => {
@@ -577,13 +488,177 @@ fn cmd_edits(args: &[&String]) -> Result<(), String> {
         }
         None => print!("{json}"),
     }
-    if mismatches == 0 {
+    if rep.mismatches() == 0 {
         Ok(())
     } else {
         Err(format!(
-            "{mismatches} incremental recompute(s) diverged from the from-scratch oracle"
+            "{} incremental recompute(s) diverged from the from-scratch oracle",
+            rep.mismatches()
         ))
     }
+}
+
+/// The server/client endpoint from `--tcp HOST:PORT` or `--unix PATH`
+/// (exactly one required).
+fn endpoint_flag(f: &Flags<'_>) -> Result<msrnet_service::net::Endpoint, String> {
+    use msrnet_service::net::Endpoint;
+    match (f.get("tcp"), f.get("unix")) {
+        (Some(addr), None) => Ok(Endpoint::Tcp(addr.to_string())),
+        (None, Some(path)) => Ok(Endpoint::Unix(std::path::PathBuf::from(path))),
+        (Some(_), Some(_)) => Err("--tcp and --unix are mutually exclusive".into()),
+        (None, None) => Err("missing endpoint: pass --tcp HOST:PORT or --unix PATH".into()),
+    }
+}
+
+fn cmd_serve(args: &[&String]) -> Result<(), String> {
+    use msrnet_service::server::{Server, ServerConfig};
+    use std::io::Write;
+    use std::sync::atomic::AtomicBool;
+
+    let f = Flags::parse(args, &["once"])?;
+    f.reject_unknown(&[
+        "tcp",
+        "unix",
+        "max-frame",
+        "max-sessions",
+        "max-resident",
+        "max-connections",
+        "batch-threads",
+        "read-timeout-ms",
+    ])?;
+    if let Some(extra) = f.positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let endpoint = endpoint_flag(&f)?;
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        max_payload: f.get_num("max-frame", f64::from(defaults.max_payload))? as u32,
+        max_sessions: f.get_num("max-sessions", defaults.max_sessions as f64)? as usize,
+        max_resident: f.get_num("max-resident", defaults.max_resident as f64)? as usize,
+        max_connections: f.get_num("max-connections", defaults.max_connections as f64)?
+            as usize,
+        batch_threads_cap: f.get_num("batch-threads", defaults.batch_threads_cap as f64)?
+            as usize,
+        read_timeout_ms: f.get_num("read-timeout-ms", defaults.read_timeout_ms as f64)? as u64,
+        once: f.has("once"),
+    };
+    let server =
+        Server::bind(&endpoint, config).map_err(|e| format!("binding {endpoint}: {e}"))?;
+    let local = server.local_endpoint().map_err(|e| e.to_string())?;
+    // The bound endpoint goes to stdout, flushed eagerly, so scripts
+    // and tests can read the OS-assigned port of a `--tcp HOST:0` bind
+    // before the first connection arrives.
+    println!("{local}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    eprintln!("serving on {local}");
+    let stop = AtomicBool::new(false);
+    server.run(&stop).map_err(|e| e.to_string())
+}
+
+/// Minimal JSON string escaping for batch-spec assembly (the subset the
+/// in-workspace parser round-trips).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cmd_client(args: &[&String]) -> Result<(), String> {
+    use msrnet_service::client::Client;
+
+    let f = Flags::parse(args, &[])?;
+    f.reject_unknown(&[
+        "tcp",
+        "unix",
+        "trace",
+        "root",
+        "driver-cost",
+        "threads",
+        "deadline-ms",
+        "o",
+    ])?;
+    let endpoint = endpoint_flag(&f)?;
+    let op = f
+        .positional
+        .first()
+        .ok_or("missing client operation (edits|batch|stats)")?;
+    let mut client = Client::connect(&endpoint)
+        .map_err(|e| format!("connecting to {endpoint}: {e}"))?;
+    if f.get("deadline-ms").is_some() {
+        client.deadline_ms = f.get_num("deadline-ms", 0.0)? as u32;
+    }
+    let output = match *op {
+        // One served open/edit/recompute/close exchange; the printed
+        // report is byte-identical to a local `msrnet-cli edits` run on
+        // the same net and trace (same Replayer, verbatim payloads).
+        "edits" => {
+            let path = f.positional.get(1).ok_or("missing net file")?;
+            let msr = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {path}: {e}"))?;
+            let trace_path = f.get("trace").ok_or("missing --trace EDITS.json")?;
+            let trace = std::fs::read_to_string(trace_path)
+                .map_err(|e| format!("reading {trace_path}: {e}"))?;
+            let root = f.get_num("root", 0.0)? as u32;
+            let driver_cost = f.get_num("driver-cost", 0.0)?;
+            let session = client
+                .open(path, &msr, root, driver_cost)
+                .map_err(|e| e.to_string())?;
+            client.edit(session, &trace).map_err(|e| e.to_string())?;
+            let report = client.recompute(session).map_err(|e| e.to_string())?;
+            client.close(session).map_err(|e| e.to_string())?;
+            report
+        }
+        // A served pool run; output matches a local
+        // `msrnet-cli batch --no-timing` on the same files.
+        "batch" => {
+            let files = &f.positional[1..];
+            if files.is_empty() {
+                return Err("no nets to optimize: pass FILE arguments".into());
+            }
+            let threads = f.get_num("threads", 1.0)? as usize;
+            let driver_cost = f.get_num("driver-cost", 0.0)?;
+            let mut spec = format!(
+                "{{\"threads\": {threads}, \"driver_cost\": {driver_cost}, \"nets\": ["
+            );
+            for (i, path) in files.iter().enumerate() {
+                let msr = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {path}: {e}"))?;
+                if i > 0 {
+                    spec.push_str(", ");
+                }
+                spec.push_str(&format!(
+                    "{{\"name\": \"{}\", \"msr\": \"{}\"}}",
+                    json_escape(path),
+                    json_escape(&msr)
+                ));
+            }
+            spec.push_str("]}");
+            client.batch(&spec).map_err(|e| e.to_string())?
+        }
+        "stats" => client.stats().map_err(|e| e.to_string())?,
+        other => {
+            return Err(format!(
+                "unknown client operation `{other}` (use edits|batch|stats)"
+            ))
+        }
+    };
+    match f.get("o") {
+        Some(out) => {
+            std::fs::write(out, &output).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
 }
 
 fn cmd_timing(args: &[&String]) -> Result<(), String> {
@@ -804,6 +879,7 @@ fn cmd_lint(args: &[&String]) -> Result<(), String> {
 fn cmd_report(args: &[&String]) -> Result<(), String> {
     use msrnet_cli::report::{make_report, ReportOptions};
     let f = Flags::parse(args, &[])?;
+    f.reject_unknown(&["root", "spec", "driver-cost", "o"])?;
     let path = f.positional.first().ok_or("missing net file")?;
     let nf = load(path)?;
     let root = root_flag(&f, &nf)?;
@@ -829,6 +905,7 @@ fn cmd_report(args: &[&String]) -> Result<(), String> {
 
 fn cmd_render(args: &[&String]) -> Result<(), String> {
     let f = Flags::parse(args, &["best", "no-labels"])?;
+    f.reject_unknown(&["o"])?;
     let path = f.positional.first().ok_or("missing net file")?;
     let nf = load(path)?;
     let opts = RenderOptions {

@@ -1,0 +1,309 @@
+//! A minimal, dependency-free JSON reader shared across the workspace.
+//!
+//! Grown out of the edit-trace format (see [`crate::parse_trace`]) and
+//! promoted to a public module so other consumers of small JSON request
+//! bodies — notably the `msrnet-service` session server's `batch`
+//! payloads — parse through one implementation. It is a strict subset
+//! reader: numbers, strings (with the mandatory escapes plus `\/`),
+//! booleans, `null`, arrays and objects; duplicate keys are preserved in
+//! order; `\uXXXX` escapes are deliberately unsupported (the workspace
+//! formats never emit them) and fail loudly.
+//!
+//! # Examples
+//!
+//! ```
+//! use msrnet_incremental::json::{parse_json, Json};
+//!
+//! let v = parse_json("{\"threads\": 2, \"nets\": [\"a\", \"b\"]}")?;
+//! let Json::Obj(fields) = &v else { unreachable!() };
+//! assert!(matches!(Json::get(fields, "threads"), Some(Json::Num(n)) if *n == 2.0));
+//! # Ok::<(), msrnet_incremental::json::JsonError>(())
+//! ```
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// A number (JSON has only doubles).
+    Num(f64),
+    /// A string, escapes decoded.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in source order (duplicates preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The first field named `key` in an object's field list.
+    pub fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A parse failure, with the byte offset where it was detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input at which the problem was found.
+    pub at: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON value spanning the whole input (trailing garbage is
+/// an error).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with a byte offset on any structural
+/// problem; the parser never panics, whatever the input.
+pub fn parse_json(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing input after the root value"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.numeral(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected \"{word}\"")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect_byte(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        other => {
+                            return Err(
+                                self.err(format!("unsupported escape '\\{}'", other as char))
+                            )
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar (input is &str, so
+                    // boundaries are well-formed).
+                    let rest = &self.bytes[self.pos..];
+                    // msrnet-allow: panic parse input arrived as &str, so a suffix at a scalar boundary is valid UTF-8
+                    let s = std::str::from_utf8(rest).expect("input came from &str");
+                    // msrnet-allow: panic the Some(_) arm guarantees at least one byte remains
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn numeral(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        // msrnet-allow: panic the numeral scanner only consumes ASCII bytes
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            at: start,
+            message: format!("invalid number \"{text}\""),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip_structurally() {
+        let v = parse_json(
+            "{\"a\": [1, -2.5, 1e3], \"b\": \"x\\ny\", \"c\": true, \"d\": null}",
+        )
+        .unwrap();
+        let Json::Obj(fields) = v else { panic!("object") };
+        assert_eq!(
+            Json::get(&fields, "a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2.5),
+                Json::Num(1000.0)
+            ]))
+        );
+        assert_eq!(Json::get(&fields, "b"), Some(&Json::Str("x\ny".into())));
+        assert_eq!(Json::get(&fields, "c"), Some(&Json::Bool(true)));
+        assert_eq!(Json::get(&fields, "d"), Some(&Json::Null));
+        assert_eq!(Json::get(&fields, "missing"), None);
+    }
+
+    #[test]
+    fn structural_errors_carry_positions() {
+        for (input, needle) in [
+            ("", "unexpected end"),
+            ("[1,", "unexpected end"),
+            ("{\"a\" 1}", "expected ':'"),
+            ("[1 2]", "expected ','"),
+            ("\"abc", "unterminated string"),
+            ("truth", "expected \"true\""),
+            ("1e", "invalid number"),
+            ("{} trailing", "trailing input"),
+            ("\"\\u0041\"", "unsupported escape"),
+        ] {
+            let err = parse_json(input).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "for {input:?}: got {:?}, wanted {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_preserved_and_get_returns_the_first() {
+        let v = parse_json("{\"k\": 1, \"k\": 2}").unwrap();
+        let Json::Obj(fields) = v else { panic!("object") };
+        assert_eq!(fields.len(), 2);
+        assert_eq!(Json::get(&fields, "k"), Some(&Json::Num(1.0)));
+    }
+}

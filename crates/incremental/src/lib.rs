@@ -61,6 +61,7 @@ use msrnet_rctree::elmore::Elmore;
 use msrnet_rctree::{Assignment, EdgeId, Net, Repeater, Rooted, TerminalId, VertexId, VertexKind};
 use msrnet_rng::{Rng, SeedableRng, SplitMix64};
 
+pub mod json;
 mod trace;
 pub use trace::{parse_trace, trace_to_json, TraceError};
 
@@ -286,6 +287,13 @@ impl IncrementalOptimizer {
     /// The session's fixed PWL capacitance bound.
     pub fn cap_bound(&self) -> f64 {
         self.cap_bound
+    }
+
+    /// How many subtree candidate sets are currently resident in the DP
+    /// cache. Memory-bounded hosts (the `msrnet-service` session server)
+    /// use this to pick LRU eviction victims by retained weight.
+    pub fn cached_subtrees(&self) -> usize {
+        self.cache.cached_subtrees()
     }
 
     /// How many times an edit forced a new bound + full invalidation.

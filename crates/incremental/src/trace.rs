@@ -16,15 +16,17 @@
 //! ]}
 //! ```
 //!
-//! The parser is a small recursive-descent JSON reader (the workspace is
-//! dependency-free by design), strict about structure — unknown ops,
-//! missing fields, and trailing garbage are all errors with positions —
-//! but tolerant of field order and whitespace.
+//! Parsing goes through the workspace's shared JSON reader
+//! ([`crate::json`]; the workspace is dependency-free by design) and is
+//! strict about structure — unknown ops, missing fields, and trailing
+//! garbage are all errors with positions — but tolerant of field order
+//! and whitespace.
 
 use std::fmt;
 
 use msrnet_rctree::{EdgeId, TerminalId};
 
+use crate::json::{parse_json, Json};
 use crate::Edit;
 
 /// A parse failure, with the byte offset where it was detected.
@@ -51,28 +53,25 @@ impl std::error::Error for TraceError {}
 /// Returns a [`TraceError`] on malformed JSON, an unknown `"op"`,
 /// missing or mistyped fields, or trailing input after the root object.
 pub fn parse_trace(input: &str) -> Result<Vec<Edit>, TraceError> {
-    let mut p = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let root = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing input after the trace object"));
-    }
-    let Value::Obj(fields) = root else {
+    let root = parse_json(input).map_err(|e| TraceError {
+        at: e.at,
+        message: if e.message == "trailing input after the root value" {
+            "trailing input after the trace object".into()
+        } else {
+            e.message
+        },
+    })?;
+    let Json::Obj(fields) = root else {
         return Err(TraceError {
             at: 0,
             message: "trace root must be an object".into(),
         });
     };
-    let edits_val = get(&fields, "edits")
-        .ok_or_else(|| TraceError {
-            at: 0,
-            message: "trace object is missing the \"edits\" array".into(),
-        })?;
-    let Value::Arr(items) = edits_val else {
+    let edits_val = Json::get(&fields, "edits").ok_or_else(|| TraceError {
+        at: 0,
+        message: "trace object is missing the \"edits\" array".into(),
+    })?;
+    let Json::Arr(items) = edits_val else {
         return Err(TraceError {
             at: 0,
             message: "\"edits\" must be an array".into(),
@@ -157,35 +156,21 @@ fn num(x: f64) -> String {
     }
 }
 
-#[derive(Clone, Debug, PartialEq)]
-enum Value {
-    Num(f64),
-    Str(String),
-    Bool(bool),
-    Null,
-    Arr(Vec<Value>),
-    Obj(Vec<(String, Value)>),
-}
-
-fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
-    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-}
-
-fn edit_from(item: &Value, index: usize) -> Result<Edit, TraceError> {
+fn edit_from(item: &Json, index: usize) -> Result<Edit, TraceError> {
     let fail = |message: String| TraceError {
         at: 0,
         message: format!("edit #{index}: {message}"),
     };
-    let Value::Obj(fields) = item else {
+    let Json::Obj(fields) = item else {
         return Err(fail("must be an object".into()));
     };
-    let Some(Value::Str(op)) = get(fields, "op") else {
+    let Some(Json::Str(op)) = Json::get(fields, "op") else {
         return Err(fail("missing string field \"op\"".into()));
     };
     let id = |key: &str| -> Result<usize, TraceError> {
-        match get(fields, key) {
+        match Json::get(fields, key) {
             // msrnet-allow: float-eq fract()==0.0 is the exact integrality test for a JSON id
-            Some(Value::Num(x)) if *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64 => {
+            Some(Json::Num(x)) if *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64 => {
                 Ok(*x as usize)
             }
             Some(_) => Err(fail(format!("\"{key}\" must be a non-negative integer"))),
@@ -195,11 +180,11 @@ fn edit_from(item: &Value, index: usize) -> Result<Edit, TraceError> {
     // Numeric field that may also be the strings "inf"/"-inf"/"nan"
     // (the emitter's encoding for non-finite values).
     let number = |key: &str| -> Result<f64, TraceError> {
-        match get(fields, key) {
-            Some(Value::Num(x)) => Ok(*x),
-            Some(Value::Str(s)) if s == "inf" => Ok(f64::INFINITY),
-            Some(Value::Str(s)) if s == "-inf" => Ok(f64::NEG_INFINITY),
-            Some(Value::Str(s)) if s == "nan" => Ok(f64::NAN),
+        match Json::get(fields, key) {
+            Some(Json::Num(x)) => Ok(*x),
+            Some(Json::Str(s)) if s == "inf" => Ok(f64::INFINITY),
+            Some(Json::Str(s)) if s == "-inf" => Ok(f64::NEG_INFINITY),
+            Some(Json::Str(s)) if s == "nan" => Ok(f64::NAN),
             Some(_) => Err(fail(format!("\"{key}\" must be a number"))),
             None => Err(fail(format!("missing field \"{key}\""))),
         }
@@ -234,176 +219,6 @@ fn edit_from(item: &Value, index: usize) -> Result<Edit, TraceError> {
             terminal: TerminalId(id("terminal")?),
         }),
         other => Err(fail(format!("unknown op \"{other}\""))),
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, message: impl Into<String>) -> TraceError {
-        TraceError {
-            at: self.pos,
-            message: message.into(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect_byte(&mut self, c: u8) -> Result<(), TraceError> {
-        if self.peek() == Some(c) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(format!("expected '{}'", c as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Value, TraceError> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Value::Str(self.string()?)),
-            Some(b't') => self.literal("true", Value::Bool(true)),
-            Some(b'f') => self.literal("false", Value::Bool(false)),
-            Some(b'n') => self.literal("null", Value::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.numeral(),
-            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
-            None => Err(self.err("unexpected end of input")),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Value) -> Result<Value, TraceError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(self.err(format!("expected \"{word}\"")))
-        }
-    }
-
-    fn object(&mut self) -> Result<Value, TraceError> {
-        self.expect_byte(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect_byte(b':')?;
-            let val = self.value()?;
-            fields.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                _ => return Err(self.err("expected ',' or '}' in object")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Value, TraceError> {
-        self.expect_byte(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']' in array")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, TraceError> {
-        self.expect_byte(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        other => {
-                            return Err(
-                                self.err(format!("unsupported escape '\\{}'", other as char))
-                            )
-                        }
-                    }
-                }
-                Some(_) => {
-                    // Advance over one UTF-8 scalar (input is &str, so
-                    // boundaries are well-formed).
-                    let rest = &self.bytes[self.pos..];
-                    // msrnet-allow: panic parse input arrived as &str, so a suffix at a scalar boundary is valid UTF-8
-                    let s = std::str::from_utf8(rest).expect("input came from &str");
-                    // msrnet-allow: panic the Some(_) arm guarantees at least one byte remains
-                    let ch = s.chars().next().expect("non-empty");
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
-                None => return Err(self.err("unterminated string")),
-            }
-        }
-    }
-
-    fn numeral(&mut self) -> Result<Value, TraceError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
-        }
-        // msrnet-allow: panic the numeral scanner only consumes ASCII bytes
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| TraceError {
-                at: start,
-                message: format!("invalid number \"{text}\""),
-            })
     }
 }
 

@@ -96,7 +96,9 @@ pub fn parse_net_file(text: &str) -> Result<NetFile, ParseNetError> {
             continue;
         }
         let mut words = line.split_whitespace();
-        let keyword = words.next().expect("nonempty line");
+        let Some(keyword) = words.next() else {
+            continue;
+        };
         let rest: Vec<&str> = words.collect();
         match keyword {
             "tech" => {

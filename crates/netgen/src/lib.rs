@@ -28,6 +28,13 @@
 //! assert!(net.topology.insertion_point_count() > 0);
 //! # Ok::<(), msrnet_rctree::BuildNetError>(())
 //! ```
+//!
+//! The crate also owns the plain-text `.msr` net interchange format
+//! ([`mod@format`]) so every consumer of net files — the CLI, the resident
+//! session server (`msrnet-service`), and tests — parses and writes
+//! through one implementation.
+
+pub mod format;
 
 use msrnet_core::{TerminalOption, TerminalOptions};
 use msrnet_geom::Point;

@@ -1,0 +1,339 @@
+//! The wire framing layer: length-prefixed frames with a fixed header.
+//!
+//! Every message on a connection — request or response — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  "MR" (0x4D 0x52)
+//! 2       1     version (currently 1)
+//! 3       1     kind (request/response discriminant, see `proto`)
+//! 4       4     payload length, big-endian u32
+//! 8       n     payload
+//! ```
+//!
+//! Decoding is an incremental state machine ([`FrameDecoder`]): bytes
+//! are fed in arbitrary chunks and each header field is validated as
+//! soon as its bytes are available, so a given byte stream produces the
+//! same [`FrameError`] no matter how the transport chunks it. The
+//! production socket read path and the protocol fuzz tests drive the
+//! *same* decoder, which is what makes the fuzz coverage real.
+//!
+//! The decoder never panics; every rejection is a typed [`FrameError`].
+
+use std::fmt;
+
+/// Frame magic, first byte: `'M'`.
+pub const MAGIC0: u8 = 0x4D;
+/// Frame magic, second byte: `'R'`.
+pub const MAGIC1: u8 = 0x52;
+/// The only protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes (magic + version + kind + length).
+pub const HEADER_LEN: usize = 8;
+/// Default cap on payload length (8 MiB): frames announcing more are
+/// rejected before any payload is buffered.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 8 * 1024 * 1024;
+
+/// One decoded frame: the kind discriminant plus its raw payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Request/response discriminant byte (interpreted by `proto`).
+    pub kind: u8,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Encodes the frame for the wire (header + payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Oversized`] if the payload exceeds
+    /// `max_payload` (encoders obey the same limit they decode under,
+    /// so a conforming peer never triggers the decoder's cap).
+    pub fn encode(&self, max_payload: u32) -> Result<Vec<u8>, FrameError> {
+        if self.payload.len() as u64 > u64::from(max_payload) {
+            return Err(FrameError::Oversized {
+                len: self.payload.len() as u64,
+                limit: max_payload,
+            });
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.push(MAGIC0);
+        out.push(MAGIC1);
+        out.push(VERSION);
+        out.push(self.kind);
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        Ok(out)
+    }
+}
+
+/// A typed framing failure. Any of these poisons the connection: the
+/// stream position is no longer trustworthy, so the server sends a
+/// best-effort error frame and drops the connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first two bytes were not `"MR"`.
+    BadMagic {
+        /// The offending byte.
+        got: u8,
+        /// Position within the magic (0 or 1).
+        at: u8,
+    },
+    /// The version byte named a protocol this build does not speak.
+    BadVersion {
+        /// The offending version byte.
+        got: u8,
+    },
+    /// The header announced a payload larger than the configured cap.
+    Oversized {
+        /// Announced payload length.
+        len: u64,
+        /// Configured cap.
+        limit: u32,
+    },
+    /// The stream ended mid-frame (header or payload incomplete).
+    Truncated {
+        /// Bytes still needed to complete the current frame.
+        missing: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic { got, at } => {
+                write!(f, "bad frame magic: byte {at} is {got:#04x}")
+            }
+            FrameError::BadVersion { got } => {
+                write!(f, "unsupported protocol version {got} (this build speaks {VERSION})")
+            }
+            FrameError::Oversized { len, limit } => {
+                write!(f, "frame payload of {len} bytes exceeds the {limit}-byte limit")
+            }
+            FrameError::Truncated { missing } => {
+                write!(f, "stream ended mid-frame ({missing} more bytes needed)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame decoder.
+///
+/// Feed bytes with [`FrameDecoder::feed`], drain complete frames with
+/// [`FrameDecoder::next_frame`], and call [`FrameDecoder::finish`] when
+/// the stream ends to surface a trailing partial frame as
+/// [`FrameError::Truncated`]. After any error the decoder is poisoned
+/// and keeps returning the same error.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_payload: u32,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by emitted frames.
+    consumed: usize,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing the given payload cap.
+    pub fn new(max_payload: u32) -> Self {
+        FrameDecoder {
+            max_payload,
+            buf: Vec::new(),
+            consumed: 0,
+            poisoned: None,
+        }
+    }
+
+    /// Appends transport bytes to the decode buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// True if a partial frame is buffered (used by the server's
+    /// slow-loris policy: a read timeout mid-frame drops the
+    /// connection, a timeout between frames is just idleness).
+    pub fn mid_frame(&self) -> bool {
+        self.poisoned.is_none() && self.buf.len() > self.consumed
+    }
+
+    /// Tries to decode the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`FrameError`] as soon as a header field is provably
+    /// invalid — independent of how the input was chunked.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        match self.try_decode() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn try_decode(&mut self) -> Result<Option<Frame>, FrameError> {
+        // Reclaim consumed prefix occasionally so long-lived
+        // connections don't grow the buffer without bound.
+        if self.consumed > 0 && self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        }
+        let have = &self.buf[self.consumed..];
+        // Validate each header field as soon as its bytes exist.
+        if !have.is_empty() && have[0] != MAGIC0 {
+            return Err(FrameError::BadMagic { got: have[0], at: 0 });
+        }
+        if have.len() >= 2 && have[1] != MAGIC1 {
+            return Err(FrameError::BadMagic { got: have[1], at: 1 });
+        }
+        if have.len() >= 3 && have[2] != VERSION {
+            return Err(FrameError::BadVersion { got: have[2] });
+        }
+        if have.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([have[4], have[5], have[6], have[7]]);
+        if len > self.max_payload {
+            return Err(FrameError::Oversized {
+                len: u64::from(len),
+                limit: self.max_payload,
+            });
+        }
+        let total = HEADER_LEN + len as usize;
+        if have.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame {
+            kind: have[3],
+            payload: have[HEADER_LEN..total].to_vec(),
+        };
+        self.consumed += total;
+        Ok(Some(frame))
+    }
+
+    /// Declares end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] if bytes of an incomplete frame remain
+    /// buffered (a mid-frame disconnect), or the poisoning error if the
+    /// decoder already failed.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let pending = self.buf.len() - self.consumed;
+        if pending == 0 {
+            return Ok(());
+        }
+        // How many more bytes the current frame needs: up to a full
+        // header if the length is still unknown, else the remainder of
+        // the announced payload.
+        let missing = if pending < HEADER_LEN {
+            HEADER_LEN - pending
+        } else {
+            let have = &self.buf[self.consumed..];
+            let len = u32::from_be_bytes([have[4], have[5], have[6], have[7]]) as usize;
+            HEADER_LEN + len - pending
+        };
+        Err(FrameError::Truncated { missing })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(bytes: &[u8], chunk: usize) -> Result<Vec<Frame>, FrameError> {
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_PAYLOAD);
+        let mut frames = Vec::new();
+        for piece in bytes.chunks(chunk.max(1)) {
+            dec.feed(piece);
+            while let Some(f) = dec.next_frame()? {
+                frames.push(f);
+            }
+        }
+        dec.finish()?;
+        Ok(frames)
+    }
+
+    #[test]
+    fn round_trip_is_chunking_invariant() {
+        let frames = [
+            Frame { kind: 0x01, payload: b"hello".to_vec() },
+            Frame { kind: 0x81, payload: Vec::new() },
+            Frame { kind: 0x05, payload: vec![0u8; 1000] },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend(f.encode(DEFAULT_MAX_PAYLOAD).unwrap());
+        }
+        for chunk in [1, 2, 3, 7, 64, wire.len()] {
+            assert_eq!(decode_all(&wire, chunk).unwrap(), frames, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn errors_are_chunking_invariant() {
+        let cases: Vec<(Vec<u8>, FrameError)> = vec![
+            (vec![0x00], FrameError::BadMagic { got: 0x00, at: 0 }),
+            (vec![MAGIC0, 0xFF], FrameError::BadMagic { got: 0xFF, at: 1 }),
+            (vec![MAGIC0, MAGIC1, 9], FrameError::BadVersion { got: 9 }),
+            (
+                {
+                    let mut v = vec![MAGIC0, MAGIC1, VERSION, 0x01];
+                    v.extend(u32::MAX.to_be_bytes());
+                    v
+                },
+                FrameError::Oversized { len: u64::from(u32::MAX), limit: DEFAULT_MAX_PAYLOAD },
+            ),
+        ];
+        for (bytes, want) in cases {
+            for chunk in [1, 2, bytes.len()] {
+                assert_eq!(decode_all(&bytes, chunk).unwrap_err(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_reports_missing_bytes() {
+        // Header promises 10 payload bytes, stream ends after 4.
+        let mut wire = vec![MAGIC0, MAGIC1, VERSION, 0x02];
+        wire.extend(10u32.to_be_bytes());
+        wire.extend([0u8; 4]);
+        let err = decode_all(&wire, wire.len()).unwrap_err();
+        assert_eq!(err, FrameError::Truncated { missing: 6 });
+
+        // Partial header.
+        let err = decode_all(&[MAGIC0, MAGIC1], 1).unwrap_err();
+        assert_eq!(err, FrameError::Truncated { missing: 6 });
+    }
+
+    #[test]
+    fn poisoned_decoder_stays_poisoned() {
+        let mut dec = FrameDecoder::new(16);
+        dec.feed(&[0xFF]);
+        let first = dec.next_frame().unwrap_err();
+        dec.feed(&[MAGIC0, MAGIC1, VERSION, 0x01, 0, 0, 0, 0]);
+        assert_eq!(dec.next_frame().unwrap_err(), first);
+        assert_eq!(dec.finish().unwrap_err(), first);
+    }
+
+    #[test]
+    fn encode_refuses_oversized_payloads() {
+        let f = Frame { kind: 1, payload: vec![0u8; 17] };
+        assert!(matches!(f.encode(16), Err(FrameError::Oversized { len: 17, limit: 16 })));
+    }
+}

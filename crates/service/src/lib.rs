@@ -1,0 +1,83 @@
+//! Optimization-as-a-service: a resident session server for the
+//! Lillis–Cheng repeater-insertion engine.
+//!
+//! Every other front end pays process startup and full `.msr` parsing
+//! per request. This crate keeps [`IncrementalOptimizer`]
+//! (`msrnet-incremental`) sessions *resident server-side*, so the unit
+//! of service becomes one dirty-path recompute — the shape the
+//! ROADMAP's "serve heavy traffic" north star calls for.
+//!
+//! The stack, bottom up:
+//!
+//! * [`frame`] — length-prefixed frames with an incremental, fuzz-driven
+//!   decoder shared with the production read path;
+//! * [`proto`] — typed requests (`open`/`edit`/`recompute`/`curve`/
+//!   `batch`/`close`/`stats`), typed [`proto::ErrorCode`]s, per-request
+//!   deadlines;
+//! * [`replay`] — the shared edit-replay engine behind both
+//!   `msrnet-cli edits` and served sessions (this sharing, plus
+//!   verbatim text payloads, is what makes served reports
+//!   byte-identical to local runs — the server's oracle);
+//! * [`session`] — bounded-memory session table: logical-clock LRU
+//!   eviction, hard caps, typed `Evicted` tombstones;
+//! * [`server`] / [`client`] — the accept loop with its degradation
+//!   contract, and a blocking client;
+//! * [`net`] — TCP/Unix-domain transport used by both ends.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::atomic::{AtomicBool, Ordering};
+//! use msrnet_service::net::Endpoint;
+//! use msrnet_service::server::{Server, ServerConfig};
+//! use msrnet_service::client::Client;
+//! use msrnet_netgen::format::write_net_file;
+//! use msrnet_netgen::{table1, ExperimentNet};
+//! use msrnet_rng::SeedableRng;
+//!
+//! // A loopback server on an OS-assigned port.
+//! let server = Server::bind(
+//!     &Endpoint::Tcp("127.0.0.1:0".into()),
+//!     ServerConfig::default(),
+//! )?;
+//! let endpoint = server.local_endpoint()?;
+//! let stop = AtomicBool::new(false);
+//! std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
+//!     scope.spawn(|| server.run(&stop));
+//!
+//!     // Upload a net, replay an edit, fetch the report.
+//!     let params = table1();
+//!     let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(7);
+//!     let exp = ExperimentNet::random(&mut rng, 4, &params)?;
+//!     let msr = write_net_file(&exp.with_insertion_points(2000.0), &[params.repeater(1.0)]);
+//!
+//!     let mut client = Client::connect(&endpoint)?;
+//!     let session = client.open("demo.msr", &msr, 0, 0.0)?;
+//!     client.edit(session, "{\"edits\": [{\"op\": \"swap_library\", \"scale\": 2.0}]}")?;
+//!     let report = client.recompute(session)?;
+//!     assert!(report.starts_with("{\n  \"benchmark\": \"msrnet_edits\""));
+//!     client.close(session)?;
+//!
+//!     stop.store(true, Ordering::Release);
+//!     Ok(())
+//! })?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`IncrementalOptimizer`]: msrnet_incremental::IncrementalOptimizer
+
+pub mod client;
+pub mod frame;
+pub mod net;
+pub mod proto;
+pub mod replay;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientError};
+pub use frame::{Frame, FrameDecoder, FrameError};
+pub use net::Endpoint;
+pub use proto::{ErrorCode, Request, Response};
+pub use replay::Replayer;
+pub use server::{Server, ServerConfig};
+pub use session::SessionTable;

@@ -1,0 +1,192 @@
+//! Transport abstraction: one listener/stream pair covering TCP and
+//! Unix-domain sockets, so the server, the client, and every test speak
+//! through the same code path regardless of endpoint family.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where to bind or connect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP socket address, e.g. `127.0.0.1:0`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `tcp:HOST:PORT` or `unix:PATH`.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the expected forms.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else if let Some(path) = s.strip_prefix("unix:") {
+            Ok(Endpoint::Unix(PathBuf::from(path)))
+        } else {
+            Err(format!(
+                "bad endpoint `{s}` (expected tcp:HOST:PORT or unix:PATH)"
+            ))
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// A bound listener on either family.
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds the endpoint (for `tcp:HOST:0` the OS picks the port; read
+    /// it back with [`Listener::local_endpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// The underlying bind failure.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Listener> {
+        match endpoint {
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+            Endpoint::Unix(path) => Ok(Listener::Unix(UnixListener::bind(path)?)),
+        }
+    }
+
+    /// The actually-bound endpoint.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `local_addr` failure.
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            Listener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+            Listener::Unix(l) => {
+                let addr = l.local_addr()?;
+                Ok(Endpoint::Unix(
+                    addr.as_pathname().map(PathBuf::from).unwrap_or_default(),
+                ))
+            }
+        }
+    }
+
+    /// Toggles non-blocking accepts.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `set_nonblocking` failure.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accepts one connection.
+    ///
+    /// # Errors
+    ///
+    /// The underlying accept failure (including `WouldBlock` in
+    /// non-blocking mode).
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Tcp(s))
+            }
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+}
+
+/// A connected stream on either family.
+pub enum Stream {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Connects to the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// The underlying connect failure.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Stream> {
+        match endpoint {
+            Endpoint::Tcp(addr) => Ok(Stream::Tcp(TcpStream::connect(addr)?)),
+            Endpoint::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    /// Sets (or clears) the read timeout.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `set_read_timeout` failure.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_round_trips() {
+        let e = Endpoint::parse("tcp:127.0.0.1:4000").unwrap();
+        assert_eq!(e, Endpoint::Tcp("127.0.0.1:4000".into()));
+        assert_eq!(e.to_string(), "tcp:127.0.0.1:4000");
+        let e = Endpoint::parse("unix:/tmp/msrnet.sock").unwrap();
+        assert_eq!(e.to_string(), "unix:/tmp/msrnet.sock");
+        assert!(Endpoint::parse("http://x").is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! The resident session table: bounded-memory bookkeeping for the
+//! server's open [`Replayer`] sessions.
+//!
+//! Recency is a logical `u64` touch clock, not wall time, so eviction
+//! order is a pure function of the request sequence (deterministic
+//! under test). Two caps bound memory:
+//!
+//! * `max_sessions` — hard cap on *live* ids (resident + checked out).
+//!   Opening past it is [`ErrorCode::SessionLimit`].
+//! * `max_resident` — LRU cap on sessions actually held in memory.
+//!   Opening past it evicts the documented victim: the **resident**
+//!   session with the lowest last-touch tick (checked-out sessions are
+//!   in use on another connection and are never victims). The evicted
+//!   id stays behind as a tombstone; touching it is
+//!   [`ErrorCode::Evicted`] — a typed signal to re-open — while an id
+//!   that was never opened (or was closed) is
+//!   [`ErrorCode::UnknownSession`].
+//!
+//! A session being served is *checked out* of the table (no big lock
+//! around the DP); a concurrent touch of the same id gets
+//! [`ErrorCode::Busy`]. If the serving thread panics, the checkout
+//! guard in `server` marks the slot [`Slot::Evicted`] so the id can
+//! never wedge.
+
+use std::collections::BTreeMap;
+
+use crate::proto::ErrorCode;
+use crate::replay::Replayer;
+
+/// One session slot.
+pub enum Slot {
+    /// In memory, available.
+    Resident {
+        /// Logical tick of the last touch.
+        last_touch: u64,
+        /// The session itself.
+        sess: Box<Replayer>,
+    },
+    /// Temporarily owned by a connection thread.
+    CheckedOut {
+        /// Logical tick of the checkout.
+        last_touch: u64,
+    },
+    /// Evicted under memory pressure; tombstone so re-touches get a
+    /// typed [`ErrorCode::Evicted`] rather than `UnknownSession`.
+    Evicted,
+}
+
+/// The table of live sessions plus its counters.
+pub struct SessionTable {
+    slots: BTreeMap<u64, Slot>,
+    next_id: u64,
+    clock: u64,
+    max_sessions: usize,
+    max_resident: usize,
+    opened: u64,
+    closed: u64,
+    evictions: u64,
+}
+
+impl SessionTable {
+    /// An empty table with the given caps (both clamped to ≥ 1).
+    pub fn new(max_sessions: usize, max_resident: usize) -> SessionTable {
+        SessionTable {
+            slots: BTreeMap::new(),
+            next_id: 1,
+            clock: 0,
+            max_sessions: max_sessions.max(1),
+            max_resident: max_resident.max(1),
+            opened: 0,
+            closed: 0,
+            evictions: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn live_count(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|s| !matches!(s, Slot::Evicted))
+            .count()
+    }
+
+    /// Sessions currently resident in memory.
+    pub fn resident_count(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|s| matches!(s, Slot::Resident { .. }))
+            .count()
+    }
+
+    /// Live sessions (resident + checked out).
+    pub fn open_count(&self) -> usize {
+        self.live_count()
+    }
+
+    /// Sessions opened over the table's lifetime.
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// Sessions explicitly closed.
+    pub fn closed(&self) -> u64 {
+        self.closed
+    }
+
+    /// Sessions evicted under memory pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total resident DP-cache size across resident sessions.
+    pub fn cached_subtrees(&self) -> usize {
+        self.slots
+            .values()
+            .map(|s| match s {
+                Slot::Resident { sess, .. } => sess.cached_subtrees(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Admits a new session, evicting the LRU resident if the resident
+    /// cap is exceeded. Returns the new session id.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::SessionLimit`] at the hard cap on live sessions.
+    pub fn open(&mut self, sess: Box<Replayer>) -> Result<u64, ErrorCode> {
+        if self.live_count() >= self.max_sessions {
+            return Err(ErrorCode::SessionLimit);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let last_touch = self.tick();
+        self.slots.insert(id, Slot::Resident { last_touch, sess });
+        self.opened += 1;
+        while self.resident_count() > self.max_resident {
+            if !self.evict_lru(id) {
+                break;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Evicts the resident session with the lowest last-touch tick,
+    /// sparing `keep` (the slot being admitted). Returns whether a
+    /// victim was found.
+    fn evict_lru(&mut self, keep: u64) -> bool {
+        let victim = self
+            .slots
+            .iter()
+            .filter_map(|(&id, slot)| match slot {
+                Slot::Resident { last_touch, .. } if id != keep => Some((*last_touch, id)),
+                _ => None,
+            })
+            .min();
+        match victim {
+            Some((_, id)) => {
+                self.slots.insert(id, Slot::Evicted);
+                self.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Takes a session out of the table for exclusive use.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownSession`] for an id never opened or already
+    /// closed, [`ErrorCode::Evicted`] for a tombstone, and
+    /// [`ErrorCode::Busy`] if another connection has it checked out.
+    pub fn checkout(&mut self, id: u64) -> Result<Box<Replayer>, ErrorCode> {
+        let tick = self.tick();
+        match self.slots.get_mut(&id) {
+            None => Err(ErrorCode::UnknownSession),
+            Some(Slot::Evicted) => Err(ErrorCode::Evicted),
+            Some(Slot::CheckedOut { .. }) => Err(ErrorCode::Busy),
+            Some(slot @ Slot::Resident { .. }) => {
+                let prev = std::mem::replace(slot, Slot::CheckedOut { last_touch: tick });
+                match prev {
+                    Slot::Resident { sess, .. } => Ok(sess),
+                    // `slot` matched Resident above; the replace handed
+                    // us exactly that value.
+                    _ => Err(ErrorCode::Internal),
+                }
+            }
+        }
+    }
+
+    /// Returns a checked-out session. No-op if the id was closed or
+    /// force-evicted while out.
+    pub fn put_back(&mut self, id: u64, sess: Box<Replayer>) {
+        let tick = self.tick();
+        if let Some(slot @ Slot::CheckedOut { .. }) = self.slots.get_mut(&id) {
+            *slot = Slot::Resident {
+                last_touch: tick,
+                sess,
+            };
+        }
+    }
+
+    /// Marks a checked-out slot evicted — the panic-safety path: the
+    /// session's state is suspect, so the id must not wedge as
+    /// `CheckedOut` (→ permanent `Busy`) nor come back resident.
+    pub fn mark_evicted(&mut self, id: u64) {
+        if let Some(slot @ Slot::CheckedOut { .. }) = self.slots.get_mut(&id) {
+            *slot = Slot::Evicted;
+            self.evictions += 1;
+        }
+    }
+
+    /// Closes a session: the id is removed entirely (later touches are
+    /// `UnknownSession`). The caller must hold the checkout.
+    pub fn close(&mut self, id: u64) {
+        if self.slots.remove(&id).is_some() {
+            self.closed += 1;
+        }
+    }
+
+    /// Typed close for an id the caller has *not* checked out: rejects
+    /// tombstones and busy sessions like any other touch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionTable::checkout`].
+    pub fn close_checked(&mut self, id: u64) -> Result<(), ErrorCode> {
+        match self.slots.get(&id) {
+            None => Err(ErrorCode::UnknownSession),
+            Some(Slot::Evicted) => Err(ErrorCode::Evicted),
+            Some(Slot::CheckedOut { .. }) => Err(ErrorCode::Busy),
+            Some(Slot::Resident { .. }) => {
+                self.slots.remove(&id);
+                self.closed += 1;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrnet_core::PruningStrategy;
+    use msrnet_netgen::{table1, ExperimentNet};
+    use msrnet_rctree::TerminalId;
+    use msrnet_rng::SeedableRng;
+
+    fn replayer(seed: u64) -> Box<Replayer> {
+        let params = table1();
+        let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(seed);
+        let exp = ExperimentNet::random(&mut rng, 4, &params).unwrap();
+        let net = exp.with_insertion_points(2000.0);
+        let lib = vec![params.repeater(1.0)];
+        Box::new(
+            Replayer::open("t", net, TerminalId(0), lib, 0.0, PruningStrategy::default(), false)
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest_resident_and_tombstones_it() {
+        let mut t = SessionTable::new(100, 2);
+        let a = t.open(replayer(1)).unwrap();
+        let b = t.open(replayer(2)).unwrap();
+        // Touch a so b becomes the LRU.
+        let s = t.checkout(a).unwrap();
+        t.put_back(a, s);
+        let c = t.open(replayer(3)).unwrap();
+        assert_eq!(t.resident_count(), 2);
+        assert_eq!(t.evictions(), 1);
+        assert_eq!(t.checkout(b).unwrap_err(), ErrorCode::Evicted);
+        for id in [a, c] {
+            let s = t.checkout(id).unwrap();
+            t.put_back(id, s);
+        }
+    }
+
+    #[test]
+    fn hard_cap_rejects_and_close_frees() {
+        let mut t = SessionTable::new(2, 2);
+        let a = t.open(replayer(1)).unwrap();
+        let _b = t.open(replayer(2)).unwrap();
+        assert!(matches!(t.open(replayer(3)), Err(ErrorCode::SessionLimit)));
+        t.close_checked(a).unwrap();
+        assert_eq!(t.checkout(a).unwrap_err(), ErrorCode::UnknownSession);
+        let _c = t.open(replayer(3)).unwrap();
+        assert_eq!(t.opened(), 3);
+        assert_eq!(t.closed(), 1);
+    }
+
+    #[test]
+    fn checked_out_sessions_are_busy_and_never_victims() {
+        let mut t = SessionTable::new(100, 1);
+        let a = t.open(replayer(1)).unwrap();
+        let held = t.checkout(a).unwrap();
+        assert_eq!(t.checkout(a).unwrap_err(), ErrorCode::Busy);
+        // Opening past the resident cap cannot evict `a` (checked out)
+        // or the newcomer itself, so the cap is transiently exceeded
+        // rather than a live session destroyed.
+        let b = t.open(replayer(2)).unwrap();
+        t.put_back(a, held);
+        let s = t.checkout(a).unwrap();
+        t.put_back(a, s);
+        let s = t.checkout(b).unwrap();
+        t.put_back(b, s);
+        assert_eq!(t.evictions(), 0);
+    }
+
+    #[test]
+    fn panicking_handler_path_tombstones_instead_of_wedging() {
+        let mut t = SessionTable::new(100, 10);
+        let a = t.open(replayer(1)).unwrap();
+        let _held = t.checkout(a).unwrap();
+        t.mark_evicted(a);
+        assert_eq!(t.checkout(a).unwrap_err(), ErrorCode::Evicted);
+        assert_eq!(t.evictions(), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Concurrency soak: many client threads hammer one server under
+//! eviction pressure, and every served report must be byte-identical to
+//! a locally computed oracle for the same net and trace.
+//!
+//! The always-run `soak_smoke` keeps CI fast; `soak_full` (behind
+//! `--ignored`, run by the CI `service` job) scales the same harness to
+//! more threads and rounds. Both assert:
+//!
+//! * bit-identical responses — each thread's served `recompute` report
+//!   equals the local `Replayer` oracle byte for byte, every round;
+//! * `RecomputeStats` invariants — in every `"ok"` row,
+//!   `nodes_recomputed + nodes_reused == nodes_visited` and the
+//!   incremental-vs-scratch cross-check holds (`bit_identical: true`);
+//! * eviction pressure is survivable — `max_resident` is below the
+//!   number of concurrent sessions, so sessions get evicted mid-run;
+//!   threads see a typed `Evicted`, reopen, and continue;
+//! * session accounting closes — `opened == closed + evicted + open`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use msrnet_incremental::parse_trace;
+use msrnet_netgen::format::{parse_net_file, write_net_file};
+use msrnet_netgen::{table1, ExperimentNet};
+use msrnet_rng::rngs::StdRng;
+use msrnet_rng::SeedableRng;
+use msrnet_service::client::{Client, ClientError};
+use msrnet_service::net::Endpoint;
+use msrnet_service::replay::Replayer;
+use msrnet_service::server::{Server, ServerConfig};
+use msrnet_service::ErrorCode;
+
+/// One thread's workload: a fixed net, a fixed trace, and the locally
+/// computed report both sides must agree on.
+struct Workload {
+    name: String,
+    msr: String,
+    trace: String,
+    expected_report: String,
+}
+
+fn workload(thread: usize) -> Workload {
+    let params = table1();
+    let mut rng = StdRng::seed_from_u64(1000 + thread as u64);
+    let exp = ExperimentNet::random(&mut rng, 4 + thread % 3, &params).expect("generate");
+    let msr = write_net_file(&exp.with_insertion_points(2500.0), &[params.repeater(1.0)]);
+    let name = format!("soak-{thread}.msr");
+    let trace = format!(
+        "{{\"edits\": [\
+           {{\"op\": \"swap_library\", \"scale\": {}}}, \
+           {{\"op\": \"set_arrival\", \"terminal\": 1, \"value\": {}}}\
+         ]}}",
+        1.0 + thread as f64 * 0.25,
+        5.0 + thread as f64,
+    );
+
+    // Local oracle: the same Replayer the server drives, same label,
+    // same defaults (root 0, driver cost 0, default pruning).
+    let nf = parse_net_file(&msr).expect("fixture parses");
+    let mut rep = Replayer::open(
+        name.clone(),
+        nf.net,
+        msrnet_rctree::TerminalId(0),
+        nf.library,
+        0.0,
+        msrnet_core::PruningStrategy::default(),
+        false,
+    )
+    .expect("oracle opens");
+    rep.replay(&parse_trace(&trace).expect("trace parses"), false);
+    let expected_report = rep.report();
+
+    Workload { name, msr, trace, expected_report }
+}
+
+/// Extracts an integer field from a report row.
+fn field(line: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag).unwrap_or_else(|| panic!("no {key} in {line}")) + tag.len();
+    line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {key} in {line}"))
+}
+
+/// Checks the per-row invariants of a served report.
+fn check_rows(report: &str) {
+    let mut ok_rows = 0;
+    for line in report.lines() {
+        if line.contains("\"status\": \"ok\"") {
+            ok_rows += 1;
+            assert!(
+                line.contains("\"bit_identical\": true"),
+                "served recompute diverged from its scratch oracle: {line}"
+            );
+            let visited = field(line, "nodes_visited");
+            let recomputed = field(line, "nodes_recomputed");
+            let reused = field(line, "nodes_reused");
+            assert_eq!(
+                recomputed + reused,
+                visited,
+                "RecomputeStats do not partition the visited nodes: {line}"
+            );
+        }
+        assert!(
+            !line.contains("\"status\": \"mismatch\""),
+            "served recompute mismatch: {line}"
+        );
+    }
+    assert!(ok_rows > 0, "report has no ok rows:\n{report}");
+}
+
+/// Runs the soak with the given shape; returns total evictions seen by
+/// clients.
+fn run_soak(threads: usize, rounds: usize, max_resident: usize) -> u64 {
+    let server = Server::bind(
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+        ServerConfig { max_resident, ..ServerConfig::default() },
+    )
+    .expect("bind");
+    let endpoint = server.local_endpoint().expect("endpoint");
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let server_thread = std::thread::spawn(move || server.run(&stop2).expect("server run"));
+
+    let evictions = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let endpoint = &endpoint;
+            let evictions = &evictions;
+            scope.spawn(move || {
+                let w = workload(t);
+                let mut client = Client::connect(endpoint).expect("connect");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .expect("timeout");
+                for round in 0..rounds {
+                    // Open → edit → recompute → close. Another thread's
+                    // open may evict this session between requests;
+                    // that is the point of the pressure — reopen and
+                    // retry the round.
+                    'round: for attempt in 0..64 {
+                        assert!(attempt < 63, "thread {t} round {round}: evicted forever");
+                        let session = match client.open(&w.name, &w.msr, 0, 0.0) {
+                            Ok(id) => id,
+                            Err(e) => panic!("thread {t} round {round}: open failed: {e}"),
+                        };
+                        for step in ["edit", "recompute", "close"] {
+                            let result = match step {
+                                "edit" => client.edit(session, &w.trace).map(|_| ()),
+                                "recompute" => match client.recompute(session) {
+                                    Ok(report) => {
+                                        assert_eq!(
+                                            report, w.expected_report,
+                                            "thread {t} round {round}: served report \
+                                             diverged from the local oracle"
+                                        );
+                                        check_rows(&report);
+                                        Ok(())
+                                    }
+                                    Err(e) => Err(e),
+                                },
+                                _ => client.close(session),
+                            };
+                            match result {
+                                Ok(()) => {}
+                                Err(ClientError::Server {
+                                    code: ErrorCode::Evicted, ..
+                                }) => {
+                                    evictions.fetch_add(1, Ordering::Relaxed);
+                                    continue 'round;
+                                }
+                                Err(e) => {
+                                    panic!("thread {t} round {round} {step}: {e}")
+                                }
+                            }
+                        }
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // Session accounting must close: every opened session is now
+    // closed, evicted, or still resident (none should be).
+    let mut c = Client::connect(&endpoint).expect("stats connect");
+    c.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    let stats = c.stats().expect("stats");
+    let opened = stat(&stats, "sessions_opened");
+    let closed = stat(&stats, "sessions_closed");
+    let evicted = stat(&stats, "sessions_evicted");
+    let open = stat(&stats, "sessions_open");
+    assert_eq!(
+        opened,
+        closed + evicted + open,
+        "session accounting does not close:\n{stats}"
+    );
+    assert_eq!(open, 0, "all sessions were closed or evicted:\n{stats}");
+
+    stop.store(true, Ordering::Release);
+    server_thread.join().expect("server thread");
+    evictions.load(Ordering::Relaxed)
+}
+
+fn stat(stats: &str, key: &str) -> u64 {
+    let line = stats
+        .lines()
+        .find(|l| l.contains(&format!("\"{key}\"")))
+        .unwrap_or_else(|| panic!("no {key} in {stats}"));
+    field(line, key)
+}
+
+#[test]
+fn soak_smoke() {
+    // 3 concurrent sessions against 2 resident slots: enough pressure
+    // to exercise eviction handling without slowing CI's default lane.
+    run_soak(3, 2, 2);
+}
+
+#[test]
+#[ignore = "CI service job: minutes-long concurrency soak"]
+fn soak_full() {
+    let evictions = run_soak(8, 25, 3);
+    // With 8 concurrent sessions and 3 resident slots over 200 rounds,
+    // eviction pressure is statistically certain; if no client ever saw
+    // one, the harness is not testing what it claims to.
+    assert!(evictions > 0, "soak never hit eviction pressure");
+}

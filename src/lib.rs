@@ -18,7 +18,11 @@
 //!   ([`buffering`]), and experiment workload generation ([`netgen`]);
 //! * the **design level** above single nets: a full-chip timing graph
 //!   with arrival/required propagation and a timing-closure loop that
-//!   re-optimizes the most critical multisource nets ([`timing`]).
+//!   re-optimizes the most critical multisource nets ([`timing`]);
+//! * **optimization as a service**: a resident session server speaking
+//!   a length-prefixed framed protocol over TCP/Unix sockets, with
+//!   LRU-bounded session memory, per-request deadlines, and responses
+//!   byte-identical to the local CLI ([`service`]).
 //!
 //! The facade re-exports the most common items; each subsystem is also
 //! available as its own crate (`msrnet-core`, `msrnet-rctree`, …).
@@ -53,6 +57,7 @@ pub use msrnet_incremental as incremental;
 pub use msrnet_netgen as netgen;
 pub use msrnet_pwl as pwl;
 pub use msrnet_rctree as rctree;
+pub use msrnet_service as service;
 pub use msrnet_steiner as steiner;
 pub use msrnet_timing as timing;
 
