@@ -13,9 +13,13 @@
 //! the ablation on the asymmetric multi-cost library — the
 //! Pareto-explosion regime where distinct cost denominations keep joins
 //! from merging cost classes — which is where the join cutoffs and the
-//! bucketed sweep earn their keep.
+//! bucketed sweep earn their keep. The third section ablates the
+//! *predictive* pre-bounds (Li–Shi bound-before-materialize) against
+//! block pruning alone: same frontier bits, fewer candidates ever built.
 //!
 //! Run with: `cargo run --release -p msrnet-bench --bin mfs_ablation`
+//! Pass `--json PATH` to also write the predictive-section candidate
+//! counts as a machine-readable JSON artifact (consumed by CI).
 
 use msrnet_bench::{ablation_run, multicost_asym_library, Instance, SPACING};
 use msrnet_core::{MsriOptions, MsriStats, PruningStrategy};
@@ -90,7 +94,118 @@ fn section(
     let _ = params;
 }
 
+/// One predictive-vs-block comparison row, accumulated over the trial
+/// seeds of a regime.
+struct PredictiveRow {
+    regime: &'static str,
+    mode: &'static str,
+    time: std::time::Duration,
+    generated: u64,
+    prebound_rejected: u64,
+    materialized_avoided: u64,
+    peak_set: usize,
+    surviving: u64,
+}
+
+/// Ablates the predictive pre-bounds against block pruning alone: both
+/// runs use the default exact strategy, so the frontier is bit-identical
+/// and the only difference is how many candidates were ever built.
+fn predictive_section(
+    trials: u64,
+    regimes: &[(&'static str, &dyn Fn(u64) -> Instance)],
+) -> Vec<PredictiveRow> {
+    const RULE: &str =
+        "---------------------------------------------------------------------------------------------";
+    println!("Predictive pre-bounds vs block pruning (exact frontier, identical bits)");
+    println!("{RULE}");
+    println!(
+        "{:<26} | {:<10} | {:>10} | {:>9} | {:>8} | {:>8} | {:>7}",
+        "regime", "mode", "avg time", "generated", "pre-rej", "avoided", "peak"
+    );
+    println!("{RULE}");
+    let mut rows = Vec::new();
+    for (regime, make) in regimes {
+        for (mode, predictive) in [("predictive", true), ("block-only", false)] {
+            let options = MsriOptions {
+                predictive,
+                ..MsriOptions::default()
+            };
+            let mut row = PredictiveRow {
+                regime,
+                mode,
+                time: std::time::Duration::ZERO,
+                generated: 0,
+                prebound_rejected: 0,
+                materialized_avoided: 0,
+                peak_set: 0,
+                surviving: 0,
+            };
+            for seed in 0..trials {
+                let inst = make(seed);
+                let run = ablation_run(&inst, &options);
+                row.time += run.time;
+                row.generated += run.stats.generated;
+                row.peak_set = row.peak_set.max(run.stats.peak_set());
+                row.surviving += run.stats.surviving;
+                let steps = [
+                    &run.stats.leaf,
+                    &run.stats.augment,
+                    &run.stats.join,
+                    &run.stats.repeater,
+                ];
+                row.prebound_rejected += steps.iter().map(|s| s.prebound_rejected).sum::<u64>();
+                row.materialized_avoided +=
+                    steps.iter().map(|s| s.materialized_avoided).sum::<u64>();
+            }
+            println!(
+                "{:<26} | {:<10} | {:>10?} | {:>9} | {:>8} | {:>8} | {:>7}",
+                row.regime,
+                row.mode,
+                row.time / trials as u32,
+                row.generated,
+                row.prebound_rejected,
+                row.materialized_avoided,
+                row.peak_set
+            );
+            rows.push(row);
+        }
+    }
+    println!("{RULE}");
+    rows
+}
+
+/// Serializes the predictive-section rows as the CI candidate-count
+/// artifact.
+fn predictive_json(trials: u64, rows: &[PredictiveRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"mfs_ablation/predictive\",\n");
+    out.push_str(&format!("  \"trials\": {trials},\n  \"rows\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"regime\": \"{}\", \"mode\": \"{}\", \"avg_ns\": {}, \"generated\": {}, \
+             \"prebound_rejected\": {}, \"materialized_avoided\": {}, \"peak_set\": {}, \
+             \"surviving\": {}}}{}\n",
+            r.regime,
+            r.mode,
+            (r.time.as_nanos() / u128::from(trials)),
+            r.generated,
+            r.prebound_rejected,
+            r.materialized_avoided,
+            r.peak_set,
+            r.surviving,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let params = table1();
     let trials = 5u64;
     section(
@@ -111,6 +226,22 @@ fn main() {
                 .with_library(multicost_asym_library(&params))
         },
     );
+    println!();
+    let make_sym = |seed: u64| Instance::random(&params, 20, 3000 + seed, SPACING);
+    let make_multi = |seed: u64| {
+        Instance::random(&params, 8, 3000 + seed, 4.0 * SPACING)
+            .with_library(multicost_asym_library(&params))
+    };
+    let regimes: [(&'static str, &dyn Fn(u64) -> Instance); 2] = [
+        ("20-pin symmetric 1X", &make_sym),
+        ("8-pin multi-cost asym", &make_multi),
+    ];
+    let rows = predictive_section(trials, &regimes);
+    if let Some(path) = json_path {
+        let json = predictive_json(trials, &rows);
+        std::fs::write(&path, json).expect("write --json artifact");
+        eprintln!("wrote {path}");
+    }
     println!();
     println!("expected shape: whole-domain-only pruning keeps far more candidates");
     println!("alive (larger sets, slower); functional region-wise pruning is what");

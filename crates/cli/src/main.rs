@@ -51,7 +51,7 @@ const USAGE: &str = "usage:
                        [--stats]
   msrnet-cli batch [FILES...] [--count N --terminals T --seed S [--spacing UM]]
                        [--threads K] [--driver-cost C] [--incremental E]
-                       [--no-timing] [-o FILE.json]
+                       [--pruning STRATEGY] [--no-timing] [-o FILE.json]
   msrnet-cli edits FILE --trace EDITS.json [--root T] [--driver-cost C]
                        [--pruning STRATEGY] [--timing] [-o FILE.json]
   msrnet-cli serve (--tcp HOST:PORT | --unix PATH) [--once]
@@ -59,9 +59,11 @@ const USAGE: &str = "usage:
                        [--max-connections N] [--batch-threads K]
                        [--read-timeout-ms MS]
   msrnet-cli client (--tcp HOST:PORT | --unix PATH) edits FILE --trace EDITS.json
-                       [--root T] [--driver-cost C] [--deadline-ms MS] [-o FILE]
+                       [--root T] [--driver-cost C] [--pruning STRATEGY]
+                       [--deadline-ms MS] [-o FILE]
   msrnet-cli client (--tcp HOST:PORT | --unix PATH) batch FILES...
-                       [--threads K] [--driver-cost C] [--deadline-ms MS] [-o FILE]
+                       [--threads K] [--driver-cost C] [--pruning STRATEGY]
+                       [--deadline-ms MS] [-o FILE]
   msrnet-cli client (--tcp HOST:PORT | --unix PATH) stats [--deadline-ms MS] [-o FILE]
   msrnet-cli timing [--nets N] [--levels L] [--seed S] [--max-pins P]
                        [--spacing UM] [--clock PS] [--k K] [--rounds R]
@@ -202,44 +204,41 @@ fn parse_list(raw: &str, flag: &str) -> Result<Vec<f64>, String> {
 }
 
 /// Parses `--pruning` into a [`PruningStrategy`] (default when absent).
+/// The grammar lives in [`PruningStrategy::parse`], which every entry
+/// point (optimize, batch, edits, client, served requests) shares.
 fn pruning_flag(f: &Flags<'_>) -> Result<PruningStrategy, String> {
     match f.get("pruning") {
         None => Ok(PruningStrategy::default()),
-        Some("divide-conquer") => Ok(PruningStrategy::DivideConquer),
-        Some("naive") => Ok(PruningStrategy::Naive),
-        Some("bucketed") => Ok(PruningStrategy::Bucketed),
-        Some("whole-domain") => Ok(PruningStrategy::WholeDomainOnly),
-        Some(v) => match v.strip_prefix("approx:") {
-            Some(eps_raw) => {
-                let eps = parse_finite("pruning", eps_raw)?;
-                if !(0.0..1.0).contains(&eps) {
-                    return Err(format!("--pruning: approx eps must be in [0, 1), got {eps}"));
-                }
-                Ok(PruningStrategy::Approximate { eps })
-            }
-            None => Err(format!(
-                "--pruning: unknown strategy `{v}` (expected divide-conquer, naive, \
-                 bucketed, whole-domain, or approx:EPS)"
-            )),
-        },
+        Some(v) => PruningStrategy::parse(v).map_err(|e| format!("--pruning: {e}")),
     }
 }
 
 /// Deterministic pruning-statistics JSON for `optimize --stats`: no
 /// timing fields, so the output is byte-stable for a fixed input and can
-/// be pinned by a golden-file test.
-fn stats_json(curve: &TradeoffCurve) -> String {
+/// be pinned by a golden-file test. The `approx` block reports the
+/// machine-checked end-to-end error budget: the frontier is within a
+/// factor `budget_factor` = (1+eps)^`relax_ledger` of the exact one.
+fn stats_json(curve: &TradeoffCurve, pruning: PruningStrategy) -> String {
     let s = curve.stats();
     let step = |st: &StepStats| {
         format!(
-            "{{\"generated\": {}, \"scalar_pruned\": {}, \"pwl_pruned\": {}, \"peak_set\": {}}}",
-            st.generated, st.scalar_pruned, st.pwl_pruned, st.peak_set
+            "{{\"generated\": {}, \"scalar_pruned\": {}, \"pwl_pruned\": {}, \
+             \"prebound_rejected\": {}, \"materialized_avoided\": {}, \"peak_set\": {}}}",
+            st.generated,
+            st.scalar_pruned,
+            st.pwl_pruned,
+            st.prebound_rejected,
+            st.materialized_avoided,
+            st.peak_set
         )
     };
+    let eps = pruning.eps();
     format!(
         "{{\n  \"generated\": {},\n  \"surviving\": {},\n  \"prunes\": {},\n  \
          \"max_set_size\": {},\n  \"max_segments\": {},\n  \"peak_set\": {},\n  \
-         \"tradeoff_points\": {},\n  \"steps\": {{\n    \"leaf\": {},\n    \
+         \"tradeoff_points\": {},\n  \"approx\": {{\"eps\": {}, \"relaxed_kills\": {}, \
+         \"relax_ledger\": {}, \"budget_factor\": {}}},\n  \
+         \"steps\": {{\n    \"leaf\": {},\n    \
          \"augment\": {},\n    \"join\": {},\n    \"repeater\": {}\n  }}\n}}",
         s.generated,
         s.surviving,
@@ -248,6 +247,10 @@ fn stats_json(curve: &TradeoffCurve) -> String {
         s.max_segments,
         s.peak_set(),
         curve.len(),
+        eps,
+        s.relaxed_kills,
+        s.relax_ledger,
+        s.budget_factor(eps),
         step(&s.leaf),
         step(&s.augment),
         step(&s.join),
@@ -323,7 +326,7 @@ fn cmd_optimize(args: &[&String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!("{curve}");
     if f.has("stats") {
-        println!("{}", stats_json(&curve));
+        println!("{}", stats_json(&curve, options.pruning));
     }
     if let Some(spec) = f.get("spec") {
         let spec = parse_finite("spec", spec)?;
@@ -360,6 +363,7 @@ fn cmd_batch(args: &[&String]) -> Result<(), String> {
         "seed",
         "spacing",
         "incremental",
+        "pruning",
         "o",
     ])?;
     let threads = f.get_num("threads", 1.0)? as usize;
@@ -367,6 +371,7 @@ fn cmd_batch(args: &[&String]) -> Result<(), String> {
         return Err("--threads must be at least 1".into());
     }
     let driver_cost = f.get_num("driver-cost", 0.0)?;
+    let pruning = pruning_flag(&f)?;
     let mut jobs: Vec<BatchJob> = Vec::new();
     for path in &f.positional {
         let nf = load(path)?;
@@ -384,6 +389,11 @@ fn cmd_batch(args: &[&String]) -> Result<(), String> {
             return Err("--terminals must be at least 2".into());
         }
         jobs.extend(random_jobs(&table1(), count, n, seed, spacing));
+    }
+    // One strategy for every job in the run, file-loaded and generated
+    // alike — the same plumbing the served `batch` request uses.
+    for job in &mut jobs {
+        job.options.pruning = pruning;
     }
     if jobs.is_empty() {
         return Err("no nets to optimize: pass FILE arguments or --count N".into());
@@ -584,6 +594,7 @@ fn cmd_client(args: &[&String]) -> Result<(), String> {
         "driver-cost",
         "threads",
         "deadline-ms",
+        "pruning",
         "o",
     ])?;
     let endpoint = endpoint_flag(&f)?;
@@ -609,8 +620,10 @@ fn cmd_client(args: &[&String]) -> Result<(), String> {
                 .map_err(|e| format!("reading {trace_path}: {e}"))?;
             let root = f.get_num("root", 0.0)? as u32;
             let driver_cost = f.get_num("driver-cost", 0.0)?;
+            // Validate locally so a bad strategy fails before the dial.
+            let pruning = pruning_flag(&f)?.to_string();
             let session = client
-                .open(path, &msr, root, driver_cost)
+                .open_with_pruning(path, &msr, root, driver_cost, &pruning)
                 .map_err(|e| e.to_string())?;
             client.edit(session, &trace).map_err(|e| e.to_string())?;
             let report = client.recompute(session).map_err(|e| e.to_string())?;
@@ -626,8 +639,11 @@ fn cmd_client(args: &[&String]) -> Result<(), String> {
             }
             let threads = f.get_num("threads", 1.0)? as usize;
             let driver_cost = f.get_num("driver-cost", 0.0)?;
+            let pruning = pruning_flag(&f)?.to_string();
             let mut spec = format!(
-                "{{\"threads\": {threads}, \"driver_cost\": {driver_cost}, \"nets\": ["
+                "{{\"threads\": {threads}, \"driver_cost\": {driver_cost}, \
+                 \"pruning\": \"{}\", \"nets\": [",
+                json_escape(&pruning)
             );
             for (i, path) in files.iter().enumerate() {
                 let msr = std::fs::read_to_string(path)

@@ -139,6 +139,67 @@ fn optimize_with_sizing_flags() {
 }
 
 #[test]
+fn pruning_flag_is_validated_on_every_entry_point() {
+    let dir = tmpdir("pruning-flag");
+    let net = dir.join("net.msr");
+    run_ok(bin().args([
+        "gen", "--terminals", "4", "--seed", "3", "--spacing", "2000",
+        "-o", net.to_str().expect("utf8"),
+    ]));
+    let trace = dir.join("trace.json");
+    std::fs::write(&trace, "{\"edits\": []}").expect("write trace");
+
+    // Valid strategies run on optimize and batch...
+    let out = run_ok(bin().args([
+        "optimize", net.to_str().expect("utf8"),
+        "--pruning", "approx:0.05", "--stats",
+    ]));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"approx\""), "stats JSON reports the approx block");
+    assert!(stdout.contains("\"budget_factor\""), "stats JSON reports the budget");
+    run_ok(bin().args([
+        "batch", "--count", "1", "--terminals", "4", "--seed", "3",
+        "--pruning", "bucketed",
+    ]));
+    run_ok(bin().args([
+        "edits", net.to_str().expect("utf8"),
+        "--trace", trace.to_str().expect("utf8"),
+        "--pruning", "whole-domain",
+    ]));
+
+    // ...and every entry point rejects a malformed strategy through the
+    // one shared parser.
+    for cmd in [
+        vec!["optimize", net.to_str().expect("utf8"), "--pruning", "quantum"],
+        vec!["optimize", net.to_str().expect("utf8"), "--pruning", "approx:nope"],
+        vec!["optimize", net.to_str().expect("utf8"), "--pruning", "approx:1.5"],
+        vec!["batch", "--count", "1", "--pruning", "quantum"],
+        vec![
+            "edits",
+            net.to_str().expect("utf8"),
+            "--trace",
+            trace.to_str().expect("utf8"),
+            "--pruning",
+            "approx:-0.1",
+        ],
+    ] {
+        let out = bin().args(&cmd).output().expect("spawn");
+        assert!(!out.status.success(), "{cmd:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--pruning"), "{cmd:?} stderr names the flag: {stderr}");
+    }
+
+    // Commands that never learned the flag reject it as unknown.
+    let out = bin()
+        .args(["ard", net.to_str().expect("utf8"), "--pruning", "naive"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "ard must reject --pruning as unknown");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = bin().arg("frobnicate").output().expect("spawn");
     assert!(!out.status.success());

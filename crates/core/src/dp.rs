@@ -20,7 +20,9 @@
 //! curve, from which "min cost subject to `ARD ≤ spec`" (Problem 2.1) is
 //! read off directly.
 
-use msrnet_pwl::{mfs_divide_conquer, mfs_naive, mfs_sorted_sweep, FuncPoint, Pwl, SegmentArena};
+use msrnet_pwl::{
+    mfs_divide_conquer, mfs_naive, mfs_sorted_sweep_with, FuncPoint, Pwl, SegmentArena,
+};
 use msrnet_rctree::{
     Assignment, Net, Orientation, Repeater, Rooted, TerminalId, VertexId, VertexKind,
 };
@@ -42,6 +44,17 @@ struct Meta {
     /// terminal and the pin, mod 2). Only meaningful when inverting
     /// repeaters are enabled; always `false` otherwise.
     parity: bool,
+    /// Relaxation ledger: an upper bound on the depth of any chain of
+    /// eps-relaxed kills this candidate stands in for. A candidate with
+    /// ledger `L` covers every candidate it (transitively) displaced
+    /// within a factor `(1+eps)^L` in each non-negative dimension. Under
+    /// exact strategies every ledger stays 0. Maintained by the sorted
+    /// sweep's kill callback and propagated structurally: joins take the
+    /// max of the sides, augment/repeater extensions inherit, and every
+    /// champion-based predictive kill is gated on the killer's ledger
+    /// covering the victim's — so the root-set maximum
+    /// ([`MsriStats::relax_ledger`]) is an honest end-to-end exponent.
+    relax: u32,
 }
 
 type Cand = FuncPoint<Meta>;
@@ -99,6 +112,15 @@ pub struct MsriStats {
     pub join: StepStats,
     /// Per-step counters for `RepeaterSolutions` (Fig. 8).
     pub repeater: StepStats,
+    /// Kills where the `approx:EPS` relaxation was load-bearing (the
+    /// exact predicate would have kept the candidate). Always 0 under
+    /// exact strategies.
+    pub relaxed_kills: u64,
+    /// Maximum relaxation-ledger value over the candidates that reached
+    /// `RootSolutions` — the exponent `L` of the end-to-end
+    /// `(1+eps)^L` error budget reported by
+    /// [`MsriStats::budget_factor`]. Always 0 under exact strategies.
+    pub relax_ledger: u32,
 }
 
 impl MsriStats {
@@ -109,6 +131,18 @@ impl MsriStats {
             Step::Join => &mut self.join,
             Step::Repeater => &mut self.repeater,
         }
+    }
+
+    /// The machine-checked worst-case end-to-end error factor of an
+    /// `approx:eps` run: `(1+eps)^L` with `L` the maximum relaxation
+    /// ledger over the candidates entering `RootSolutions`. Every
+    /// reported frontier value is within this factor of the exact
+    /// frontier's (for the non-negative delay/cost dimensions; see
+    /// ALGORITHMS.md, "the (1+eps) ledger"). Exactly 1.0 whenever no
+    /// relaxed kill contributed to the surviving frontier — in
+    /// particular under every exact strategy.
+    pub fn budget_factor(&self, eps: f64) -> f64 {
+        (1.0 + eps).powi(self.relax_ledger as i32)
     }
 
     /// Largest candidate set entering any prune, across all DP steps —
@@ -137,6 +171,18 @@ pub struct StepStats {
     /// comparisons (including any whose validity domain was already
     /// empty when the prune ran).
     pub pwl_pruned: u64,
+    /// Candidates rejected individually by a predictive pre-bound
+    /// *before* materialization (no PWL built, no trace pushed, not
+    /// counted in `generated`): repeater extensions whose full-domain
+    /// line is endpoint-dominated by an already-materialized champion.
+    pub prebound_rejected: u64,
+    /// Candidates skipped *wholesale* by a predictive pre-bound: whole
+    /// join rows and whole per-candidate repeater fan-outs whose
+    /// optimistic floors (strongest-remaining-repeater / sibling-set
+    /// envelope) are dominated by a champion. An upper bound on the
+    /// materializable candidates avoided — some members of a skipped
+    /// group would have failed cheaper tests anyway.
+    pub materialized_avoided: u64,
     /// Largest candidate set entering a prune of this step.
     pub peak_set: usize,
 }
@@ -166,6 +212,117 @@ struct Champion {
     dom_hi: f64,
     y_hi: f64,
     d_hi: f64,
+    /// Relaxation ledger of the candidate behind this champion. A
+    /// champion may absorb a victim only when its own ledger already
+    /// covers the victim's bound (`relax >= victim bound`) — otherwise
+    /// the kill is skipped so [`MsriStats::relax_ledger`] stays an upper
+    /// bound. Always 0 under exact strategies, where the gate is
+    /// trivially satisfied and pruning is bit-identical to a gateless
+    /// run.
+    relax: u32,
+}
+
+/// Pre-computed library envelope for predictive (bound-before-
+/// materialize) pruning, in the spirit of Li & Shi's O(bn²) buffer
+/// insertion: the repeater (repeater, orientation) combinations ordered
+/// by upstream drive strength once per solver run, plus per-dimension
+/// optimistic minima over the whole library. At an insertion point the
+/// "strongest remaining repeater" bound for a not-yet-enumerated
+/// candidate collapses to these envelope minima, giving O(1) floors for
+/// every dimension of any extension the candidate could produce.
+#[derive(Clone, Debug)]
+struct LibPrebounds {
+    /// `(library index, orientation)` pairs sorted by ascending upstream
+    /// output resistance (strongest driver first), ties broken by
+    /// library order for determinism.
+    drive_order: Vec<(usize, Orientation)>,
+    /// Minimum repeater cost.
+    min_cost: f64,
+    /// Minimum parent-side input capacitance.
+    min_cap_parent: f64,
+    /// Minimum downstream intrinsic delay.
+    min_down_intrinsic: f64,
+    /// Minimum downstream output resistance.
+    min_down_res: f64,
+    /// Minimum upstream intrinsic delay.
+    min_up_intrinsic: f64,
+    /// Minimum upstream output resistance (the strongest driver's).
+    min_up_res: f64,
+    /// `Some(flag)` when every library repeater shares one `inverting`
+    /// value — the precondition for the whole-fan-out skip, whose
+    /// champion comparison needs a single known extension parity.
+    uniform_inverting: Option<bool>,
+}
+
+/// A materialized buffered candidate of the current `RepeaterSolutions`
+/// call, summarized for O(1) exact dominance tests against prospective
+/// extensions. Every buffered candidate lives on the full domain
+/// `[0, B]` with a *linear* arrival (endpoints `y0`/`y_b`) and a
+/// *constant* diameter `d`, so endpoint comparisons decide pointwise
+/// dominance exactly — no conservatism, hence bit-identical frontiers.
+#[derive(Clone, Copy, Debug)]
+struct RepChampion {
+    parity: bool,
+    cost: f64,
+    cap: f64,
+    d_sinks: f64,
+    y0: f64,
+    y_b: f64,
+    d: f64,
+    /// Ledger gate, as in [`Champion::relax`].
+    relax: u32,
+}
+
+impl LibPrebounds {
+    fn new(library: &[Repeater]) -> Self {
+        let mut drive_order = Vec::new();
+        let mut env = LibPrebounds {
+            drive_order: Vec::new(),
+            min_cost: f64::INFINITY,
+            min_cap_parent: f64::INFINITY,
+            min_down_intrinsic: f64::INFINITY,
+            min_down_res: f64::INFINITY,
+            min_up_intrinsic: f64::INFINITY,
+            min_up_res: f64::INFINITY,
+            uniform_inverting: None,
+        };
+        for (ri, rep) in library.iter().enumerate() {
+            let orientations: &[Orientation] = if rep.is_symmetric() {
+                &[Orientation::AFacesParent]
+            } else {
+                &Orientation::BOTH
+            };
+            for &o in orientations {
+                let down = rep.downstream_drive(o);
+                let up = rep.upstream_drive(o);
+                env.min_cost = env.min_cost.min(rep.cost);
+                env.min_cap_parent = env.min_cap_parent.min(rep.cap_facing_parent(o));
+                env.min_down_intrinsic = env.min_down_intrinsic.min(down.intrinsic);
+                env.min_down_res = env.min_down_res.min(down.out_res);
+                env.min_up_intrinsic = env.min_up_intrinsic.min(up.intrinsic);
+                env.min_up_res = env.min_up_res.min(up.out_res);
+                drive_order.push((ri, o));
+            }
+            env.uniform_inverting = match env.uniform_inverting {
+                None if ri == 0 => Some(rep.inverting),
+                Some(flag) if flag == rep.inverting => Some(flag),
+                _ => None,
+            };
+        }
+        drive_order.sort_by(|a, b| {
+            let ra = library[a.0].upstream_drive(a.1).out_res;
+            let rb = library[b.0].upstream_drive(b.1).out_res;
+            ra.total_cmp(&rb)
+        });
+        env.drive_order = drive_order;
+        env
+    }
+
+    /// Number of `(repeater, orientation)` combinations an insertion
+    /// point fans a candidate out to.
+    fn combos(&self) -> usize {
+        self.drive_order.len()
+    }
 }
 
 /// Solves Problem 2.1 for `net`: returns the Pareto trade-off between
@@ -360,6 +517,7 @@ pub fn optimize_with_wires_in(
         cap_bound: cap_bound(net, library, term_opts, wire_options),
         stats: MsriStats::default(),
         arena: &mut workspace.arena,
+        prebounds: LibPrebounds::new(library),
     };
     solver.run(root)
 }
@@ -532,6 +690,7 @@ pub fn optimize_incremental(
         cap_bound,
         stats: MsriStats::default(),
         arena: &mut workspace.arena,
+        prebounds: LibPrebounds::new(library),
     };
     let root_v = rooted.root();
     let mut stats = RecomputeStats::default();
@@ -638,6 +797,8 @@ struct Solver<'a> {
     cap_bound: f64,
     stats: MsriStats,
     arena: &'a mut SegmentArena,
+    /// Drive-strength-ordered library envelope, computed once per run.
+    prebounds: LibPrebounds,
 }
 
 impl Solver<'_> {
@@ -701,6 +862,7 @@ impl Solver<'_> {
                     Step::Leaf,
                     trace,
                     false,
+                    0,
                     0.0,
                     0.0,
                     f64::NEG_INFINITY,
@@ -746,6 +908,7 @@ impl Solver<'_> {
         step: Step,
         trace: u32,
         parity: bool,
+        relax: u32,
         cost: f64,
         cap: f64,
         d_sinks: f64,
@@ -757,7 +920,7 @@ impl Solver<'_> {
         let segs = arrival.segments().len() + diameter.segments().len();
         self.stats.max_segments = self.stats.max_segments.max(segs);
         FuncPoint::new(
-            Meta { trace, parity },
+            Meta { trace, parity, relax },
             vec![cost, cap, d_sinks],
             vec![arrival, diameter],
         )
@@ -796,6 +959,7 @@ impl Solver<'_> {
                 Step::Leaf,
                 trace,
                 false,
+                0,
                 o.cost,
                 o.cap,
                 d_sinks,
@@ -847,6 +1011,7 @@ impl Solver<'_> {
                     Step::Augment,
                     trace,
                     cand.payload.parity,
+                    cand.payload.relax,
                     cost,
                     cap,
                     d_sinks,
@@ -919,6 +1084,39 @@ impl Solver<'_> {
         };
         let l_info: Vec<[f64; 4]> = left.iter().map(info).collect();
         let r_info: Vec<[f64; 4]> = right.iter().map(info).collect();
+        // Predictive row pre-bounds: aggregate envelope of the whole
+        // right set, so an entire left row (|right| products) can be
+        // rejected with O(1) work *before* any product is formed. The
+        // envelope floors are sound lower bounds for every product of
+        // the row, so a champion dominating the floors dominates every
+        // product — an exact whole-row generalization of the per-product
+        // cutoffs below. Gated off under inverting libraries (parity
+        // makes the per-product skip accounting non-uniform) and when
+        // predictive pruning is disabled.
+        let row_skip = self.options.predictive && !inverting && !right.is_empty();
+        let slack = self.options.prebound_slack;
+        let mut r_cap_min = f64::INFINITY;
+        let mut r_cap_max = f64::NEG_INFINITY;
+        let mut r_cost_min = f64::INFINITY;
+        let mut r_ds_min = f64::INFINITY;
+        let mut r_lo_min = f64::INFINITY;
+        let mut r_hi_max = f64::NEG_INFINITY;
+        let mut r_y_min = f64::INFINITY;
+        let mut r_d_min = f64::INFINITY;
+        let mut r_relax_max = 0u32;
+        if row_skip {
+            for (r, ri) in right.iter().zip(&r_info) {
+                r_cap_min = r_cap_min.min(r.scalars[CAP]);
+                r_cap_max = r_cap_max.max(r.scalars[CAP]);
+                r_cost_min = r_cost_min.min(r.scalars[COST]);
+                r_ds_min = r_ds_min.min(r.scalars[DSINKS]);
+                r_lo_min = r_lo_min.min(ri[0]);
+                r_hi_max = r_hi_max.max(ri[1]);
+                r_y_min = r_y_min.min(ri[2]);
+                r_d_min = r_d_min.min(ri[3]);
+                r_relax_max = r_relax_max.max(r.payload.relax);
+            }
+        }
         let mut champs: Vec<Champion> = Vec::new();
         // High-water mark for block pruning, checked per product (a
         // single left row can be tens of thousands of products wide).
@@ -927,6 +1125,55 @@ impl Solver<'_> {
         // survivor floor itself exceeds the block size.
         let mut next_prune = 2 * BLOCK_LIMIT;
         for (l, li) in left.iter().zip(&l_info) {
+            if row_skip {
+                // Whole-row cutoff 1: every product of this row has an
+                // empty shifted domain. Counted exactly as the
+                // per-product cutoff would have counted it.
+                if li[1] - r_cap_min < 0.0
+                    || r_hi_max - l.scalars[CAP] < 0.0
+                    || li[0] - r_cap_max > b
+                    || r_lo_min - l.scalars[CAP] > b
+                {
+                    self.stats.join.scalar_pruned += right.len() as u64;
+                    continue;
+                }
+                // Whole-row champion dominance over the row's envelope
+                // floors. `r_y_min = +∞` (all rights invalid) is handled
+                // by the guard — the cross terms would otherwise mix
+                // infinities into a NaN.
+                if li[1] >= li[0] && r_y_min < f64::INFINITY {
+                    let row_cost = l.scalars[COST] + r_cost_min;
+                    let row_cap = l.scalars[CAP] + r_cap_min;
+                    let row_ds = l.scalars[DSINKS].max(r_ds_min);
+                    let row_dom_lo = (li[0] - r_cap_max)
+                        .max(r_lo_min - l.scalars[CAP])
+                        .max(0.0);
+                    let row_dom_hi = (li[1] - r_cap_min)
+                        .min(r_hi_max - l.scalars[CAP])
+                        .min(b);
+                    let row_y = li[2].max(r_y_min);
+                    let row_d = li[3]
+                        .max(r_d_min)
+                        .max(li[2] + r_ds_min)
+                        .max(r_y_min + l.scalars[DSINKS]);
+                    let row_relax = l.payload.relax.max(r_relax_max);
+                    if let Some(k) = champs.iter().position(|c| {
+                        !c.parity
+                            && c.relax >= row_relax
+                            && c.cost <= row_cost + slack
+                            && c.cap <= row_cap + slack
+                            && c.d_sinks <= row_ds + slack
+                            && c.dom_lo <= row_dom_lo + slack
+                            && c.dom_hi >= row_dom_hi - slack
+                            && c.y_hi <= row_y + slack
+                            && c.d_hi <= row_d + slack
+                    }) {
+                        champs[..=k].rotate_right(1);
+                        self.stats.join.materialized_avoided += right.len() as u64;
+                        continue;
+                    }
+                }
+            }
             for (r, ri) in right.iter().zip(&r_info) {
                 if out.len() >= next_prune {
                     out = self.prune(out, Step::Join);
@@ -971,8 +1218,10 @@ impl Solver<'_> {
                     .max(ri[3])
                     .max(li[2] + r.scalars[DSINKS])
                     .max(ri[2] + l.scalars[DSINKS]);
+                let relax = l.payload.relax.max(r.payload.relax);
                 if let Some(k) = champs.iter().position(|c| {
                     c.parity == parity
+                        && c.relax >= relax
                         && c.cost <= cost
                         && c.cap <= cap
                         && c.d_sinks <= d_sinks
@@ -1010,6 +1259,7 @@ impl Solver<'_> {
                     Step::Join,
                     trace,
                     parity,
+                    relax,
                     cost,
                     cap,
                     d_sinks,
@@ -1034,6 +1284,7 @@ impl Solver<'_> {
                             dom_hi: span.1,
                             y_hi: cand.pwls[ARR].max_value().unwrap_or(f64::INFINITY),
                             d_hi: cand.pwls[DIA].max_value().unwrap_or(f64::INFINITY),
+                            relax,
                         },
                     );
                 }
@@ -1063,15 +1314,67 @@ impl Solver<'_> {
     /// on asymmetric multi-cost regimes that product — not the join —
     /// is where the peak candidate set used to live.
     fn repeater_solutions(&mut self, set: Vec<Cand>, v: VertexId) -> Vec<Cand> {
+        const REP_CHAMPION_CAP: usize = 24;
         let b = self.cap_bound;
         let mut out: Vec<Cand> = Vec::with_capacity(
             (set.len() * (1 + 2 * self.library.len())).min(2 * BLOCK_LIMIT + set.len()),
         );
         let mut next_prune = 2 * BLOCK_LIMIT;
+        // Predictive pre-bounds (Li & Shi style): already-materialized
+        // buffered candidates act as champions; prospective extensions
+        // whose exact line endpoints they dominate are rejected *before*
+        // any PWL is built or trace pushed, and whole per-candidate
+        // fan-outs are skipped when the drive-strength envelope floors —
+        // the best any remaining repeater could possibly achieve for
+        // this candidate — are already dominated.
+        let predictive = self.options.predictive && self.prebounds.combos() > 0;
+        let slack = self.options.prebound_slack;
+        let combos = self.prebounds.combos() as u64;
+        let env_min_cost = self.prebounds.min_cost;
+        let env_min_cap = self.prebounds.min_cap_parent;
+        let env_min_down_int = self.prebounds.min_down_intrinsic;
+        let env_min_down_res = self.prebounds.min_down_res;
+        let env_min_up_int = self.prebounds.min_up_intrinsic;
+        let env_min_up_res = self.prebounds.min_up_res;
+        let env_uniform_inv = self.prebounds.uniform_inverting;
+        let mut champs: Vec<RepChampion> = Vec::new();
         for cand in &set {
             if out.len() >= next_prune {
                 out = self.prune(out, Step::Repeater);
                 next_prune = out.len() + BLOCK_LIMIT;
+            }
+            if predictive {
+                // Whole-fan-out skip. Sound only when every extension's
+                // parity is known up front (uniform library inverting
+                // flag). An empty-domain candidate fans out to nothing;
+                // fall through so the combo loop's eval check keeps the
+                // accounting identical to the non-predictive path.
+                if let (Some(inv), Some(arr_min), Some(dia_min)) = (
+                    env_uniform_inv,
+                    cand.pwls[ARR].min_value(),
+                    cand.pwls[DIA].min_value(),
+                ) {
+                    let parity = cand.payload.parity ^ inv;
+                    let f_cost = cand.scalars[COST] + env_min_cost;
+                    let f_ds =
+                        env_min_down_int + env_min_down_res * cand.scalars[CAP] + cand.scalars[DSINKS];
+                    let f_y0 = arr_min + env_min_up_int;
+                    let f_yb = f_y0 + env_min_up_res * b;
+                    if let Some(k) = champs.iter().position(|c| {
+                        c.parity == parity
+                            && c.relax >= cand.payload.relax
+                            && c.cost <= f_cost + slack
+                            && c.cap <= env_min_cap + slack
+                            && c.d_sinks <= f_ds + slack
+                            && c.y0 <= f_y0 + slack
+                            && c.y_b <= f_yb + slack
+                            && c.d <= dia_min + slack
+                    }) {
+                        champs[..=k].rotate_right(1);
+                        self.stats.repeater.materialized_avoided += combos;
+                        continue;
+                    }
+                }
             }
             for (ri, rep) in self.library.iter().enumerate() {
                 let orientations: &[Orientation] = if rep.is_symmetric() {
@@ -1098,23 +1401,64 @@ impl Solver<'_> {
                     } else {
                         f64::NEG_INFINITY
                     };
+                    let parity = cand.payload.parity ^ rep.inverting;
+                    // The extension's exact shape is known before it is
+                    // built: a line from y0 to y_b over [0, B] plus a
+                    // constant diameter (−∞ propagates through the
+                    // endpoint arithmetic unchanged).
+                    let e_y0 = y_at + up.intrinsic;
+                    let e_yb = e_y0 + up.out_res * b;
+                    if predictive {
+                        if let Some(k) = champs.iter().position(|c| {
+                            c.parity == parity
+                                && c.relax >= cand.payload.relax
+                                && c.cost <= cost + slack
+                                && c.cap <= cp + slack
+                                && c.d_sinks <= d_sinks + slack
+                                && c.y0 <= e_y0 + slack
+                                && c.y_b <= e_yb + slack
+                                && c.d <= d_at + slack
+                        }) {
+                            champs[..=k].rotate_right(1);
+                            self.stats.repeater.prebound_rejected += 1;
+                            continue;
+                        }
+                    }
                     let arrival = if y_at > f64::NEG_INFINITY {
                         self.arena.linear(y_at + up.intrinsic, up.out_res, 0.0, b)
                     } else {
                         self.arena.neg_inf(0.0, b)
                     };
                     let diameter = self.arena.constant(d_at, 0.0, b);
-                    let parity = cand.payload.parity ^ rep.inverting;
                     let trace = self.push_trace(TraceNode::Repeater {
                         child: cand.payload.trace,
                         vertex: v,
                         repeater: ri,
                         orientation: o,
                     });
+                    if predictive {
+                        if champs.len() == REP_CHAMPION_CAP {
+                            champs.pop();
+                        }
+                        champs.insert(
+                            0,
+                            RepChampion {
+                                parity,
+                                cost,
+                                cap: cp,
+                                d_sinks,
+                                y0: e_y0,
+                                y_b: e_yb,
+                                d: d_at,
+                                relax: cand.payload.relax,
+                            },
+                        );
+                    }
                     out.push(self.candidate(
                         Step::Repeater,
                         trace,
                         parity,
+                        cand.payload.relax,
                         cost,
                         cp,
                         d_sinks,
@@ -1165,6 +1509,9 @@ impl Solver<'_> {
                             + cand.scalars[DSINKS],
                     );
                 }
+                // Any candidate contributing a root evaluation folds its
+                // relaxation ledger into the reported end-to-end budget.
+                self.stats.relax_ledger = self.stats.relax_ledger.max(cand.payload.relax);
                 out.push(RootEval {
                     cost: cand.scalars[COST] + o.cost,
                     ard,
@@ -1298,12 +1645,17 @@ impl Solver<'_> {
             ),
             PruningStrategy::Naive => (mfs_naive(set), 0),
             PruningStrategy::Bucketed => {
-                let (kept, counts) = mfs_sorted_sweep(set, 0.0);
+                let (kept, counts) = mfs_sorted_sweep_with(set, 0.0, &mut |s, v, relaxed| {
+                    s.relax = s.relax.max(v.relax + u32::from(relaxed));
+                });
                 (kept, counts.scalar_killed)
             }
             PruningStrategy::WholeDomainOnly => (whole_domain_prune(set), 0),
             PruningStrategy::Approximate { eps } => {
-                let (kept, counts) = mfs_sorted_sweep(set, eps);
+                let (kept, counts) = mfs_sorted_sweep_with(set, eps, &mut |s, v, relaxed| {
+                    s.relax = s.relax.max(v.relax + u32::from(relaxed));
+                });
+                self.stats.relaxed_kills += counts.relaxed_killed;
                 (kept, counts.scalar_killed)
             }
         }
@@ -1415,6 +1767,7 @@ mod tests {
                 cap_bound: cap_bound(&self.net, &self.library, &self.term_opts, &self.wire_options),
                 stats: MsriStats::default(),
                 arena: &mut self.workspace.arena,
+                prebounds: LibPrebounds::new(&self.library),
             }
         }
     }
@@ -1471,12 +1824,12 @@ mod tests {
         let t_right = s.push_trace(TraceNode::Empty);
         let b = s.cap_bound;
         let left = s.candidate(
-            Step::Leaf, t_left, false, 1.0, 2.0, 10.0,
+            Step::Leaf, t_left, false, 0, 1.0, 2.0, 10.0,
             Pwl::linear(4.0, 1.0, 0.0, b), // Y_l = 4 + x
             Pwl::neg_inf(0.0, b),
         );
         let right = s.candidate(
-            Step::Leaf, t_right, false, 2.0, 3.0, 20.0,
+            Step::Leaf, t_right, false, 0, 2.0, 3.0, 20.0,
             Pwl::linear(30.0, 2.0, 0.0, b), // Y_r = 30 + 2x
             Pwl::neg_inf(0.0, b),
         );
@@ -1502,7 +1855,7 @@ mod tests {
         let t = s.push_trace(TraceNode::Empty);
         let b = s.cap_bound;
         let cand = s.candidate(
-            Step::Leaf, t, false, 0.0, 4.0, 9.0,
+            Step::Leaf, t, false, 0, 0.0, 4.0, 9.0,
             Pwl::linear(6.0, 2.0, 0.0, b),  // Y(x) = 6 + 2x
             Pwl::linear(12.0, 1.0, 0.0, b), // D(x) = 12 + x
         );
@@ -1537,7 +1890,7 @@ mod tests {
         // Candidate valid only for c_E ≥ 1, but the repeater's child-side
         // cap is 0.5: the buffered version must be skipped.
         let cand = s.candidate(
-            Step::Leaf, t, false, 0.0, 4.0, 9.0,
+            Step::Leaf, t, false, 0, 0.0, 4.0, 9.0,
             Pwl::linear(6.0, 2.0, 1.0, b),
             Pwl::linear(12.0, 1.0, 1.0, b),
         );
@@ -1679,5 +2032,229 @@ mod tests {
         let wide = vec![WireOption::unit(), WireOption::width("3W", 3.0, 0.0)];
         let b3 = cap_bound(&fix.net, &fix.library, &fix.term_opts, &wide);
         assert!(b3 >= 24.0 + 3.0 + 0.5);
+    }
+
+    /// A multi-size, multi-cost library (including an asymmetric pair, so
+    /// both orientations are enumerated) where the candidate explosion is
+    /// big enough for predictive pruning to have work to do.
+    fn rich_library() -> Vec<Repeater> {
+        let small = Buffer::new("1X", 12.0, 6.0, 0.4, 1.0);
+        let mid = Buffer::new("2X", 10.0, 3.0, 0.7, 2.0);
+        let big = Buffer::new("4X", 8.0, 1.5, 1.2, 4.0);
+        vec![
+            Repeater::from_buffer_pair("r1", &small, &small),
+            Repeater::from_buffer_pair("r2", &mid, &mid),
+            Repeater::from_buffer_pair("r4", &big, &big),
+            Repeater::from_buffer_pair("rasym", &mid, &small),
+        ]
+    }
+
+    /// A deeper net than [`Fix`]'s: a chain of three insertion points
+    /// before the branch, so candidate sets actually grow step over step
+    /// and pre-bounds have something to reject.
+    fn chain_net() -> Net {
+        let mut b = NetBuilder::new(Technology::new(1.0, 1.0));
+        let t0 = b.terminal(Point::new(0.0, 0.0), Terminal::bidirectional(0.0, 0.0, 1.0, 3.0));
+        let ip1 = b.insertion_point(Point::new(2.0, 0.0));
+        let ip2 = b.insertion_point(Point::new(4.0, 0.0));
+        let ip3 = b.insertion_point(Point::new(6.0, 0.0));
+        let s = b.steiner(Point::new(8.0, 0.0));
+        let t1 = b.terminal(Point::new(10.0, 0.0), Terminal::bidirectional(5.0, 7.0, 1.0, 3.0));
+        let t2 = b.terminal(Point::new(8.0, 2.0), Terminal::sink_only(11.0, 1.0));
+        b.wire(t0, ip1);
+        b.wire(ip1, ip2);
+        b.wire(ip2, ip3);
+        b.wire(ip3, s);
+        b.wire(s, t1);
+        b.wire(s, t2);
+        b.build().unwrap()
+    }
+
+    fn run_net(net: &Net, library: &[Repeater], options: &MsriOptions) -> TradeoffCurve {
+        let term_opts = TerminalOptions::defaults(net);
+        optimize_with_wires_in(
+            net,
+            TerminalId(0),
+            library,
+            &term_opts,
+            &[WireOption::unit()],
+            options,
+            &mut MsriWorkspace::new(),
+        )
+        .unwrap()
+    }
+
+    fn run_fix(library: &[Repeater], options: &MsriOptions) -> TradeoffCurve {
+        let fix = Fix::new();
+        optimize_with_wires_in(
+            &fix.net,
+            TerminalId(0),
+            library,
+            &fix.term_opts,
+            &fix.wire_options,
+            options,
+            &mut MsriWorkspace::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn predictive_pruning_is_bit_identical_under_every_exact_strategy() {
+        let net = chain_net();
+        let library = rich_library();
+        let strategies = [
+            PruningStrategy::DivideConquer,
+            PruningStrategy::Naive,
+            PruningStrategy::Bucketed,
+            PruningStrategy::WholeDomainOnly,
+        ];
+        let mut any_rejected = false;
+        for strat in strategies {
+            let on = MsriOptions {
+                pruning: strat,
+                predictive: true,
+                ..MsriOptions::default()
+            };
+            let off = MsriOptions {
+                predictive: false,
+                ..on
+            };
+            let c_on = run_net(&net, &library, &on);
+            let c_off = run_net(&net, &library, &off);
+            assert!(
+                curves_bit_eq(&c_on, &c_off),
+                "predictive pruning changed the frontier under {strat:?}"
+            );
+            let s_on = c_on.stats();
+            let s_off = c_off.stats();
+            assert_eq!(s_off.repeater.prebound_rejected, 0);
+            assert_eq!(s_off.repeater.materialized_avoided, 0);
+            assert_eq!(s_off.join.materialized_avoided, 0);
+            // Exact runs accumulate no relaxation budget either way.
+            assert_eq!(s_on.relax_ledger, 0);
+            assert_eq!(s_on.relaxed_kills, 0);
+            assert_eq!(s_on.budget_factor(strat.eps()), 1.0);
+            any_rejected |= s_on.repeater.prebound_rejected > 0
+                || s_on.repeater.materialized_avoided > 0
+                || s_on.join.materialized_avoided > 0;
+            assert!(
+                s_on.generated <= s_off.generated,
+                "predictive must never materialize more candidates"
+            );
+        }
+        assert!(any_rejected, "pre-bounds never fired on the rich library");
+    }
+
+    #[test]
+    fn approx_frontier_stays_within_the_reported_budget() {
+        let net = chain_net();
+        let library = rich_library();
+        let exact = run_net(&net, &library, &MsriOptions::default());
+        for eps in [0.01, 0.05, 0.25] {
+            let opts = MsriOptions {
+                pruning: PruningStrategy::Approximate { eps },
+                ..MsriOptions::default()
+            };
+            let approx = run_net(&net, &library, &opts);
+            let factor = approx.stats().budget_factor(eps);
+            assert!(factor >= 1.0);
+            // Coverage: every exact frontier point is matched by an approx
+            // point within the machine-reported (1+eps)^L budget on both
+            // axes.
+            for p in exact.points() {
+                let covered = approx.points().iter().any(|q| {
+                    q.cost <= p.cost * factor + 1e-9 && q.ard <= p.ard * factor + 1e-9
+                });
+                assert!(
+                    covered,
+                    "exact point (cost {}, ard {}) not covered within factor {factor} at eps {eps}",
+                    p.cost, p.ard
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_budget_factor_is_exactly_one() {
+        let library = rich_library();
+        let curve = run_fix(&library, &MsriOptions::default());
+        let stats = curve.stats();
+        assert_eq!(stats.relax_ledger, 0);
+        assert_eq!(stats.budget_factor(0.0), 1.0);
+    }
+
+    #[test]
+    fn prebound_slack_drill_knob_is_observable() {
+        // The injected-bug drill: a loosened pre-bound rejects candidates
+        // that survive exact MFS, which must be observable as a smaller
+        // materialized count (and, here, a worse frontier).
+        let net = chain_net();
+        let library = rich_library();
+        let sound = run_net(&net, &library, &MsriOptions::default());
+        let opts = MsriOptions {
+            prebound_slack: 1e12,
+            ..MsriOptions::default()
+        };
+        let broken = run_net(&net, &library, &opts);
+        assert!(
+            broken.stats().generated < sound.stats().generated,
+            "a huge slack must reject candidates pre-materialization"
+        );
+        assert!(
+            !curves_bit_eq(&sound, &broken),
+            "the drill knob must corrupt the frontier so verify can catch it"
+        );
+    }
+
+    #[test]
+    fn lib_prebounds_cover_the_generation_envelope() {
+        let library = rich_library();
+        let pb = LibPrebounds::new(&library);
+        // 3 symmetric repeaters contribute 1 combo each, the asymmetric
+        // one contributes both orientations.
+        assert_eq!(pb.combos(), 5);
+        assert_eq!(pb.drive_order.len(), 5);
+        assert_eq!(pb.uniform_inverting, Some(false));
+        // Envelope minima match the cheapest/strongest entries.
+        assert_eq!(pb.min_cost, 2.0); // r1 = two 1X buffers
+        assert_eq!(pb.min_cap_parent, 0.4);
+        assert_eq!(pb.min_down_res, 1.5);
+        assert_eq!(pb.min_up_res, 1.5);
+        // Strongest drive (lowest upstream out_res) sorts first.
+        let (ri, o) = pb.drive_order[0];
+        assert_eq!(library[ri].upstream_drive(o).out_res, 1.5);
+        // Mixed inverting flags disable the uniform fan-out skip.
+        let mut mixed = rich_library();
+        mixed.push(
+            Repeater::from_buffer_pair("inv", &Buffer::new("i", 9.0, 2.0, 0.5, 1.5), &Buffer::new("i", 9.0, 2.0, 0.5, 1.5))
+                .inverting(),
+        );
+        assert_eq!(LibPrebounds::new(&mixed).uniform_inverting, None);
+    }
+
+    #[test]
+    fn inverting_repeaters_stay_bit_identical_under_predictive() {
+        let mut library = rich_library();
+        library.push(
+            Repeater::from_buffer_pair(
+                "inv",
+                &Buffer::new("i", 9.0, 2.0, 0.5, 1.5),
+                &Buffer::new("i", 9.0, 2.0, 0.5, 1.5),
+            )
+            .inverting(),
+        );
+        let on = MsriOptions {
+            allow_inverting: true,
+            predictive: true,
+            ..MsriOptions::default()
+        };
+        let off = MsriOptions {
+            predictive: false,
+            ..on
+        };
+        let net = chain_net();
+        let c_on = run_net(&net, &library, &on);
+        let c_off = run_net(&net, &library, &off);
+        assert!(curves_bit_eq(&c_on, &c_off), "inverting + predictive diverged");
     }
 }

@@ -246,6 +246,66 @@ pub enum PruningStrategy {
     },
 }
 
+impl PruningStrategy {
+    /// Parses the canonical spelling used by every entry point (CLI
+    /// flags, batch job specs, the service protocol):
+    /// `divide-conquer`, `naive`, `bucketed`, `whole-domain`, or
+    /// `approx:EPS` with `EPS` a finite float in `[0, 1)`.
+    ///
+    /// This is the single parser all surfaces share, so a strategy
+    /// round-trips unchanged through [`fmt::Display`] regardless of
+    /// which layer carried it.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some(eps) = s.strip_prefix("approx:") {
+            let eps: f64 = eps
+                .parse()
+                .map_err(|_| format!("invalid approx eps: {eps}"))?;
+            if !eps.is_finite() || !(0.0..1.0).contains(&eps) {
+                return Err(format!("approx eps must be in [0, 1), got {eps}"));
+            }
+            return Ok(PruningStrategy::Approximate { eps });
+        }
+        match s {
+            "divide-conquer" => Ok(PruningStrategy::DivideConquer),
+            "naive" => Ok(PruningStrategy::Naive),
+            "bucketed" => Ok(PruningStrategy::Bucketed),
+            "whole-domain" => Ok(PruningStrategy::WholeDomainOnly),
+            _ => Err(format!(
+                "unknown pruning strategy '{s}' \
+                 (expected divide-conquer, naive, bucketed, whole-domain, or approx:EPS)"
+            )),
+        }
+    }
+
+    /// The `eps` of [`PruningStrategy::Approximate`], 0 otherwise — the
+    /// per-step relative slack entering the `(1+eps)^L` budget.
+    pub fn eps(&self) -> f64 {
+        match self {
+            PruningStrategy::Approximate { eps } => *eps,
+            _ => 0.0,
+        }
+    }
+
+    /// Whether pruning is exact (bit-identical frontiers across all
+    /// exact strategies). `approx:0` counts as exact.
+    pub fn is_exact(&self) -> bool {
+        // msrnet-allow: float-eq eps == 0.0 is the documented exact-path sentinel
+        self.eps() == 0.0
+    }
+}
+
+impl fmt::Display for PruningStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruningStrategy::DivideConquer => write!(f, "divide-conquer"),
+            PruningStrategy::Naive => write!(f, "naive"),
+            PruningStrategy::Bucketed => write!(f, "bucketed"),
+            PruningStrategy::WholeDomainOnly => write!(f, "whole-domain"),
+            PruningStrategy::Approximate { eps } => write!(f, "approx:{eps}"),
+        }
+    }
+}
+
 /// Optimizer knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct MsriOptions {
@@ -258,6 +318,21 @@ pub struct MsriOptions {
     /// library repeater is marked inverting, candidates track signal
     /// parity and the root enforces non-inverted end-to-end polarity.
     pub allow_inverting: bool,
+    /// Predictive pruning (Li & Shi style): reject candidates *before*
+    /// the join product and repeater extension steps materialize them,
+    /// using drive-strength-ordered library pre-bounds. Exact — rejected
+    /// candidates are whole-domain-dominated by already-materialized
+    /// ones, so every exact strategy's frontier is bit-identical with
+    /// this on or off. Default on; the off switch exists for the
+    /// soundness property tests and the ablation bench.
+    pub predictive: bool,
+    /// Additive slack subtracted from every predictive pre-bound
+    /// comparison. **Must be 0.0 for sound results.** A positive value
+    /// deliberately loosens the bounds into unsoundness; it exists only
+    /// so the verify harness's injected-bug drill can prove it catches
+    /// a broken bound term. Hidden from the public surface.
+    #[doc(hidden)]
+    pub prebound_slack: f64,
 }
 
 impl Default for MsriOptions {
@@ -266,6 +341,8 @@ impl Default for MsriOptions {
             pruning: PruningStrategy::DivideConquer,
             mfs_leaf_threshold: 8,
             allow_inverting: false,
+            predictive: true,
+            prebound_slack: 0.0,
         }
     }
 }
@@ -377,5 +454,43 @@ mod tests {
         assert_eq!(o.pruning, PruningStrategy::DivideConquer);
         assert!(o.mfs_leaf_threshold >= 2);
         assert!(!o.allow_inverting);
+        assert!(o.predictive);
+        assert_eq!(o.prebound_slack, 0.0);
+    }
+
+    #[test]
+    fn pruning_strategy_parse_display_round_trip() {
+        let all = [
+            PruningStrategy::DivideConquer,
+            PruningStrategy::Naive,
+            PruningStrategy::Bucketed,
+            PruningStrategy::WholeDomainOnly,
+            PruningStrategy::Approximate { eps: 0.05 },
+            PruningStrategy::Approximate { eps: 0.0 },
+        ];
+        for s in all {
+            let text = s.to_string();
+            assert_eq!(PruningStrategy::parse(&text), Ok(s), "round-trip {text}");
+        }
+        assert_eq!(PruningStrategy::parse("approx:0.25"), Ok(PruningStrategy::Approximate { eps: 0.25 }));
+    }
+
+    #[test]
+    fn pruning_strategy_parse_rejects_garbage() {
+        assert!(PruningStrategy::parse("fancy").is_err());
+        assert!(PruningStrategy::parse("approx:").is_err());
+        assert!(PruningStrategy::parse("approx:nan").unwrap_err().contains("[0, 1)"));
+        assert!(PruningStrategy::parse("approx:1.0").is_err());
+        assert!(PruningStrategy::parse("approx:-0.1").is_err());
+        assert!(PruningStrategy::parse("approx:inf").is_err());
+    }
+
+    #[test]
+    fn pruning_strategy_eps_and_exactness() {
+        assert_eq!(PruningStrategy::DivideConquer.eps(), 0.0);
+        assert_eq!(PruningStrategy::Approximate { eps: 0.1 }.eps(), 0.1);
+        assert!(PruningStrategy::Bucketed.is_exact());
+        assert!(PruningStrategy::Approximate { eps: 0.0 }.is_exact());
+        assert!(!PruningStrategy::Approximate { eps: 0.1 }.is_exact());
     }
 }

@@ -177,6 +177,11 @@ pub struct MfsCounts {
     pub scalar_killed: u64,
     /// Candidates fully eliminated by exact PWL region pruning.
     pub pwl_killed: u64,
+    /// Subset of `scalar_killed` where the `eps`-relaxation was
+    /// *load-bearing*: the summary predicate fails at `eps = 0` for the
+    /// same pair, so discarding the candidate consumed one `(1+eps)`
+    /// factor of the approximation budget. Always 0 when `eps = 0`.
+    pub relaxed_killed: u64,
 }
 
 /// Cached O(1)-comparable summary of a candidate: bounding span of its
@@ -213,27 +218,40 @@ fn summarize<T>(fp: &FuncPoint<T>) -> Summary {
     }
 }
 
-/// `t + eps·|t|` with exact fallback where the slack is not finite —
-/// monotone increasing in `t` for `eps < 1`, which is what makes
-/// single-step (1+eps) coverage arguments compose with later *exact*
-/// invalidations of the killer.
-fn relaxed_le(a: f64, b: f64, eps: f64) -> bool {
+/// `survivor ≤ victim + eps·|victim|`, with exact fallback where the
+/// slack is not finite.
+///
+/// The slack is measured against the **victim** — the candidate being
+/// discarded — which is exactly how the [`mfs_approximate`] guarantee is
+/// stated ("within `eps·|p.scalar[k]|` of the *discarded* candidate `p`").
+/// The threshold map `g(t) = t + eps·|t|` is strictly increasing in `t`
+/// for `eps < 1` (`g'(t) = 1 ± eps > 0`), which is what lets a summary
+/// comparison against the victim's *minimum* value certify the pointwise
+/// guarantee over the victim's whole domain: if
+/// `max_x s(x) ≤ g(min_x p(x))`, then for every `x`,
+/// `s(x) ≤ g(min p) ≤ g(p(x))` by monotonicity. It also makes the
+/// single-step (1+eps) coverage argument compose with later *exact*
+/// invalidations of the survivor (see [`mfs_approximate`]).
+fn relaxed_le(survivor: f64, victim: f64, eps: f64) -> bool {
     // msrnet-allow: float-eq eps == 0.0 selects the exact comparison path bit-identically
     if eps == 0.0 {
-        return a <= b;
+        return survivor <= victim;
     }
-    let slack = eps * b.abs();
+    let slack = eps * victim.abs();
     if slack.is_finite() {
-        a <= b + slack
+        survivor <= victim + slack
     } else {
-        a <= b
+        survivor <= victim
     }
 }
 
 /// Sufficient (never speculative) predicate: `a` dominates `b` over
 /// *all* of `b`'s remaining domain, established from summaries alone.
-/// With `eps > 0` the comparisons are relaxed by a relative `eps`,
-/// trading exactness for coalescing near-duplicates.
+/// With `eps > 0` the comparisons are relaxed by a relative `eps`
+/// measured against `b` — the candidate that will be **discarded** if
+/// the predicate holds — trading exactness for coalescing
+/// near-duplicates while keeping the [`mfs_approximate`] guarantee
+/// statable in terms of the discarded candidate's own values.
 fn summary_kills<T>(
     a: &FuncPoint<T>,
     sa: &Summary,
@@ -294,10 +312,24 @@ pub fn mfs_bucketed<T>(items: Vec<FuncPoint<T>>) -> Vec<FuncPoint<T>> {
 /// with `s.scalar[k] ≤ p.scalar[k] + eps·|p.scalar[k]|` for every scalar
 /// and `s.pwl[d](x) ≤ p.pwl[d](x) + eps·|p.pwl[d](x)|` for every PWL
 /// dimension — i.e. within a factor `(1+eps)` for non-negative values.
-/// Relaxed kills are never chained: only a candidate that is itself kept
-/// (or later replaced by an *exactly* better one) can absorb another, so
-/// the error never compounds. With `eps = 0` this is exactly
-/// [`mfs_bucketed`] and the result's envelopes equal [`mfs_naive`]'s.
+/// The slack is measured against the *discarded* candidate (see
+/// `relaxed_le`): the relaxed summary predicate checks
+/// `max_x s ≤ min_x p + eps·|min_x p|`, and because `t ↦ t + eps·|t|`
+/// is increasing for `eps < 1`, `min_x p` is the hardest point — the
+/// pointwise bound follows over all of `p`'s domain.
+///
+/// Relaxed kills are never chained *within one sweep*: a candidate is
+/// only ever relaxed-killed during its own sweep round, before it has
+/// absorbed anyone in the forward direction, so a relaxed killer can
+/// later be displaced only by an **exactly** better candidate — the
+/// error never compounds inside a single pruning pass. Across repeated
+/// passes (e.g. once per DP step) each pass can add at most one fresh
+/// `(1+eps)` factor to any coverage chain; callers that need the
+/// end-to-end budget can count the chain depth exactly with
+/// [`mfs_sorted_sweep_with`]'s kill callback (the repeater-insertion DP
+/// threads this into its relaxation ledger). With `eps = 0` this is
+/// exactly [`mfs_bucketed`] and the result's envelopes equal
+/// [`mfs_naive`]'s.
 ///
 /// # Panics
 ///
@@ -317,8 +349,30 @@ pub fn mfs_approximate<T>(items: Vec<FuncPoint<T>>, eps: f64) -> Vec<FuncPoint<T
 /// `eps = 0` is exact; see [`mfs_approximate`] for the `eps > 0`
 /// semantics.
 pub fn mfs_sorted_sweep<T>(
+    items: Vec<FuncPoint<T>>,
+    eps: f64,
+) -> (Vec<FuncPoint<T>>, MfsCounts) {
+    mfs_sorted_sweep_with(items, eps, &mut |_, _, _| {})
+}
+
+/// [`mfs_sorted_sweep`] with an observer invoked on every invalidation
+/// event: `on_kill(&mut survivor.payload, &victim.payload, relaxed)`.
+///
+/// `relaxed` is `true` only for summary kills where the `eps`-slack was
+/// load-bearing (the same pair fails the exact predicate); every region
+/// invalidation — full or partial — reports `relaxed = false` because
+/// [`FuncPoint::dominance_region`] is exact. The callback fires *before*
+/// the victim's domain is restricted, so the victim payload still
+/// reflects its pre-kill state. This is the hook the repeater-insertion
+/// DP uses to thread its per-candidate relaxation ledger: transferring
+/// `max(survivor.relax, victim.relax + relaxed as u32)` onto the
+/// survivor at each event yields an upper bound on the depth of any
+/// relaxed coverage chain, hence a machine-checkable `(1+eps)^depth`
+/// end-to-end budget.
+pub fn mfs_sorted_sweep_with<T>(
     mut items: Vec<FuncPoint<T>>,
     eps: f64,
+    on_kill: &mut dyn FnMut(&mut T, &T, bool),
 ) -> (Vec<FuncPoint<T>>, MfsCounts) {
     let mut counts = MfsCounts::default();
     // Lexicographic sort on all scalars; total_cmp keeps the order total
@@ -347,9 +401,15 @@ pub fn mfs_sorted_sweep<T>(
             let b = &mut tail[0];
             // Cheapest first: full elimination from summaries alone.
             if summary_kills(a, &summaries[i], b, &summaries[j], eps) {
+                let relaxed =
+                    eps > 0.0 && !summary_kills(a, &summaries[i], b, &summaries[j], 0.0);
+                on_kill(&mut a.payload, &b.payload, relaxed);
                 let whole = b.domain().clone();
                 b.invalidate(&whole);
                 counts.scalar_killed += 1;
+                if relaxed {
+                    counts.relaxed_killed += 1;
+                }
                 break;
             }
             // Exact region-wise pruning, gated on the necessary-condition
@@ -359,6 +419,7 @@ pub fn mfs_sorted_sweep<T>(
             if may_dominate(a, &summaries[i], b, &summaries[j]) {
                 let r = a.dominance_region(b);
                 if !r.is_empty() {
+                    on_kill(&mut a.payload, &b.payload, false);
                     b.invalidate(&r);
                     if !b.is_valid() {
                         counts.pwl_killed += 1;
@@ -372,6 +433,7 @@ pub fn mfs_sorted_sweep<T>(
             {
                 let r = b.dominance_region(a);
                 if !r.is_empty() {
+                    on_kill(&mut b.payload, &a.payload, false);
                     a.invalidate(&r);
                     if !a.is_valid() {
                         counts.pwl_killed += 1;
@@ -659,6 +721,121 @@ mod tests {
         assert!(!relaxed_le(0.0, f64::NEG_INFINITY, 0.1));
         assert!(relaxed_le(-10.0, -9.999, 0.1), "negative values relax too");
         assert!(!relaxed_le(-9.0, -10.0, 0.01));
+    }
+
+    #[test]
+    fn relaxed_le_slack_is_measured_against_the_victim() {
+        // The documented guarantee relaxes by eps·|victim| — the second
+        // argument, the candidate being discarded. Pin pairs where
+        // |survivor| and |victim| diverge so swapping the slack base
+        // would flip the verdict.
+        //
+        // |victim| = 100 ≫ |survivor| = 1: slack 10 admits the kill.
+        assert!(relaxed_le(105.0, 100.0, 0.1));
+        // Slack from the survivor (0.1·|105| = 10.5) would also admit it,
+        // but at |survivor| ≪ slack-needed the distinction bites:
+        // survivor 1.0 vs victim 0.5 needs slack 0.5; eps·|victim| gives
+        // only 0.05 → rejected, while eps·|survivor| would give 0.1 —
+        // still rejected; push the asymmetry until only the wrong base
+        // would accept:
+        assert!(!relaxed_le(1.0, 0.5, 0.1), "eps·|victim| = 0.05 is not enough");
+        assert!(relaxed_le(0.54, 0.5, 0.1));
+        // Survivor far larger than victim: eps·|survivor| would wrongly
+        // accept 10 ≤ 1 + 0.1·10; eps·|victim| correctly rejects.
+        assert!(!relaxed_le(10.0, 1.0, 0.1));
+    }
+
+    #[test]
+    fn relaxed_le_sign_change_boundary() {
+        // Around t = 0 the threshold map g(t) = t + eps·|t| changes slope
+        // from (1−eps) to (1+eps) but stays monotone; g(0) = 0 exactly.
+        assert!(relaxed_le(0.0, 0.0, 0.1), "zero victim gives zero slack");
+        assert!(!relaxed_le(1e-300, 0.0, 0.1));
+        // Negative victim: g(−1) = −1 + 0.1 = −0.9 — the relaxation
+        // *raises* the threshold toward zero (factor (1−eps) in
+        // magnitude), it never loosens past the sign change.
+        assert!(relaxed_le(-0.9, -1.0, 0.1));
+        assert!(!relaxed_le(-0.89, -1.0, 0.1));
+        // Survivor and victim straddling zero: a positive survivor can
+        // never relaxed-beat a negative victim of larger magnitude.
+        assert!(!relaxed_le(0.5, -0.5, 0.99));
+        assert!(relaxed_le(-0.5, 0.5, 0.0));
+        // Monotonicity of g across the sign change (the property the
+        // whole-domain summary argument rests on): g(victim_lo) ≤
+        // g(victim_hi) whenever victim_lo ≤ victim_hi.
+        let g = |t: f64, eps: f64| t + eps * t.abs();
+        for eps in [0.0, 0.01, 0.5, 0.99] {
+            let pts = [-2.0, -1.0, -1e-9, 0.0, 1e-9, 1.0, 2.0];
+            for w in pts.windows(2) {
+                assert!(g(w[0], eps) <= g(w[1], eps), "g not monotone at eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_callback_reports_relaxed_and_exact_kills() {
+        // "worse" is exactly dominated by "base"; "near" survives at
+        // eps = 0 but is coalesced (relaxed kill) at eps = 0.01.
+        let mk = |name: &'static str, cost: f64, v: f64| {
+            fp(name, &[cost], vec![Pwl::constant(v, 0.0, 10.0)])
+        };
+        let items = || vec![mk("base", 1.0, 100.0), mk("near", 1.004, 99.9), mk("worse", 2.0, 150.0)];
+
+        let mut events: Vec<(&'static str, &'static str, bool)> = Vec::new();
+        let (kept, counts) =
+            mfs_sorted_sweep_with(items(), 0.01, &mut |s, v, relaxed| {
+                events.push((*s, *v, relaxed));
+            });
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].payload, "base");
+        assert_eq!(counts.relaxed_killed, 1);
+        assert!(events.contains(&(("base"), ("near"), true)), "events: {events:?}");
+        assert!(events.contains(&(("base"), ("worse"), false)), "events: {events:?}");
+
+        // Exact sweep: same exact kill, no relaxed events, counter 0.
+        let mut exact_events: Vec<bool> = Vec::new();
+        let (kept0, counts0) =
+            mfs_sorted_sweep_with(items(), 0.0, &mut |_, _, relaxed| exact_events.push(relaxed));
+        assert_eq!(kept0.len(), 2);
+        assert_eq!(counts0.relaxed_killed, 0);
+        assert!(exact_events.iter().all(|r| !r));
+    }
+
+    #[test]
+    fn approximate_coverage_holds_across_sign_change() {
+        // PWL values crossing zero: the (1+eps) guarantee is the additive
+        // eps·|p(x)| bound, which at negative values shrinks toward g(t)
+        // = (1−eps)·t. Check every discarded candidate is covered within
+        // the documented slack at sampled points.
+        let mut items = Vec::new();
+        let mut seed = 4242u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        for i in 0..24 {
+            let cost = (next() * 3.0).round();
+            let y0 = next() * 20.0 - 10.0; // straddles zero
+            let slope = next() * 4.0 - 2.0;
+            items.push(FuncPoint::new(i, vec![cost], vec![Pwl::linear(y0, slope, 0.0, 6.0)]));
+        }
+        let eps = 0.05;
+        let originals = items.clone();
+        let kept = mfs_approximate(items, eps);
+        for step in 0..=12 {
+            let x = step as f64 * 0.5;
+            for orig in &originals {
+                let Some(v) = orig.pwls[0].eval(x) else { continue };
+                let covered = kept.iter().any(|k| {
+                    k.domain().contains(x)
+                        && k.scalars[0] <= orig.scalars[0] + eps * orig.scalars[0].abs() + 1e-12
+                        && k.pwls[0]
+                            .eval(x)
+                            .is_some_and(|kv| kv <= v + eps * v.abs() + 1e-9)
+                });
+                assert!(covered, "candidate {} uncovered at x={x}", orig.payload);
+            }
+        }
     }
 
     #[test]

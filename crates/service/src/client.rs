@@ -129,11 +129,30 @@ impl Client {
         root: u32,
         driver_cost: f64,
     ) -> Result<u64, ClientError> {
+        self.open_with_pruning(name, msr, root, driver_cost, "")
+    }
+
+    /// Opens a session pinned to a pruning strategy (`PruningStrategy`
+    /// `parse` syntax, e.g. `"approx:0.05"`; empty = server default);
+    /// returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn open_with_pruning(
+        &mut self,
+        name: &str,
+        msr: &str,
+        root: u32,
+        driver_cost: f64,
+        pruning: &str,
+    ) -> Result<u64, ClientError> {
         let payload = self.request(&Request::Open {
             deadline_ms: self.deadline_ms,
             root,
             driver_cost,
             name: name.to_string(),
+            pruning: pruning.to_string(),
             msr: msr.to_string(),
         })?;
         if payload.len() != 8 {

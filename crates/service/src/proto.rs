@@ -141,6 +141,11 @@ pub enum Request {
         /// Label echoed into reports (the CLI passes the net path so
         /// served reports are byte-identical to local ones).
         name: String,
+        /// Pruning strategy in [`PruningStrategy`](msrnet_core::PruningStrategy)
+        /// `parse`/`Display` syntax; empty selects the server default, so
+        /// a served session can be pinned to the same strategy as its
+        /// local `msrnet-cli edits --pruning` oracle.
+        pruning: String,
         /// `.msr` net text.
         msr: String,
     },
@@ -213,6 +218,7 @@ impl Request {
                 root,
                 driver_cost,
                 name,
+                pruning,
                 msr,
             } => {
                 p.extend(deadline_ms.to_be_bytes());
@@ -220,6 +226,8 @@ impl Request {
                 p.extend(driver_cost.to_bits().to_be_bytes());
                 p.extend((name.len() as u32).to_be_bytes());
                 p.extend(name.as_bytes());
+                p.extend((pruning.len() as u32).to_be_bytes());
+                p.extend(pruning.as_bytes());
                 p.extend(msr.as_bytes());
                 KIND_OPEN
             }
@@ -289,12 +297,15 @@ impl Request {
                 let driver_cost = f64::from_bits(c.u64("driver_cost")?);
                 let name_len = c.u32("name length")? as usize;
                 let name = c.text_exact(name_len, "name")?;
+                let pruning_len = c.u32("pruning length")? as usize;
+                let pruning = c.text_exact(pruning_len, "pruning")?;
                 let msr = c.text_rest("msr")?;
                 Request::Open {
                     deadline_ms,
                     root,
                     driver_cost,
                     name,
+                    pruning,
                     msr,
                 }
             }
@@ -529,6 +540,15 @@ mod tests {
             root: 3,
             driver_cost: 2.5,
             name: "nets/a.msr".into(),
+            pruning: String::new(),
+            msr: "# net\n".into(),
+        });
+        round_trip(Request::Open {
+            deadline_ms: NO_DEADLINE,
+            root: 0,
+            driver_cost: 0.0,
+            name: "b.msr".into(),
+            pruning: "approx:0.05".into(),
             msr: "# net\n".into(),
         });
         round_trip(Request::Edit {

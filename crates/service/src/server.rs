@@ -366,9 +366,10 @@ fn handle_request(req: Request, shared: &Shared) -> Response {
             root,
             driver_cost,
             name,
+            pruning,
             msr,
             ..
-        } => handle_open(shared, &deadline, root, driver_cost, name, &msr),
+        } => handle_open(shared, &deadline, root, driver_cost, name, &pruning, &msr),
         Request::Edit { session, trace, .. } => {
             handle_edit(shared, &deadline, session, &trace)
         }
@@ -407,11 +408,20 @@ fn handle_open(
     root: u32,
     driver_cost: f64,
     name: String,
+    pruning: &str,
     msr: &str,
 ) -> Response {
     if !driver_cost.is_finite() {
         return err(ErrorCode::ParseError, "driver cost must be finite");
     }
+    let pruning = if pruning.is_empty() {
+        PruningStrategy::default()
+    } else {
+        match PruningStrategy::parse(pruning) {
+            Ok(s) => s,
+            Err(e) => return err(ErrorCode::ParseError, format!("pruning: {e}")),
+        }
+    };
     let nf = match parse_net_file(msr) {
         Ok(nf) => nf,
         Err(e) => return err(ErrorCode::ParseError, e.to_string()),
@@ -431,7 +441,7 @@ fn handle_open(
         TerminalId(root as usize),
         nf.library,
         driver_cost,
-        PruningStrategy::default(),
+        pruning,
         false,
     ) {
         Ok(rep) => rep,
@@ -490,6 +500,14 @@ fn handle_batch(shared: &Shared, deadline: &Deadline, spec: &str) -> Response {
         None => 0.0,
         _ => return err(ErrorCode::ParseError, "\"driver_cost\" must be a finite number"),
     };
+    let pruning = match Json::get(fields, "pruning") {
+        Some(Json::Str(raw)) => match PruningStrategy::parse(raw) {
+            Ok(s) => s,
+            Err(e) => return err(ErrorCode::ParseError, format!("\"pruning\": {e}")),
+        },
+        None => PruningStrategy::default(),
+        _ => return err(ErrorCode::ParseError, "\"pruning\" must be a strategy string"),
+    };
     let Some(Json::Arr(nets)) = Json::get(fields, "nets") else {
         return err(ErrorCode::ParseError, "batch spec is missing the \"nets\" array");
     };
@@ -516,6 +534,7 @@ fn handle_batch(shared: &Shared, deadline: &Deadline, spec: &str) -> Response {
         let mut job = BatchJob::new(net_name, nf.net, nf.library);
         job.drivers = TerminalOptions::defaults_with_cost(&job.net, driver_cost);
         job.options.allow_inverting = job.library.iter().any(|r| r.inverting);
+        job.options.pruning = pruning;
         jobs.push(job);
     }
     if let Err((code, msg)) = deadline.check() {

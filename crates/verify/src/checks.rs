@@ -50,6 +50,9 @@
 //!    clamped write-back's monotonicity guarantee): per-endpoint slack,
 //!    per-round WNS, and final WNS are all checked against the
 //!    pre-loop propagation.
+//! 7. `approx_within_reported_budget` — an `approx:eps` run's frontier
+//!    must cover every exact frontier point within the machine-checked
+//!    `(1+eps)^relax_ledger` budget factor the run itself reports.
 
 use crate::gen::Instance;
 use msrnet_batch::{reports_bit_identical, run_batch, BatchJob};
@@ -134,6 +137,11 @@ pub fn registry() -> &'static [CheckDef] {
             name: "pruning_strategies_agree",
             kind: CheckKind::Metamorphic,
             run: check_pruning_strategies_agree,
+        },
+        CheckDef {
+            name: "approx_within_reported_budget",
+            kind: CheckKind::Metamorphic,
+            run: check_approx_within_reported_budget,
         },
         CheckDef {
             name: "dp_vs_exhaustive",
@@ -259,15 +267,23 @@ fn dp_set_estimate(inst: &Instance) -> f64 {
         .map(|r| r.cost.to_bits())
         .collect::<std::collections::BTreeSet<_>>()
         .len();
-    let mut dims = distinct_costs as i32;
+    let mut dims = distinct_costs as f64;
     if inst
         .library
         .iter()
         .any(|r| !r.is_symmetric() || r.inverting)
     {
-        dims += 1;
+        // Recalibrated for predictive pruning: the drive-strength
+        // pre-bounds reject most orientation/polarity duplicates before
+        // they are materialized, so the asymmetric/inverting distinction
+        // now costs roughly half a Pareto dimension instead of a full
+        // one (measured on the regime grid with the `mfs_ablation`
+        // predictive-vs-block section). The old full-dimension weight
+        // skipped exactly the high-insertion-point asym cases that are
+        // newly cheap.
+        dims += 0.5;
     }
-    (ips + 1.0).powi(dims)
+    (ips + 1.0).powf(dims)
 }
 
 /// Work gate for the DP-running oracles. Calibrated for the engine with
@@ -1084,6 +1100,78 @@ fn check_pruning_strategies_agree(inst: &Instance) -> CheckOutcome {
     CheckOutcome::Pass
 }
 
+/// Regime-grid check for the `Approximate { eps }` error budget: the
+/// approximate frontier must cover every exact frontier point within the
+/// factor the run itself reports (`(1+eps)^relax_ledger` from the
+/// per-step relaxation ledger). The slack is measured against the exact
+/// point's magnitude on each axis, matching `relaxed_le`'s
+/// discarded-candidate semantics.
+fn check_approx_within_reported_budget(inst: &Instance) -> CheckOutcome {
+    let est = dp_set_estimate(inst);
+    if est > DP_ESTIMATE_LIMIT / 4.0 {
+        return CheckOutcome::Skip(format!(
+            "DP set estimate {est:.0} too large for the approx re-runs"
+        ));
+    }
+    if inst.check_seed % 3 != 1 {
+        return CheckOutcome::Skip("sampled out (runs on 1/3 of cases)".into());
+    }
+    if !inst.terminals_are_leaves() {
+        return CheckOutcome::Skip("non-leaf terminal (DP precondition)".into());
+    }
+    let exact = run_dp(inst, &inst.options);
+    for eps in [0.05, 0.25] {
+        let opts = MsriOptions {
+            pruning: PruningStrategy::Approximate { eps },
+            ..inst.options
+        };
+        let approx = run_dp(inst, &opts);
+        match (&exact, approx) {
+            (Err(a), Err(b)) if *a == b => {}
+            (Err(a), b) => {
+                return CheckOutcome::Fail(format!(
+                    "eps={eps}: exact -> {a:?} but approx -> {b:?}"
+                ));
+            }
+            (Ok(_), Err(e)) => {
+                return CheckOutcome::Fail(format!(
+                    "eps={eps}: exact succeeded but approx failed: {e:?}"
+                ));
+            }
+            (Ok(ex), Ok(ap)) => {
+                let stats = ap.stats();
+                let factor = stats.budget_factor(eps);
+                if !factor.is_finite() || factor < 1.0 {
+                    return CheckOutcome::Fail(format!(
+                        "eps={eps}: reported budget factor {factor} is not a valid bound \
+                         (ledger {})",
+                        stats.relax_ledger
+                    ));
+                }
+                for p in ex.points() {
+                    let cost_cap = p.cost + (factor - 1.0) * p.cost.abs();
+                    let ard_cap = p.ard + (factor - 1.0) * p.ard.abs();
+                    let tol = 1e-9 * p.ard.abs().max(1.0);
+                    let covered = ap.points().iter().any(|q| {
+                        q.cost <= cost_cap + 1e-9 * p.cost.abs().max(1.0) && q.ard <= ard_cap + tol
+                    });
+                    if !covered {
+                        return CheckOutcome::Fail(format!(
+                            "eps={eps}: exact point (cost {}, ard {}) not covered within the \
+                             reported budget factor {factor} (ledger {}, approx frontier {:?})",
+                            p.cost,
+                            p.ard,
+                            stats.relax_ledger,
+                            ap.points().iter().map(|q| (q.cost, q.ard)).collect::<Vec<_>>()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    CheckOutcome::Pass
+}
+
 fn check_rooting_invariance(inst: &Instance) -> CheckOutcome {
     if inst.net.topology.terminal_count() < 2 {
         return CheckOutcome::Skip("fewer than two terminals".into());
@@ -1128,11 +1216,54 @@ pub fn synthetic_failure_check(inst: &Instance) -> CheckOutcome {
     }
 }
 
+/// Injected-bug drill for the predictive pre-bounds: re-runs the DP
+/// with `prebound_slack` cranked far past any real envelope gap, which
+/// deliberately lets the champion tests reject candidates an exact MFS
+/// would keep. The check fails whenever the loosened run diverges from
+/// the sound run — which is exactly what the harness (and the shrinker)
+/// must be able to catch. Kept out of the registry: it fails by design.
+#[doc(hidden)]
+pub fn prebound_soundness_drill_check(inst: &Instance) -> CheckOutcome {
+    if let Some(reason) = dp_intractable(inst) {
+        return CheckOutcome::Skip(reason);
+    }
+    if !inst.terminals_are_leaves() {
+        return CheckOutcome::Skip("non-leaf terminal (DP precondition)".into());
+    }
+    let sound = run_dp(inst, &inst.options);
+    let drilled_opts = MsriOptions {
+        prebound_slack: 1e9,
+        ..inst.options
+    };
+    let drilled = run_dp(inst, &drilled_opts);
+    match (sound, drilled) {
+        (Ok(a), Ok(b)) => match curves_bit_eq(&a, &b) {
+            Ok(()) => CheckOutcome::Pass,
+            Err(msg) => CheckOutcome::Fail(format!("loosened pre-bound changed the frontier: {msg}")),
+        },
+        (Err(a), Err(b)) if a == b => CheckOutcome::Pass,
+        (a, b) => {
+            let describe = |r: Result<TradeoffCurve, MsriError>| match r {
+                Ok(c) => format!("Ok({} points)", c.len()),
+                Err(e) => format!("{e:?}"),
+            };
+            CheckOutcome::Fail(format!(
+                "loosened pre-bound changed feasibility: sound -> {}, drilled -> {}",
+                describe(a),
+                describe(b)
+            ))
+        }
+    }
+}
+
 /// Lets callers (tests, the shrinker) dispatch either a registry check
-/// by name or the synthetic self-test check.
+/// by name or the synthetic self-test checks.
 pub fn run_named(name: &str, inst: &Instance) -> Option<CheckOutcome> {
     if name == "synthetic_failure" {
         return Some(synthetic_failure_check(inst));
+    }
+    if name == "prebound_soundness_drill" {
+        return Some(prebound_soundness_drill_check(inst));
     }
     find_check(name).map(|c| run_check(c, inst))
 }
@@ -1205,6 +1336,99 @@ mod tests {
         // Genuinely distinct frontier points are untouched.
         let f = vec![(1.0, 100.0), (2.0, 50.0), (3.0, 25.0)];
         assert_eq!(canonical_frontier(&f), f);
+    }
+
+    /// Soundness property for the predictive pre-bounds: across the
+    /// regime grid, a pre-bound must never reject a candidate that
+    /// survives exact MFS — observable as bit-identical frontiers with
+    /// predictive generation on vs off. The comparison count is asserted
+    /// so a tightened gate cannot silently make this vacuous.
+    #[test]
+    fn predictive_prebounds_are_sound_on_the_regime_grid() {
+        let mut compared = 0;
+        for i in 0..40 {
+            let Some(inst) = generate(13, i) else { continue };
+            if dp_intractable(&inst).is_some() || !inst.terminals_are_leaves() {
+                continue;
+            }
+            let on = run_dp(&inst, &MsriOptions { predictive: true, ..inst.options });
+            let off = run_dp(&inst, &MsriOptions { predictive: false, ..inst.options });
+            match (on, off) {
+                (Ok(a), Ok(b)) => {
+                    if let Err(msg) = curves_bit_eq(&a, &b) {
+                        panic!("case {i} ({}): predictive changed the frontier: {msg}", inst.name);
+                    }
+                    compared += 1;
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "case {i} ({}): errors diverged", inst.name);
+                    compared += 1;
+                }
+                (a, b) => panic!(
+                    "case {i} ({}): feasibility diverged: on={} off={}",
+                    inst.name,
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+        assert!(compared >= 10, "only {compared} grid cases compared — gate too tight");
+    }
+
+    /// Injected-bug drill: loosening the pre-bound terms (via the
+    /// `prebound_slack` knob) must be caught by the harness, and the
+    /// shrinker must converge to a still-failing smaller witness.
+    #[test]
+    fn drill_catches_a_loosened_prebound_and_shrinks() {
+        let inst = (0..60)
+            .filter_map(|i| generate(17, i))
+            .find(|inst| still_fails("prebound_soundness_drill", inst))
+            .expect("the grid must contain a case where a loosened pre-bound over-prunes");
+        let shrunk = crate::shrink::shrink(&inst, "prebound_soundness_drill");
+        assert!(
+            still_fails("prebound_soundness_drill", &shrunk.instance),
+            "shrinker lost the failure"
+        );
+        assert!(
+            shrunk.instance.net.topology.vertex_count() <= inst.net.topology.vertex_count(),
+            "shrinker grew the witness"
+        );
+    }
+
+    /// The recalibrated work gate must keep asymmetric / inverting
+    /// high-insertion-point regimes inside the checked population — the
+    /// exact regimes predictive pruning made cheap enough to afford.
+    #[test]
+    fn dp_work_gate_keeps_asymmetric_regimes_covered() {
+        let mut asym_covered = 0;
+        let mut budget_check_ran = 0;
+        for i in 0..40 {
+            let Some(inst) = generate(19, i) else { continue };
+            let hard = inst
+                .library
+                .iter()
+                .any(|r| !r.is_symmetric() || r.inverting);
+            if hard
+                && inst.net.topology.insertion_point_count() >= 3
+                && dp_set_estimate(&inst) <= DP_ESTIMATE_LIMIT
+            {
+                asym_covered += 1;
+            }
+            if !matches!(
+                check_approx_within_reported_budget(&inst),
+                CheckOutcome::Skip(_)
+            ) {
+                budget_check_ran += 1;
+            }
+        }
+        assert!(
+            asym_covered >= 3,
+            "only {asym_covered} asymmetric/inverting multi-IP cases pass the work gate"
+        );
+        assert!(
+            budget_check_ran >= 3,
+            "approx-budget check ran on only {budget_check_ran} grid cases"
+        );
     }
 
     #[test]
