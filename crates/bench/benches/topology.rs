@@ -1,0 +1,139 @@
+//! Topology-search benchmark: DP-frontier-scored Steiner co-optimization
+//! on raw chip-scale routes.
+//!
+//! Each instance is a bare Steiner route (no pre-seeded insertion
+//! points — the search's densify moves place repeater sites where the
+//! frontier earns them). The acceptance contract is **asserted**: the
+//! search must never worsen its objective (beyond float-associativity
+//! ulps of home re-adds), and the pinned seed-7 instance must strictly
+//! improve over the initial route. Wall-clock figures are
+//! informational; the hard signal is the score delta and move counters.
+//!
+//! Environment knobs:
+//! * `TOPOLOGY_BENCH_TERMINALS` — net size (default 12).
+//! * `TOPOLOGY_BENCH_NETS` — seeded instances (default 5).
+//! * `TOPOLOGY_BENCH_ROUNDS` — search rounds (default 3).
+//! * `TOPOLOGY_JSON` — when set, writes the per-net result table to
+//!   this path as JSON.
+
+use std::time::Instant;
+
+use msrnet_core::{MsriOptions, TerminalOptions, WireOption};
+use msrnet_incremental::{IncrementalOptimizer, Objective, SearchConfig, TopologySearch};
+use msrnet_netgen::{table1, ExperimentNet};
+use msrnet_rctree::TerminalId;
+use msrnet_rng::{SeedableRng, SplitMix64};
+
+const PINNED_SEED: u64 = 7;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn session_for(seed: u64, terminals: usize) -> IncrementalOptimizer {
+    let params = table1();
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let exp = ExperimentNet::random(&mut rng, terminals, &params)
+        // msrnet-allow: panic random nets over valid tech parameters always build
+        .expect("random net construction");
+    let net = exp.net;
+    let library = vec![params.repeater(1.0), params.repeater(2.0)];
+    let term_opts = TerminalOptions::defaults(&net);
+    IncrementalOptimizer::new(
+        net,
+        TerminalId(0),
+        library,
+        term_opts,
+        vec![WireOption::unit()],
+        MsriOptions::default(),
+    )
+}
+
+fn main() {
+    let terminals = env_usize("TOPOLOGY_BENCH_TERMINALS", 12);
+    let nets = env_usize("TOPOLOGY_BENCH_NETS", 5);
+    let rounds = env_usize("TOPOLOGY_BENCH_ROUNDS", 3);
+    println!(
+        "topology search: {nets} nets x {terminals} terminals, {rounds} rounds \
+         (pinned seed {PINNED_SEED})"
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut improved_count = 0usize;
+    for i in 0..nets {
+        let seed = PINNED_SEED + i as u64;
+        let cfg = SearchConfig {
+            rounds,
+            densify_top: 4,
+            seed,
+            ..SearchConfig::default()
+        };
+        let mut search = TopologySearch::new(session_for(seed, terminals), Objective::BestArd, cfg);
+        let t0 = Instant::now();
+        let out = search.run();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        assert!(
+            out.initial_score.is_finite(),
+            "seed {seed}: initial route infeasible"
+        );
+        let tol = 1e-9 * out.initial_score.abs().max(1.0);
+        assert!(
+            out.final_score <= out.initial_score + tol,
+            "seed {seed}: search worsened the objective: {} -> {}",
+            out.initial_score,
+            out.final_score
+        );
+        if out.improved() {
+            improved_count += 1;
+        }
+        println!(
+            "  seed {seed}: best ARD {:.2} -> {:.2} ps ({}), \
+             {} reattach + {} densify accepted of {} trials, {} edits, {wall_ms:.1} ms",
+            out.initial_score,
+            out.final_score,
+            if out.improved() { "improved" } else { "unchanged" },
+            out.stats.reattach_accepted,
+            out.stats.densify_accepted,
+            out.stats.reattach_trials + out.stats.densify_trials,
+            out.edits.len(),
+        );
+        rows.push(format!(
+            "    {{\"seed\": {seed}, \"initial_score\": {}, \"final_score\": {}, \
+             \"improved\": {}, \"reattach_accepted\": {}, \"densify_accepted\": {}, \
+             \"edits\": {}, \"wall_ms\": {wall_ms:.3}}}",
+            out.initial_score,
+            out.final_score,
+            out.improved(),
+            out.stats.reattach_accepted,
+            out.stats.densify_accepted,
+            out.edits.len(),
+        ));
+
+        // The acceptance criterion's pinned instance: the chip-scale
+        // regime search must strictly beat the initial Steiner route.
+        if seed == PINNED_SEED {
+            assert!(
+                out.improved(),
+                "pinned seed {PINNED_SEED} did not strictly improve: {} -> {}",
+                out.initial_score,
+                out.final_score
+            );
+        }
+    }
+    println!("improved {improved_count}/{nets} instances");
+
+    if let Ok(path) = std::env::var("TOPOLOGY_JSON") {
+        let json = format!(
+            "{{\n  \"benchmark\": \"msrnet_topology_bench\",\n  \"terminals\": {terminals},\n  \
+             \"rounds\": {rounds},\n  \"improved\": {improved_count},\n  \"nets\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        );
+        // msrnet-allow: panic bench harness surfaces IO failures directly
+        std::fs::write(&path, json).expect("writing TOPOLOGY_JSON");
+        println!("wrote {path}");
+    }
+}

@@ -42,7 +42,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  msrnet-cli gen --terminals N --seed S [--spacing UM] [-o FILE]
+  msrnet-cli gen --terminals N --seed S [--spacing UM] [--raw] [-o FILE]
   msrnet-cli stats FILE
   msrnet-cli ard FILE [--root T]
   msrnet-cli optimize FILE [--root T] [--spec PS] [--driver-cost C]
@@ -53,7 +53,11 @@ const USAGE: &str = "usage:
                        [--threads K] [--driver-cost C] [--incremental E]
                        [--pruning STRATEGY] [--no-timing] [-o FILE.json]
   msrnet-cli edits FILE --trace EDITS.json [--root T] [--driver-cost C]
+                       [--widths 1,2,4 [--width-cost C/um]]
                        [--pruning STRATEGY] [--timing] [-o FILE.json]
+  msrnet-cli topology FILE [--root T] [--objective best-ard|min-cost:ARD|hypervolume:C:A]
+                       [--rounds R] [--neighbors K] [--radius-weight W]
+                       [--densify D] [--seed S] [--pruning STRATEGY] [-o FILE.json]
   msrnet-cli serve (--tcp HOST:PORT | --unix PATH) [--once]
                        [--max-frame BYTES] [--max-sessions N] [--max-resident N]
                        [--max-connections N] [--batch-threads K]
@@ -85,6 +89,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "optimize" => cmd_optimize(&rest),
         "batch" => cmd_batch(&rest),
         "edits" => cmd_edits(&rest),
+        "topology" => cmd_topology(&rest),
         "serve" => cmd_serve(&rest),
         "client" => cmd_client(&rest),
         "timing" => cmd_timing(&rest),
@@ -101,7 +106,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_gen(args: &[&String]) -> Result<(), String> {
-    let f = Flags::parse(args, &[])?;
+    let f = Flags::parse(args, &["raw"])?;
     f.reject_unknown(&["terminals", "seed", "spacing", "o"])?;
     let n = f.get_num("terminals", 8.0)? as usize;
     let seed = f.get_num("seed", 1.0)? as u64;
@@ -112,7 +117,14 @@ fn cmd_gen(args: &[&String]) -> Result<(), String> {
     let params = table1();
     let mut rng = msrnet_rng::rngs::StdRng::seed_from_u64(seed);
     let exp = ExperimentNet::random(&mut rng, n, &params).map_err(|e| e.to_string())?;
-    let net = exp.with_insertion_points(spacing);
+    // --raw keeps the bare Steiner route (no insertion-point seeding):
+    // the input `topology` search wants, since its densify moves place
+    // repeater sites where the DP frontier earns them.
+    let net = if f.has("raw") {
+        exp.net
+    } else {
+        exp.with_insertion_points(spacing)
+    };
     let lib = vec![params.repeater(1.0)];
     let text = write_net_file(&net, &lib);
     match f.get("o") {
@@ -201,6 +213,22 @@ fn parse_list(raw: &str, flag: &str) -> Result<Vec<f64>, String> {
                 })
         })
         .collect()
+}
+
+/// The wire-sizing menu from `--widths 1,2,4 [--width-cost C/um]`: an
+/// area cost per µm per unit of extra width, so 1W stays free and the
+/// min-cost baseline is the bare net. Absent flag → the unit menu.
+fn widths_flag(f: &Flags<'_>) -> Result<Vec<WireOption>, String> {
+    match f.get("widths") {
+        None => Ok(vec![WireOption::unit()]),
+        Some(raw) => {
+            let width_cost = f.get_num("width-cost", 0.0)?;
+            Ok(parse_list(raw, "widths")?
+                .into_iter()
+                .map(|w| WireOption::width(&format!("{w}W"), w, width_cost * (w - 1.0)))
+                .collect())
+        }
+    }
 }
 
 /// Parses `--pruning` into a [`PruningStrategy`] (default when absent).
@@ -305,18 +333,7 @@ fn cmd_optimize(args: &[&String]) -> Result<(), String> {
             TerminalOptions::new(menus)
         }
     };
-    // Wire sizing: width list plus area cost per µm per unit of extra
-    // width (1W stays free so the min-cost baseline is the bare net).
-    let wire_options: Vec<WireOption> = match f.get("widths") {
-        None => vec![WireOption::unit()],
-        Some(raw) => {
-            let width_cost = f.get_num("width-cost", 0.0)?;
-            parse_list(raw, "widths")?
-                .into_iter()
-                .map(|w| WireOption::width(&format!("{w}W"), w, width_cost * (w - 1.0)))
-                .collect()
-        }
-    };
+    let wire_options = widths_flag(&f)?;
     let options = MsriOptions {
         allow_inverting: nf.library.iter().any(|r| r.inverting),
         pruning: pruning_flag(&f)?,
@@ -458,7 +475,15 @@ fn cmd_edits(args: &[&String]) -> Result<(), String> {
     use msrnet_service::replay::Replayer;
 
     let f = Flags::parse(args, &["timing"])?;
-    f.reject_unknown(&["trace", "root", "driver-cost", "pruning", "o"])?;
+    f.reject_unknown(&[
+        "trace",
+        "root",
+        "driver-cost",
+        "widths",
+        "width-cost",
+        "pruning",
+        "o",
+    ])?;
     let path = f.positional.first().ok_or("missing net file")?;
     let nf = load(path)?;
     let root = root_flag(&f, &nf)?;
@@ -467,16 +492,18 @@ fn cmd_edits(args: &[&String]) -> Result<(), String> {
         .map_err(|e| format!("reading {trace_path}: {e}"))?;
     let edits = parse_trace(&trace_text).map_err(|e| format!("{trace_path}: {e}"))?;
     let driver_cost = f.get_num("driver-cost", 0.0)?;
+    let wire_options = widths_flag(&f)?;
     let timing = f.has("timing");
 
     // The replay engine is shared with `msrnet-service`: served
     // sessions drive this exact implementation, so this command is the
     // byte-for-byte oracle for a served open/edit/recompute exchange.
-    let mut rep = Replayer::open(
+    let mut rep = Replayer::open_with_wires(
         *path,
         nf.net,
         root,
         nf.library,
+        wire_options,
         driver_cost,
         pruning_flag(&f)?,
         timing,
@@ -506,6 +533,118 @@ fn cmd_edits(args: &[&String]) -> Result<(), String> {
             rep.mismatches()
         ))
     }
+}
+
+fn cmd_topology(args: &[&String]) -> Result<(), String> {
+    use msrnet_incremental::{trace_to_json, IncrementalOptimizer, Objective, SearchConfig,
+        TopologySearch};
+
+    let f = Flags::parse(args, &[])?;
+    f.reject_unknown(&[
+        "root",
+        "objective",
+        "rounds",
+        "neighbors",
+        "radius-weight",
+        "densify",
+        "seed",
+        "pruning",
+        "o",
+    ])?;
+    let path = f.positional.first().ok_or("missing net file")?;
+    let nf = load(path)?;
+    let root = root_flag(&f, &nf)?;
+    if nf.library.is_empty() {
+        return Err("net file has no repeater library (topology search scores DP frontiers)".into());
+    }
+    let objective: Objective = f
+        .get("objective")
+        .unwrap_or("best-ard")
+        .parse()
+        .map_err(|e| format!("--objective: {e}"))?;
+    let radius_weight = f.get_num("radius-weight", 0.5)?;
+    if !(radius_weight.is_finite() && radius_weight >= 0.0) {
+        return Err("--radius-weight must be finite and non-negative".into());
+    }
+    let cfg = SearchConfig {
+        rounds: f.get_num("rounds", 2.0)? as usize,
+        neighbors: f.get_num("neighbors", 4.0)? as usize,
+        radius_weight,
+        densify_top: f.get_num("densify", 2.0)? as usize,
+        seed: f.get_num("seed", 1.0)? as u64,
+    };
+
+    // Zero-cost default driver menus: the search only detaches
+    // terminals whose removal + re-attachment reproduces the session's
+    // menus exactly, and the structural edits rebuild default menus.
+    let term_opts = TerminalOptions::defaults(&nf.net);
+    let options = MsriOptions {
+        allow_inverting: nf.library.iter().any(|r| r.inverting),
+        pruning: pruning_flag(&f)?,
+        ..MsriOptions::default()
+    };
+    let session = IncrementalOptimizer::new(
+        nf.net,
+        root,
+        nf.library,
+        term_opts,
+        vec![WireOption::unit()],
+        options,
+    );
+    let mut search = TopologySearch::new(session, objective, cfg);
+    let out = search.run();
+
+    // A finite float as JSON, non-finite (infeasible score) as null.
+    let num = |x: f64| -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".into()
+        }
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"msrnet_topology\",\n  \"net\": \"{path}\",\n  \
+         \"root\": {},\n  \"objective\": \"{objective}\",\n  \"seed\": {},\n  \
+         \"rounds\": {},\n  \"rounds_run\": {},\n  \"improved\": {},\n  \
+         \"initial\": {{\"score\": {}, \"wirelength\": {}, \"points\": {}}},\n  \
+         \"final\": {{\"score\": {}, \"wirelength\": {}, \"points\": {}}},\n  \
+         \"moves\": {{\"reattach_trials\": {}, \"reattach_accepted\": {}, \
+         \"densify_trials\": {}, \"densify_accepted\": {}, \"rejected_edits\": {}}},\n  \
+         \"trace\": {}\n}}\n",
+        root.0,
+        cfg.seed,
+        cfg.rounds,
+        out.stats.rounds_run,
+        out.improved(),
+        num(out.initial_score),
+        num(out.initial_wirelength),
+        out.initial_points,
+        num(out.final_score),
+        num(out.final_wirelength),
+        out.final_points,
+        out.stats.reattach_trials,
+        out.stats.reattach_accepted,
+        out.stats.densify_trials,
+        out.stats.densify_accepted,
+        out.stats.rejected_edits,
+        trace_to_json(&out.edits),
+    );
+    eprintln!(
+        "searched {} round(s): score {} -> {} ({}), {} edit(s) kept",
+        out.stats.rounds_run,
+        num(out.initial_score),
+        num(out.final_score),
+        if out.improved() { "improved" } else { "unchanged" },
+        out.edits.len(),
+    );
+    match f.get("o") {
+        Some(dst) => {
+            std::fs::write(dst, &json).map_err(|e| format!("writing {dst}: {e}"))?;
+            eprintln!("wrote {dst}");
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
 }
 
 /// The server/client endpoint from `--tcp HOST:PORT` or `--unix PATH`

@@ -137,6 +137,38 @@ fn regression_edit_trace_swap_library() {
     assert_check_passes(&inst, "edit_inverse_restores_frontier");
 }
 
+/// Pinned structural-growth trace: grow a pendant terminal off the
+/// Steiner hub, split an edge at its midpoint, then undo both — a
+/// pure-pop terminal removal followed by an insertion-point splice
+/// (the removal renumbers the split vertex, so the trace also pins the
+/// swap-remap id contract). Every step must recompute bit-identical to
+/// a from-scratch solve and the grow/ungrow pair must be an exact
+/// inverse.
+#[test]
+fn regression_edit_trace_structural_growth() {
+    let inst = load_corpus_with_trace("repro-edit-structural-growth");
+    assert!(inst.edits.iter().any(|e| e.op_name() == "add_terminal"));
+    assert!(inst.edits.iter().any(|e| e.op_name() == "remove_insertion_point"));
+    assert_check_passes(&inst, "incremental_vs_scratch");
+    assert_check_passes(&inst, "edit_inverse_restores_frontier");
+    assert_check_passes(&inst, "structural_vs_scratch");
+    assert_check_passes(&inst, "add_remove_terminal_roundtrip");
+}
+
+/// Pinned interior-removal trace: delete a *non-last* terminal (so the
+/// last terminal and vertex are swap-remapped into its slots), then
+/// address surviving terminals through their post-remap ids with
+/// parametric edits and a midpoint split. Guards the id-remap contract
+/// end to end through the dirty-path recompute.
+#[test]
+fn regression_edit_trace_structural_remove() {
+    let inst = load_corpus_with_trace("repro-edit-structural-remove");
+    assert!(inst.edits.iter().any(|e| e.op_name() == "remove_terminal"));
+    assert!(inst.edits.iter().any(|e| e.op_name() == "add_insertion_point"));
+    assert_check_passes(&inst, "incremental_vs_scratch");
+    assert_check_passes(&inst, "structural_vs_scratch");
+}
+
 #[test]
 fn corpus_covers_adversarial_regimes() {
     // The seed corpus must keep covering the regimes the generator

@@ -141,6 +141,74 @@ fn served_edits_round_trip_matches_golden_and_local() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A purely structural trace over the served path: midpoint split,
+/// terminal growth at a Steiner hub, pure-pop removal, and an
+/// unknown-terminal edit that must come back as a *typed rejection row*
+/// — not a tombstoned session (the follow-up `recompute` on the same
+/// session must still succeed, byte-identical to the local subcommand).
+#[test]
+fn served_structural_edits_round_trip_matches_local() {
+    let dir = tmpdir("structural");
+    let net = dir.join("traw.msr");
+    let gen = bin()
+        .args(["gen", "--terminals", "7", "--seed", "7", "--raw", "-o"])
+        .arg(&net)
+        .output()
+        .expect("spawn msrnet-cli gen");
+    assert!(gen.status.success());
+    let net = net.to_str().expect("utf8").to_string();
+    let trace = dir.join("structural.json");
+    std::fs::write(
+        &trace,
+        concat!(
+            "{\"edits\": [\n",
+            "  {\"op\": \"add_insertion_point\", \"edge\": 0, \"frac\": 0.5},\n",
+            "  {\"op\": \"add_terminal\", \"at\": 7, \"x\": 5000, \"y\": 5000, ",
+            "\"arrival\": 0, \"downstream\": 0, \"cap\": 0.3, \"drive_res\": 150, ",
+            "\"drive_intrinsic\": 20},\n",
+            "  {\"op\": \"remove_terminal\", \"terminal\": 7},\n",
+            "  {\"op\": \"remove_terminal\", \"terminal\": 42}\n",
+            "]}\n",
+        ),
+    )
+    .expect("write trace");
+    let trace = trace.to_str().expect("utf8").to_string();
+
+    let serve = ServeOnce::spawn();
+    let out = bin()
+        .args(["client", "edits", &net, "--trace", &trace, "--tcp", &serve.addr])
+        .output()
+        .expect("spawn msrnet-cli client");
+    assert!(
+        out.status.success(),
+        "client edits failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    serve.finish();
+    let served = String::from_utf8(out.stdout).expect("utf8 output");
+
+    let local = bin()
+        .args(["edits", &net, "--trace", &trace])
+        .output()
+        .expect("spawn msrnet-cli edits");
+    assert!(local.status.success());
+    assert_eq!(
+        served,
+        String::from_utf8(local.stdout).expect("utf8 output"),
+        "served structural edits diverged from the local `edits` subcommand"
+    );
+
+    // The unknown-terminal step is a typed rejection row, every applied
+    // structural step stayed bit-identical to the from-scratch oracle,
+    // and the session survived to serve the final recompute.
+    assert!(served.contains("\"op\": \"add_terminal\", \"status\": \"ok\""));
+    assert!(served.contains("\"op\": \"remove_terminal\", \"status\": \"ok\""));
+    assert!(served.contains("\"status\": \"rejected\", \"reason\": \"unknown terminal t42\""));
+    assert!(served.contains("\"rejected\": 1"));
+    assert!(served.contains("\"mismatches\": 0"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn served_batch_matches_local_and_is_thread_count_invariant() {
     let dir = tmpdir("batch");

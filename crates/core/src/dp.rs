@@ -24,7 +24,8 @@ use msrnet_pwl::{
     mfs_divide_conquer, mfs_naive, mfs_sorted_sweep_with, FuncPoint, Pwl, SegmentArena,
 };
 use msrnet_rctree::{
-    Assignment, Net, Orientation, Repeater, Rooted, TerminalId, VertexId, VertexKind,
+    Assignment, Net, Orientation, Repeater, Rooted, StructuralRemap, TerminalId, VertexId,
+    VertexKind,
 };
 
 use crate::options::{MsriError, MsriOptions, PruningStrategy, TerminalOptions, WireOption};
@@ -593,6 +594,88 @@ impl DpCache {
     pub fn trace_len(&self) -> usize {
         self.trace.len()
     }
+
+    /// Grows the per-vertex table to `n` slots, appending cold (`None`)
+    /// entries and leaving every cached set untouched — the cache
+    /// counterpart of an *append-only* structural edit (new vertices get
+    /// the new ids, nothing renumbers), which would otherwise trip the
+    /// size guard in [`optimize_incremental`] and dump the whole cache.
+    /// Shrinking is not supported here; see
+    /// [`DpCache::structural_remove_vertex`].
+    pub fn grow(&mut self, n: usize) {
+        if self.sets.len() < n {
+            self.sets.resize_with(n, || None);
+        }
+    }
+
+    /// Applies a `swap_remove`-style structural removal to the cache:
+    /// drops (and recycles) the removed vertex's cached set, compacts
+    /// the per-vertex table with the same swap, and rewrites the moved
+    /// vertex/edge/terminal ids throughout the back-pointer log so
+    /// surviving candidates keep reconstructing correctly.
+    ///
+    /// Trace entries that referenced the *removed* elements become
+    /// garbage, but they are unreachable: only ancestors of a removed
+    /// leaf (or spliced insertion point) can hold candidates built over
+    /// it, and the caller must dirty that root path, so those sets are
+    /// dropped and recomputed before any reconstruction touches them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `removed` is outside the cache's table (callers grow or
+    /// populate the cache before removing; a cold cache is a no-op via
+    /// the empty check).
+    pub fn structural_remove_vertex(
+        &mut self,
+        removed: VertexId,
+        remap: &StructuralRemap,
+        workspace: &mut MsriWorkspace,
+    ) {
+        if self.sets.is_empty() {
+            // Cold cache: nothing references any id; drop stale
+            // back-pointers too.
+            self.trace.clear();
+            return;
+        }
+        if let Some(old) = self.sets[removed.0].take() {
+            for c in old {
+                for p in c.pwls {
+                    workspace.arena.recycle(p);
+                }
+            }
+        }
+        self.sets.swap_remove(removed.0);
+        let (vertex, edge, terminal) = (remap.vertex, remap.edge, remap.terminal);
+        if vertex.is_none() && edge.is_none() && terminal.is_none() {
+            return; // pure pops: no id moved, the log is untouched
+        }
+        for node in &mut self.trace {
+            match node {
+                TraceNode::Leaf { terminal: t, .. } => {
+                    if let Some((old, new)) = terminal {
+                        if *t == old {
+                            *t = new;
+                        }
+                    }
+                }
+                TraceNode::Repeater { vertex: v, .. } => {
+                    if let Some((old, new)) = vertex {
+                        if *v == old {
+                            *v = new;
+                        }
+                    }
+                }
+                TraceNode::Wire { edge: e, .. } => {
+                    if let Some((old, new)) = edge {
+                        if *e == old {
+                            *e = new;
+                        }
+                    }
+                }
+                TraceNode::Join { .. } | TraceNode::Empty => {}
+            }
+        }
+    }
 }
 
 /// Node-visit counters for one [`optimize_incremental`] call — the
@@ -929,7 +1012,7 @@ impl Solver<'_> {
     /// Paper Fig. 6: one candidate per driver option of the leaf
     /// terminal.
     fn leaf_solutions(&mut self, t: TerminalId) -> Vec<Cand> {
-        let term = self.net.terminal(t).clone();
+        let term = *self.net.terminal(t);
         let b = self.cap_bound;
         let menu: Vec<_> = self.term_opts.for_terminal(t).to_vec();
         let mut out = Vec::with_capacity(menu.len());
@@ -1481,7 +1564,7 @@ impl Solver<'_> {
     /// Paper Fig. 9: close the recursion at the root terminal, producing
     /// (cost, ARD) evaluations.
     fn root_solutions(&mut self, set: Vec<Cand>, root: TerminalId) -> Vec<RootEval> {
-        let term = self.net.terminal(root).clone();
+        let term = *self.net.terminal(root);
         let menu: Vec<_> = self.term_opts.for_terminal(root).to_vec();
         let mut out = Vec::with_capacity(set.len() * menu.len());
         for cand in &set {

@@ -122,6 +122,24 @@ impl TerminalOptions {
         self.menus[t.0] = menu;
     }
 
+    /// Appends the menu for a newly added terminal (whose id is the
+    /// previous [`TerminalOptions::len`]), mirroring
+    /// `Net::add_terminal`'s append-only id assignment.
+    pub fn push(&mut self, menu: Vec<TerminalOption>) {
+        self.menus.push(menu);
+    }
+
+    /// Removes terminal `t`'s menu by `swap_remove`, mirroring the id
+    /// compaction of `Net::remove_terminal` (the last terminal's menu
+    /// takes slot `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn swap_remove(&mut self, t: TerminalId) {
+        self.menus.swap_remove(t.0);
+    }
+
     /// Number of terminals covered.
     pub fn len(&self) -> usize {
         self.menus.len()

@@ -12,7 +12,12 @@
 //!   {"op": "move_terminal", "terminal": 3, "x": 100.0, "y": -40.0},
 //!   {"op": "set_wire_rc",   "edge": 3, "res_scale": 2.0, "cap_scale": 0.5},
 //!   {"op": "swap_library",  "scale": 2.0},
-//!   {"op": "reroot",        "terminal": 1}
+//!   {"op": "reroot",        "terminal": 1},
+//!   {"op": "add_terminal",  "at": 4, "x": 150.0, "y": 0.0, "arrival": 2.0,
+//!    "downstream": 1.0, "cap": 0.05, "drive_res": 180.0, "drive_intrinsic": 0.0},
+//!   {"op": "remove_terminal", "terminal": 3},
+//!   {"op": "add_insertion_point", "edge": 2, "frac": 0.5},
+//!   {"op": "remove_insertion_point", "vertex": 6}
 //! ]}
 //! ```
 //!
@@ -24,7 +29,7 @@
 
 use std::fmt;
 
-use msrnet_rctree::{EdgeId, TerminalId};
+use msrnet_rctree::{EdgeId, Terminal, TerminalId, VertexId};
 
 use crate::json::{parse_json, Json};
 use crate::Edit;
@@ -137,6 +142,30 @@ pub fn trace_to_json(edits: &[Edit]) -> String {
             Edit::Reroot { terminal } => {
                 out.push_str(&format!(", \"terminal\": {}", terminal.0));
             }
+            Edit::AddTerminal { at, x, y, terminal } => {
+                out.push_str(&format!(
+                    ", \"at\": {}, \"x\": {}, \"y\": {}, \"arrival\": {}, \
+                     \"downstream\": {}, \"cap\": {}, \"drive_res\": {}, \
+                     \"drive_intrinsic\": {}",
+                    at.0,
+                    num(x),
+                    num(y),
+                    num(terminal.arrival),
+                    num(terminal.downstream),
+                    num(terminal.cap),
+                    num(terminal.drive_res),
+                    num(terminal.drive_intrinsic)
+                ));
+            }
+            Edit::RemoveTerminal { terminal } => {
+                out.push_str(&format!(", \"terminal\": {}", terminal.0));
+            }
+            Edit::AddInsertionPoint { edge, frac } => {
+                out.push_str(&format!(", \"edge\": {}, \"frac\": {}", edge.0, num(frac)));
+            }
+            Edit::RemoveInsertionPoint { vertex } => {
+                out.push_str(&format!(", \"vertex\": {}", vertex.0));
+            }
         }
         out.push('}');
     }
@@ -218,6 +247,28 @@ fn edit_from(item: &Json, index: usize) -> Result<Edit, TraceError> {
         "reroot" => Ok(Edit::Reroot {
             terminal: TerminalId(id("terminal")?),
         }),
+        "add_terminal" => Ok(Edit::AddTerminal {
+            at: VertexId(id("at")?),
+            x: number("x")?,
+            y: number("y")?,
+            terminal: Terminal::bidirectional(
+                number("arrival")?,
+                number("downstream")?,
+                number("cap")?,
+                number("drive_res")?,
+            )
+            .with_drive_intrinsic(number("drive_intrinsic")?),
+        }),
+        "remove_terminal" => Ok(Edit::RemoveTerminal {
+            terminal: TerminalId(id("terminal")?),
+        }),
+        "add_insertion_point" => Ok(Edit::AddInsertionPoint {
+            edge: EdgeId(id("edge")?),
+            frac: number("frac")?,
+        }),
+        "remove_insertion_point" => Ok(Edit::RemoveInsertionPoint {
+            vertex: VertexId(id("vertex")?),
+        }),
         other => Err(fail(format!("unknown op \"{other}\""))),
     }
 }
@@ -253,6 +304,23 @@ mod tests {
             Edit::SwapLibrary { scale: 4.0 },
             Edit::Reroot {
                 terminal: TerminalId(2),
+            },
+            Edit::AddTerminal {
+                at: VertexId(4),
+                x: 150.5,
+                y: -0.25,
+                terminal: Terminal::bidirectional(2.0, f64::NEG_INFINITY, 0.055, 181.25)
+                    .with_drive_intrinsic(12.5),
+            },
+            Edit::RemoveTerminal {
+                terminal: TerminalId(5),
+            },
+            Edit::AddInsertionPoint {
+                edge: EdgeId(2),
+                frac: 0.5,
+            },
+            Edit::RemoveInsertionPoint {
+                vertex: VertexId(6),
             },
         ]
     }
@@ -302,6 +370,18 @@ mod tests {
             ),
             (
                 "{\"edits\": [{\"op\": \"set_arrival\", \"terminal\": -1, \"value\": 0}]}",
+                "non-negative integer",
+            ),
+            (
+                "{\"edits\": [{\"op\": \"add_terminal\", \"at\": 1, \"x\": 0, \"y\": 0}]}",
+                "missing field \"arrival\"",
+            ),
+            (
+                "{\"edits\": [{\"op\": \"add_insertion_point\", \"edge\": 0, \"frac\": \"half\"}]}",
+                "\"frac\" must be a number",
+            ),
+            (
+                "{\"edits\": [{\"op\": \"remove_insertion_point\", \"vertex\": 2.5}]}",
                 "non-negative integer",
             ),
             ("{\"edits\": []} trailing", "trailing input"),

@@ -150,7 +150,7 @@ impl ExperimentNet {
     ) -> Result<Self, BuildNetError> {
         let term = params.bidirectional_terminal();
         let pts = random_points(rng, n, params.grid);
-        let terms: Vec<(Point, Terminal)> = pts.into_iter().map(|p| (p, term.clone())).collect();
+        let terms: Vec<(Point, Terminal)> = pts.into_iter().map(|p| (p, term)).collect();
         let net = msrnet_steiner::build_net(params.tech, &terms)?.normalized();
         Ok(ExperimentNet { net })
     }
@@ -170,7 +170,7 @@ impl ExperimentNet {
         let mut builder = NetBuilder::new(params.tech);
         let ids: Vec<_> = pts
             .iter()
-            .map(|&p| builder.terminal(p, term.clone()))
+            .map(|&p| builder.terminal(p, term))
             .collect();
         for (a, b) in msrnet_steiner::rectilinear_mst(&pts) {
             builder.wire(ids[a], ids[b]);
@@ -256,7 +256,7 @@ impl ExperimentNet {
                 pts.push(p);
             }
         }
-        let terms: Vec<(Point, Terminal)> = pts.into_iter().map(|p| (p, term.clone())).collect();
+        let terms: Vec<(Point, Terminal)> = pts.into_iter().map(|p| (p, term)).collect();
         let net = msrnet_steiner::build_net(params.tech, &terms)?.normalized();
         Ok(ExperimentNet { net })
     }

@@ -50,7 +50,7 @@ mod terminal;
 pub use library::{Buffer, DriveParams, Orientation, Repeater};
 pub use net::{
     Assignment, BuildNetError, EdgeId, Net, NetBuilder, NetStats, PlacedRepeater, Rooted,
-    Topology, VertexId, VertexKind,
+    StructuralRemap, Topology, VertexId, VertexKind,
 };
 pub use terminal::{Terminal, TerminalId};
 

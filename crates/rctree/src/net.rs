@@ -24,6 +24,52 @@ impl fmt::Display for EdgeId {
     }
 }
 
+/// How a structural removal renumbered ids: removals compact their
+/// arrays by `swap_remove`, so at most one vertex, one edge and one
+/// terminal change id per removal — the previously-last element of each
+/// array moves into the vacated slot. Each field records that move as
+/// `(old_last_id, new_id)`, or `None` when the removed element was
+/// itself last (a pure pop) or no element of that class was removed.
+///
+/// Callers holding ids across a removal apply the remap: an id equal to
+/// `old_last_id` becomes `new_id`; the removed element's id is dead; all
+/// other ids are unchanged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StructuralRemap {
+    /// The vertex move, if a vertex changed id.
+    pub vertex: Option<(VertexId, VertexId)>,
+    /// The edge move, if an edge changed id.
+    pub edge: Option<(EdgeId, EdgeId)>,
+    /// The terminal move, if a terminal changed id.
+    pub terminal: Option<(TerminalId, TerminalId)>,
+}
+
+impl StructuralRemap {
+    /// `v` after the removal this remap describes.
+    pub fn map_vertex(&self, v: VertexId) -> VertexId {
+        match self.vertex {
+            Some((old, new)) if v == old => new,
+            _ => v,
+        }
+    }
+
+    /// `e` after the removal this remap describes.
+    pub fn map_edge(&self, e: EdgeId) -> EdgeId {
+        match self.edge {
+            Some((old, new)) if e == old => new,
+            _ => e,
+        }
+    }
+
+    /// `t` after the removal this remap describes.
+    pub fn map_terminal(&self, t: TerminalId) -> TerminalId {
+        match self.terminal {
+            Some((old, new)) if t == old => new,
+            _ => t,
+        }
+    }
+}
+
 /// The role of a topology vertex.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum VertexKind {
@@ -320,6 +366,239 @@ impl Topology {
         }
     }
 
+    /// Appends a fresh leaf vertex of the given kind and wires it to
+    /// `at` with a unit-width edge of the given length. Purely
+    /// append-only: no existing vertex, edge or terminal changes id, and
+    /// `at`'s adjacency list only grows at its end (so rooted traversal
+    /// orders over the untouched part of the tree are preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is out of range, a coordinate is non-finite, or
+    /// `length` is negative or non-finite. A `Terminal` kind must carry
+    /// the next free terminal id.
+    pub fn attach_leaf(
+        &mut self,
+        at: VertexId,
+        pos: Point,
+        kind: VertexKind,
+        length: f64,
+    ) -> (VertexId, EdgeId) {
+        assert!(at.0 < self.kinds.len(), "attach point out of range");
+        assert!(pos.x.is_finite() && pos.y.is_finite(), "bad position");
+        assert!(length.is_finite() && length >= 0.0, "bad edge length");
+        let leaf = self.add_vertex(pos, kind);
+        let e = self.add_edge(at, leaf, length);
+        (leaf, e)
+    }
+
+    /// Removes leaf vertex `v`, its single incident edge, and (when `v`
+    /// hosts a terminal) its terminal entry, compacting each array by
+    /// `swap_remove`. Returns the id moves callers must apply to ids
+    /// they hold (see [`StructuralRemap`]).
+    ///
+    /// Adjacency entries of surviving vertices are edited in place (the
+    /// neighbor's entry for the removed edge is dropped; renamed ids are
+    /// rewritten in their existing slots), so traversal orders over the
+    /// rest of the tree are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or not a leaf (degree 1).
+    pub fn remove_leaf(&mut self, v: VertexId) -> StructuralRemap {
+        assert!(v.0 < self.kinds.len(), "vertex out of range");
+        assert_eq!(self.adjacency[v.0].len(), 1, "vertex is not a leaf");
+        let (nbr, e) = self.adjacency[v.0][0];
+        self.adjacency[v.0].clear();
+        self.adjacency[nbr.0].retain(|&(_, eid)| eid != e);
+        let edge = self.swap_remove_edge(e);
+        let terminal = match self.kinds[v.0] {
+            VertexKind::Terminal(t) => self.swap_remove_terminal(t),
+            _ => None,
+        };
+        let vertex = self.swap_remove_vertex(v);
+        StructuralRemap {
+            vertex,
+            edge,
+            terminal,
+        }
+    }
+
+    /// Splits edge `e` at fraction `frac` of its length by inserting a
+    /// degree-2 [`VertexKind::InsertionPoint`] vertex. Edge `e` keeps
+    /// its id and becomes the `a`-side piece (length `frac × l`); the
+    /// appended edge covers the rest (`l − frac × l`, so the two pieces
+    /// sum to `l` exactly when the arithmetic is exact, e.g. at
+    /// `frac = 0.5`). Both pieces inherit `e`'s width scaling; the new
+    /// vertex's position is interpolated linearly. Existing adjacency
+    /// entries are rewritten in place, so no traversal order changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range or `frac` is not in `[0, 1]`.
+    pub fn split_edge(&mut self, e: EdgeId, frac: f64) -> (VertexId, EdgeId) {
+        assert!(e.0 < self.edges.len(), "edge out of range");
+        assert!(
+            frac.is_finite() && (0.0..=1.0).contains(&frac),
+            "frac must be in [0, 1]"
+        );
+        let EdgeRec { a, b, length, res_scale, cap_scale } = self.edges[e.0];
+        let l1 = length * frac;
+        let pa = self.positions[a.0];
+        let pb = self.positions[b.0];
+        let pos = Point::new(pa.x + (pb.x - pa.x) * frac, pa.y + (pb.y - pa.y) * frac);
+        let ip = self.add_vertex(pos, VertexKind::InsertionPoint);
+        let ne = EdgeId(self.edges.len());
+        self.edges.push(EdgeRec {
+            a: ip,
+            b,
+            length: length - l1,
+            res_scale,
+            cap_scale,
+        });
+        self.edges[e.0].b = ip;
+        self.edges[e.0].length = l1;
+        // In-place adjacency rewrites: `a` keeps edge `e` but now faces
+        // the insertion point; `b` keeps its slot but switches to the
+        // new edge.
+        for entry in self.adjacency[a.0].iter_mut() {
+            if entry.1 == e {
+                entry.0 = ip;
+            }
+        }
+        for entry in self.adjacency[b.0].iter_mut() {
+            if entry.1 == e {
+                *entry = (ip, ne);
+            }
+        }
+        self.adjacency[ip.0].push((a, e));
+        self.adjacency[ip.0].push((b, ne));
+        (ip, ne)
+    }
+
+    /// Splices out degree-2 vertex `v`, merging its two incident edges
+    /// into the first-adjacency one (summed length, shared width
+    /// scaling) and removing the second edge and `v` by `swap_remove`.
+    /// Returns the surviving merged edge's post-removal id and the id
+    /// moves (see [`StructuralRemap`]). Surviving adjacency entries are
+    /// rewritten in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range, hosts a terminal, does not have
+    /// degree 2, or its two edges disagree (bitwise) on width scaling.
+    pub fn splice_degree2(&mut self, v: VertexId) -> (EdgeId, StructuralRemap) {
+        assert!(v.0 < self.kinds.len(), "vertex out of range");
+        assert!(
+            !matches!(self.kinds[v.0], VertexKind::Terminal(_)),
+            "cannot splice a terminal vertex"
+        );
+        assert_eq!(self.adjacency[v.0].len(), 2, "vertex is not degree 2");
+        let (x, e1) = self.adjacency[v.0][0];
+        let (y, e2) = self.adjacency[v.0][1];
+        let (l1, l2) = (self.edges[e1.0].length, self.edges[e2.0].length);
+        assert!(
+            self.edges[e1.0].res_scale.to_bits() == self.edges[e2.0].res_scale.to_bits()
+                && self.edges[e1.0].cap_scale.to_bits() == self.edges[e2.0].cap_scale.to_bits(),
+            "spliced edges must share width scaling"
+        );
+        // e1 becomes x — y with the summed length.
+        let rec = &mut self.edges[e1.0];
+        if rec.a == v {
+            rec.a = y;
+        } else {
+            rec.b = y;
+        }
+        rec.length = l1 + l2;
+        for entry in self.adjacency[x.0].iter_mut() {
+            if entry.1 == e1 {
+                entry.0 = y;
+            }
+        }
+        for entry in self.adjacency[y.0].iter_mut() {
+            if entry.1 == e2 {
+                *entry = (x, e1);
+            }
+        }
+        self.adjacency[v.0].clear();
+        let remap = StructuralRemap {
+            edge: self.swap_remove_edge(e2),
+            vertex: self.swap_remove_vertex(v),
+            terminal: None,
+        };
+        let survivor = remap.map_edge(e1);
+        (survivor, remap)
+    }
+
+    /// Removes edge `e` by `swap_remove`, rewriting surviving adjacency
+    /// references to the moved last edge in place. The caller must have
+    /// already detached `e` from both endpoints' adjacency lists.
+    fn swap_remove_edge(&mut self, e: EdgeId) -> Option<(EdgeId, EdgeId)> {
+        let last = EdgeId(self.edges.len() - 1);
+        self.edges.swap_remove(e.0);
+        if e == last {
+            return None;
+        }
+        let (a, b) = (self.edges[e.0].a, self.edges[e.0].b);
+        for u in [a, b] {
+            for entry in self.adjacency[u.0].iter_mut() {
+                if entry.1 == last {
+                    entry.1 = e;
+                }
+            }
+        }
+        Some((last, e))
+    }
+
+    /// Removes terminal `t`'s hosting record by `swap_remove`, relabeling
+    /// the moved last terminal's vertex in place.
+    fn swap_remove_terminal(&mut self, t: TerminalId) -> Option<(TerminalId, TerminalId)> {
+        let last = TerminalId(self.terminal_vertices.len() - 1);
+        self.terminal_vertices.swap_remove(t.0);
+        if t == last {
+            return None;
+        }
+        let host = self.terminal_vertices[t.0];
+        self.kinds[host.0] = VertexKind::Terminal(t);
+        Some((last, t))
+    }
+
+    /// Removes vertex `v` by `swap_remove`, rewriting surviving
+    /// references to the moved last vertex (adjacency partners, edge
+    /// endpoints, terminal hosting) in place. The caller must have
+    /// already emptied `v`'s adjacency list.
+    fn swap_remove_vertex(&mut self, v: VertexId) -> Option<(VertexId, VertexId)> {
+        debug_assert!(self.adjacency[v.0].is_empty(), "vertex still wired");
+        let last = VertexId(self.kinds.len() - 1);
+        self.positions.swap_remove(v.0);
+        self.kinds.swap_remove(v.0);
+        self.adjacency.swap_remove(v.0);
+        if v == last {
+            return None;
+        }
+        // The moved vertex's own adjacency list is intact; fix everyone
+        // pointing at its old id.
+        for i in 0..self.adjacency[v.0].len() {
+            let (u, e) = self.adjacency[v.0][i];
+            for entry in self.adjacency[u.0].iter_mut() {
+                if entry.1 == e {
+                    entry.0 = v;
+                }
+            }
+            let rec = &mut self.edges[e.0];
+            if rec.a == last {
+                rec.a = v;
+            }
+            if rec.b == last {
+                rec.b = v;
+            }
+        }
+        if let VertexKind::Terminal(t) = self.kinds[v.0] {
+            self.terminal_vertices[t.0] = v;
+        }
+        Some((last, v))
+    }
+
     /// Checks structural invariants: the graph is a tree (connected and
     /// acyclic), insertion points have degree 2, lengths are finite and
     /// non-negative.
@@ -576,6 +855,45 @@ impl Net {
     /// Roots the topology at the vertex hosting terminal `t`.
     pub fn rooted_at_terminal(&self, t: TerminalId) -> Rooted {
         Rooted::new(&self.topology, self.topology.terminal_vertex(t))
+    }
+
+    /// Adds a new leaf terminal at `pos`, wired to existing vertex `at`
+    /// with a unit-width edge whose length is the rectilinear distance.
+    /// Purely append-only (no existing id changes); returns the new
+    /// terminal, its vertex, and its pendant edge — always the current
+    /// maxima of their id spaces, so the edit is undone exactly by
+    /// [`Net::remove_terminal`] on the returned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is out of range or a coordinate is non-finite.
+    pub fn add_terminal(
+        &mut self,
+        at: VertexId,
+        pos: Point,
+        params: Terminal,
+    ) -> (TerminalId, VertexId, EdgeId) {
+        let tid = TerminalId(self.terminals.len());
+        self.terminals.push(params);
+        let len = pos.l1_distance(self.topology.position(at));
+        let (v, e) = self
+            .topology
+            .attach_leaf(at, pos, VertexKind::Terminal(tid), len);
+        (tid, v, e)
+    }
+
+    /// Removes leaf terminal `t`, its vertex and its pendant edge,
+    /// compacting ids by `swap_remove` (see [`StructuralRemap`] for the
+    /// id moves callers must apply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range or its vertex is not a leaf.
+    pub fn remove_terminal(&mut self, t: TerminalId) -> StructuralRemap {
+        let v = self.topology.terminal_vertex(t);
+        let remap = self.topology.remove_leaf(v);
+        self.terminals.swap_remove(t.0);
+        remap
     }
 
     /// Summary statistics of the net — sizes, wirelength, capacitances
@@ -1100,5 +1418,145 @@ mod tests {
         let net = star_net();
         let expect = 0.00035 * 350.0 + 3.0 * 0.05;
         assert!((net.total_cap() - expect).abs() < 1e-12);
+    }
+
+    /// Full structural snapshot for add→remove round-trip checks:
+    /// positions, kinds, edges (endpoints, bitwise lengths and scales),
+    /// adjacency lists in order, and terminal hosting.
+    fn snapshot(net: &Net) -> Vec<String> {
+        let topo = &net.topology;
+        let mut out = Vec::new();
+        for v in topo.vertices() {
+            out.push(format!(
+                "v{} {:?} ({:x},{:x}) adj {:?}",
+                v.0,
+                topo.kind(v),
+                topo.position(v).x.to_bits(),
+                topo.position(v).y.to_bits(),
+                topo.neighbors(v),
+            ));
+        }
+        for e in topo.edges() {
+            let (rs, cs) = topo.edge_scaling(e);
+            out.push(format!(
+                "e{} {:?} len {:x} rs {:x} cs {:x}",
+                e.0,
+                topo.endpoints(e),
+                topo.length(e).to_bits(),
+                rs.to_bits(),
+                cs.to_bits(),
+            ));
+        }
+        for t in net.terminal_ids() {
+            out.push(format!("t{} @ v{}", t.0, topo.terminal_vertex(t).0));
+        }
+        out
+    }
+
+    #[test]
+    fn add_then_remove_terminal_is_bitwise_identity() {
+        let mut net = star_net();
+        let before = snapshot(&net);
+        let s = VertexId(1); // the Steiner branch
+        let (tid, v, e) = net.add_terminal(
+            s,
+            Point::new(130.0, 40.0),
+            Terminal::sink_only(12.0, 0.08),
+        );
+        assert_eq!(tid, TerminalId(3));
+        assert_eq!(v, VertexId(4));
+        assert_eq!(e, EdgeId(3));
+        assert!(net.check().is_ok());
+        assert_eq!(net.topology.length(e), 30.0 + 40.0);
+        let remap = net.remove_terminal(tid);
+        // Removing the just-appended ids is a pure pop: nothing moves.
+        assert_eq!(remap, StructuralRemap::default());
+        assert_eq!(snapshot(&net), before);
+    }
+
+    #[test]
+    fn remove_interior_terminal_remaps_moved_ids() {
+        // Remove t0 (vertex 0): the last vertex, edge and terminal all
+        // move into vacated slots.
+        let mut net = star_net();
+        let remap = net.remove_terminal(TerminalId(0));
+        assert!(net.check().is_ok());
+        assert_eq!(net.topology.vertex_count(), 3);
+        assert_eq!(net.topology.terminal_count(), 2);
+        assert_eq!(remap.vertex, Some((VertexId(3), VertexId(0))));
+        assert_eq!(remap.terminal, Some((TerminalId(2), TerminalId(0))));
+        // Old t2 (at (100,150)) now answers to id 0.
+        let moved = net.topology.terminal_vertex(TerminalId(0));
+        assert_eq!(net.topology.position(moved), Point::new(100.0, 150.0));
+        // Wirelength dropped by exactly the removed pendant edge.
+        assert_eq!(net.topology.total_wirelength(), 250.0);
+    }
+
+    #[test]
+    fn split_then_splice_edge_is_bitwise_identity() {
+        let mut net = star_net();
+        net.topology.set_edge_scaling(EdgeId(1), 0.5, 2.0);
+        let before = snapshot(&net);
+        let (ip, ne) = net.topology.split_edge(EdgeId(1), 0.5);
+        assert!(net.check().is_ok());
+        assert_eq!(net.topology.kind(ip), VertexKind::InsertionPoint);
+        assert_eq!(net.topology.degree(ip), 2);
+        // Halves carry the parent's scaling and sum exactly.
+        assert_eq!(net.topology.edge_scaling(ne), (0.5, 2.0));
+        assert_eq!(
+            net.topology.length(EdgeId(1)) + net.topology.length(ne),
+            100.0
+        );
+        let (survivor, remap) = net.topology.splice_degree2(ip);
+        assert_eq!(survivor, EdgeId(1));
+        assert_eq!(remap, StructuralRemap::default());
+        assert_eq!(snapshot(&net), before);
+    }
+
+    #[test]
+    fn splice_remaps_when_removed_ids_are_not_last() {
+        // Split edge 0 then edge 2: two insertion points. Splicing the
+        // *first* one forces swap-remove moves.
+        let mut net = star_net();
+        let (ip0, _) = net.topology.split_edge(EdgeId(0), 0.5);
+        let (ip2, ne2) = net.topology.split_edge(EdgeId(2), 0.5);
+        let (survivor, remap) = net.topology.splice_degree2(ip0);
+        assert!(net.check().is_ok());
+        assert_eq!(survivor, EdgeId(0));
+        // The last vertex (ip2) and last edge (ne2) moved down.
+        assert_eq!(remap.vertex, Some((ip2, ip0)));
+        assert_eq!(remap.edge.map(|(old, _)| old), Some(ne2));
+        assert_eq!(net.topology.length(EdgeId(0)), 100.0);
+        assert_eq!(net.topology.insertion_point_count(), 1);
+    }
+
+    #[test]
+    fn structural_edits_preserve_adjacency_order_of_survivors() {
+        let mut net = star_net();
+        let s = VertexId(1);
+        let order_before: Vec<_> = net.topology.neighbors(s).to_vec();
+        let (tid, _, _) = net.add_terminal(s, Point::new(90.0, -10.0), bidir());
+        net.remove_terminal(tid);
+        assert_eq!(net.topology.neighbors(s), &order_before[..]);
+        // Same through a split/splice cycle on the middle edge.
+        let (ip, _) = net.topology.split_edge(EdgeId(1), 0.5);
+        net.topology.splice_degree2(ip);
+        assert_eq!(net.topology.neighbors(s), &order_before[..]);
+    }
+
+    #[test]
+    fn structural_remap_maps_only_the_moved_id() {
+        let r = StructuralRemap {
+            vertex: Some((VertexId(9), VertexId(2))),
+            edge: Some((EdgeId(5), EdgeId(1))),
+            terminal: Some((TerminalId(3), TerminalId(0))),
+        };
+        assert_eq!(r.map_vertex(VertexId(9)), VertexId(2));
+        assert_eq!(r.map_vertex(VertexId(4)), VertexId(4));
+        assert_eq!(r.map_edge(EdgeId(5)), EdgeId(1));
+        assert_eq!(r.map_edge(EdgeId(0)), EdgeId(0));
+        assert_eq!(r.map_terminal(TerminalId(3)), TerminalId(0));
+        assert_eq!(r.map_terminal(TerminalId(1)), TerminalId(1));
+        assert_eq!(StructuralRemap::default().map_vertex(VertexId(7)), VertexId(7));
     }
 }

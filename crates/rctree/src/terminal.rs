@@ -32,7 +32,7 @@ impl fmt::Display for TerminalId {
 /// let snk = Terminal::sink_only(55.0, 0.05);
 /// assert!(!snk.is_source() && snk.is_sink());
 /// ```
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Terminal {
     /// Maximum delay from a primary input to the terminal's input driver,
     /// ps (`AT(v)`); `−∞` if the terminal never drives.

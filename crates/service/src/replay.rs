@@ -91,11 +91,45 @@ impl Replayer {
         pruning: PruningStrategy,
         timing: bool,
     ) -> Result<Replayer, String> {
+        Replayer::open_with_wires(
+            label,
+            net,
+            root,
+            library,
+            vec![WireOption::unit()],
+            driver_cost,
+            pruning,
+            timing,
+        )
+    }
+
+    /// [`Replayer::open`] with an explicit wire-sizing menu, so an edit
+    /// session replays through the same per-subtree cache the
+    /// wire-sizing DP (`optimize_with_wires`) uses. The menu must be
+    /// non-empty; `msrnet-cli edits --wire-widths` builds it the same
+    /// way the `wires` subcommand does.
+    ///
+    /// # Errors
+    ///
+    /// As [`Replayer::open`], plus an empty wire menu.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_with_wires(
+        label: impl Into<String>,
+        net: Net,
+        root: TerminalId,
+        library: Vec<Repeater>,
+        wire_options: Vec<WireOption>,
+        driver_cost: f64,
+        pruning: PruningStrategy,
+        timing: bool,
+    ) -> Result<Replayer, String> {
         if root.0 >= net.terminals.len() {
             return Err(format!("--root {} out of range", root.0));
         }
+        if wire_options.is_empty() {
+            return Err("wire menu must not be empty".into());
+        }
         let term_opts = TerminalOptions::defaults_with_cost(&net, driver_cost);
-        let wire_options = vec![WireOption::unit()];
         let options = MsriOptions {
             allow_inverting: library.iter().any(|r| r.inverting),
             pruning,

@@ -1,0 +1,142 @@
+//! Cost-distance candidate ranking for topology search.
+//!
+//! The topology co-optimization loop (crate `msrnet-incremental`,
+//! `search` module) repeatedly detaches a terminal and asks: *where
+//! should it reattach?* This module answers with a classical
+//! cost-distance score over a site list (existing Steiner vertices, or
+//! Hanan-grid points during construction):
+//!
+//! ```text
+//! score(site) = d1(terminal, site) + radius_weight · d1(site, root)
+//! ```
+//!
+//! The first term is the wirelength the reattachment pays; the second is
+//! a radius proxy for the source-path delay the site inflicts (the
+//! cost/radius trade of A-tree and cost-distance routing). A
+//! `radius_weight` of `0` ranks purely by wirelength (nearest-neighbor
+//! reattachment); large weights pull every terminal toward the root.
+//!
+//! Ranking is fully deterministic: ties in score break on the lower site
+//! index, and `f64::total_cmp` ordering makes the sort independent of
+//! input permutation of *distinct* scores. The actual quality judgement
+//! of a candidate is not made here — the search layer scores each
+//! reattachment by its repeater-insertion DP frontier; this ranking only
+//! bounds how many candidates that (much more expensive) evaluation
+//! sees.
+
+use msrnet_geom::Point;
+
+/// One ranked attachment site.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankedSite {
+    /// Index into the site slice handed to [`rank_attachment_sites`].
+    pub index: usize,
+    /// The cost-distance score (lower is better).
+    pub score: f64,
+    /// L1 distance from the detached terminal to the site.
+    pub distance: f64,
+    /// L1 distance from the site to the root terminal.
+    pub radius: f64,
+}
+
+/// The cost-distance score of one site (see the module docs).
+pub fn cost_distance(terminal: Point, root: Point, site: Point, radius_weight: f64) -> f64 {
+    terminal.l1_distance(site) + radius_weight * site.l1_distance(root)
+}
+
+/// Ranks `sites` for reattaching `terminal`, best first, and keeps the
+/// top `k`. Deterministic: score order under `total_cmp`, ties broken
+/// by lower index.
+///
+/// # Panics
+///
+/// Panics if `radius_weight` is negative or non-finite.
+pub fn rank_attachment_sites(
+    terminal: Point,
+    root: Point,
+    sites: &[Point],
+    radius_weight: f64,
+    k: usize,
+) -> Vec<RankedSite> {
+    assert!(
+        radius_weight.is_finite() && radius_weight >= 0.0,
+        "radius weight must be finite and non-negative"
+    );
+    let mut ranked: Vec<RankedSite> = sites
+        .iter()
+        .enumerate()
+        .map(|(index, &site)| RankedSite {
+            index,
+            score: cost_distance(terminal, root, site, radius_weight),
+            distance: terminal.l1_distance(site),
+            radius: site.l1_distance(root),
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.index.cmp(&b.index)));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_weight_ranks_by_pure_distance() {
+        let term = Point::new(0.0, 0.0);
+        let root = Point::new(100.0, 0.0);
+        let sites = [
+            Point::new(50.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(30.0, 0.0),
+        ];
+        let ranked = rank_attachment_sites(term, root, &sites, 0.0, 3);
+        let order: Vec<usize> = ranked.iter().map(|r| r.index).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+        assert_eq!(ranked[0].distance, 10.0);
+        assert_eq!(ranked[0].radius, 90.0);
+    }
+
+    #[test]
+    fn radius_weight_pulls_ranking_toward_the_root() {
+        let term = Point::new(0.0, 0.0);
+        let root = Point::new(100.0, 0.0);
+        // Site 0 is nearer the terminal, site 1 much nearer the root.
+        let sites = [Point::new(10.0, 0.0), Point::new(80.0, 0.0)];
+        let near = rank_attachment_sites(term, root, &sites, 0.0, 2);
+        assert_eq!(near[0].index, 0);
+        let rooty = rank_attachment_sites(term, root, &sites, 2.0, 2);
+        assert_eq!(rooty[0].index, 1);
+    }
+
+    #[test]
+    fn ties_break_on_lower_index() {
+        let term = Point::new(0.0, 0.0);
+        let root = Point::new(0.0, 0.0);
+        // Two sites at the same L1 distance from both endpoints.
+        let sites = [Point::new(5.0, 5.0), Point::new(10.0, 0.0)];
+        let ranked = rank_attachment_sites(term, root, &sites, 1.0, 2);
+        assert_eq!(ranked[0].index, 0);
+        assert_eq!(ranked[0].score.to_bits(), ranked[1].score.to_bits());
+    }
+
+    #[test]
+    fn truncates_to_k_and_handles_empty_sites() {
+        let term = Point::new(0.0, 0.0);
+        let root = Point::new(1.0, 1.0);
+        let sites = [
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+        ];
+        assert_eq!(rank_attachment_sites(term, root, &sites, 0.5, 2).len(), 2);
+        assert!(rank_attachment_sites(term, root, &[], 0.5, 4).is_empty());
+        assert!(rank_attachment_sites(term, root, &sites, 0.5, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "radius weight")]
+    fn rejects_negative_weight() {
+        rank_attachment_sites(Point::ORIGIN, Point::ORIGIN, &[], -1.0, 1);
+    }
+}

@@ -39,8 +39,10 @@
 //! # Ok::<(), msrnet_rctree::BuildNetError>(())
 //! ```
 
+pub mod candidates;
 pub mod ptree;
 
+pub use candidates::{cost_distance, rank_attachment_sites, RankedSite};
 pub use ptree::{nn_tour, ptree_topology, two_opt};
 
 use msrnet_geom::{hanan_grid, Point};
@@ -264,7 +266,7 @@ pub fn build_net(
     let mut vertex_ids = Vec::with_capacity(tree.points.len());
     for (i, &p) in tree.points.iter().enumerate() {
         if i < tree.terminal_count {
-            vertex_ids.push(builder.terminal(p, terminals[i].1.clone()));
+            vertex_ids.push(builder.terminal(p, terminals[i].1));
         } else {
             vertex_ids.push(builder.steiner(p));
         }

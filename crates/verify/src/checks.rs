@@ -29,6 +29,10 @@
 //!    Kahn-ordered arrival/required propagation vs an independent
 //!    memoized-DFS longest-path computation, bit-identical on every pin
 //!    of a seeded chip design (`msrnet-timing`).
+//! 9. `structural_vs_scratch` — a session replaying a seeded
+//!    *structural* trace (terminal growth/removal, insertion-point
+//!    splits/splices), each recompute bit-identical to from-scratch
+//!    even as the edits renumber id spaces and reshape the cache.
 //!
 //! Metamorphic properties (one implementation, transformed input):
 //! 1. `rescaling_invariance` — Elmore delay is a sum of R·C products, so
@@ -53,6 +57,9 @@
 //! 7. `approx_within_reported_budget` — an `approx:eps` run's frontier
 //!    must cover every exact frontier point within the machine-checked
 //!    `(1+eps)^relax_ledger` budget factor the run itself reports.
+//! 8. `add_remove_terminal_roundtrip` — growing a terminal at a Steiner
+//!    hub and popping it back off (`add_terminal` + its exact inverse)
+//!    must restore the trade-off curve bit-for-bit.
 
 use crate::gen::Instance;
 use msrnet_batch::{reports_bit_identical, run_batch, BatchJob};
@@ -62,8 +69,8 @@ use msrnet_core::{
     optimize, optimize_in, optimize_with_wires, required_cap_bound, MsriError, MsriOptions,
     MsriWorkspace, PruningStrategy, TradeoffCurve,
 };
-use msrnet_incremental::IncrementalOptimizer;
-use msrnet_rctree::{Assignment, Orientation};
+use msrnet_incremental::{Edit, IncrementalOptimizer};
+use msrnet_rctree::{Assignment, EdgeId, Orientation, Terminal, TerminalId, VertexId, VertexKind};
 use msrnet_rng::{Rng, SeedableRng, SplitMix64};
 use msrnet_timing::{
     generate_chip, naive_arrival_times, naive_required_times, propagate, run_closure, ChipConfig,
@@ -164,9 +171,19 @@ pub fn registry() -> &'static [CheckDef] {
             run: check_incremental_vs_scratch,
         },
         CheckDef {
+            name: "structural_vs_scratch",
+            kind: CheckKind::Oracle,
+            run: check_structural_vs_scratch,
+        },
+        CheckDef {
             name: "edit_inverse_restores_frontier",
             kind: CheckKind::Metamorphic,
             run: check_edit_inverse_restores_frontier,
+        },
+        CheckDef {
+            name: "add_remove_terminal_roundtrip",
+            kind: CheckKind::Metamorphic,
+            run: check_add_remove_terminal_roundtrip,
         },
         CheckDef {
             name: "graph_propagation_vs_naive",
@@ -634,6 +651,12 @@ fn incremental_gate(inst: &Instance) -> Option<String> {
     if inst.edits.is_empty() {
         return Some("no edit trace attached".into());
     }
+    session_gate(inst)
+}
+
+/// [`incremental_gate`] without the attached-trace requirement, for the
+/// structural checks that derive their own edits from the net.
+fn session_gate(inst: &Instance) -> Option<String> {
     if !inst.terminals_are_leaves() {
         return Some("non-leaf terminal (DP precondition)".into());
     }
@@ -814,6 +837,211 @@ fn check_edit_inverse_restores_frontier(inst: &Instance) -> CheckOutcome {
                 "edit {k} ({}): frontier not restored: {msg}",
                 edit.op_name()
             ));
+        }
+    }
+    CheckOutcome::Pass
+}
+
+/// A seeded, mostly-applicable structural trace derived from the
+/// instance's own net: grow terminals at Steiner hubs, pop one back off,
+/// attempt an interior removal (renumbering ids), split an edge at its
+/// midpoint, and splice out an existing insertion point. Later edits may
+/// be rejected once earlier ones renumber ids — the replaying checks
+/// tolerate typed rejections, like every other trace consumer.
+fn structural_probe_trace(inst: &Instance) -> Vec<Edit> {
+    let topo = &inst.net.topology;
+    let mut rng = SplitMix64::seed_from_u64(inst.check_seed ^ 0x57C7_ED17_0000_0000);
+    let mut edits = Vec::new();
+    let steiners: Vec<VertexId> = (0..topo.vertex_count())
+        .map(VertexId)
+        .filter(|&v| matches!(topo.kind(v), VertexKind::Steiner))
+        .collect();
+    let base_terms = inst.net.terminals.len();
+    let mut grown = 0;
+    for &s in steiners.iter().take(2) {
+        let p = topo.position(s);
+        edits.push(Edit::AddTerminal {
+            at: s,
+            x: p.x + rng.gen_range(-40.0..40.0),
+            y: p.y + rng.gen_range(-40.0..40.0),
+            terminal: Terminal::bidirectional(
+                0.0,
+                0.0,
+                rng.gen_range(0.05..0.6),
+                rng.gen_range(80.0..320.0),
+            ),
+        });
+        grown += 1;
+    }
+    if grown > 0 {
+        // Pure-pop removal of the newest terminal, then an interior
+        // removal exercising the swap-remove id remap.
+        edits.push(Edit::RemoveTerminal {
+            terminal: TerminalId(base_terms + grown - 1),
+        });
+        edits.push(Edit::RemoveTerminal {
+            terminal: TerminalId(rng.gen_range(0..base_terms)),
+        });
+    }
+    if topo.edge_count() > 0 {
+        edits.push(Edit::AddInsertionPoint {
+            edge: EdgeId(rng.gen_range(0..topo.edge_count())),
+            frac: 0.5,
+        });
+    }
+    if let Some(ip) = (0..topo.vertex_count())
+        .map(VertexId)
+        .find(|&v| matches!(topo.kind(v), VertexKind::InsertionPoint))
+    {
+        edits.push(Edit::RemoveInsertionPoint { vertex: ip });
+    }
+    edits
+}
+
+/// Oracle: a session replaying a seeded *structural* trace (terminal
+/// growth/removal, insertion-point splits/splices) must stay
+/// bit-identical to a from-scratch re-solve after every applied edit —
+/// the same contract `incremental_vs_scratch` pins for parametric edits,
+/// extended to edits that renumber the id spaces and reshape the cache.
+fn check_structural_vs_scratch(inst: &Instance) -> CheckOutcome {
+    if let Some(reason) = session_gate(inst) {
+        return CheckOutcome::Skip(reason);
+    }
+    let edits = structural_probe_trace(inst);
+    if edits.is_empty() {
+        return CheckOutcome::Skip("net offers no structural edit sites".into());
+    }
+    let mut session = open_session(inst);
+    let mut applied = 0;
+    for step in 0..=edits.len() {
+        let label: String = if step == 0 {
+            "initial".into()
+        } else {
+            let edit = &edits[step - 1];
+            if session.apply(edit).is_err() {
+                continue;
+            }
+            applied += 1;
+            format!("edit {} ({})", step - 1, edit.op_name())
+        };
+        let inc = session.recompute();
+        let scratch = session.from_scratch();
+        match (inc, scratch) {
+            (Err(a), Err(b)) => {
+                if a != b {
+                    return CheckOutcome::Fail(format!(
+                        "{label}: error variants differ: incremental={a:?} scratch={b:?}"
+                    ));
+                }
+            }
+            (Ok(_), Err(e)) => {
+                return CheckOutcome::Fail(format!(
+                    "{label}: incremental succeeded, scratch failed: {e:?}"
+                ));
+            }
+            (Err(e), Ok(_)) => {
+                return CheckOutcome::Fail(format!(
+                    "{label}: scratch succeeded, incremental failed: {e:?}"
+                ));
+            }
+            (Ok((a, sa)), Ok((b, _))) => {
+                if sa.nodes_recomputed + sa.nodes_reused != sa.nodes_visited {
+                    return CheckOutcome::Fail(format!(
+                        "{label}: visit accounting broken: {} rebuilt + {} reused != {} visited",
+                        sa.nodes_recomputed, sa.nodes_reused, sa.nodes_visited
+                    ));
+                }
+                if let Err(msg) = curves_bit_eq(&a, &b) {
+                    return CheckOutcome::Fail(format!("{label}: {msg}"));
+                }
+            }
+        }
+    }
+    if applied == 0 {
+        return CheckOutcome::Skip("every structural probe edit was rejected".into());
+    }
+    CheckOutcome::Pass
+}
+
+/// Metamorphic: growing a terminal at a Steiner hub and popping it back
+/// off (`add_terminal` then its exact inverse) must restore the
+/// trade-off curve bit-for-bit — the append-only/swap-remove id
+/// discipline's user-visible guarantee.
+fn check_add_remove_terminal_roundtrip(inst: &Instance) -> CheckOutcome {
+    if let Some(reason) = session_gate(inst) {
+        return CheckOutcome::Skip(reason);
+    }
+    let steiners: Vec<VertexId> = {
+        let topo = &inst.net.topology;
+        (0..topo.vertex_count())
+            .map(VertexId)
+            .filter(|&v| matches!(topo.kind(v), VertexKind::Steiner))
+            .collect()
+    };
+    if steiners.is_empty() {
+        return CheckOutcome::Skip("no Steiner hub to grow a terminal from".into());
+    }
+    let mut session = open_session(inst);
+    let Ok((curve, _)) = session.recompute() else {
+        return CheckOutcome::Skip("base configuration has no feasible pair".into());
+    };
+    let mut baseline = curve;
+    let mut escalations = session.escalations();
+    let mut rng = SplitMix64::seed_from_u64(inst.check_seed ^ 0x0ADD_7E3A_0000_0000);
+    for (k, &s) in steiners.iter().take(3).enumerate() {
+        let p = inst.net.topology.position(s);
+        let edit = Edit::AddTerminal {
+            at: s,
+            x: p.x + rng.gen_range(-40.0..40.0),
+            y: p.y + rng.gen_range(-40.0..40.0),
+            terminal: Terminal::bidirectional(
+                0.0,
+                0.0,
+                rng.gen_range(0.05..0.6),
+                rng.gen_range(80.0..320.0),
+            ),
+        };
+        let Some(inverse) = session.inverse_of(&edit) else {
+            return CheckOutcome::Fail(format!("hub {k}: add_terminal offered no inverse"));
+        };
+        if let Err(e) = session.apply(&edit) {
+            return CheckOutcome::Fail(format!("hub {k}: valid add_terminal rejected: {e}"));
+        }
+        // The grown configuration may legitimately be infeasible; the
+        // dirty set carries over to the restoring recompute.
+        let _ = session.recompute();
+        if let Err(e) = session.apply(&inverse) {
+            return CheckOutcome::Fail(format!("hub {k}: pure-pop inverse rejected: {e}"));
+        }
+        let restored = match session.recompute() {
+            Err(e) => {
+                return CheckOutcome::Fail(format!(
+                    "hub {k}: restored configuration failed: {e:?}"
+                ));
+            }
+            Ok((curve, _)) => curve,
+        };
+        if session.escalations() != escalations {
+            // The grown terminal widened the domain bound; compare the
+            // restored state against a fresh solve under the new bound.
+            escalations = session.escalations();
+            match session.from_scratch() {
+                Err(e) => {
+                    return CheckOutcome::Fail(format!(
+                        "hub {k}: post-escalation scratch failed: {e:?}"
+                    ));
+                }
+                Ok((fresh, _)) => {
+                    if let Err(msg) = curves_bit_eq(&fresh, &restored) {
+                        return CheckOutcome::Fail(format!(
+                            "hub {k}: post-escalation restore diverged: {msg}"
+                        ));
+                    }
+                    baseline = restored;
+                }
+            }
+        } else if let Err(msg) = curves_bit_eq(&baseline, &restored) {
+            return CheckOutcome::Fail(format!("hub {k}: frontier not restored: {msg}"));
         }
     }
     CheckOutcome::Pass
@@ -1256,6 +1484,71 @@ pub fn prebound_soundness_drill_check(inst: &Instance) -> CheckOutcome {
     }
 }
 
+/// Injected-bug drill for the structural-edit dirty discipline: a
+/// test-only session knob makes `remove_terminal` dirty only the
+/// *parent* of the removal's attachment vertex, leaving the hub's
+/// cached candidate set stale. Because swap-remove renumbers ids, the
+/// stale set's references alias surviving in-range vertices instead of
+/// panicking — silent corruption the harness must surface as a bit
+/// mismatch against the from-scratch oracle. Kept out of the registry:
+/// it fails by design.
+#[doc(hidden)]
+pub fn structural_dirty_drill_check(inst: &Instance) -> CheckOutcome {
+    if let Some(reason) = session_gate(inst) {
+        return CheckOutcome::Skip(reason);
+    }
+    // Non-last candidates only: removing the last terminal is a pure
+    // pop whose stale references would dangle out of range rather than
+    // alias, and the drill targets the aliasing (silent) case.
+    let n = inst.net.terminals.len();
+    let mut removed_any = false;
+    for raw in 0..n.saturating_sub(1) {
+        let t = TerminalId(raw);
+        if t == inst.root {
+            continue;
+        }
+        let mut session = open_session(inst);
+        if session.recompute().is_err() {
+            return CheckOutcome::Skip("base configuration has no feasible pair".into());
+        }
+        session.set_skip_structural_dirty(true);
+        if session.apply(&Edit::RemoveTerminal { terminal: t }).is_err() {
+            continue;
+        }
+        removed_any = true;
+        let inc = session.recompute();
+        let scratch = session.from_scratch();
+        match (inc, scratch) {
+            (Ok((a, _)), Ok((b, _))) => {
+                if let Err(msg) = curves_bit_eq(&a, &b) {
+                    return CheckOutcome::Fail(format!(
+                        "terminal {raw}: skipped dirty-mark left a stale hub set: {msg}"
+                    ));
+                }
+            }
+            (Err(a), Err(b)) => {
+                if a != b {
+                    return CheckOutcome::Fail(format!(
+                        "terminal {raw}: skipped dirty-mark changed the error: \
+                         incremental={a:?} scratch={b:?}"
+                    ));
+                }
+            }
+            (inc, _) => {
+                return CheckOutcome::Fail(format!(
+                    "terminal {raw}: skipped dirty-mark changed feasibility \
+                     (incremental ok: {})",
+                    inc.is_ok()
+                ));
+            }
+        }
+    }
+    if !removed_any {
+        return CheckOutcome::Skip("no removable non-last terminal".into());
+    }
+    CheckOutcome::Pass
+}
+
 /// Lets callers (tests, the shrinker) dispatch either a registry check
 /// by name or the synthetic self-test checks.
 pub fn run_named(name: &str, inst: &Instance) -> Option<CheckOutcome> {
@@ -1264,6 +1557,9 @@ pub fn run_named(name: &str, inst: &Instance) -> Option<CheckOutcome> {
     }
     if name == "prebound_soundness_drill" {
         return Some(prebound_soundness_drill_check(inst));
+    }
+    if name == "structural_dirty_drill" {
+        return Some(structural_dirty_drill_check(inst));
     }
     find_check(name).map(|c| run_check(c, inst))
 }
@@ -1387,6 +1683,28 @@ mod tests {
         let shrunk = crate::shrink::shrink(&inst, "prebound_soundness_drill");
         assert!(
             still_fails("prebound_soundness_drill", &shrunk.instance),
+            "shrinker lost the failure"
+        );
+        assert!(
+            shrunk.instance.net.topology.vertex_count() <= inst.net.topology.vertex_count(),
+            "shrinker grew the witness"
+        );
+    }
+
+    /// Injected-bug drill for the structural edits: skipping the
+    /// dirty-mark on a removal's attachment hub (the
+    /// `skip_structural_dirty` knob) must be caught as a bit mismatch,
+    /// and the shrinker must converge to a still-failing smaller
+    /// witness with the structural remap logic engaged.
+    #[test]
+    fn structural_drill_catches_a_skipped_dirty_mark_and_shrinks() {
+        let inst = (0..80)
+            .filter_map(|i| generate(23, i))
+            .find(|inst| still_fails("structural_dirty_drill", inst))
+            .expect("the grid must contain a case where a stale hub set corrupts the curve");
+        let shrunk = crate::shrink::shrink(&inst, "structural_dirty_drill");
+        assert!(
+            still_fails("structural_dirty_drill", &shrunk.instance),
             "shrinker lost the failure"
         );
         assert!(

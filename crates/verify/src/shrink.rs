@@ -196,7 +196,7 @@ fn rebuild(inst: &Instance, mut removed: Vec<bool>, extra_edges: &[ExtraEdge]) -
         if removed[v.0] {
             continue;
         }
-        map[v.0] = Some(b.terminal(topo.position(v), inst.net.terminal(tid).clone()));
+        map[v.0] = Some(b.terminal(topo.position(v), *inst.net.terminal(tid)));
         kept_terms.push(tid);
     }
     for v in topo.vertices() {
@@ -254,8 +254,11 @@ fn rebuild(inst: &Instance, mut removed: Vec<bool>, extra_edges: &[ExtraEdge]) -
 }
 
 /// Renumbers terminal references in an edit trace after net surgery.
-/// Edits naming a removed terminal are dropped; `SetWireRc` edits are
-/// dropped wholesale because edge ids do not renumber predictably.
+/// Edits naming a removed terminal are dropped; `SetWireRc` and the
+/// structural edits that name vertices or edges (`add_terminal`,
+/// `add_insertion_point`, `remove_insertion_point`) are dropped
+/// wholesale because vertex/edge ids do not renumber predictably under
+/// the rebuild.
 fn remap_edits(edits: &[Edit], kept_terms: &[TerminalId]) -> Vec<Edit> {
     let remap = |t: TerminalId| {
         kept_terms
@@ -281,6 +284,12 @@ fn remap_edits(edits: &[Edit], kept_terms: &[TerminalId]) -> Vec<Edit> {
             Edit::SetWireRc { .. } => None,
             Edit::SwapLibrary { scale } => Some(Edit::SwapLibrary { scale }),
             Edit::Reroot { terminal } => remap(terminal).map(|terminal| Edit::Reroot { terminal }),
+            Edit::RemoveTerminal { terminal } => {
+                remap(terminal).map(|terminal| Edit::RemoveTerminal { terminal })
+            }
+            Edit::AddTerminal { .. }
+            | Edit::AddInsertionPoint { .. }
+            | Edit::RemoveInsertionPoint { .. } => None,
         })
         .collect()
 }

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    let terms: Vec<(Point, Terminal)> = agents.iter().map(|(_, p, t)| (*p, t.clone())).collect();
+    let terms: Vec<(Point, Terminal)> = agents.iter().map(|(_, p, t)| (*p, *t)).collect();
     let net = build_net(tech, &terms)?.normalized().with_insertion_points(800.0);
     println!(
         "bus: {} agents, {:.1} mm of wire, {} candidate repeater sites",

@@ -39,13 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, topo) in candidates {
         // Lift into a net (terminals keep their index order).
         let terms: Vec<(Point, Terminal)> = (0..topo.terminal_count)
-            .map(|i| (topo.points[i], term.clone()))
+            .map(|i| (topo.points[i], term))
             .collect();
         let mut b = NetBuilder::new(params.tech);
         let mut vids = Vec::new();
         for (i, &p) in topo.points.iter().enumerate() {
             if i < topo.terminal_count {
-                vids.push(b.terminal(p, terms[i].1.clone()));
+                vids.push(b.terminal(p, terms[i].1));
             } else {
                 vids.push(b.steiner(p));
             }

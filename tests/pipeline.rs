@@ -104,7 +104,7 @@ fn normalization_required_for_non_leaf_terminals() {
         Point::new(4000.0, 0.0),
         Point::new(8000.0, 0.0),
     ];
-    let terms: Vec<_> = pts.iter().map(|&p| (p, term.clone())).collect();
+    let terms: Vec<_> = pts.iter().map(|&p| (p, term)).collect();
     let raw = build_net(tech, &terms).expect("net");
     // The middle terminal is degree 2 in the raw topology.
     let net = raw.with_insertion_points(800.0);
