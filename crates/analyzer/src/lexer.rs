@@ -442,6 +442,60 @@ mod tests {
     }
 
     #[test]
+    fn multi_hash_raw_strings_swallow_embedded_terminators() {
+        // `"#` inside an `r##`-string must not close it; only `"##` does.
+        let src = "let x = r##\"has \"# inside and .unwrap()\"##; y.expect(\"m\")";
+        let toks = kinds(src);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2, "{toks:?}");
+        assert!(strs[0].1.contains(".unwrap()"), "{}", strs[0].1);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "expect"));
+        // An unterminated raw string consumes to EOF without panicking.
+        let open = kinds("let y = r###\"never closed \"## still open");
+        assert!(
+            !open.iter().any(|(k, t)| *k == TokenKind::Ident && (t == "still" || t == "open")),
+            "{open:?}"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let src = "/* a /* b /* c */ b */ still comment .unwrap() */ live()";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().all(|t| t.text(src) != "unwrap"), "{:?}", lexed.tokens);
+        assert!(lexed.tokens.iter().any(|t| t.text(src) == "live"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("still comment"));
+        // Unterminated nesting swallows the rest of the file.
+        let open = lex("/* outer /* inner */ eof.unwrap()");
+        assert!(open.tokens.iter().all(|t| t.text("/* outer /* inner */ eof.unwrap()") != "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_in_generics_stay_distinct_from_char_literals() {
+        // `<'a, 'b>` are lifetimes; `'<'` and `'_'` are char literals;
+        // `&'_ str` uses the anonymous lifetime.
+        let src = "fn g<'a, 'b>(x: &'a str, y: &'b [u8], z: &'_ str) -> char { if x.len() < 'a' as usize { '<' } else { '_' } }";
+        let toks = kinds(src);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        let lifes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'<'", "'_'"], "{toks:?}");
+        assert_eq!(lifes, vec!["'a", "'b", "'a", "'b", "'_"], "{toks:?}");
+        // Loop labels lex as lifetimes, not unterminated chars.
+        let labels = kinds("'outer: for x in v { break 'outer; }");
+        assert!(labels.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count() == 2);
+    }
+
+    #[test]
     fn float_and_int_literals() {
         assert!(is_float_literal("1.5"));
         assert!(is_float_literal("2.0f32"));

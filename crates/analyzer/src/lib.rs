@@ -15,7 +15,15 @@
 //! | `P1` | no `unwrap`/`expect`/`panic!` in library non-test code |
 //! | `L1` | crate dependencies respect the layering DAG, acyclically |
 //! | `W1` | wall-clock and `std::env` reads confined to bench/cli |
+//! | `S1` | no public library API transitively reaches an unaudited panic site (call-graph) |
+//! | `S2` | no DP solve, blocking I/O or re-acquisition while holding a lock; acquisition order acyclic |
+//! | `S3` | no possibly-NaN value reaches a `total_cmp`/`partial_cmp` ordering unguarded |
 //! | `M1` | `msrnet-allow` markers are well-formed and all used |
+//!
+//! The token lints (`D*`, `P1`, `W1`) work on the lexed stream; the
+//! semantic lints (`S*`) run on an in-house tolerant AST with
+//! module/`use` resolution and a workspace-wide call graph — see
+//! [`ast`], [`resolve`] and [`callgraph`].
 //!
 //! Any finding can be suppressed at the site with a justified
 //! `// msrnet-allow: <key> <reason>` marker (except `M1`); unused and
@@ -43,19 +51,31 @@
 
 #![warn(missing_docs)]
 
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
+pub mod locks;
+pub mod resolve;
 pub mod manifest;
 pub mod markers;
 pub mod report;
 pub mod scopes;
+pub mod taint;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-pub use lints::{analyze_file, FileAnalysis, FileCtx, FileKind};
+use callgraph::CallGraph;
+use locks::LockCheck;
+use markers::MarkerSet;
+use resolve::{Registry, SourceUnit};
+use scopes::TestRegions;
+
+pub use lints::{FileAnalysis, FileCtx, FileKind};
 pub use manifest::{check_cycles, check_layering, parse_manifest, workspace_layers, Manifest};
-pub use report::{Diagnostic, Lint, Report};
+pub use report::{Diagnostic, Lint, Report, SemanticStats};
 
 /// A fatal analysis error (I/O problems; lint findings are *not*
 /// errors, they are [`Report`] rows).
@@ -77,6 +97,177 @@ impl std::error::Error for AnalyzeError {}
 /// arguments, read clocks and may panic on broken invariants).
 const FRONT_END_CRATES: &[&str] = &["msrnet-cli", "msrnet-bench"];
 
+/// One source file handed to [`analyze_sources`].
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Lint context (crate, path, applicability class).
+    pub ctx: FileCtx,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// The result of analyzing a set of files together.
+#[derive(Debug, Default)]
+pub struct SourcesAnalysis {
+    /// Unsuppressed diagnostics across every phase (unsorted; callers
+    /// canonicalize at the report level).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by used `msrnet-allow` markers.
+    pub suppressed: usize,
+    /// Semantic-pass coverage counters.
+    pub semantic: SemanticStats,
+    /// The call-graph artifact (stable JSON), for `--callgraph`
+    /// exports and CI uploads.
+    pub callgraph_json: String,
+}
+
+/// Analyzes a set of source files together, in three phases:
+///
+/// 1. **token lints** per file (D1/D2/D3/P1/W1), suppressing against
+///    each file's `msrnet-allow` markers, which stay alive;
+/// 2. **semantic lints** over the cross-file symbol table and call
+///    graph — S1 panic-reachability (with site-level `panic` audits
+///    consuming the same markers as P1), S2 lock-discipline, S3
+///    NaN-taint — suppressed against the same marker sets;
+/// 3. **marker hygiene** (M1), last, so a marker used by *any* phase
+///    is not reported as unused.
+///
+/// `deps` lists each crate's workspace dependencies (package names),
+/// used for `use`-resolution and the method-call over-approximation.
+pub fn analyze_sources(files: &[SourceFile], deps: &[(String, Vec<String>)]) -> SourcesAnalysis {
+    struct Prep {
+        items: Vec<ast::Item>,
+        regions: TestRegions,
+    }
+
+    // Phase 1: lex, parse, token lints; markers stay alive.
+    let mut preps: Vec<Prep> = Vec::with_capacity(files.len());
+    let mut marker_sets: Vec<MarkerSet> = Vec::with_capacity(files.len());
+    let mut out = SourcesAnalysis::default();
+    for f in files {
+        let lexed = lexer::lex(&f.text);
+        let regions = scopes::find_test_regions(&f.text, &lexed);
+        let items = ast::parse_file(&f.text, &lexed);
+        let phase = lints::token_phase(&f.ctx, &f.text, &lexed, &regions);
+        out.diagnostics.extend(phase.diagnostics);
+        out.suppressed += phase.suppressed;
+        marker_sets.push(phase.markers);
+        preps.push(Prep { items, regions });
+    }
+    let by_path: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.ctx.path.as_str(), i))
+        .collect();
+
+    // Phase 2: symbol table, call graph, semantic lints.
+    let units: Vec<SourceUnit<'_>> = files
+        .iter()
+        .zip(&preps)
+        .map(|(f, p)| SourceUnit {
+            crate_name: &f.ctx.crate_name,
+            path: &f.ctx.path,
+            kind: f.ctx.kind,
+            items: &p.items,
+            regions: &p.regions,
+        })
+        .collect();
+    let reg = Registry::build(&units, deps);
+    let graph = CallGraph::build(&reg);
+    out.semantic = SemanticStats {
+        callgraph_nodes: reg.fns.len(),
+        callgraph_edges: graph.edges.iter().map(|e| e.len()).sum(),
+        ..SemanticStats::default()
+    };
+
+    // S1 — panic-reachability. A site carrying a site-level `panic`
+    // marker is audited: the audit consumes the marker exactly like a
+    // P1 suppression would, so index-site audits don't read as unused.
+    let mut site_holders: BTreeMap<usize, (String, u32, String)> = BTreeMap::new();
+    for i in 0..reg.fns.len() {
+        let f = &reg.fns[i];
+        if f.is_test {
+            continue;
+        }
+        if f.vis == ast::Vis::Pub && f.kind == FileKind::Library {
+            out.semantic.entry_points += 1;
+        }
+        let midx = by_path.get(f.path.as_str()).copied();
+        for site in callgraph::panic_sites(&reg, i) {
+            out.semantic.panic_sites += 1;
+            let audited =
+                midx.is_some_and(|m| marker_sets[m].suppresses(Lint::P1, site.span.line));
+            if audited {
+                out.semantic.audited_sites += 1;
+            } else {
+                site_holders
+                    .entry(i)
+                    .or_insert_with(|| (f.path.clone(), site.span.line, site.what.clone()));
+            }
+        }
+    }
+    let mut sem_diags = callgraph::check_panic_reachability(&reg, &graph, &site_holders);
+
+    // S2 — lock discipline over the service crate.
+    let (s2, lock_sites) = LockCheck::new(&reg, &graph).run("msrnet-service");
+    out.semantic.lock_sites = lock_sites;
+    sem_diags.extend(s2);
+
+    // S3 — NaN-taint, per file.
+    for (f, p) in files.iter().zip(&preps) {
+        let t = taint::check_file(&f.ctx.path, &p.items, &p.regions);
+        out.semantic.taint_sources += t.sources;
+        out.semantic.taint_sinks += t.sinks;
+        sem_diags.extend(t.diags);
+    }
+
+    for d in sem_diags {
+        let suppressed = by_path
+            .get(d.path.as_str())
+            .copied()
+            .is_some_and(|m| marker_sets[m].suppresses(d.lint, d.line));
+        if suppressed {
+            out.suppressed += 1;
+        } else {
+            out.diagnostics.push(d);
+        }
+    }
+
+    // Phase 3: marker hygiene, after every chance to use a marker.
+    for (f, set) in files.iter().zip(&marker_sets) {
+        for (line, message) in &set.malformed {
+            out.diagnostics.push(Diagnostic {
+                lint: Lint::M1,
+                path: f.ctx.path.clone(),
+                line: *line,
+                col: 1,
+                len: 0,
+                snippet: String::new(),
+                message: message.clone(),
+                chain: Vec::new(),
+            });
+        }
+        out.diagnostics.extend(set.unused(&f.ctx.path));
+    }
+    out.callgraph_json = graph.to_json(&reg);
+    out
+}
+
+/// Lints one Rust source file (token and semantic passes, with the
+/// file as the whole analysis universe).
+pub fn analyze_file(ctx: &FileCtx, text: &str) -> FileAnalysis {
+    let files = [SourceFile {
+        ctx: ctx.clone(),
+        text: text.to_string(),
+    }];
+    let deps = [(ctx.crate_name.clone(), Vec::new())];
+    let a = analyze_sources(&files, &deps);
+    FileAnalysis {
+        diagnostics: a.diagnostics,
+        suppressed: a.suppressed,
+    }
+}
+
 /// Analyzes the whole workspace rooted at `root` (the directory
 /// holding the top-level `Cargo.toml`).
 ///
@@ -93,8 +284,20 @@ const FRONT_END_CRATES: &[&str] = &["msrnet-cli", "msrnet-bench"];
 /// Returns [`AnalyzeError`] only for I/O failures (unreadable root,
 /// undecodable file); lint findings never error.
 pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
+    analyze_workspace_full(root).map(|(report, _)| report)
+}
+
+/// [`analyze_workspace`], additionally returning the call-graph
+/// artifact JSON for export.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] only for I/O failures.
+pub fn analyze_workspace_full(root: &Path) -> Result<(Report, String), AnalyzeError> {
     let mut report = Report::default();
     let mut manifests: Vec<(String, Manifest)> = Vec::new();
+    let mut sources: Vec<SourceFile> = Vec::new();
+    let mut deps: Vec<(String, Vec<String>)> = Vec::new();
 
     // Member crates: `crates/*` plus the root facade package.
     let mut crate_dirs: Vec<(PathBuf, String)> = vec![(root.to_path_buf(), String::new())];
@@ -161,21 +364,26 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, AnalyzeError> {
             } else {
                 kind
             };
-            let ctx = FileCtx {
-                crate_name: m.name.clone(),
-                path: file_rel,
-                kind: file_kind,
-            };
-            let analysis = analyze_file(&ctx, &text);
             report.files_scanned += 1;
-            report.suppressed += analysis.suppressed;
-            report.diagnostics.extend(analysis.diagnostics);
+            sources.push(SourceFile {
+                ctx: FileCtx {
+                    crate_name: m.name.clone(),
+                    path: file_rel,
+                    kind: file_kind,
+                },
+                text,
+            });
         }
+        deps.push((m.name.clone(), m.deps.iter().map(|(d, _)| d.clone()).collect()));
         manifests.push((report_path, m));
     }
+    let analysis = analyze_sources(&sources, &deps);
+    report.suppressed = analysis.suppressed;
+    report.semantic = analysis.semantic;
+    report.diagnostics.extend(analysis.diagnostics);
     report.diagnostics.extend(check_cycles(&manifests));
     report.canonicalize();
-    Ok(report)
+    Ok((report, analysis.callgraph_json))
 }
 
 /// Recursively collects `.rs` files under `dir` (missing dir → none).

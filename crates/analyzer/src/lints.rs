@@ -1,14 +1,16 @@
 //! The token-level lints: D1, D2, D3, P1, W1.
 //!
 //! Each lint walks the lexed token stream of one file, skipping test
-//! regions, and emits [`Diagnostic`]s at exact spans. Suppression via
-//! `msrnet-allow` markers and marker hygiene (`M1`) are applied by
-//! [`analyze_file`], so individual lints stay pure.
+//! regions, and emits [`Diagnostic`]s at exact spans. Marker
+//! suppression happens in [`token_phase`]; marker hygiene (`M1`) is
+//! deferred to the end of the multi-file pipeline
+//! ([`crate::analyze_sources`]) so the semantic passes can still
+//! consume site-level audits before "unused marker" is decided.
 
-use crate::lexer::{is_float_literal, lex, Lexed, Token, TokenKind};
+use crate::lexer::{is_float_literal, Lexed, Token, TokenKind};
 use crate::markers::MarkerSet;
 use crate::report::{Diagnostic, Lint};
-use crate::scopes::{find_test_regions, TestRegions};
+use crate::scopes::TestRegions;
 
 /// What kind of code a file holds, which decides lint applicability.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,10 +44,29 @@ pub struct FileAnalysis {
     pub suppressed: usize,
 }
 
-/// Lints one Rust source file.
-pub fn analyze_file(ctx: &FileCtx, text: &str) -> FileAnalysis {
-    let lexed = lex(text);
-    let regions = find_test_regions(text, &lexed);
+/// Phase-1 output for one file: token-lint findings plus the file's
+/// marker set with its use-tracking state kept alive, so the semantic
+/// phases can audit against (and consume) the same markers before
+/// `M1` hygiene runs.
+#[derive(Debug, Default)]
+pub struct TokenPhase {
+    /// Unsuppressed token-lint diagnostics, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by markers during this phase.
+    pub suppressed: usize,
+    /// The file's live (non-test) markers.
+    pub markers: MarkerSet,
+}
+
+/// Runs the token lints and marker suppression over one lexed file.
+/// `M1` (malformed/unused markers) is *not* emitted here — the caller
+/// reports it after every phase has had its chance to use a marker.
+pub fn token_phase(
+    ctx: &FileCtx,
+    text: &str,
+    lexed: &Lexed,
+    regions: &TestRegions,
+) -> TokenPhase {
     // Markers inside test regions are invisible: test code needs no
     // suppressions, and fixture-style comments there must not count as
     // unused markers.
@@ -62,33 +83,20 @@ pub fn analyze_file(ctx: &FileCtx, text: &str) -> FileAnalysis {
         })
         .cloned()
         .collect();
-    let mut markers = MarkerSet::parse(&live_comments);
+    let mut out = TokenPhase {
+        markers: MarkerSet::parse(&live_comments),
+        ..TokenPhase::default()
+    };
 
     let mut raw: Vec<Diagnostic> = Vec::new();
-    lint_tokens(ctx, text, &lexed, &regions, &mut raw);
-
-    let mut out = FileAnalysis::default();
+    lint_tokens(ctx, text, lexed, regions, &mut raw);
     for d in raw {
-        if markers.suppresses(d.lint, d.line) {
+        if out.markers.suppresses(d.lint, d.line) {
             out.suppressed += 1;
         } else {
             out.diagnostics.push(d);
         }
     }
-    // Marker hygiene: malformed markers and markers that suppressed
-    // nothing.
-    for (line, message) in &markers.malformed {
-        out.diagnostics.push(Diagnostic {
-            lint: Lint::M1,
-            path: ctx.path.clone(),
-            line: *line,
-            col: 1,
-            len: 0,
-            snippet: String::new(),
-            message: message.clone(),
-        });
-    }
-    out.diagnostics.extend(markers.unused(&ctx.path));
     out
 }
 
@@ -112,6 +120,7 @@ fn diag(ctx: &FileCtx, lint: Lint, t: &Token, text: &str, message: String) -> Di
         len: (t.end - t.start) as u32,
         snippet: t.text(text).to_string(),
         message,
+        chain: Vec::new(),
     }
 }
 
@@ -280,6 +289,7 @@ fn lint_tokens(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analyze_file;
 
     fn lib_ctx() -> FileCtx {
         FileCtx {

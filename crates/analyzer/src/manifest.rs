@@ -120,6 +120,7 @@ pub fn check_layering(path: &str, m: &Manifest, layers: &LayerMap) -> Vec<Diagno
                  crates/analyzer/src/manifest.rs with an explicit layer",
                 m.name
             ),
+            chain: Vec::new(),
         });
         return out;
     };
@@ -140,6 +141,7 @@ pub fn check_layering(path: &str, m: &Manifest, layers: &LayerMap) -> Vec<Diagno
                          service/cli/bench",
                         m.name
                     ),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -177,6 +179,7 @@ pub fn check_cycles(manifests: &[(String, Manifest)]) -> Vec<Diagnostic> {
             len: 0,
             snippet: m.name.clone(),
             message: format!("crate `{}` participates in a dependency cycle", m.name),
+            chain: Vec::new(),
         })
         .collect()
 }
@@ -188,18 +191,29 @@ fn dfs(
     state: &mut [u8],
     on_cycle: &mut [bool],
 ) {
-    state[v] = 1;
-    for (dep, _) in &manifests[v].1.deps {
+    if let Some(s) = state.get_mut(v) {
+        *s = 1;
+    }
+    let deps = manifests.get(v).map(|m| m.1.deps.clone()).unwrap_or_default();
+    for (dep, _) in &deps {
         if let Some(&u) = index.get(dep.as_str()) {
-            if state[u] == 0 {
-                dfs(u, manifests, index, state, on_cycle);
-            } else if state[u] == 1 {
-                on_cycle[u] = true;
-                on_cycle[v] = true;
+            match state.get(u).copied() {
+                Some(0) => dfs(u, manifests, index, state, on_cycle),
+                Some(1) => {
+                    if let Some(c) = on_cycle.get_mut(u) {
+                        *c = true;
+                    }
+                    if let Some(c) = on_cycle.get_mut(v) {
+                        *c = true;
+                    }
+                }
+                _ => {}
             }
         }
     }
-    state[v] = 2;
+    if let Some(s) = state.get_mut(v) {
+        *s = 2;
+    }
 }
 
 #[cfg(test)]

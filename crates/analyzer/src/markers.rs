@@ -8,7 +8,8 @@
 //!
 //! where `<lint-key>` names one of the analyzer's lints
 //! (`unordered-iter`, `nan-ord`, `float-eq`, `panic`, `wall-clock`,
-//! `layering`) and `<reason…>` is a non-empty justification. A marker
+//! `layering`, `panic-reach`, `lock-discipline`, `nan-taint`) and
+//! `<reason…>` is a non-empty justification. A marker
 //! suppresses matching diagnostics on its own line (trailing comment)
 //! and on the line directly below (standalone comment line).
 //!
@@ -27,6 +28,9 @@ pub const MARKER_KEYS: &[(&str, Lint)] = &[
     ("panic", Lint::P1),
     ("wall-clock", Lint::W1),
     ("layering", Lint::L1),
+    ("panic-reach", Lint::S1),
+    ("lock-discipline", Lint::S2),
+    ("nan-taint", Lint::S3),
 ];
 
 /// One parsed `msrnet-allow` marker.
@@ -148,6 +152,7 @@ impl MarkerSet {
                     "unused msrnet-allow marker for `{}` — no matching diagnostic on this or the next line; remove it",
                     m.lint.marker_key()
                 ),
+                chain: Vec::new(),
             })
             .collect()
     }

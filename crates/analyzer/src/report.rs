@@ -29,6 +29,17 @@ pub enum Lint {
     /// Wall-clock (`Instant::now`, `SystemTime`) or `std::env` reads
     /// outside the crates allowed to observe the environment.
     W1,
+    /// Panic-reachability: a public library-crate API that can
+    /// transitively reach an unaudited panic site (call-graph based).
+    S1,
+    /// Lock discipline in `crates/service`: DP solves, blocking I/O or
+    /// re-acquisition while holding the session-table mutex, and
+    /// inconsistent lock acquisition order.
+    S2,
+    /// NaN-taint dataflow: a possibly-NaN value (division, `powf`,
+    /// `ln`, unvalidated parse, …) reaching a `total_cmp`/`partial_cmp`
+    /// ordering without a finiteness guard.
+    S3,
     /// Marker hygiene: malformed or unused `msrnet-allow` markers.
     M1,
 }
@@ -43,6 +54,9 @@ impl Lint {
             Lint::P1 => "P1",
             Lint::L1 => "L1",
             Lint::W1 => "W1",
+            Lint::S1 => "S1",
+            Lint::S2 => "S2",
+            Lint::S3 => "S3",
             Lint::M1 => "M1",
         }
     }
@@ -57,6 +71,9 @@ impl Lint {
             Lint::P1 => "panic",
             Lint::L1 => "layering",
             Lint::W1 => "wall-clock",
+            Lint::S1 => "panic-reach",
+            Lint::S2 => "lock-discipline",
+            Lint::S3 => "nan-taint",
             Lint::M1 => "-",
         }
     }
@@ -85,6 +102,10 @@ pub struct Diagnostic {
     pub snippet: String,
     /// Human-readable explanation with the suggested fix.
     pub message: String,
+    /// For call-graph lints (S1, S2): the function-id call chain from
+    /// the reported position to the hazardous operation. Empty for
+    /// single-site lints.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -95,6 +116,29 @@ impl fmt::Display for Diagnostic {
             self.path, self.line, self.col, self.lint, self.message
         )
     }
+}
+
+/// Coverage counters for the semantic passes, reported so the CI gate
+/// can assert the analysis was not vacuous (a call graph with zero
+/// edges would make "no S1 findings" meaningless).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SemanticStats {
+    /// Functions in the call graph.
+    pub callgraph_nodes: usize,
+    /// Resolved call edges.
+    pub callgraph_edges: usize,
+    /// Panic sites found by the S1 site scan (audited + unaudited).
+    pub panic_sites: usize,
+    /// Panic sites excluded by a site-level `panic` marker audit.
+    pub audited_sites: usize,
+    /// Public library-crate entry points checked by S1.
+    pub entry_points: usize,
+    /// Lock acquisition sites seen by S2.
+    pub lock_sites: usize,
+    /// Taint sources seen by S3.
+    pub taint_sources: usize,
+    /// Ordering sinks (total_cmp/partial_cmp) checked by S3.
+    pub taint_sinks: usize,
 }
 
 /// The full analysis result.
@@ -108,6 +152,8 @@ pub struct Report {
     pub crates_scanned: usize,
     /// Rust source files lexed and linted.
     pub files_scanned: usize,
+    /// Semantic-pass coverage counters.
+    pub semantic: SemanticStats,
 }
 
 impl Report {
@@ -129,12 +175,22 @@ impl Report {
     }
 
     /// Serializes the report as stable, pretty-printed JSON.
+    ///
+    /// Schema version 2: diagnostics carry a `chain` array (call chain
+    /// for S1/S2, empty otherwise) and the header carries the
+    /// `semantic` coverage block.
     pub fn to_json(&self) -> String {
         let mut rows: Vec<String> = Vec::with_capacity(self.diagnostics.len());
         for d in &self.diagnostics {
+            let chain = d
+                .chain
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect::<Vec<_>>()
+                .join(", ");
             rows.push(format!(
                 "    {{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
-                 \"len\": {}, \"snippet\": \"{}\", \"message\": \"{}\"}}",
+                 \"len\": {}, \"snippet\": \"{}\", \"message\": \"{}\", \"chain\": [{chain}]}}",
                 d.lint,
                 json_escape(&d.path),
                 d.line,
@@ -144,13 +200,25 @@ impl Report {
                 json_escape(&d.message),
             ));
         }
+        let s = &self.semantic;
         format!(
-            "{{\n  \"tool\": \"msrnet-analyzer\",\n  \"schema_version\": 1,\n  \
+            "{{\n  \"tool\": \"msrnet-analyzer\",\n  \"schema_version\": 2,\n  \
              \"crates_scanned\": {},\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \
+             \"semantic\": {{\"callgraph_nodes\": {}, \"callgraph_edges\": {}, \
+             \"panic_sites\": {}, \"audited_sites\": {}, \"entry_points\": {}, \
+             \"lock_sites\": {}, \"taint_sources\": {}, \"taint_sinks\": {}}},\n  \
              \"diagnostics\": [\n{}\n  ]\n}}\n",
             self.crates_scanned,
             self.files_scanned,
             self.suppressed,
+            s.callgraph_nodes,
+            s.callgraph_edges,
+            s.panic_sites,
+            s.audited_sites,
+            s.entry_points,
+            s.lock_sites,
+            s.taint_sources,
+            s.taint_sinks,
             rows.join(",\n"),
         )
     }
@@ -186,6 +254,7 @@ mod tests {
             len: 1,
             snippet: "x".to_string(),
             message: "m".to_string(),
+            chain: Vec::new(),
         }
     }
 

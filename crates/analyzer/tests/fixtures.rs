@@ -141,6 +141,90 @@ fn w1_exempt_in_front_end_crates() {
     assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
 }
 
+fn analyze_as(name: &str, crate_name: &str, kind: FileKind) -> msrnet_analyzer::FileAnalysis {
+    let ctx = FileCtx {
+        crate_name: crate_name.to_string(),
+        path: format!("tests/fixtures/{name}"),
+        kind,
+    };
+    analyze_file(&ctx, &fixture(name))
+}
+
+#[test]
+fn s1_bad_flags_the_entry_with_the_full_chain() {
+    let a = analyze("s1_bad.rs", FileKind::Library);
+    let s1: Vec<_> = a.diagnostics.iter().filter(|d| d.lint == Lint::S1).collect();
+    assert_eq!(s1.len(), 1, "{:?}", a.diagnostics);
+    let d = s1[0];
+    assert_eq!(d.snippet, "entry");
+    assert_eq!(d.chain.len(), 3, "{:?}", d.chain);
+    assert!(d.chain[0].ends_with("::entry"), "{:?}", d.chain);
+    assert!(d.chain[2].ends_with("::deepest"), "{:?}", d.chain);
+    assert!(d.message.contains("values"), "{}", d.message);
+}
+
+#[test]
+fn s1_good_is_clean() {
+    let a = analyze("s1_good.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn s1_site_marker_suppresses() {
+    let a = analyze("s1_suppressed.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn s2_bad_flags_solve_under_lock() {
+    let a = analyze_as("s2_bad.rs", "msrnet-service", FileKind::Library);
+    let s2: Vec<_> = a.diagnostics.iter().filter(|d| d.lint == Lint::S2).collect();
+    assert_eq!(s2.len(), 1, "{:?}", a.diagnostics);
+    assert!(s2[0].message.contains("holding"), "{}", s2[0].message);
+}
+
+#[test]
+fn s2_good_solve_outside_guard_scope_is_clean() {
+    let a = analyze_as("s2_good.rs", "msrnet-service", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn s2_marker_suppresses() {
+    let a = analyze_as("s2_suppressed.rs", "msrnet-service", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    assert!(a.suppressed >= 1);
+}
+
+#[test]
+fn s2_is_scoped_to_the_service_crate() {
+    // The same source under any other crate name is out of scope.
+    let a = analyze("s2_bad.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn s3_bad_flags_division_reaching_total_cmp() {
+    let a = analyze("s3_bad.rs", FileKind::Library);
+    let s3: Vec<_> = a.diagnostics.iter().filter(|d| d.lint == Lint::S3).collect();
+    assert_eq!(s3.len(), 1, "{:?}", a.diagnostics);
+    assert_eq!(s3[0].snippet, "total_cmp");
+    assert!(s3[0].message.contains("finiteness guard"), "{}", s3[0].message);
+}
+
+#[test]
+fn s3_good_guarded_keys_are_clean() {
+    let a = analyze("s3_good.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+}
+
+#[test]
+fn s3_marker_suppresses() {
+    let a = analyze("s3_suppressed.rs", FileKind::Library);
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    assert!(a.suppressed >= 1);
+}
+
 #[test]
 fn unused_marker_raises_m1() {
     let src = "// msrnet-allow: panic nothing here actually panics\nfn ok() {}\n";

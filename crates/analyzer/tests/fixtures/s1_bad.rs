@@ -1,0 +1,14 @@
+// Fixture: S1 bad — a public API whose private helpers index a
+// caller-provided slice two calls down. The diagnostic lands on the
+// entry point and carries the full chain.
+pub fn entry(values: &[f64]) -> f64 {
+    inner(values)
+}
+
+fn inner(values: &[f64]) -> f64 {
+    deepest(values)
+}
+
+fn deepest(values: &[f64]) -> f64 {
+    values[0]
+}

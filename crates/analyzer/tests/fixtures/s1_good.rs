@@ -1,0 +1,13 @@
+// Fixture: S1 good — same call shape, but the deepest helper is
+// infallible, so no panic site is reachable from the public entry.
+pub fn entry(values: &[f64]) -> f64 {
+    inner(values)
+}
+
+fn inner(values: &[f64]) -> f64 {
+    deepest(values)
+}
+
+fn deepest(values: &[f64]) -> f64 {
+    values.first().copied().unwrap_or(0.0)
+}

@@ -1,0 +1,14 @@
+// Fixture: S1 suppressed — the panic site itself carries an audited
+// `panic` marker, so the entry point stays clean.
+pub fn entry(values: &[f64]) -> f64 {
+    inner(values)
+}
+
+fn inner(values: &[f64]) -> f64 {
+    deepest(values)
+}
+
+fn deepest(values: &[f64]) -> f64 {
+    // msrnet-allow: panic callers validate non-emptiness at the API boundary
+    values[0]
+}

@@ -1,0 +1,23 @@
+// Fixture: S2 bad — a DP solve runs inside the session-table critical
+// section, serializing every other request behind it.
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Table {
+    pub counter: u64,
+}
+
+impl Table {
+    fn optimize(&mut self) -> u64 {
+        self.counter += 1;
+        self.counter
+    }
+}
+
+fn lock_table(m: &Mutex<Table>) -> MutexGuard<'_, Table> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn handle(m: &Mutex<Table>) -> u64 {
+    let mut t = lock_table(m);
+    t.optimize()
+}

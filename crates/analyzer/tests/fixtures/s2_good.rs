@@ -1,0 +1,23 @@
+// Fixture: S2 good — the guard scope ends before the solve starts, so
+// the critical section only covers the table bookkeeping.
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Table {
+    pub counter: u64,
+}
+
+fn optimize(seed: u64) -> u64 {
+    seed + 1
+}
+
+fn lock_table(m: &Mutex<Table>) -> MutexGuard<'_, Table> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn handle(m: &Mutex<Table>) -> u64 {
+    let seed = {
+        let t = lock_table(m);
+        t.counter
+    };
+    optimize(seed)
+}

@@ -1,0 +1,24 @@
+// Fixture: S2 suppressed — a solve deliberately kept inside the
+// critical section, justified with an audited marker.
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Table {
+    pub counter: u64,
+}
+
+impl Table {
+    fn optimize(&mut self) -> u64 {
+        self.counter += 1;
+        self.counter
+    }
+}
+
+fn lock_table(m: &Mutex<Table>) -> MutexGuard<'_, Table> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn handle(m: &Mutex<Table>) -> u64 {
+    let mut t = lock_table(m);
+    // msrnet-allow: lock-discipline the solve here is O(1) bookkeeping, not a DP run
+    t.optimize()
+}

@@ -1,0 +1,10 @@
+// Fixture: S3 good — the same division, but both keys pass through a
+// finiteness guard before reaching the comparator.
+pub fn rank(a: f64, b: f64) -> std::cmp::Ordering {
+    let ka = a / b;
+    let kb = b / a;
+    if ka.is_finite() && kb.is_finite() {
+        return ka.total_cmp(&kb);
+    }
+    std::cmp::Ordering::Equal
+}

@@ -1,0 +1,8 @@
+// Fixture: S3 suppressed — the divisor is known non-zero by protocol,
+// recorded with an audited marker at the sink.
+pub fn rank(a: f64, b: f64) -> std::cmp::Ordering {
+    let ka = a / b;
+    let kb = b / a;
+    // msrnet-allow: nan-taint both operands are validated non-zero at the parse boundary
+    ka.total_cmp(&kb)
+}

@@ -28,6 +28,15 @@ fn workspace_has_zero_unsuppressed_diagnostics() {
     assert!(report.crates_scanned >= 14, "{}", report.crates_scanned);
     assert!(report.files_scanned >= 50, "{}", report.files_scanned);
     assert!(report.suppressed > 0, "markers exist and are counted");
+    // The semantic passes actually ran over real code (guards against
+    // S1/S2/S3 silently going blind while the gate stays green).
+    let sem = &report.semantic;
+    assert!(sem.callgraph_nodes >= 500, "{sem:?}");
+    assert!(sem.callgraph_edges >= 1000, "{sem:?}");
+    assert!(sem.entry_points >= 100, "{sem:?}");
+    assert!(sem.panic_sites > 0 && sem.audited_sites > 0, "{sem:?}");
+    assert!(sem.lock_sites > 0, "{sem:?}");
+    assert!(sem.taint_sources > 0 && sem.taint_sinks > 0, "{sem:?}");
 }
 
 #[test]
@@ -38,12 +47,25 @@ fn json_report_is_byte_stable_across_runs() {
 }
 
 #[test]
+fn callgraph_artifact_is_byte_stable_and_covers_the_workspace() {
+    use msrnet_analyzer::analyze_workspace_full;
+    let (_, a) = analyze_workspace_full(root()).expect("first scan");
+    let (_, b) = analyze_workspace_full(root()).expect("second scan");
+    assert_eq!(a, b, "call-graph JSON must be deterministic");
+    assert!(a.contains("\"kind\": \"callgraph\""), "{}", &a[..200]);
+    assert!(a.contains("msrnet-core::dp::"), "core DP fns present");
+    assert!(a.contains("msrnet-service::server::"), "service fns present");
+    assert!(a.ends_with('\n'));
+}
+
+#[test]
 fn json_report_schema_fields_present() {
     let report = analyze_workspace(root()).expect("scan");
     let json = report.to_json();
     for needle in [
         "\"tool\": \"msrnet-analyzer\"",
-        "\"schema_version\": 1",
+        "\"schema_version\": 2",
+        "\"semantic\": {\"callgraph_nodes\":",
         "\"crates_scanned\":",
         "\"files_scanned\":",
         "\"suppressed\":",
@@ -65,6 +87,7 @@ fn diagnostics_sort_stably_by_position() {
         len: 1,
         snippet: "x".into(),
         message: "m".into(),
+        chain: Vec::new(),
     };
     let mut r = Report {
         diagnostics: vec![
@@ -76,6 +99,7 @@ fn diagnostics_sort_stably_by_position() {
         suppressed: 0,
         crates_scanned: 1,
         files_scanned: 1,
+        semantic: Default::default(),
     };
     r.canonicalize();
     let order: Vec<(String, u32, u32, &str)> = r

@@ -50,10 +50,15 @@ impl BufferAssignment {
     }
 
     /// Total cost under `library`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a placement references a buffer outside `library`.
     pub fn total_cost(&self, library: &[Buffer]) -> f64 {
         self.slots
             .iter()
             .flatten()
+            // msrnet-allow: panic documented contract: panics on out-of-library placements
             .map(|&b| library[b].cost)
             .sum()
     }
@@ -313,6 +318,7 @@ fn materialize(id: u32, trace: &[TraceNode], vertex_count: usize) -> BufferAssig
     let mut assignment = BufferAssignment::empty(vertex_count);
     let mut stack = vec![id];
     while let Some(cur) = stack.pop() {
+        // msrnet-allow: panic trace ids are arena handles minted by this DP run
         match trace[cur as usize] {
             TraceNode::Nil => {}
             TraceNode::Buffer { child, vertex, buffer } => {

@@ -76,7 +76,7 @@ const USAGE: &str = "usage:
   msrnet-cli report FILE [-o FILE.md] [--root T] [--spec PS] [--driver-cost C]
   msrnet-cli verify [--seed S] [--cases N] [--budget-ms B] [--max-failures K]
                        [--repro-dir DIR] [-o FILE.json]
-  msrnet-cli lint [--root DIR] [--json] [-o FILE.json]";
+  msrnet-cli lint [--root DIR] [--json] [-o FILE.json] [--callgraph FILE.json]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -975,7 +975,7 @@ fn cmd_lint(args: &[&String]) -> Result<(), String> {
     use std::path::Path;
 
     let f = Flags::parse(args, &["json"])?;
-    f.reject_unknown(&["root", "o"])?;
+    f.reject_unknown(&["root", "o", "callgraph"])?;
     // Default root: walk up from the current directory to the first
     // ancestor holding a workspace manifest (so `msrnet-cli lint` works
     // from anywhere inside the tree).
@@ -994,7 +994,12 @@ fn cmd_lint(args: &[&String]) -> Result<(), String> {
             }
         }
     };
-    let report = msrnet_analyzer::analyze_workspace(&root).map_err(|e| e.to_string())?;
+    let (report, callgraph_json) =
+        msrnet_analyzer::analyze_workspace_full(&root).map_err(|e| e.to_string())?;
+    if let Some(out) = f.get("callgraph") {
+        std::fs::write(out, &callgraph_json).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote call graph to {out}");
+    }
     eprintln!(
         "linted {} crates, {} files: {} diagnostic(s), {} suppressed by markers",
         report.crates_scanned,

@@ -311,7 +311,7 @@ impl LibPrebounds {
             };
         }
         drive_order.sort_by(|a, b| {
-            let ra = library[a.0].upstream_drive(a.1).out_res;
+            let ra = library[a.0].upstream_drive(a.1).out_res; // msrnet-allow: panic drive_order enumerates this library's indices
             let rb = library[b.0].upstream_drive(b.1).out_res;
             ra.total_cmp(&rb)
         });
@@ -1765,7 +1765,7 @@ fn whole_domain_prune(set: Vec<Cand>) -> Vec<Cand> {
             // Ties kill the later index only: (i, j) is visited with
             // i < j before (j, i), so identical candidates keep one
             // representative.
-            let region = set[i].dominance_region(&set[j]);
+            let region = set[i].dominance_region(&set[j]); // msrnet-allow: panic i, j < n = set.len() by loop bounds
             if region.measure() >= set[j].domain().measure() - 1e-12 {
                 dead[j] = true;
             }

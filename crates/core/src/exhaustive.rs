@@ -21,6 +21,7 @@ use crate::options::{TerminalOptions, WireOption};
 pub fn polarity_feasible(net: &Net, library: &[Repeater], assignment: &Assignment) -> bool {
     if !assignment
         .placements()
+        // msrnet-allow: panic placements index the library they were solved against
         .any(|(_, p)| library[p.repeater].inverting)
     {
         return true;
@@ -39,6 +40,7 @@ pub fn polarity_feasible(net: &Net, library: &[Repeater], assignment: &Assignmen
         let crosses_v = v != start
             && assignment
                 .at(v)
+                // msrnet-allow: panic placements index the library they were solved against
                 .is_some_and(|p| library[p.repeater].inverting);
         for &(u, _) in net.topology.neighbors(v) {
             if !seen[u.0] {
@@ -87,6 +89,7 @@ pub fn apply_wire_choices(
     let mut scenario = net.clone();
     let mut cost = 0.0;
     for e in net.topology.edges() {
+        // msrnet-allow: panic choices.len() is asserted above; each choice indexes the menu it enumerated
         let w = &wire_options[choices[e.0]];
         let (rs, cs) = net.topology.edge_scaling(e);
         scenario
@@ -205,6 +208,7 @@ fn exhaustive_repeaters_and_drivers(
         for (k, &v) in insertion_points.iter().enumerate() {
             if let Some((ri, o)) = slot_choices[slot_idx[k]] {
                 assignment.place(v, ri, o);
+                // msrnet-allow: panic ri enumerates this library's indices
                 rep_cost += library[ri].cost;
             }
         }
@@ -263,6 +267,7 @@ pub fn apply_terminal_choices(
     let mut scenario = net.clone();
     let mut cost = 0.0;
     for t in net.terminal_ids() {
+        // msrnet-allow: panic choices.len() is asserted above; each choice indexes the menu it enumerated
         let o = &term_opts.for_terminal(t)[choices[t.0]];
         cost += o.cost;
         let term = &mut scenario.terminals[t.0];

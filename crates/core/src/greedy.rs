@@ -95,6 +95,7 @@ pub fn greedy_insertion(
         match best {
             Some((ard, si, ri, o)) if ard < current - min_gain => {
                 assignment.place(sites[si], ri, o);
+                // msrnet-allow: panic ri enumerates this library's indices
                 cost += library[ri].cost;
                 current = ard;
                 trajectory.push(GreedyStep { cost, ard });

@@ -243,11 +243,11 @@ fn positional<'a, const N: usize>(
     line: usize,
     rest: &[&'a str],
 ) -> Result<[&'a str; N], ParseNetError> {
-    if rest.len() < N {
+    let Some(head) = rest.get(..N) else {
         return Err(ParseNetError::new(line, format!("expected {N} values")));
-    }
+    };
     let mut out = [""; N];
-    out.copy_from_slice(&rest[..N]);
+    out.copy_from_slice(head);
     Ok(out)
 }
 

@@ -394,12 +394,15 @@ pub(crate) fn coalesce_in_place(segs: &mut Vec<Segment>) {
     }
     let mut w = 0usize;
     for r in 1..segs.len() {
-        let s = segs[r];
-        if segs[w].joins(&s, EPS) {
-            segs[w].x1 = s.x1;
-        } else {
-            w += 1;
-            segs[w] = s;
+        let Some(&s) = segs.get(r) else { break };
+        match segs.get_mut(w) {
+            Some(cur) if cur.joins(&s, EPS) => cur.x1 = s.x1,
+            _ => {
+                w += 1;
+                if let Some(slot) = segs.get_mut(w) {
+                    *slot = s;
+                }
+            }
         }
     }
     segs.truncate(w + 1);

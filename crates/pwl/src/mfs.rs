@@ -389,11 +389,11 @@ pub fn mfs_sorted_sweep_with<T>(
     });
     let mut summaries: Vec<Summary> = items.iter().map(summarize).collect();
     for j in 1..items.len() {
-        if !items[j].is_valid() {
+        if !items.get(j).is_some_and(|it| it.is_valid()) {
             continue;
         }
         for i in 0..j {
-            if !items[i].is_valid() {
+            if !items.get(i).is_some_and(|it| it.is_valid()) {
                 continue;
             }
             let (head, tail) = items.split_at_mut(j);

@@ -90,6 +90,7 @@ pub fn moments_from(
     for v in rooted.postorder() {
         cm[v.0] = match assignment.at(v) {
             Some(p) => {
+                // msrnet-allow: panic placements index the library they were solved against
                 let rep = &library[p.repeater];
                 rep.cap_facing_parent(p.orientation) * m1[v.0]
             }
@@ -108,6 +109,7 @@ pub fn moments_from(
         let Some(p) = rooted.parent(v) else { continue };
         cm_up[v.0] = match assignment.at(p) {
             Some(pl) => {
+                // msrnet-allow: panic placements index the library they were solved against
                 let rep = &library[pl.repeater];
                 rep.cap_facing_child(pl.orientation) * m1[p.0]
             }
@@ -119,9 +121,8 @@ pub fn moments_from(
                             + cm[s.0];
                     }
                 }
-                if rooted.parent(p).is_some() {
-                    // msrnet-allow: panic guarded by the is_some() check on the line above
-                    acc += elmore.parent_edge_cap(p) * 0.5 * (m1[p.0] + m1[rooted.parent(p).expect("has parent").0])
+                if let Some(gp) = rooted.parent(p) {
+                    acc += elmore.parent_edge_cap(p) * 0.5 * (m1[p.0] + m1[gp.0])
                         + cm_up[p.0];
                 }
                 acc
@@ -142,9 +143,7 @@ pub fn moments_from(
         for &u in rooted.children(src_v) {
             acc += elmore.parent_edge_cap(u) * 0.5 * (m1[src_v.0] + m1[u.0]) + cm[u.0];
         }
-        if rooted.parent(src_v).is_some() {
-            // msrnet-allow: panic guarded by the is_some() check on the line above
-            let p = rooted.parent(src_v).expect("has parent");
+        if let Some(p) = rooted.parent(src_v) {
             acc += elmore.parent_edge_cap(src_v) * 0.5 * (m1[src_v.0] + m1[p.0])
                 + cm_up[src_v.0];
         }
@@ -167,6 +166,7 @@ pub fn moments_from(
             let mut acc = m2[v.0];
             if v != src_v {
                 if let Some(p) = assignment.at(v) {
+                    // msrnet-allow: panic placements index the library they were solved against
                     let rep = &library[p.repeater];
                     let drive = if upward {
                         rep.upstream_drive(p.orientation)

@@ -1181,6 +1181,7 @@ impl Assignment {
     /// Panics if a placement references a repeater outside `library`.
     pub fn total_cost(&self, library: &[Repeater]) -> f64 {
         self.placements()
+            // msrnet-allow: panic documented contract: panics on out-of-library placements
             .map(|(_, p)| library[p.repeater].cost)
             .sum()
     }

@@ -89,6 +89,7 @@ pub fn simulate_from(
         for &(rep_v, next_v) in &stage.frontier {
             // msrnet-allow: panic frontier entries are built from placed repeaters only
             let placed = assignment.at(rep_v).expect("frontier has repeater");
+            // msrnet-allow: panic placements index the library they were solved against
             let rep = &library[placed.repeater];
             let upward = rooted.parent(rep_v) == Some(next_v);
             let drive = if upward {
@@ -221,6 +222,7 @@ fn simulate_stage(
     for &(rep_v, next_v) in &stage.frontier {
         // msrnet-allow: panic frontier entries are built from placed repeaters only
         let placed = assignment.at(rep_v).expect("repeater");
+        // msrnet-allow: panic placements index the library they were solved against
         let rep = &library[placed.repeater];
         // The cap facing *us*: if the onward vertex is the repeater's
         // child (we came from above) the parent side faces us.

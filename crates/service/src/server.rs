@@ -319,6 +319,7 @@ impl<'a> Checkout<'a> {
     /// Consumes the checkout and removes the session from the table.
     fn close(mut self) {
         self.sess = None;
+        // msrnet-allow: lock-discipline receiver is the table guard: .close() dispatches to SessionTable::close, not Checkout::close
         lock_table(self.table).close(self.id);
     }
 }
@@ -450,6 +451,7 @@ fn handle_open(
     if let Err((code, msg)) = deadline.check() {
         return err(code, msg);
     }
+    // msrnet-allow: lock-discipline receiver is the table guard: .open() dispatches to SessionTable::open; the solve ran above, outside the lock
     match lock_table(&shared.table).open(Box::new(rep)) {
         Ok(id) => Response::Ok(id.to_be_bytes().to_vec()),
         Err(code) => err(code, format!("{code}: session table at capacity")),

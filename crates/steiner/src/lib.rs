@@ -101,8 +101,11 @@ pub fn rectilinear_mst(points: &[Point]) -> Vec<(usize, usize)> {
     let mut best_link = vec![0usize; n];
     let mut edges = Vec::with_capacity(n - 1);
     in_tree[0] = true;
-    for i in 1..n {
-        best_dist[i] = points[0].l1_distance(points[i]);
+    let Some(p0) = points.first() else {
+        return Vec::new();
+    };
+    for (i, p) in points.iter().enumerate().skip(1) {
+        best_dist[i] = p0.l1_distance(*p);
     }
     for _ in 1..n {
         let mut pick = usize::MAX;
@@ -116,9 +119,10 @@ pub fn rectilinear_mst(points: &[Point]) -> Vec<(usize, usize)> {
         debug_assert_ne!(pick, usize::MAX);
         in_tree[pick] = true;
         edges.push((best_link[pick], pick));
-        for i in 0..n {
+        let Some(pp) = points.get(pick) else { break };
+        for (i, p) in points.iter().enumerate() {
             if !in_tree[i] {
-                let d = points[pick].l1_distance(points[i]);
+                let d = pp.l1_distance(*p);
                 if d < best_dist[i] {
                     best_dist[i] = d;
                     best_link[i] = pick;
@@ -133,6 +137,7 @@ pub fn rectilinear_mst(points: &[Point]) -> Vec<(usize, usize)> {
 pub fn mst_length(points: &[Point]) -> f64 {
     rectilinear_mst(points)
         .iter()
+        // msrnet-allow: panic MST edges index the points they were built from
         .map(|&(a, b)| points[a].l1_distance(points[b]))
         .sum()
 }
@@ -265,10 +270,11 @@ pub fn build_net(
     let mut builder = NetBuilder::new(tech);
     let mut vertex_ids = Vec::with_capacity(tree.points.len());
     for (i, &p) in tree.points.iter().enumerate() {
-        if i < tree.terminal_count {
-            vertex_ids.push(builder.terminal(p, terminals[i].1));
-        } else {
-            vertex_ids.push(builder.steiner(p));
+        match terminals.get(i) {
+            Some(&(_, t)) if i < tree.terminal_count => {
+                vertex_ids.push(builder.terminal(p, t));
+            }
+            _ => vertex_ids.push(builder.steiner(p)),
         }
     }
     for &(a, b) in &tree.edges {

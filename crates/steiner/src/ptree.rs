@@ -45,6 +45,7 @@ pub fn nn_tour(points: &[Point], start: usize) -> Vec<usize> {
         let mut best_d = f64::INFINITY;
         for (i, &u) in used.iter().enumerate() {
             if !u {
+                // msrnet-allow: panic cur/i walk indices of `used`, sized to points.len()
                 let d = points[cur].l1_distance(points[i]);
                 if d < best_d {
                     best_d = d;
@@ -72,6 +73,7 @@ pub fn two_opt(points: &[Point], mut order: Vec<usize>) -> Vec<usize> {
         for i in 0..n - 2 {
             for j in i + 1..n - 1 {
                 let d = |a: usize, b: usize| {
+                    // msrnet-allow: panic order is a permutation of 0..points.len()
                     points[order[a]].l1_distance(points[order[b]])
                 };
                 // Reverse order[i+1..=j]: affects edges (i, i+1) and
@@ -79,6 +81,7 @@ pub fn two_opt(points: &[Point], mut order: Vec<usize>) -> Vec<usize> {
                 let before = d(i, i + 1) + d(j, j + 1);
                 let after = d(i, j) + d(i + 1, j + 1);
                 if after + 1e-9 < before {
+                    // msrnet-allow: panic j < n - 1 <= order.len() by loop bounds
                     order[i + 1..=j].reverse();
                     improved = true;
                 }
@@ -126,6 +129,7 @@ pub fn ptree_topology(terminals: &[Point], order: &[usize]) -> SteinerTopology {
     let cands = hanan_grid(terminals);
     let h = cands.len();
     let dist = |p: usize, q: usize| cands[p].l1_distance(cands[q]);
+    // msrnet-allow: panic order is a permutation of 0..terminals.len()
     let term_pos: Vec<Point> = order.iter().map(|&i| terminals[i]).collect();
 
     // dp[i][j][p]: best cost of interval [i, j] rooted at candidate p.
@@ -191,9 +195,11 @@ pub fn ptree_topology(terminals: &[Point], order: &[usize]) -> SteinerTopology {
     while let Some((i, j, p, parent_vertex)) = stack.pop() {
         if i == j {
             // Attach the terminal (original index) to the parent.
+            // msrnet-allow: panic interval endpoints stay within 0..n = order.len()
             let t = order[i];
             if parent_vertex != usize::MAX {
                 edges.push((parent_vertex, t));
+                // msrnet-allow: panic t comes from order, a permutation of 0..terminals.len()
             } else if cands[p] != terminals[t] {
                 // Single-terminal tree rooted elsewhere (cannot happen
                 // from the public entry, which roots at the optimum).
@@ -239,13 +245,14 @@ fn fill_best(
         let mut b = f64::INFINITY;
         let mut arg = 0;
         for q in 0..h {
+            // msrnet-allow: panic cell indexes the n*n DP tables built by the caller
             let c = dp[cell][q] + dist(p, q);
             if c < b {
                 b = c;
                 arg = q;
             }
         }
-        best[cell][p] = b;
+        best[cell][p] = b; // msrnet-allow: panic cell indexes the n*n DP tables built by the caller
         best_arg[cell][p] = arg;
     }
 }

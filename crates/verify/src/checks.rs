@@ -357,13 +357,11 @@ fn run_dp(inst: &Instance, options: &MsriOptions) -> Result<TradeoffCurve, MsriE
 fn canonical_frontier(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
     let cost_close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0);
     let mut keep = vec![true; points.len()];
-    for i in 0..points.len() {
-        let (ci, di) = points[i];
-        for j in 0..points.len() {
+    for (i, &(ci, di)) in points.iter().enumerate() {
+        for (j, &(cj, dj)) in points.iter().enumerate() {
             if i == j || !keep[j] {
                 continue;
             }
-            let (cj, dj) = points[j];
             let cost_le = cj < ci || cost_close(ci, cj);
             let ard_le = dj < di || ard_close(di, dj);
             let strictly = (cj < ci && !cost_close(ci, cj)) || (dj < di && !ard_close(di, dj));

@@ -160,24 +160,31 @@ type ExtraEdge = (VertexId, VertexId, f64, (f64, f64));
 /// when the surviving structure is not a valid net.
 fn rebuild(inst: &Instance, mut removed: Vec<bool>, extra_edges: &[ExtraEdge]) -> Option<Instance> {
     let topo = &inst.net.topology;
+    // Out-of-range vertex ids count as removed; `removed` is sized to
+    // the vertex count by every caller.
+    let rm = |r: &[bool], i: usize| r.get(i).copied().unwrap_or(true);
     // Iteratively prune non-terminal vertices that lost connectivity.
     loop {
         let mut changed = false;
         for v in topo.vertices() {
-            if removed[v.0] || matches!(topo.kind(v), VertexKind::Terminal(_)) {
+            if rm(&removed, v.0) || matches!(topo.kind(v), VertexKind::Terminal(_)) {
                 continue;
             }
             let live_deg = topo
                 .neighbors(v)
                 .iter()
-                .filter(|(u, _)| !removed[u.0])
+                .filter(|(u, _)| !rm(&removed, u.0))
                 .count()
                 + extra_edges
                     .iter()
-                    .filter(|(a, b, _, _)| (*a == v || *b == v) && !removed[a.0] && !removed[b.0])
+                    .filter(|(a, b, _, _)| {
+                        (*a == v || *b == v) && !rm(&removed, a.0) && !rm(&removed, b.0)
+                    })
                     .count();
             if live_deg <= 1 {
-                removed[v.0] = true;
+                if let Some(slot) = removed.get_mut(v.0) {
+                    *slot = true;
+                }
                 changed = true;
             }
         }
@@ -193,14 +200,14 @@ fn rebuild(inst: &Instance, mut removed: Vec<bool>, extra_edges: &[ExtraEdge]) -
     // predictably and driver menus can follow them.
     for tid in inst.net.terminal_ids() {
         let v = topo.terminal_vertex(tid);
-        if removed[v.0] {
+        if rm(&removed, v.0) {
             continue;
         }
         map[v.0] = Some(b.terminal(topo.position(v), *inst.net.terminal(tid)));
         kept_terms.push(tid);
     }
     for v in topo.vertices() {
-        if removed[v.0] || map[v.0].is_some() {
+        if rm(&removed, v.0) || map[v.0].is_some() {
             continue;
         }
         map[v.0] = Some(match topo.kind(v) {
@@ -213,14 +220,14 @@ fn rebuild(inst: &Instance, mut removed: Vec<bool>, extra_edges: &[ExtraEdge]) -
     let mut edge_scalings: Vec<(msrnet_rctree::EdgeId, (f64, f64))> = Vec::new();
     for e in topo.edges() {
         let (a, c) = topo.endpoints(e);
-        if removed[a.0] || removed[c.0] {
+        if rm(&removed, a.0) || rm(&removed, c.0) {
             continue;
         }
         let ne = b.wire_with_length(map[a.0]?, map[c.0]?, topo.length(e));
         edge_scalings.push((ne, topo.edge_scaling(e)));
     }
     for &(a, c, len, scaling) in extra_edges {
-        if removed[a.0] || removed[c.0] {
+        if rm(&removed, a.0) || rm(&removed, c.0) {
             continue;
         }
         let ne = b.wire_with_length(map[a.0]?, map[c.0]?, len);
